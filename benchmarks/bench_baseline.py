@@ -1,0 +1,65 @@
+"""P4 — DUEL one-liners vs the C the programmer would type.
+
+The paper's expressiveness claim, made measurable: for each paired
+query, the conciseness table (chars/tokens) and the runtime of both
+formulations on the same simulated inferior.  Both sides share the
+operator engine, so the timing difference isolates the query-shape
+cost, not arithmetic implementation differences.
+"""
+
+import pytest
+
+from repro.baseline import PAPER_QUERIES
+from repro.baseline.metrics import (
+    expressiveness_table,
+    fresh_pair,
+    run_c,
+    run_duel,
+)
+
+_KEYS = sorted(PAPER_QUERIES)
+
+
+@pytest.fixture(scope="module")
+def pairs():
+    built = {}
+    for key in _KEYS:
+        query = PAPER_QUERIES[key]
+        session, interp = fresh_pair(query.workload)
+        # Pre-load the C side so the benchmark measures execution only.
+        run_c(interp, query)
+        built[key] = (query, session, interp)
+    return built
+
+
+@pytest.mark.parametrize("key", _KEYS)
+@pytest.mark.benchmark(group="P4-duel")
+def test_duel_side(benchmark, pairs, key):
+    query, session, _ = pairs[key]
+    out = benchmark(run_duel, session, query)
+    assert isinstance(out, list)
+
+
+@pytest.mark.parametrize("key", _KEYS)
+@pytest.mark.benchmark(group="P4-c")
+def test_c_side(benchmark, pairs, key):
+    query, _, interp = pairs[key]
+    out = benchmark(run_c, interp, query)
+    assert isinstance(out, list)
+
+
+def test_print_conciseness_table(capsys):
+    """Regenerates the conciseness table (the paper's core claim)."""
+    rows = expressiveness_table()
+    with capsys.disabled():
+        print()
+        print("P4 conciseness: DUEL one-liner vs debugger C")
+        header = (f"{'query':<16}{'duel chars':>11}{'c chars':>9}"
+                  f"{'ratio':>7}{'duel toks':>11}{'c toks':>8}{'ratio':>7}")
+        print(header)
+        for row in rows:
+            print(f"{row['query']:<16}{row['duel_chars']:>11}"
+                  f"{row['c_chars']:>9}{row['char_ratio']:>7}"
+                  f"{row['duel_tokens']:>11}{row['c_tokens']:>8}"
+                  f"{row['token_ratio']:>7}")
+    assert all(row["char_ratio"] > 1 for row in rows)

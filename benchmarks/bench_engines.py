@@ -1,0 +1,72 @@
+"""A1 — engine ablation: Python generators vs the paper's state machine.
+
+The paper hand-compiles coroutines into an explicit state/NOVALUE
+protocol because C lacks generators.  Both engines live in this
+reproduction; this benchmark quantifies the control-flow overhead of
+the explicit scheme relative to native generators on the operator
+subset both implement.
+"""
+
+import pytest
+
+from repro.core.statemachine import StateMachineEvaluator
+from conftest import make_array_session
+
+EXPRESSIONS = [
+    "(1..3)+(5,9)",
+    "(1..100)+(1,2)",
+    "x[..1000] >? 0",
+    "(1..20)*(1..20)",
+    "((1,5)..(5,10)) + 1",
+    # Structural operators (WITH/SELECT), both engines.
+    "x[..100].if (_ > 500) _",
+    "((1..30)*(1..30))[[5,50,500]]",
+]
+
+
+@pytest.fixture(scope="module")
+def rig():
+    session = make_array_session(1000)
+    sm = StateMachineEvaluator(session.evaluator)
+    nodes = [session.compile(text) for text in EXPRESSIONS]
+    return session, sm, nodes
+
+
+@pytest.mark.benchmark(group="A1-engines")
+def test_generator_engine(benchmark, rig):
+    session, _, nodes = rig
+
+    def run():
+        total = 0
+        for node in nodes:
+            session.evaluator.reset()
+            total += sum(1 for _ in session.evaluator.eval(node))
+        return total
+
+    total = benchmark(run)
+    assert total > 0
+
+
+@pytest.mark.benchmark(group="A1-engines")
+def test_state_machine_engine(benchmark, rig):
+    session, sm, nodes = rig
+
+    def run():
+        total = 0
+        for node in nodes:
+            session.evaluator.reset()
+            total += len(sm.drive(node))
+        return total
+
+    total = benchmark(run)
+    assert total > 0
+
+
+def test_engines_produce_same_counts(rig):
+    session, sm, nodes = rig
+    for node in nodes:
+        session.evaluator.reset()
+        generator = sum(1 for _ in session.evaluator.eval(node))
+        session.evaluator.reset()
+        machine = len(sm.drive(node))
+        assert generator == machine

@@ -1,0 +1,79 @@
+"""A2 — data-structure expansion: ``-->`` traversal costs and orderings.
+
+Covers the paper's dfs expansion on long lists and wide trees, the BFS
+extension, and the cost of cycle detection (the original implementation
+"does not handle cycles"; ours tracks visited nodes — this measures
+what that safety costs).
+"""
+
+import pytest
+
+from repro import DuelSession, SimulatorBackend
+from repro.bench import workloads
+
+SIZES = [100, 1_000, 5_000]
+
+
+@pytest.mark.parametrize("n", SIZES)
+@pytest.mark.benchmark(group="A2-list-walk")
+def test_list_walk(benchmark, n):
+    session = DuelSession(SimulatorBackend(workloads.long_list(n)))
+
+    def run():
+        return session.eval(f"#/(L-->next)")
+
+    (count,) = benchmark(run)
+    assert count.value == n
+
+
+@pytest.mark.parametrize("n", SIZES)
+@pytest.mark.benchmark(group="A2-tree-dfs")
+def test_tree_dfs(benchmark, n):
+    session = DuelSession(SimulatorBackend(workloads.big_tree(n)))
+
+    def run():
+        return session.eval("#/(root-->(left,right))")
+
+    (count,) = benchmark(run)
+    assert count.value == n
+
+
+@pytest.mark.parametrize("n", [1_000])
+@pytest.mark.benchmark(group="A2-orderings")
+def test_tree_bfs_extension(benchmark, n):
+    session = DuelSession(SimulatorBackend(workloads.big_tree(n)))
+
+    def run():
+        return session.eval("#/(root-->>(left,right))")
+
+    (count,) = benchmark(run)
+    assert count.value == n
+
+
+@pytest.mark.benchmark(group="A2-cycle-cost")
+def test_cycle_detection_on_cyclic_ring(benchmark):
+    """The case the original cannot handle at all: a cyclic list."""
+    from repro.target.program import TargetProgram
+    from repro.target import builder
+    program = TargetProgram()
+    builder.linked_list(program, "L", list(range(2000)), cycle_to=0)
+    session = DuelSession(SimulatorBackend(program))
+
+    def run():
+        return session.eval("#/(L-->next)")
+
+    (count,) = benchmark(run)
+    assert count.value == 2000  # each node visited exactly once
+
+
+@pytest.mark.benchmark(group="A2-deep-query")
+def test_paper_sortedness_query_full_table(benchmark):
+    """The paper's most complex query over the whole 1024-bucket table."""
+    session = DuelSession(SimulatorBackend(workloads.hash_table(fill=256)))
+    expr = "hash[..1024]-->next-> if (next) scope <? next->scope"
+
+    def run():
+        return session.eval(expr)
+
+    out = benchmark(run)
+    assert len(out) == 1  # only the planted violation

@@ -1,0 +1,51 @@
+"""P7 — compile-time folding ablation (paper future work, implemented).
+
+Paper §Implementation: "For many Duel expressions, run-time type
+checking and symbol lookup could be done at compile time using
+type-inference techniques."  The constant-folding pass
+(`repro.core.optimize`) is the symbol-free fragment of that programme;
+this benchmark measures what it buys on expressions whose operands are
+re-evaluated once per generated value.
+"""
+
+import pytest
+
+from repro import DuelSession, SimulatorBackend
+from repro.bench.workloads import big_array
+
+#: The right operand 2*50+400 is re-evaluated for every element of x
+#: without folding; folded, it is a single constant.
+EXPR = "x[..5000] >? 2*50+400"
+
+
+@pytest.fixture(scope="module")
+def plain():
+    return DuelSession(SimulatorBackend(big_array(5000)))
+
+
+@pytest.fixture(scope="module")
+def optimized():
+    return DuelSession(SimulatorBackend(big_array(5000)), optimize=True)
+
+
+@pytest.mark.benchmark(group="P7-folding")
+def test_unfolded(benchmark, plain):
+    out = benchmark(plain.eval, EXPR)
+    assert out
+
+
+@pytest.mark.benchmark(group="P7-folding")
+def test_folded(benchmark, optimized):
+    out = benchmark(optimized.eval, EXPR)
+    assert out
+
+
+def test_same_answers(plain, optimized):
+    assert plain.eval_values(EXPR) == optimized.eval_values(EXPR)
+
+
+@pytest.mark.benchmark(group="P7-compile")
+def test_fold_pass_cost(benchmark, optimized):
+    """The pass itself is cheap relative to evaluation."""
+    node = benchmark(optimized.compile, EXPR)
+    assert node is not None

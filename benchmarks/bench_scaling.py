@@ -1,0 +1,50 @@
+"""P1 — array-search scaling: the paper's ``x[..10000] >? 0``.
+
+Paper §Implementation: "x[..10000] >? 0 compiles and executes in about
+5 seconds on a DECStation 5000."  The absolute number is hardware; the
+*shape* is linear in N (one index + compare + symbolic per element).
+The three sizes below regenerate the scaling series; EXPERIMENTS.md
+records measured times next to the paper's single point.
+"""
+
+import pytest
+
+from conftest import make_array_session
+
+SIZES = [1_000, 10_000, 50_000]
+
+
+@pytest.mark.parametrize("n", SIZES)
+@pytest.mark.benchmark(group="P1-scaling")
+def test_array_search_scaling(benchmark, n):
+    session = make_array_session(n)
+    expr = f"x[..{n}] >? 0"
+
+    def run():
+        return len(session.eval(expr))
+
+    found = benchmark(run)
+    # Sanity: roughly half the seeded values are positive.
+    assert 0.4 * n < found < 0.6 * n
+
+
+@pytest.mark.parametrize("n", SIZES)
+@pytest.mark.benchmark(group="P1-compile")
+def test_compile_only(benchmark, n):
+    """Compilation cost is size-independent (the paper compiles once)."""
+    session = make_array_session(1)
+    expr = f"x[..{n}] >? 0"
+    node = benchmark(session.compile, expr)
+    assert node is not None
+
+
+@pytest.mark.benchmark(group="P1-paper-point")
+def test_paper_headline_query(benchmark):
+    """The paper's exact data point: 10k elements, >? 0."""
+    session = make_array_session(10_000)
+
+    def run():
+        return len(session.eval("x[..10000] >? 0"))
+
+    found = benchmark(run)
+    assert found > 0

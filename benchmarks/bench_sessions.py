@@ -1,0 +1,42 @@
+"""E1/E2 throughput — the paper's worked sessions as micro-benchmarks.
+
+Ensures the interactive path (compile + drive + render) stays
+interactive-fast: the paper notes "the evaluation time for most Duel
+expressions is negligible".
+"""
+
+import pytest
+
+from repro import DuelSession, SimulatorBackend
+from repro.bench import workloads
+
+SESSION_EXPRS = [
+    "(1..3)+(5,9)",
+    "(1,2,5)*4+(10,200)",
+    "1 + (double)3/2",
+    "(hash[..1024] !=? 0)->scope >? 5",
+    "hash[1,9]->(scope,name)",
+    "hash[0]-->next->scope",
+    "hash[..1024]-->next-> if (next) scope <? next->scope",
+]
+
+
+@pytest.fixture(scope="module")
+def paper_session():
+    return DuelSession(SimulatorBackend(workloads.hash_table()))
+
+
+@pytest.mark.parametrize("expr", SESSION_EXPRS)
+@pytest.mark.benchmark(group="E-sessions")
+def test_session_roundtrip(benchmark, paper_session, expr):
+    out = benchmark(paper_session.eval_lines, expr)
+    assert isinstance(out, list)
+
+
+@pytest.mark.benchmark(group="E-parse")
+def test_parse_throughput(benchmark, paper_session):
+    def run():
+        return [paper_session.compile(e) for e in SESSION_EXPRS]
+
+    nodes = benchmark(run)
+    assert len(nodes) == len(SESSION_EXPRS)

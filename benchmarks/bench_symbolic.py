@@ -1,0 +1,59 @@
+"""P3 — symbolic-value overhead ablation.
+
+Paper §Implementation: "In most cases, the computation of the symbolic
+value is more expensive than computing the result ... in
+x[..1000] !=? 0, the symbolic expression x[i] is computed 1000 times,
+even though it might be printed only once.  This kind of overhead is
+noticeable in complex queries."
+
+We run the paper's exact query with symbolic tracking on and off; the
+measured ratio appears in EXPERIMENTS.md.  Rendering (the print side)
+is benchmarked separately — the lazy symbolic trees defer most of the
+string work to display time.
+"""
+
+import pytest
+
+from conftest import make_array_session
+
+EXPR = "x[..1000] !=? 0"
+
+
+@pytest.fixture(scope="module")
+def symbolic_session():
+    return make_array_session(1000, symbolic=True)
+
+
+@pytest.fixture(scope="module")
+def plain_session():
+    return make_array_session(1000, symbolic=False)
+
+
+@pytest.mark.benchmark(group="P3-symbolic")
+def test_with_symbolic(benchmark, symbolic_session):
+    out = benchmark(symbolic_session.eval, EXPR)
+    assert len(out) > 900  # almost all seeded values are non-zero
+
+
+@pytest.mark.benchmark(group="P3-symbolic")
+def test_without_symbolic(benchmark, plain_session):
+    out = benchmark(plain_session.eval, EXPR)
+    assert len(out) > 900
+
+
+@pytest.mark.benchmark(group="P3-render")
+def test_render_all_lines(benchmark, symbolic_session):
+    """Full display cost: evaluate + render every output line."""
+    out = benchmark(symbolic_session.eval_lines, EXPR)
+    assert out[0].startswith("x[")
+
+
+@pytest.mark.benchmark(group="P3-render")
+def test_render_is_lazy_until_printed(benchmark, symbolic_session):
+    """Evaluating without rendering skips the string construction the
+    paper identifies as wasted work when values are never printed."""
+    def run():
+        return sum(1 for _ in symbolic_session.ieval(EXPR))
+
+    count = benchmark(run)
+    assert count > 900

@@ -1,0 +1,75 @@
+"""P6 — the paper's watchpoint caveat, made measurable.
+
+Paper §Implementation: "A faster implementation would be required if
+Duel expressions were used in watchpoints and conditional breakpoints"
+— evaluation-time type checking and symbol lookup make per-statement
+DUEL evaluation expensive.  The Debugger built here (the paper's
+§Discussion wish list) lets us quantify exactly that: the same mini-C
+program run bare, with a scalar watchpoint, with a generator
+watchpoint, and with sampled checking.
+"""
+
+import pytest
+
+from repro.debugger import Debugger
+
+PROGRAM = r"""
+int total = 0;
+int a[64];
+int main(void) {
+    int i;
+    for (i = 0; i < 200; i++) {
+        a[i % 64] = i;
+        total = total + i;
+    }
+    return total;
+}
+"""
+
+
+def run_with(configure):
+    dbg = Debugger(PROGRAM)
+    configure(dbg)
+    status = dbg.run()
+    assert status == 19900
+    return dbg
+
+
+@pytest.mark.benchmark(group="P6-watchpoints")
+def test_bare_run(benchmark):
+    dbg = benchmark(run_with, lambda dbg: None)
+    assert dbg.condition_evals == 0
+
+
+@pytest.mark.benchmark(group="P6-watchpoints")
+def test_scalar_watchpoint(benchmark):
+    dbg = benchmark(run_with, lambda dbg: dbg.watch("total"))
+    assert dbg.condition_evals > 0
+
+
+@pytest.mark.benchmark(group="P6-watchpoints")
+def test_generator_watchpoint(benchmark):
+    """The expensive case the paper warns about: a whole-array query
+    re-evaluated at every statement."""
+    dbg = benchmark(run_with, lambda dbg: dbg.watch("#/(a[..64] >? 100)"))
+    assert dbg.condition_evals > 0
+
+
+@pytest.mark.benchmark(group="P6-watchpoints")
+def test_sampled_generator_watchpoint(benchmark):
+    """Sampling every 32 statements: the mitigation knob."""
+    def configure(dbg):
+        dbg.check_interval = 32
+        dbg.watch("#/(a[..64] >? 100)")
+
+    dbg = benchmark(run_with, configure)
+    assert dbg.condition_evals > 0
+
+
+@pytest.mark.benchmark(group="P6-breakpoints")
+def test_conditional_breakpoint_overhead(benchmark):
+    def configure(dbg):
+        dbg.break_at("main", condition="total > 10")
+
+    dbg = benchmark(run_with, configure)
+    assert dbg.condition_evals >= 1

@@ -1,0 +1,23 @@
+"""Benchmark fixtures: workloads built once per session."""
+
+import pytest
+
+from repro import DuelSession, SimulatorBackend
+from repro.bench import workloads
+
+
+@pytest.fixture(scope="module")
+def hash_session():
+    program = workloads.hash_table()
+    return DuelSession(SimulatorBackend(program))
+
+
+@pytest.fixture(scope="module")
+def empty_session():
+    from repro.target.program import TargetProgram
+    return DuelSession(SimulatorBackend(TargetProgram()))
+
+
+def make_array_session(n, symbolic=True):
+    program = workloads.big_array(n)
+    return DuelSession(SimulatorBackend(program), symbolic=symbolic)

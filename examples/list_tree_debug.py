@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Lists and trees: the paper's expansion operator ``-->`` at work.
+
+Reproduces the Introduction's duplicate-element query, the §Syntax tree
+walks, select (``[[...]]``), index aliases (``e#n``), and the @ guard —
+then pushes past the paper with BFS ordering (``-->>``) and a cyclic
+list, which the original implementation could not handle.
+
+Run:  python examples/list_tree_debug.py
+"""
+
+from repro import DuelSession, SimulatorBackend, TargetProgram
+from repro.target import builder
+
+
+def main() -> None:
+    program = TargetProgram()
+    # The Introduction's list L: 4th and 9th nodes (0-based) hold 27.
+    builder.linked_list(
+        program, "L", [10, 20, 30, 40, 27, 50, 60, 70, 80, 27])
+    # A second list used for the select example.
+    builder.linked_list(program, "head",
+                        [11, 42, 5, 33, 19, 29, 8, 77], tag="hnode")
+    # The paper's tree (9, (3 (4) (5)), (12)).
+    builder.binary_tree(program, "root", (9, (3, 4, 5), 12))
+    # A cyclic list: the original DUEL "does not handle cycles"; we do.
+    builder.linked_list(program, "ring", [1, 2, 3, 4], tag="rnode",
+                        cycle_to=1)
+
+    duel = DuelSession(SimulatorBackend(program))
+    sections = [
+        ("Walk list L", "L-->next->value"),
+        ("The Introduction's query: duplicate values in L "
+         "(one-liner vs 7 lines of C)",
+         "L-->next->(value ==? next-->next->value)"),
+        ("The same, reporting *both* positions via index aliases",
+         "L-->next#i->value ==? L-->next#j->value => "
+         "if (i < j) L-->next[[i,j]]->value"),
+        ("Select the 3rd and 5th values of the head list",
+         "head-->next->value[[3,5]]"),
+        ("Tree keys in preorder", "root-->(left,right)->key"),
+        ("Tree keys in BFS order (extension)", "root-->>(left,right)->key"),
+        ("Path to the node holding 5 "
+         "(comparison corrected from the paper; see EXPERIMENTS.md)",
+         "root-->(if (key > 5) left else if (key < 5) right)->key"),
+        ("How many nodes in the tree?", "#/(root-->(left,right))"),
+        ("Sum of all keys", "+/(root-->(left,right)->key)"),
+        ("Largest key anywhere", ">?/(root-->(left,right)->key)"),
+        ("Walk a CYCLIC list safely (original DUEL would loop)",
+         "ring-->next->value"),
+        ("List values until the first one over 60 (@ guard)",
+         "L-->next->value@(_ > 60)"),
+    ]
+    for title, text in sections:
+        print(f"## {title}")
+        print(f"gdb> duel {text}")
+        for line in duel.eval_lines(text):
+            print(line)
+        print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,121 @@
+#!/usr/bin/env python3
+"""Bug hunting with DUEL: a realistic debugging session.
+
+A mini-C program implements an interval scheduler whose accounting is
+subtly wrong (a classic off-by-one corrupts one slot, and one list node
+points into freed-looking garbage).  We run it to the failure point and
+then use DUEL queries — not printf archaeology — to localise both bugs,
+including the paper's "Illegal memory reference" diagnostic when a walk
+hits a poisoned pointer.
+
+Run:  python examples/minic_bughunt.py
+"""
+
+from repro import DuelSession, SimulatorBackend
+from repro.core.errors import DuelError
+from repro.minic import run_program
+from repro.target.stdlib import stdout_text
+
+SCHEDULER_C = r"""
+struct task {
+    char *name;
+    int start;
+    int len;
+    struct task *next;
+};
+
+struct task *queue;          /* pending tasks, should stay start-sorted */
+int slots[24];               /* per-hour load counters */
+int ntasks = 0;
+
+void enqueue(char *name, int start, int len) {
+    struct task *t, *q, *prev;
+    int h;
+    t = (struct task *) malloc(sizeof(struct task));
+    t->name = name;
+    t->start = start;
+    t->len = len;
+    /* BUG 1: the loop marks one hour too many (<= instead of <). */
+    for (h = start; h <= start + len; h++)
+        slots[h % 24] = slots[h % 24] + 1;
+    prev = 0;
+    for (q = queue; q && q->start < start; q = q->next)
+        prev = q;
+    t->next = q;
+    if (prev) prev->next = t;
+    else queue = t;
+    ntasks++;
+}
+
+int main(void) {
+    enqueue("backup",   1, 2);
+    enqueue("report",   4, 1);
+    enqueue("rebuild",  9, 3);
+    enqueue("archive", 14, 2);
+    enqueue("mail",    20, 1);
+    printf("scheduled %d tasks\n", ntasks);
+    return 0;
+}
+"""
+
+
+def main() -> None:
+    interp = run_program(SCHEDULER_C)
+    program = interp.program
+    print("target stdout:", stdout_text(program), end="")
+    print()
+    duel = DuelSession(SimulatorBackend(program))
+
+    print("Each task of length L should load exactly L slots; total load")
+    print("should equal the sum of the lengths.  Interrogate the state:\n")
+
+    for title, text in [
+        ("the queue, in order", "queue-->next->(name, start, len)"),
+        ("total scheduled hours according to the tasks",
+         "+/(queue-->next->len)"),
+        ("total load according to the slot counters (should match!)",
+         "+/(slots[..24])"),
+        ("which hours are loaded?", "slots[..24] >? 0"),
+        ("hours loaded *outside* any task's [start, start+len) window — "
+         "direct evidence of the off-by-one",
+         "h := ..24 => if (slots[h] > 0 && "
+         "#/(queue-->next->(if (start <= h && h < start + len) 1)) == 0) "
+         "{h}"),
+    ]:
+        print(f"## {title}")
+        print(f"gdb> duel {text}")
+        for line in duel.eval_lines(text):
+            print(line)
+        print()
+
+    print("The slot totals disagree with the task lengths, and the extra")
+    print("loaded hours sit exactly one past each task's end: the enqueue")
+    print("loop's `<=` should be `<`.\n")
+
+    # Now poison one next pointer the way a use-after-free would, and
+    # show the paper's error reporting when a DUEL walk trips over it.
+    node3 = duel.eval_values("queue->next->next")[0]
+    next_offset = program.types.structs["task"].field("next").offset
+    program.write_value(node3 + next_offset,
+                        program.parse_type("struct task *"), 0xDEAD0000)
+    print("## a corrupted next pointer (simulated use-after-free)")
+    print("gdb> duel queue-->next->name")
+    try:
+        for line in duel.eval_lines("queue-->next->name"):
+            print(line)
+    except DuelError as error:
+        print(error)
+    print()
+    print("The walk stops at the poisoned node; `-->` treats the invalid")
+    print("pointer as end-of-structure, and a direct dereference reports")
+    print("the paper's diagnostic:")
+    print("gdb> duel queue->next->next->next->name")
+    try:
+        for line in duel.eval_lines("queue->next->next->next->name"):
+            print(line)
+    except DuelError as error:
+        print(error)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,56 @@
+#!/usr/bin/env python3
+"""Quickstart: DUEL in five minutes.
+
+Builds a tiny simulated inferior, attaches a DUEL session, and walks
+through the paper's opening examples — generators, conditional-yield
+comparisons, aliases, and symbolic output.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import DuelSession, SimulatorBackend, TargetProgram
+from repro.target import builder
+
+
+def main() -> None:
+    # 1. A target to debug.  Normally this is a live process under gdb;
+    #    here it is a simulated inferior with one global array.
+    program = TargetProgram()
+    builder.int_array(program, "x",
+                      [3, -1, 7, 0, 12, -9, 2, 120, 5, -4])
+
+    # 2. Attach DUEL through the paper's narrow debugger interface.
+    duel = DuelSession(SimulatorBackend(program))
+
+    # 3. Ask questions.  Each call is one "duel <expr>" command.
+    demos = [
+        # Generators: .. produces integer sequences, comma alternates.
+        "(1..3)+(5,9)",
+        "(1,2,5)*4+(10,200)",
+        # Plain C still works (and prints like the paper: 2.500).
+        "1 + (double)3/2",
+        # The headline query: which elements of x are positive?
+        "x[..10] >? 0",
+        # C's == compares; DUEL's ==? *yields* the left side when true.
+        "x[..10] ==? 7",
+        # Range search, reading left to right: elements between 5 and 10.
+        "x[..10] >? 5 <? 10",
+        # Aliases: i becomes each of 1..3; the ; keeps only the last.
+        "i := 1..3; i + 4",
+        # => produces the right side for *each* left value.
+        "i := 1..3 => {i} + 4",
+        # Reductions: count and sum of a generated sequence.
+        "#/(x[..10] >? 0)",
+        "+/(x[..10] >? 0)",
+        # sizeof and casts work on the target's types.
+        "sizeof(int [4])",
+    ]
+    for text in demos:
+        print(f"gdb> duel {text}")
+        for line in duel.eval_lines(text):
+            print(line)
+        print()
+
+
+if __name__ == "__main__":
+    main()

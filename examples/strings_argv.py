@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Strings, argv, and the @ guard.
+
+Reproduces the paper's string idioms — ``s[0..999]@0`` walks a C string
+up to its NUL, ``argv[0..]@0`` generates program arguments — plus calls
+into the target's own string functions with generator arguments.
+
+Run:  python examples/strings_argv.py
+"""
+
+from repro import DuelSession, SimulatorBackend, TargetProgram
+from repro.ctype.types import CHAR, PointerType
+from repro.target.stdlib import install_stdlib, stdout_text
+
+
+def main() -> None:
+    program = TargetProgram()
+    install_stdlib(program)
+    program.set_argv(["grep", "-i", "-n", "duel", "eval.c"])
+    # A global char *s pointing at a heap string.
+    s_sym = program.define("s", PointerType(CHAR))
+    program.write_value(s_sym.address, PointerType(CHAR),
+                        program.alloc_string("Hello, DUEL!"))
+
+    duel = DuelSession(SimulatorBackend(program))
+    sections = [
+        # The paper: s[0..999]@0 produces the chars up to (not
+        # including) the NUL.
+        ("the characters of s", "s[0..999]@0"),
+        ("how long is s?  (count the guard-limited sequence)",
+         "#/(s[0..999]@0)"),
+        ("cross-check with the target's strlen", "strlen(s)"),
+        ("the uppercase letters of s",
+         "c := s[0..999]@0 => if (c >= 'A' && c <= 'Z') c"),
+        # The paper: argv[0..]@0 generates the argument strings.
+        ("the program's arguments", "argv[0..]@0"),
+        ("how many? (argc without argc)", "#/(argv[0..]@0)"),
+        ("just the flags (args starting with '-')",
+         "a := argv[0..]@0 => if (a[0] == '-') a"),
+        # Generator args to a target function: compare every argument
+        # against "duel" in one command.
+        ("strcmp of every argument against \"duel\"",
+         'strcmp(argv[..5], "duel")'),
+        ("which argument IS \"duel\"?",
+         'a := argv[0..]@0 => if (strcmp(a, "duel") == 0) a'),
+    ]
+    for title, text in sections:
+        print(f"## {title}")
+        print(f"gdb> duel {text}")
+        for line in duel.eval_lines(text):
+            print(line)
+        print()
+
+    # printf with generator arguments, straight from the paper.
+    print('## printf("%d %d, ", (3,4), 5..7) — all combinations')
+    duel.eval('printf("%d %d, ", (3,4), 5..7)')
+    print(stdout_text(program))
+
+
+if __name__ == "__main__":
+    main()

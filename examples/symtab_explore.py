@@ -1,0 +1,120 @@
+#!/usr/bin/env python3
+"""The paper's running example: exploring a compiler's symbol table.
+
+A mini-C program builds the classic chained hash table
+
+    struct symbol { char *name; int scope; struct symbol *next; } *hash[1024];
+
+by actually running in the simulated inferior (insertions, malloc, the
+lot).  We then stop — as if at a breakpoint — and explore the state
+with the paper's own DUEL queries.
+
+Run:  python examples/symtab_explore.py
+"""
+
+from repro import DuelSession, SimulatorBackend
+from repro.minic import run_program
+from repro.target.stdlib import stdout_text
+
+SYMTAB_C = r"""
+struct symbol { char *name; int scope; struct symbol *next; };
+struct symbol *hash[1024];
+int nsyms = 0;
+
+unsigned hashfn(char *s) {
+    unsigned h = 0;
+    int i;
+    for (i = 0; s[i]; i++)
+        h = h * 31 + s[i];
+    return h % 1024;
+}
+
+/* Insert keeps each chain sorted by decreasing scope. */
+void insert(char *name, int scope) {
+    struct symbol *p, *q, *prev;
+    unsigned b = hashfn(name);
+    p = (struct symbol *) malloc(sizeof(struct symbol));
+    p->name = name;
+    p->scope = scope;
+    prev = 0;
+    for (q = hash[b]; q && q->scope > scope; q = q->next)
+        prev = q;
+    p->next = q;
+    if (prev) prev->next = p;
+    else hash[b] = p;
+    nsyms++;
+}
+
+int main(void) {
+    char *names[12];
+    int scopes[12];
+    int i;
+    names[0] = "main";    scopes[0] = 0;
+    names[1] = "argc";    scopes[1] = 1;
+    names[2] = "argv";    scopes[2] = 1;
+    names[3] = "i";       scopes[3] = 2;
+    names[4] = "j";       scopes[4] = 2;
+    names[5] = "tmp";     scopes[5] = 7;   /* deep block */
+    names[6] = "swap";    scopes[6] = 0;
+    names[7] = "buf";     scopes[7] = 8;   /* deeper still */
+    names[8] = "x";       scopes[8] = 3;
+    names[9] = "y";       scopes[9] = 3;
+    names[10] = "printf"; scopes[10] = 0;
+    names[11] = "hashfn"; scopes[11] = 0;
+    for (i = 0; i < 12; i++)
+        insert(names[i], scopes[i]);
+    printf("inserted %d symbols\n", nsyms);
+    return 0;
+}
+"""
+
+
+def main() -> None:
+    interp = run_program(SYMTAB_C)
+    print("target stdout:", stdout_text(interp.program), end="")
+    print()
+
+    duel = DuelSession(SimulatorBackend(interp.program))
+    queries = [
+        # Non-empty buckets and every name chained under them.
+        ("which buckets are occupied, and by what?",
+         "(hash[..1024] !=? 0)-->next->name"),
+        # The paper's search: heads with scope > 5.
+        ("symbols at bucket heads with scope > 5",
+         "(hash[..1024] !=? 0)->scope >? 5"),
+        # Names of deep-scope symbols anywhere in the table.
+        ("names of symbols with scope > 5, wherever they sit",
+         "hash[..1024]-->next->(if (scope > 5) name)"),
+        # How many symbols does DUEL count?  (Cross-check nsyms.)
+        ("count every chained symbol",
+         "#/(hash[..1024]-->next)"),
+        ("the program's own counter",
+         "nsyms"),
+        # Verify the sortedness invariant the insert() maintains.
+        ("any chain violating decreasing-scope order? (silence = sorted)",
+         "hash[..1024]-->next-> if (next) scope <? next->scope"),
+        # Inferior function call: hash the string "tmp" via the
+        # program's own hashfn, then look at that bucket.
+        ("call the target's hashfn on \"tmp\"",
+         'hashfn("tmp")'),
+        ("the chain in that very bucket",
+         'hash[hashfn("tmp")]-->next->(name, scope)'),
+        # Side effects: close scope 2 (clear those entries to scope 0).
+        ("demote every scope-2 symbol to scope 0 (side effect, no output)",
+         "hash[..1024]-->next->(if (scope == 2) scope = 0) ;"),
+        ("scope-2 symbols remaining after the demotion",
+         "#/(hash[..1024]-->next->scope ==? 2)"),
+    ]
+    for title, text in queries:
+        print(f"## {title}")
+        print(f"gdb> duel {text}")
+        lines = duel.eval_lines(text)
+        for line in lines:
+            print(line)
+        if not lines:
+            print("(no output)")
+        print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,33 @@
+"""Reproduction of "DUEL — A Very High-Level Debugging Language"
+(Golan & Hanson, USENIX Winter 1993).
+
+Packages:
+
+* :mod:`repro.core` — DUEL itself: lexer, parser, generator evaluator,
+  symbolic display, the ``duel`` command.
+* :mod:`repro.ctype` — the C type system DUEL carries with it.
+* :mod:`repro.target` — the simulated inferior process and the paper's
+  narrow debugger interface (plus a real-gdb adapter).
+* :mod:`repro.minic` — a mini-C compiler/interpreter used to run target
+  programs in the simulator and as the C-loop baseline.
+* :mod:`repro.baseline` — paired DUEL-vs-C queries and conciseness
+  metrics for the paper's expressiveness comparison.
+* :mod:`repro.bench` — deterministic workload builders for benchmarks.
+
+Quick start::
+
+    from repro import DuelSession, SimulatorBackend, TargetProgram
+    from repro.target import builder
+
+    program = TargetProgram()
+    builder.int_array(program, "x", [3, -1, 7, 0, 12])
+    duel = DuelSession(SimulatorBackend(program))
+    print(duel.eval_lines("x[..5] >? 0"))
+"""
+
+from repro.core import DuelSession
+from repro.target import SimulatorBackend, TargetProgram
+
+__version__ = "1.0.0"
+
+__all__ = ["DuelSession", "SimulatorBackend", "TargetProgram", "__version__"]

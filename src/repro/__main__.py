@@ -1,0 +1,5 @@
+"""``python -m repro`` — the DUEL command-line front end."""
+
+from repro.cli import main
+
+raise SystemExit(main())

@@ -1,0 +1,16 @@
+"""The paper's comparison axis: DUEL one-liners vs debugger C code.
+
+"Duel allows many state exploration queries to be expressed concisely,
+often as one-liners without additional variables or control
+constructs" — the paper's evaluation is precisely this comparison.
+:mod:`repro.baseline.queries` pairs each paper query with the C the
+programmer would otherwise type; :mod:`repro.baseline.metrics`
+quantifies conciseness (characters, tokens, AST nodes) and provides
+matched execution harnesses for the timing benchmarks (P4).
+"""
+
+from repro.baseline.queries import PAPER_QUERIES, PairedQuery
+from repro.baseline.metrics import conciseness, run_duel, run_c
+
+__all__ = ["PAPER_QUERIES", "PairedQuery", "conciseness",
+           "run_duel", "run_c"]

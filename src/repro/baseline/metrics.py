@@ -1,0 +1,101 @@
+"""Conciseness metrics and matched execution harnesses.
+
+The paper argues DUEL queries are dramatically shorter than the C a
+programmer would type at the debugger; :func:`conciseness` quantifies
+that (characters, tokens, AST nodes for the DUEL side), and
+:func:`run_duel` / :func:`run_c` execute both formulations against the
+same simulated inferior for the timing benchmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.lexer import tokenize
+from repro.core.nodes import node_count
+from repro.core.parser import parse
+from repro.core.session import DuelSession
+from repro.minic.clex import tokenize_c
+from repro.minic.interp import Interpreter
+from repro.target.program import TargetProgram
+
+
+@dataclass(frozen=True)
+class Conciseness:
+    """Size of one query formulation."""
+
+    chars: int
+    tokens: int
+    ast_nodes: int
+
+
+def _squeeze(text: str) -> str:
+    """Collapse whitespace runs so formatting doesn't dominate counts."""
+    return " ".join(text.split())
+
+
+def conciseness(query) -> dict[str, Conciseness]:
+    """Character/token counts for both sides of a PairedQuery."""
+    duel_text = _squeeze(query.duel)
+    c_text = _squeeze(query.c_source)
+    duel_tokens = len(tokenize(query.duel)) - 1  # drop EOF
+    c_tokens = len(tokenize_c(query.c_source)) - 1
+    duel_nodes = node_count(parse(query.duel))
+    return {
+        "duel": Conciseness(len(duel_text), duel_tokens, duel_nodes),
+        "c": Conciseness(len(c_text), c_tokens, 0),
+    }
+
+
+def run_duel(session: DuelSession, query) -> list:
+    """Execute the DUEL side; returns the produced raw values."""
+    return session.eval_values(query.duel)
+
+
+def run_c(interp: Interpreter, query) -> list[str]:
+    """Execute the C side; returns the lines it printed.
+
+    The query's C source is loaded once (idempotently, keyed by the
+    query) and its ``query()`` entry point invoked.
+    """
+    loaded = getattr(interp, "_loaded_queries", None)
+    if loaded is None:
+        loaded = set()
+        interp._loaded_queries = loaded
+    if query.key not in loaded:
+        interp.load_source(query.c_source)
+        loaded.add(query.key)
+    before = len(interp.program.output)
+    interp.call("query")
+    return "".join(interp.program.output[before:]).splitlines()
+
+
+def expressiveness_table(queries=None) -> list[dict]:
+    """The P4 conciseness table: one row per paper query."""
+    from repro.baseline.queries import PAPER_QUERIES
+    rows = []
+    for query in (queries or PAPER_QUERIES.values()):
+        sizes = conciseness(query)
+        rows.append({
+            "query": query.key,
+            "duel_chars": sizes["duel"].chars,
+            "duel_tokens": sizes["duel"].tokens,
+            "c_chars": sizes["c"].chars,
+            "c_tokens": sizes["c"].tokens,
+            "char_ratio": round(sizes["c"].chars / sizes["duel"].chars, 1),
+            "token_ratio": round(sizes["c"].tokens / sizes["duel"].tokens, 1),
+        })
+    return rows
+
+
+def fresh_pair(workload: str):
+    """(session, interp) over one shared inferior carrying ``workload``."""
+    from repro.bench.workloads import build_workload
+    from repro.core.session import DuelSession as _Session
+    from repro.target.interface import SimulatorBackend
+
+    program = build_workload(workload)
+    session = _Session(SimulatorBackend(program))
+    interp = Interpreter(program)
+    return session, interp
+

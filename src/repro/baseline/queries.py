@@ -1,0 +1,148 @@
+"""Paired DUEL / C formulations of the paper's queries.
+
+Each :class:`PairedQuery` holds the DUEL one-liner from the paper and
+the C function a programmer would write instead (the paper's
+Introduction shows exactly this for the duplicate-list query, bug
+included).  The C side runs in the mini-C interpreter against the same
+simulated inferior, so results and timings are directly comparable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class PairedQuery:
+    """One query in both formulations."""
+
+    key: str
+    description: str
+    duel: str
+    #: C source defining ``void query(void)`` that prints its findings.
+    c_source: str
+    #: Workload the query expects (see repro.bench.workloads).
+    workload: str
+
+
+#: The Introduction's query: "does list L contain two identical
+#: elements in its value fields?"  The paper's C version contains a
+#: bug (q starts at p, so every element matches itself); the fixed
+#: version is what a careful programmer writes.
+LIST_DUP_DUEL = "L-->next->(value ==? next-->next->value)"
+
+LIST_DUP_C = r"""
+void query(void) {
+    struct node *p, *q;
+    for (p = L; p; p = p->next)
+        for (q = p->next; q; q = q->next)
+            if (p->value == q->value)
+                printf("%x %x contain %d\n", p, q, p->value);
+}
+"""
+
+#: The paper's buggy original (q = p), kept for the E6/narrative tests.
+LIST_DUP_C_BUGGY = r"""
+void query(void) {
+    struct node *p, *q;
+    for (p = L; p; p = p->next)
+        for (q = p; q; q = q->next)
+            if (p->value == q->value)
+                printf("%x %x contain %d\n", p, q, p->value);
+}
+"""
+
+#: §Syntax: search the symbol hash table for scope > 5.
+HASH_SCOPE_DUEL = "(hash[..1024] !=? 0)->scope >? 5"
+
+HASH_SCOPE_C = r"""
+void query(void) {
+    int i;
+    for (i = 0; i < 1024; i++)
+        if (hash[i] != 0)
+            if (hash[i]->scope > 5)
+                printf("hash[%d]->scope = %d\n", i, hash[i]->scope);
+}
+"""
+
+#: Positive elements of an array (the abstract's example).
+ARRAY_POSITIVE_DUEL = "x[..100] >? 0"
+
+ARRAY_POSITIVE_C = r"""
+void query(void) {
+    int i;
+    for (i = 0; i < 100; i++)
+        if (x[i] > 0)
+            printf("x[%d] = %d\n", i, x[i]);
+}
+"""
+
+#: Count the nodes of a binary tree ("how many nodes are in tree?").
+TREE_COUNT_DUEL = "#/(root-->(left,right))"
+
+TREE_COUNT_C = r"""
+int count(struct tree *t) {
+    if (t == 0) return 0;
+    return 1 + count(t->left) + count(t->right);
+}
+void query(void) {
+    printf("%d\n", count(root));
+}
+"""
+
+#: Verify each hash chain is sorted by decreasing scope.
+HASH_SORTED_DUEL = ("hash[..1024]-->next-> if (next) scope <? next->scope")
+
+HASH_SORTED_C = r"""
+void query(void) {
+    int i;
+    struct symbol *p;
+    for (i = 0; i < 1024; i++)
+        for (p = hash[i]; p; p = p->next)
+            if (p->next && p->scope < p->next->scope)
+                printf("bucket %d violates at scope %d\n", i, p->scope);
+}
+"""
+
+#: Clear every list head's scope field (§Syntax side-effect example).
+HASH_CLEAR_DUEL = "hash[0..1023]->scope = 0 ;"
+
+HASH_CLEAR_C = r"""
+void query(void) {
+    int i;
+    for (i = 0; i < 1024; i++)
+        if (hash[i])
+            hash[i]->scope = 0;
+}
+"""
+
+PAPER_QUERIES: dict[str, PairedQuery] = {
+    q.key: q for q in [
+        PairedQuery(
+            key="list_dup",
+            description="Introduction: does list L contain two identical "
+                        "elements in its value fields?",
+            duel=LIST_DUP_DUEL, c_source=LIST_DUP_C, workload="dup_list"),
+        PairedQuery(
+            key="hash_scope",
+            description="Symbols at bucket heads with scope > 5",
+            duel=HASH_SCOPE_DUEL, c_source=HASH_SCOPE_C, workload="hash"),
+        PairedQuery(
+            key="array_positive",
+            description="Which elements of x[100] are positive?",
+            duel=ARRAY_POSITIVE_DUEL, c_source=ARRAY_POSITIVE_C,
+            workload="array100"),
+        PairedQuery(
+            key="tree_count",
+            description="How many nodes are in tree?",
+            duel=TREE_COUNT_DUEL, c_source=TREE_COUNT_C, workload="tree"),
+        PairedQuery(
+            key="hash_sorted",
+            description="Are all hash chains sorted by decreasing scope?",
+            duel=HASH_SORTED_DUEL, c_source=HASH_SORTED_C, workload="hash"),
+        PairedQuery(
+            key="hash_clear",
+            description="Clear the scope field of every bucket head",
+            duel=HASH_CLEAR_DUEL, c_source=HASH_CLEAR_C, workload="hash"),
+    ]
+}

@@ -1,0 +1,5 @@
+"""Benchmark support: deterministic workload builders."""
+
+from repro.bench.workloads import build_workload, WORKLOADS
+
+__all__ = ["build_workload", "WORKLOADS"]

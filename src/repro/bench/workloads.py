@@ -1,0 +1,161 @@
+"""Deterministic workloads for tests and benchmarks.
+
+Every builder is seeded and parameter-free (or parameterised by size),
+so benchmark runs are reproducible.  The shapes are those the paper's
+evaluation touches: int arrays, the 1024-bucket symbol hash, linked
+lists with a duplicate, the example binary tree, and argv.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable
+
+from repro.target import builder
+from repro.target.program import TargetProgram
+from repro.target.stdlib import install_stdlib
+
+_SEED = 19930107  # the conference date
+
+
+def _fresh() -> TargetProgram:
+    program = TargetProgram()
+    install_stdlib(program)
+    return program
+
+
+def array100(program: TargetProgram | None = None) -> TargetProgram:
+    """x[100] with a deterministic mix of signs (the abstract's query)."""
+    program = program or _fresh()
+    rng = random.Random(_SEED)
+    values = [rng.randint(-50, 50) for _ in range(100)]
+    builder.int_array(program, "x", values)
+    return program
+
+
+def big_array(n: int, program: TargetProgram | None = None) -> TargetProgram:
+    """x[n] for the scaling benchmark (paper: x[..10000] >? 0)."""
+    program = program or _fresh()
+    rng = random.Random(_SEED + n)
+    builder.int_array(program, "x",
+                      [rng.randint(-1000, 1000) for _ in range(n)])
+    return program
+
+
+def hash_table(program: TargetProgram | None = None,
+               buckets: int = 1024, fill: int = 64,
+               chain: int = 4) -> TargetProgram:
+    """The compiler symbol table: ``fill`` buckets of ``chain`` sorted
+    symbols, plus the paper's specific fixture buckets."""
+    program = program or _fresh()
+    rng = random.Random(_SEED)
+    entries = builder.paper_hash_entries()
+    candidates = [b for b in range(buckets) if b not in entries]
+    for bucket in rng.sample(candidates, fill):
+        scopes = sorted((rng.randint(0, 5) for _ in range(chain)),
+                        reverse=True)
+        entries[bucket] = [(f"b{bucket}_{i}", s)
+                           for i, s in enumerate(scopes)]
+    builder.symbol_hash_table(program, buckets=buckets, entries=entries)
+    return program
+
+
+def dup_list(program: TargetProgram | None = None,
+             length: int = 10) -> TargetProgram:
+    """The Introduction's list L: duplicate 27s at positions 4 and 9."""
+    program = program or _fresh()
+    rng = random.Random(_SEED)
+    values = []
+    used = set()
+    for _ in range(length):
+        v = rng.randint(1, 99)
+        while v in used or v == 27:
+            v = rng.randint(1, 99)
+        used.add(v)
+        values.append(v)
+    if length > 9:
+        values[4] = 27
+        values[9] = 27
+    builder.linked_list(program, "L", values)
+    return program
+
+
+def head_list(program: TargetProgram | None = None) -> TargetProgram:
+    """The ``head`` list whose positions 3 and 5 hold 33 and 29."""
+    program = program or _fresh()
+    builder.linked_list(program, "head", [11, 42, 5, 33, 19, 29, 8, 77])
+    return program
+
+
+def paper_tree(program: TargetProgram | None = None) -> TargetProgram:
+    """The tree ``(9, (3 (4) (5)), (12))`` from §Syntax."""
+    program = program or _fresh()
+    builder.binary_tree(program, "root", (9, (3, 4, 5), 12))
+    return program
+
+
+def big_tree(n: int, program: TargetProgram | None = None) -> TargetProgram:
+    """A BST of n pseudorandom keys under ``root`` (expansion benches)."""
+    program = program or _fresh()
+    rng = random.Random(_SEED + n)
+    keys = rng.sample(range(10 * n), n)
+    builder.bst_insert_all(program, "root", keys)
+    return program
+
+
+def long_list(n: int, program: TargetProgram | None = None) -> TargetProgram:
+    """A list of n nodes under ``L`` (expansion benches)."""
+    program = program or _fresh()
+    rng = random.Random(_SEED + n)
+    builder.linked_list(program, "L",
+                        [rng.randint(0, 999) for _ in range(n)])
+    return program
+
+
+def argv_program(program: TargetProgram | None = None) -> TargetProgram:
+    program = program or _fresh()
+    program.set_argv(["prog", "-v", "file.c"])
+    return program
+
+
+WORKLOADS: dict[str, Callable[[], TargetProgram]] = {
+    "array100": array100,
+    "hash": hash_table,
+    "dup_list": dup_list,
+    "head_list": head_list,
+    "tree": paper_tree,
+    "argv": argv_program,
+}
+
+
+def build_workload(name: str) -> TargetProgram:
+    """One shared inferior carrying every structure a named workload
+    needs (queries may reference several)."""
+    if name not in WORKLOADS:
+        raise KeyError(f"unknown workload {name!r}")
+    program = _fresh()
+    if name == "hash":
+        hash_table(program)
+    elif name == "array100":
+        array100(program)
+    elif name == "dup_list":
+        dup_list(program)
+    elif name == "head_list":
+        head_list(program)
+    elif name == "tree":
+        paper_tree(program)
+    elif name == "argv":
+        argv_program(program)
+    return program
+
+
+def paper_program() -> TargetProgram:
+    """Everything the paper's worked examples touch, in one inferior."""
+    program = _fresh()
+    hash_table(program)
+    array100(program)
+    dup_list(program)
+    head_list(program)
+    paper_tree(program)
+    argv_program(program)
+    return program

@@ -1,0 +1,173 @@
+"""Command-line front end: run a mini-C program, then explore it with
+``duel`` commands — the closest offline equivalent of the paper's
+gdb session.
+
+Usage::
+
+    python -m repro program.c [-- arg1 arg2 ...]
+    python -m repro --expr 'x[..100] >? 0' program.c
+    python -m repro            # no program: a bare DUEL calculator
+
+Inside the REPL::
+
+    duel> hash[..64] !=? 0
+    duel> save deep hash[..64]-->next->scope >? 5
+    duel> !deep
+    duel> help
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro import DuelSession, SimulatorBackend, TargetProgram
+from repro.core.errors import DuelError
+from repro.minic import run_program
+from repro.minic.errors import MiniCError
+from repro.target.stdlib import install_stdlib, stdout_text
+
+PROMPT = "duel> "
+
+HELP = """\
+DUEL REPL commands:
+  <expression>          evaluate a DUEL expression and print its values
+  help                  this text
+  aliases               list debugger aliases (x := ...)
+  clear                 drop all aliases
+  symbolic on|off       toggle symbolic derivations in output
+  history               show executed queries
+  save <name> <expr>    name a query for re-issue
+  !<name>               re-issue a saved query
+  quit / EOF            leave
+Anything else is handed to DUEL; see README.md for the language."""
+
+
+def build_target(source_path: Optional[str],
+                 argv: Sequence[str], out) -> TargetProgram:
+    """Run the program (if given) and return the stopped inferior."""
+    if source_path is None:
+        program = TargetProgram()
+        install_stdlib(program)
+        return program
+    with open(source_path) as handle:
+        source = handle.read()
+    interp = run_program(source, argv=[source_path, *argv])
+    text = stdout_text(interp.program)
+    if text:
+        out.write(text)
+        if not text.endswith("\n"):
+            out.write("\n")
+    if interp.exit_status is not None:
+        out.write(f"[program exited with status {interp.exit_status}]\n")
+    return interp.program
+
+
+def repl(session: DuelSession, stdin=None, out=None) -> int:
+    """Interactive loop; returns an exit status."""
+    stdin = stdin if stdin is not None else sys.stdin
+    out = out if out is not None else sys.stdout
+    for raw in stdin:
+        line = raw.strip()
+        if not line:
+            continue
+        if line in ("quit", "exit", "q"):
+            break
+        if line == "help":
+            out.write(HELP + "\n")
+            continue
+        if line == "aliases":
+            aliases = session.aliases()
+            if not aliases:
+                out.write("(no aliases)\n")
+            for name, value in aliases.items():
+                out.write(f"{name} := {session.formatter.format(value)}\n")
+            continue
+        if line == "clear":
+            session.clear_aliases()
+            continue
+        if line.startswith("symbolic"):
+            mode = line.split()[-1]
+            session.options.symbolic = (mode != "off")
+            out.write(f"symbolic {'on' if session.options.symbolic else 'off'}\n")
+            continue
+        if line == "history":
+            for index, text in enumerate(session.history):
+                out.write(f"{index:3}  {text}\n")
+            continue
+        if line.startswith("save "):
+            parts = line.split(None, 2)
+            if len(parts) < 3:
+                out.write("usage: save <name> <expression>\n")
+                continue
+            try:
+                session.save_query(parts[1], parts[2])
+                out.write(f"saved {parts[1]!r}\n")
+            except DuelError as error:
+                out.write(str(error) + "\n")
+            continue
+        if line.startswith("!"):
+            name = line[1:].strip()
+            if name not in session.saved:
+                out.write(f"no saved query named {name!r}\n")
+                continue
+            run_command(session, session.saved[name], out)
+            continue
+        run_command(session, line, out)
+    return 0
+
+
+def run_command(session: DuelSession, text: str, out) -> None:
+    """One duel command: print all values, or the error, never raise."""
+    try:
+        lines = session.eval_lines(text)
+    except DuelError as error:
+        out.write(str(error) + "\n")
+        return
+    for line in lines:
+        out.write(line + "\n")
+    if not lines:
+        out.write("(no values)\n")
+
+
+def main(argv: Optional[Sequence[str]] = None,
+         stdin=None, out=None) -> int:
+    """CLI entry point; returns the process exit status."""
+    out = out if out is not None else sys.stdout
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="DUEL (USENIX '93) over a simulated inferior")
+    parser.add_argument("source", nargs="?",
+                        help="mini-C program to run, then debug")
+    parser.add_argument("--expr", "-e", action="append", default=[],
+                        help="evaluate this DUEL expression and exit "
+                             "(repeatable)")
+    parser.add_argument("--no-symbolic", action="store_true",
+                        help="print values without derivations")
+    parser.add_argument("--optimize", action="store_true",
+                        help="enable compile-time constant folding")
+    parser.add_argument("args", nargs="*", default=[],
+                        help="argv for the target program (after --)")
+    ns = parser.parse_args(argv)
+
+    try:
+        program = build_target(ns.source, ns.args, out)
+    except (MiniCError, OSError) as error:
+        out.write(f"error: {error}\n")
+        return 1
+    session = DuelSession(SimulatorBackend(program),
+                          symbolic=not ns.no_symbolic,
+                          optimize=ns.optimize)
+    if ns.expr:
+        for text in ns.expr:
+            out.write(f"duel {text}\n")
+            run_command(session, text, out)
+        return 0
+    if stdin is None and sys.stdin.isatty():  # pragma: no cover
+        out.write("DUEL reproduction; 'help' for commands, 'quit' to exit\n")
+    return repl(session, stdin=stdin, out=out)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,49 @@
+"""DUEL — the very high-level debugging language (the paper's contribution).
+
+Public surface:
+
+* :class:`~repro.core.session.DuelSession` — the ``duel`` command bound
+  to a debugger backend;
+* :func:`~repro.core.parser.parse` — expression -> AST;
+* :class:`~repro.core.eval.Evaluator` — the generator evaluator;
+* :class:`~repro.core.statemachine.StateMachineEvaluator` — the paper's
+  explicit state/NOVALUE evaluation scheme (ablation engine).
+
+Typical use::
+
+    from repro import DuelSession, SimulatorBackend, TargetProgram
+    from repro.target import builder
+
+    program = TargetProgram()
+    builder.int_array(program, "x", [3, -1, 7, 0, 12])
+    session = DuelSession(SimulatorBackend(program))
+    session.duel("x[..5] >? 0")      # prints x[0] = 3, x[2] = 7, x[4] = 12
+"""
+
+from repro.core.errors import (
+    DuelError,
+    DuelEvalLimit,
+    DuelMemoryError,
+    DuelNameError,
+    DuelSyntaxError,
+    DuelTypeError,
+)
+from repro.core.eval import EvalOptions, Evaluator
+from repro.core.parser import DuelParser, parse
+from repro.core.session import DuelSession
+from repro.core.values import DuelValue
+
+__all__ = [
+    "DuelSession",
+    "DuelParser",
+    "parse",
+    "Evaluator",
+    "EvalOptions",
+    "DuelValue",
+    "DuelError",
+    "DuelSyntaxError",
+    "DuelTypeError",
+    "DuelNameError",
+    "DuelMemoryError",
+    "DuelEvalLimit",
+]

@@ -1,0 +1,83 @@
+"""DUEL error types.
+
+The paper specifies that errors carry the offending operand's symbolic
+value::
+
+    Illegal memory reference in x of x->y:
+    ptr[48] = lvalue 0x16820.
+
+:class:`DuelError` reproduces that shape: a *what* ("Illegal memory
+reference"), the operand's role pattern ("x of x->y"), and the operand's
+symbolic expression and value description.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+
+class DuelError(Exception):
+    """Base class for errors raised while compiling/evaluating DUEL."""
+
+    def __init__(self, message: str):
+        super().__init__(message)
+        self.message = message
+
+
+class DuelSyntaxError(DuelError):
+    """Lexical or grammatical error in a DUEL expression."""
+
+    def __init__(self, message: str, position: Optional[int] = None,
+                 text: Optional[str] = None):
+        self.position = position
+        self.text = text
+        if position is not None and text is not None:
+            caret = " " * position + "^"
+            message = f"{message}\n{text}\n{caret}"
+        super().__init__(message)
+
+
+class DuelTypeError(DuelError):
+    """Operator applied to operands of unusable type.
+
+    DUEL type-checks during evaluation (paper §Implementation), so these
+    surface at query time, with symbolic context where available.
+    """
+
+    def __init__(self, message: str, symbolic: Optional[str] = None):
+        if symbolic:
+            message = f"{message} in {symbolic}"
+        super().__init__(message)
+        self.symbolic = symbolic
+
+
+class DuelNameError(DuelError):
+    """A name resolved to nothing: not a field, alias, variable, or enum."""
+
+    def __init__(self, name: str):
+        super().__init__(f"no symbol {name!r} in current context")
+        self.name = name
+
+
+class DuelMemoryError(DuelError):
+    """Illegal target memory reference, in the paper's report format."""
+
+    def __init__(self, role: str, pattern: str, operand_sym: str,
+                 operand_desc: str):
+        self.role = role
+        self.pattern = pattern
+        self.operand_sym = operand_sym
+        self.operand_desc = operand_desc
+        super().__init__(
+            f"Illegal memory reference in {role} of {pattern}:\n"
+            f"{operand_sym} = {operand_desc}.")
+
+
+class DuelEvalLimit(DuelError):
+    """Evaluation exceeded the session's step budget (runaway generator)."""
+
+    def __init__(self, limit: int):
+        super().__init__(
+            f"evaluation exceeded {limit} generator steps; "
+            "use an explicit bound or raise the session limit")
+        self.limit = limit

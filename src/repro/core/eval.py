@@ -1,0 +1,748 @@
+"""The DUEL evaluator: one Python generator per operator.
+
+The paper describes each operator's semantics as a coroutine with
+``yield`` ("The semantics are conveyed equally well by assuming that
+eval is a coroutine in which the values of local variables are saved
+across calls").  C has no coroutines, so the original hand-compiles
+them into an explicit state machine (reproduced in
+:mod:`repro.core.statemachine`); Python has them natively, so each
+``case`` of the paper's ``eval`` maps onto one generator function here,
+frequently line for line.
+
+Every call to :meth:`Evaluator.eval` returns an iterator producing the
+node's values lazily; the top-level "drive" loop lives in
+:mod:`repro.core.session`.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Iterator, Optional
+
+from repro.ctype.declparse import DeclParser, TypeEnv
+from repro.ctype.types import (
+    ArrayType,
+    CHAR,
+    CType,
+    DOUBLE,
+    FunctionType,
+    INT,
+    LONG,
+    PointerType,
+    RecordType,
+    UINT,
+    ULONG,
+)
+from repro.core import nodes as N
+from repro.core.errors import (
+    DuelError,
+    DuelEvalLimit,
+    DuelTypeError,
+)
+from repro.core.ops import Apply
+from repro.core.scope import Scope, WithEntry
+from repro.core.symbolic import (
+    PREC_ASSIGN,
+    PREC_RELATIONAL,
+    Sym,
+    SymBinary,
+    SymCall,
+    SymCast,
+    SymText,
+    with_lowered_fold,
+)
+from repro.core.values import DuelValue, ValueOps, int_value, lvalue, rvalue
+
+_CONST_TYPES = {
+    "int": INT, "uint": UINT, "long": LONG, "ulong": ULONG,
+    "double": DOUBLE, "char": CHAR,
+}
+
+
+class _BackendTypedefs(dict):
+    """TypeEnv typedef mapping that falls back to the debugger backend."""
+
+    def __init__(self, backend):
+        super().__init__()
+        self._backend = backend
+
+    def __missing__(self, name: str):
+        ctype = self._backend.get_target_typedef(name)
+        if ctype is None:
+            raise KeyError(name)
+        self[name] = ctype
+        return ctype
+
+    def __contains__(self, name) -> bool:
+        if super().__contains__(name):
+            return True
+        return self._backend.get_target_typedef(name) is not None
+
+
+class BackendTypeEnv(TypeEnv):
+    """A TypeEnv view over the debugger backend's type tables.
+
+    Lets DUEL casts and declarations name the target's structs, unions,
+    enums and typedefs (``(struct symbol *)p``) while still allowing
+    debugger-local definitions.
+    """
+
+    def __init__(self, backend):
+        super().__init__()
+        self._backend = backend
+        self.typedefs = _BackendTypedefs(backend)  # type: ignore[assignment]
+
+    def struct_tag(self, tag: str):
+        found = self._backend.get_target_struct(tag)
+        if found is not None:
+            return found
+        return super().struct_tag(tag)
+
+    def union_tag(self, tag: str):
+        found = self._backend.get_target_union(tag)
+        if found is not None:
+            return found
+        return super().union_tag(tag)
+
+    def enum_tag(self, tag: str):
+        found = self._backend.get_target_enum(tag)
+        if found is not None:
+            return found
+        return super().enum_tag(tag)
+
+    def is_type_name(self, name: str) -> bool:
+        return name in self.typedefs
+
+
+class EvalOptions:
+    """Tunable evaluation behaviour (session-level switches)."""
+
+    def __init__(self, symbolic: bool = True, max_steps: int = 10_000_000,
+                 cycle_mode: str = "stop", max_expand: int = 1_000_000):
+        #: Compute symbolic derivations (P3 benchmarks toggle this off).
+        self.symbolic = symbolic
+        #: Generator-step budget guarding runaway ``e..`` loops.
+        self.max_steps = max_steps
+        #: "stop" skips revisited nodes in -->; "strict" mimics the
+        #: original implementation, which "does not handle cycles".
+        self.cycle_mode = cycle_mode
+        #: Bound on nodes expanded per --> root.
+        self.max_expand = max_expand
+
+
+class Evaluator:
+    """Evaluates DUEL ASTs against a debugger backend."""
+
+    def __init__(self, backend, options: Optional[EvalOptions] = None):
+        self.backend = backend
+        self.options = options or EvalOptions()
+        self.ops = ValueOps(backend)
+        self.apply = Apply(self.ops)
+        self.scope = Scope(backend)
+        self.type_env = BackendTypeEnv(backend)
+        self._decl_parser = DeclParser(self.type_env)
+        self._steps = 0
+        self._string_cache: dict[bytes, int] = {}
+        self._dispatch: dict[type, Callable] = {
+            N.Constant: self._eval_constant,
+            N.StringLiteral: self._eval_string,
+            N.Name: self._eval_name,
+            N.Underscore: self._eval_underscore,
+            N.Unary: self._eval_unary,
+            N.IncDec: self._eval_incdec,
+            N.Binary: self._eval_binary,
+            N.Assign: self._eval_assign,
+            N.CompareYield: self._eval_compare_yield,
+            N.Alternate: self._eval_alternate,
+            N.To: self._eval_to,
+            N.AndAnd: self._eval_andand,
+            N.OrOr: self._eval_oror,
+            N.If: self._eval_if,
+            N.While: self._eval_while,
+            N.For: self._eval_for,
+            N.Sequence: self._eval_sequence,
+            N.Imply: self._eval_imply,
+            N.Define: self._eval_define,
+            N.Declaration: self._eval_declaration,
+            N.With: self._eval_with,
+            N.Expand: self._eval_expand,
+            N.Select: self._eval_select,
+            N.Reduce: self._eval_reduce,
+            N.IndexAlias: self._eval_index_alias,
+            N.Until: self._eval_until,
+            N.Group: self._eval_group,
+            N.Index: self._eval_index,
+            N.Call: self._eval_call,
+            N.Cast: self._eval_cast,
+            N.SizeOf: self._eval_sizeof,
+            N.FrameExpr: self._eval_frame,
+        }
+
+    # -- plumbing ----------------------------------------------------------
+    def reset(self) -> None:
+        """Start a fresh top-level evaluation (step budget, with stack)."""
+        self._steps = 0
+
+    def eval(self, node: N.Node) -> Iterator[DuelValue]:
+        """All values of ``node``, lazily (the paper's ``eval``)."""
+        handler = self._dispatch.get(type(node))
+        if handler is None:  # pragma: no cover - parser emits known nodes
+            raise DuelError(f"no evaluator for {node.op}")
+        return self._counted(handler(node))
+
+    def _counted(self, it: Iterator[DuelValue]) -> Iterator[DuelValue]:
+        for value in it:
+            self._steps += 1
+            if self._steps > self.options.max_steps:
+                raise DuelEvalLimit(self.options.max_steps)
+            yield value
+
+    def parse_type(self, text: str) -> CType:
+        return self._decl_parser.parse_type(text)
+
+    def is_type_name(self, name: str) -> bool:
+        return self.type_env.is_type_name(name)
+
+    def _sym(self, make: Callable[[], Sym]) -> Sym:
+        """Build a symbolic expression unless disabled (ablation P3)."""
+        if self.options.symbolic:
+            return make()
+        return _NO_SYM
+
+    # ==================================================================
+    # leaves
+    # ==================================================================
+    def _eval_constant(self, node: N.Constant):
+        ctype = _CONST_TYPES[node.type_hint]
+        sym = self._sym(lambda: SymText(node.text or str(node.value)))
+        yield rvalue(ctype, node.value, sym)
+
+    def _eval_string(self, node: N.StringLiteral):
+        address = self._string_cache.get(node.value)
+        if address is None:
+            address = self.backend.alloc_target_space(len(node.value) + 1)
+            self.backend.put_target_bytes(address, node.value + b"\0")
+            self._string_cache[node.value] = address
+        sym = self._sym(lambda: SymText(node.text or '"..."'))
+        yield rvalue(PointerType(CHAR), address, sym)
+
+    def _eval_name(self, node: N.Name):
+        yield self.scope.fetch(node.name)
+
+    def _eval_underscore(self, node: N.Underscore):
+        yield self.scope.fetch("_")
+
+    # ==================================================================
+    # unary / binary C operators (generator-lifted pointwise)
+    # ==================================================================
+    def _eval_unary(self, node: N.Unary):
+        for u in self.eval(node.kid):
+            if node.operator == "-":
+                yield self.apply.negate(u)
+            elif node.operator == "+":
+                yield self.apply.plus(u)
+            elif node.operator == "!":
+                yield self.apply.lognot(u)
+            elif node.operator == "~":
+                yield self.apply.bitnot(u)
+            elif node.operator == "*":
+                yield self.apply.deref(u)
+            elif node.operator == "&":
+                yield self.apply.addressof(u)
+            else:  # pragma: no cover
+                raise DuelError(f"unknown unary {node.operator!r}")
+
+    def _eval_incdec(self, node: N.IncDec):
+        for u in self.eval(node.kid):
+            sym = self._sym(lambda: _incdec_sym(node, u.sym))
+            yield self.apply.incdec(node.operator, u, node.postfix, sym)
+
+    def _eval_binary(self, node: N.Binary):
+        # The paper's PLUS/MINUS/... case: all combinations of operand
+        # values, one apply per pair.
+        for u in self.eval(node.left):
+            for v in self.eval(node.right):
+                yield self.apply.binary(node.operator, u, v)
+
+    def _eval_assign(self, node: N.Assign):
+        for u in self.eval(node.left):
+            for v in self.eval(node.right):
+                sym = self._sym(lambda: SymBinary(
+                    node.operator, u.sym, v.sym, PREC_ASSIGN))
+                if node.operator == "=":
+                    yield self.apply.assign(u, v, sym)
+                else:
+                    yield self.apply.compound_assign(
+                        node.operator[:-1], u, v, sym)
+
+    def _eval_compare_yield(self, node: N.CompareYield):
+        # Paper IFGT...: yields the *left* operand when the test holds.
+        for u in self.eval(node.left):
+            for v in self.eval(node.right):
+                if self.apply.compare_true(node.operator, u, v):
+                    yield u
+
+    # ==================================================================
+    # generators proper
+    # ==================================================================
+    def _eval_alternate(self, node: N.Alternate):
+        # case ALTERNATE: all of e1's values, then all of e2's.
+        yield from self.eval(node.left)
+        yield from self.eval(node.right)
+
+    def _eval_to(self, node: N.To):
+        # case TO: integers from e1 to e2 inclusive; ..e is 0..e-1 and
+        # e.. is unbounded.
+        if node.lo is None:
+            for v in self.eval(node.hi):
+                hi = self._int_of(v, "..e")
+                for i in range(0, hi):
+                    yield int_value(i)
+            return
+        if node.hi is None:
+            for u in self.eval(node.lo):
+                lo = self._int_of(u, "e..")
+                i = lo
+                while True:
+                    yield int_value(i)
+                    i += 1
+            return
+        for u in self.eval(node.lo):
+            for v in self.eval(node.hi):
+                lo = self._int_of(u, "e1..e2")
+                hi = self._int_of(v, "e1..e2")
+                for i in range(lo, hi + 1):
+                    yield int_value(i)
+
+    def _int_of(self, v: DuelValue, where: str) -> int:
+        loaded = self.ops.load(v)
+        if not v.ctype.strip_typedefs().is_integer:
+            raise DuelTypeError(f"non-integer operand of {where}",
+                                v.sym.render())
+        return int(loaded)
+
+    def _eval_andand(self, node: N.AndAnd):
+        # case ANDAND: e2's values for each non-zero value of e1.
+        for u in self.eval(node.left):
+            if self.ops.truthy(u):
+                yield from self.eval(node.right)
+
+    def _eval_oror(self, node: N.OrOr):
+        # Dual of ANDAND, consistent with C when single-valued: e1's
+        # non-zero values pass through as 1; zero values of e1 produce
+        # e2's values.
+        for u in self.eval(node.left):
+            if self.ops.truthy(u):
+                yield rvalue(INT, 1, u.sym)
+            else:
+                yield from self.eval(node.right)
+
+    def _eval_if(self, node: N.If):
+        # case IF.
+        for u in self.eval(node.cond):
+            if self.ops.truthy(u):
+                yield from self.eval(node.then)
+            elif node.els is not None:
+                yield from self.eval(node.els)
+
+    def _eval_while(self, node: N.While):
+        # case WHILE: e2 repeats as long as every value of e1 is non-zero.
+        while True:
+            for u in self.eval(node.cond):
+                if not self.ops.truthy(u):
+                    return
+            yield from self.eval(node.body)
+
+    def _eval_for(self, node: N.For):
+        # for is while with init/step, both drained for side effects.
+        if node.init is not None:
+            _drain(self.eval(node.init))
+        while True:
+            if node.cond is not None:
+                stop = False
+                for u in self.eval(node.cond):
+                    if not self.ops.truthy(u):
+                        stop = True
+                        break
+                if stop:
+                    return
+            yield from self.eval(node.body)
+            if node.step is not None:
+                _drain(self.eval(node.step))
+
+    def _eval_sequence(self, node: N.Sequence):
+        # case SEQUENCE: drain e1, then e2's values.
+        _drain(self.eval(node.left))
+        if node.right is not None:
+            yield from self.eval(node.right)
+
+    def _eval_imply(self, node: N.Imply):
+        # case IMPLY: e2's values for each value of e1.
+        for _u in self.eval(node.left):
+            yield from self.eval(node.right)
+
+    def _eval_define(self, node: N.Define):
+        # case DEFINE: alias the name to each value in turn.
+        for u in self.eval(node.kid):
+            self.scope.alias(node.name, u)
+            yield u.with_sym(
+                SymText(node.name) if self.options.symbolic else _NO_SYM)
+
+    def _eval_declaration(self, node: N.Declaration):
+        # "Duel declarations ... establish aliases to newly allocated
+        # target locations."  Produces no values.
+        for decl in self._decl_parser.parse(node.text):
+            if decl.is_typedef:
+                continue
+            size = max(decl.ctype.size, 1)
+            address = self.backend.alloc_target_space(size)
+            self.backend.put_target_bytes(address, bytes(size))
+            self.scope.alias(decl.name,
+                             lvalue(decl.ctype, address, SymText(decl.name)))
+        return
+        yield  # pragma: no cover - makes this a generator
+
+    # ==================================================================
+    # with / expansion
+    # ==================================================================
+    def _with_operand(self, u: DuelValue, arrow: bool) -> Optional[DuelValue]:
+        """The value pushed for e1 in e1.e2 / e1->e2 / e1-->e2.
+
+        A NULL pointer on the left of ``->`` generates nothing (the
+        paper's ``hash[0..1023]->scope = 0 ;`` clears the head of each
+        *non-empty* list); a non-null but unmapped pointer raises the
+        paper's "Illegal memory reference" error.
+        """
+        if arrow:
+            stripped = u.ctype.strip_typedefs()
+            if isinstance(stripped, ArrayType):
+                # Arrays of records: a->f behaves like a[0].f in C.
+                return lvalue(stripped.element, u.address, u.sym)
+            if (isinstance(stripped, PointerType)
+                    and int(self.ops.load(u)) == 0):
+                return None
+            return self.apply.deref(u, sym=u.sym, pattern="x->y")
+        return u
+
+    def _eval_with(self, node: N.With):
+        # case WITH: evaluate e2 with e1's value pushed on the
+        # name-resolution stack.
+        for u in self.eval(node.left):
+            operand = self._with_operand(u, node.arrow)
+            if operand is None:
+                continue
+            self.scope.push(WithEntry(operand, arrow=node.arrow,
+                                      underscore=u))
+            try:
+                yield from self.eval(node.right)
+            finally:
+                self.scope.pop()
+
+    def _eval_expand(self, node: N.Expand):
+        # case DFS (and the BFS extension): expand the data structure
+        # from each root, using e2 to generate successors.
+        for u in self.eval(node.root):
+            yield from self._expand_from(u, node)
+
+    def _expand_from(self, root: DuelValue, node: N.Expand):
+        pending: deque[DuelValue] = deque()
+        visited: set[tuple] = set()
+        expanded = 0
+        if self._expandable(root, visited, register=True):
+            pending.append(root)
+        while pending:
+            v = pending.popleft() if node.breadth_first else pending.pop()
+            children = []
+            operand = self._expand_operand(v)
+            if operand is not None:
+                self.scope.push(WithEntry(operand, arrow=True, chain=True,
+                                          underscore=v))
+                try:
+                    for w in self.eval(node.traversal):
+                        if self._expandable(w, visited, register=True):
+                            children.append(w)
+                finally:
+                    self.scope.pop()
+            if node.breadth_first:
+                pending.extend(children)
+            else:
+                pending.extend(reversed(children))
+            expanded += 1
+            if expanded > self.options.max_expand:
+                raise DuelEvalLimit(self.options.max_expand)
+            yield v
+
+    def _expand_operand(self, v: DuelValue) -> Optional[DuelValue]:
+        stripped = v.ctype.strip_typedefs()
+        if isinstance(stripped, PointerType):
+            target = stripped.target.strip_typedefs()
+            try:
+                size = max(target.size, 1)
+            except TypeError:
+                return None
+            address = int(self.ops.load(v))
+            if address == 0 or not self.backend.is_mapped(address, size):
+                return None
+            return lvalue(stripped.target, address, v.sym)
+        if isinstance(stripped, RecordType) and v.is_lvalue:
+            return v
+        return None
+
+    def _expandable(self, v: DuelValue, visited: set, register: bool) -> bool:
+        """Non-null, mapped, and (in "stop" mode) not yet visited."""
+        stripped = v.ctype.strip_typedefs()
+        if isinstance(stripped, PointerType):
+            address = int(self.ops.load(v))
+            if address == 0:
+                return False
+            target = stripped.target.strip_typedefs()
+            try:
+                size = max(target.size, 1)
+            except TypeError:
+                size = 1
+            if not self.backend.is_mapped(address, size):
+                return False
+            key = ("ptr", address)
+        elif isinstance(stripped, RecordType) and v.is_lvalue:
+            key = ("rec", v.address)
+        elif stripped.is_integer or stripped.is_float:
+            # Scalars terminate expansion unless non-null pointer-like.
+            return False
+        else:
+            return False
+        if self.options.cycle_mode == "stop":
+            if key in visited:
+                return False
+            if register:
+                visited.add(key)
+        return True
+
+    # ==================================================================
+    # sequence operators
+    # ==================================================================
+    def _eval_select(self, node: N.Select):
+        # case SELECT: the e2-th (0-based) values of e1's sequence.  The
+        # paper notes the real implementation "avoids the re-evaluation
+        # of e2 when possible": we pull e1 once and cache.
+        cache: list[DuelValue] = []
+        source = self.eval(node.seq)
+        exhausted = False
+        for sel in self.eval(node.selector):
+            k = self._int_of(sel, "e1[[e2]]")
+            if k < 0:
+                continue
+            while len(cache) <= k and not exhausted:
+                try:
+                    cache.append(next(source))
+                except StopIteration:
+                    exhausted = True
+            if k < len(cache):
+                v = cache[k]
+                if self.options.symbolic:
+                    yield v.with_sym(with_lowered_fold(v.sym, 2))
+                else:
+                    yield v
+
+    def _eval_reduce(self, node: N.Reduce):
+        # Reductions substitute their computed value in the symbolic
+        # output, like generators do (the paper shows ``#/...`` printing
+        # a bare ``5``).
+        values = self.eval(node.kid)
+        if node.operator == "#":
+            count = sum(1 for _ in values)
+            yield int_value(count)
+            return
+        if node.operator in ("&&", "||"):
+            if node.operator == "&&":
+                result = all(self.ops.truthy(v) for v in values)
+            else:
+                result = any(self.ops.truthy(v) for v in values)
+            yield int_value(int(result))
+            return
+        total = None
+        ctype: CType = INT
+        for v in values:
+            loaded = self.ops.load_value(v)
+            if not loaded.ctype.is_arithmetic:
+                raise DuelTypeError(
+                    f"non-arithmetic value in {node.operator}/ reduction",
+                    v.sym.render())
+            x = loaded.value
+            if total is None:
+                total, ctype = x, loaded.ctype
+            elif node.operator == "+":
+                total = total + x
+            elif node.operator == "*":
+                total = total * x
+            elif node.operator == "<?":
+                total = min(total, x)
+            elif node.operator == ">?":
+                total = max(total, x)
+            if loaded.ctype.strip_typedefs().is_float:
+                ctype = DOUBLE
+        if total is None:
+            # Empty sequence: count-like identity (0 for +, 1 for *).
+            total = 1 if node.operator == "*" else 0
+        sym = self._sym(lambda: SymText(str(total)))
+        yield rvalue(ctype, total, sym)
+
+    def _eval_index_alias(self, node: N.IndexAlias):
+        # e#n: n aliases the 0-based position of each value.
+        for position, v in enumerate(self.eval(node.kid)):
+            self.scope.alias(node.name, int_value(position))
+            yield v
+
+    def _eval_until(self, node: N.Until):
+        # e@c: e's values until the guard fires (exclusive).  A constant
+        # guard (possibly signed) means "stop at the first value equal
+        # to c"; any other guard is evaluated in the value's scope and
+        # fires when non-zero.
+        constant = _guard_constant(node.guard)
+        for v in self.eval(node.kid):
+            if constant is not None:
+                loaded = self.ops.load(v)
+                if loaded == constant:
+                    return
+            else:
+                self.scope.push(WithEntry(v, arrow=False))
+                try:
+                    fired = any(self.ops.truthy(g)
+                                for g in self.eval(node.guard))
+                finally:
+                    self.scope.pop()
+                if fired:
+                    return
+            yield v
+
+    def _eval_group(self, node: N.Group):
+        # {e}: value substituted for symbol in the display.
+        formatter = getattr(self, "formatter", None)
+        if formatter is None:
+            from repro.core.format import ValueFormatter
+            formatter = ValueFormatter(self.ops)
+            self.formatter = formatter
+        for v in self.eval(node.kid):
+            if self.options.symbolic:
+                yield v.with_sym(SymText(formatter.format(v)))
+            else:
+                yield v
+
+    # ==================================================================
+    # indexing / calls / casts
+    # ==================================================================
+    def _eval_index(self, node: N.Index):
+        for u in self.eval(node.base):
+            for v in self.eval(node.index):
+                yield self.apply.index(u, v)
+
+    def _eval_call(self, node: N.Call):
+        # Generator arguments: "the function is called repeatedly for
+        # all combinations of values".
+        for f in self.eval(node.func):
+            yield from self._call_combinations(f, node.args, [])
+
+    def _call_combinations(self, f: DuelValue, args: tuple[N.Node, ...],
+                           got: list[DuelValue]):
+        if len(got) == len(args):
+            yield self._invoke(f, got)
+            return
+        for v in self.eval(args[len(got)]):
+            got.append(v)
+            yield from self._call_combinations(f, args, got)
+            got.pop()
+
+    def _invoke(self, f: DuelValue, args: list[DuelValue]) -> DuelValue:
+        ftype = f.ctype.strip_typedefs()
+        if isinstance(ftype, PointerType) and ftype.target.is_function:
+            ftype = ftype.target.strip_typedefs()
+        if not isinstance(ftype, FunctionType):
+            raise DuelTypeError(
+                f"called object is not a function ({f.ctype.name()})",
+                f.sym.render())
+        raw_args = []
+        for index, a in enumerate(args):
+            loaded = self.ops.load_value(a)
+            if index < len(ftype.params):
+                from repro.ctype.convert import convert_value
+                raw_args.append(convert_value(
+                    loaded.value, loaded.ctype, ftype.params[index]))
+            else:
+                raw_args.append(loaded.value)
+        target = f.func_name if f.func_name else None
+        if target is None:
+            if f.is_lvalue:
+                target = int(self.ops.load(f))
+            else:
+                target = int(f.value)
+        result = self.backend.call_target_func(target, raw_args)
+        sym = self._sym(lambda: SymCall(f.sym, tuple(a.sym for a in args)))
+        if ftype.result.is_void:
+            return rvalue(ftype.result, None, sym)
+        return rvalue(ftype.result, result, sym)
+
+    def _eval_cast(self, node: N.Cast):
+        ctype = self.parse_type(node.type_text)
+        for u in self.eval(node.kid):
+            sym = self._sym(lambda: SymCast(node.type_text, u.sym))
+            yield self.apply.cast(ctype, u, sym)
+
+    def _eval_sizeof(self, node: N.SizeOf):
+        if node.type_text is not None:
+            ctype = self.parse_type(node.type_text)
+            sym = self._sym(lambda: SymText(f"sizeof({node.type_text})"))
+            yield self.apply.sizeof(ctype, sym)
+            return
+        for u in self.eval(node.kid):
+            sym = self._sym(lambda: SymText(f"sizeof {u.sym.render()}"))
+            yield self.apply.sizeof(u.ctype, sym)
+
+    def _eval_frame(self, node: N.FrameExpr):
+        # Extension (paper Discussion: exploring "unnamed" state such as
+        # locals of every active frame): frame(i) yields a pseudo-value
+        # whose scope is frame i.  Used as frame(i).x via with.
+        for u in self.eval(node.index):
+            index = self._int_of(u, "frame(e)")
+            count = self.backend.frames_count()
+            if not 0 <= index < count:
+                continue
+            yield _FrameValue(self.backend, index,
+                              self._sym(lambda: SymText(f"frame({index})")))
+
+
+class _FrameValue(DuelValue):
+    """Pseudo-value representing one stack frame (for frame(i).x)."""
+
+    def __init__(self, backend, index: int, sym: Sym):
+        super().__init__(ctype=INT, sym=sym, value=index)
+        self.backend = backend
+        self.frame_index = index
+
+    def frame_variable(self, name: str):
+        return self.backend.get_frame_variable(self.frame_index, name)
+
+
+_NO_SYM = SymText("?")
+
+
+def _drain(it: Iterator) -> None:
+    for _ in it:
+        pass
+
+
+def _guard_constant(node: N.Node):
+    """The literal value of an @-guard, or None if it's an expression."""
+    if isinstance(node, N.Constant):
+        return node.value
+    if (isinstance(node, N.Unary) and node.operator in ("-", "+")
+            and isinstance(node.kid, N.Constant)):
+        value = node.kid.value
+        return -value if node.operator == "-" else value
+    return None
+
+
+def _incdec_sym(node: N.IncDec, operand_sym: Sym) -> Sym:
+    if node.postfix:
+        return SymText(operand_sym.render() + node.operator, PREC_RELATIONAL)
+    return SymText(node.operator + operand_sym.render(), PREC_RELATIONAL)
+
+

@@ -1,0 +1,296 @@
+"""Hand-written lexer for DUEL (the paper: "yacc-based parser and the
+hand-written lexer").
+
+Tokenises the full DUEL vocabulary: the C token set plus ``..``,
+``-->`` (and the ``-->>`` BFS extension), ``[[``/``]]``, the
+conditional-yield comparisons ``>? >=? <? <=? ==? !=?``, ``:=``,
+``=>``, ``@``, ``#``, ``#/`` (count) and the APL-style reductions
+``+/ */ &&/ ||/ <?/ >?/``, and ``{``/``}`` grouping.  Comments start
+with ``##`` (DUEL reserves ``#``; in gdb the paper's one-line change
+lets ``#`` through).
+
+Tricky cases handled here:
+
+* ``1..3`` lexes as ``1`` ``..`` ``3`` (not the float ``1.``);
+* ``a[b[c[0]]]`` — nested ``]`` pairs can lex as ``]]``; the parser
+  splits those back (see :meth:`TokenStream.split_rbracket`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.errors import DuelSyntaxError
+
+KEYWORDS = frozenset(
+    "if else while for sizeof "
+    "void char short int long signed unsigned float double _Bool "
+    "struct union enum const volatile typedef static extern register "
+    "auto".split()
+)
+
+#: Type-introducing keywords (used by the parser for casts/declarations).
+TYPE_KEYWORDS = frozenset(
+    "void char short int long signed unsigned float double _Bool "
+    "struct union enum const volatile".split()
+)
+
+# Longest-match-first operator table.
+OPERATORS = [
+    "-->>", "<<=", ">>=", "==?", "!=?", "<=?", ">=?",
+    "-->", "<?/", ">?/", "&&/", "||/",
+    "<<", ">>", "<=", ">=", "==", "!=", "&&", "||",
+    "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=",
+    "++", "--", "->", "..", "=>", ":=", "[[", "]]",
+    "<?", ">?", "#/", "+/", "*/",
+    "+", "-", "*", "/", "%", "<", ">", "=", "!", "~", "^", "&", "|",
+    "(", ")", "[", "]", "{", "}", ",", ";", ":", "?", "@", "#", ".",
+]
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token with its source span (for decl/cast slicing)."""
+
+    kind: str  # "num" | "fnum" | "char" | "string" | "name" | "op" | "eof"
+    text: str
+    start: int
+    end: int
+
+    def is_op(self, *ops: str) -> bool:
+        return self.kind == "op" and self.text in ops
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"Token({self.kind},{self.text!r})"
+
+
+_ESCAPES = {"n": "\n", "t": "\t", "r": "\r", "a": "\a", "b": "\b",
+            "f": "\f", "v": "\v", "0": "\0", "\\": "\\", "'": "'",
+            '"': '"', "?": "?"}
+
+
+def tokenize(text: str) -> list[Token]:
+    """Lex a DUEL input line into tokens (plus a trailing EOF token)."""
+    tokens: list[Token] = []
+    pos = 0
+    n = len(text)
+    while pos < n:
+        ch = text[pos]
+        if ch in " \t\r\n":
+            pos += 1
+            continue
+        if text.startswith("##", pos):
+            break  # comment runs to end of line
+        start = pos
+        if ch.isdigit() or (ch == "." and pos + 1 < n and text[pos + 1].isdigit()):
+            pos, token = _lex_number(text, pos)
+            tokens.append(token)
+            continue
+        if ch.isalpha() or ch == "_":
+            while pos < n and (text[pos].isalnum() or text[pos] == "_"):
+                pos += 1
+            tokens.append(Token("name", text[start:pos], start, pos))
+            continue
+        if ch == "'":
+            pos, token = _lex_char(text, pos)
+            tokens.append(token)
+            continue
+        if ch == '"':
+            pos, token = _lex_string(text, pos)
+            tokens.append(token)
+            continue
+        for op in OPERATORS:
+            if text.startswith(op, pos):
+                pos += len(op)
+                tokens.append(Token("op", op, start, pos))
+                break
+        else:
+            raise DuelSyntaxError(f"bad character {ch!r}", pos, text)
+    tokens.append(Token("eof", "", n, n))
+    return tokens
+
+
+def _lex_number(text: str, pos: int) -> tuple[int, Token]:
+    start = pos
+    n = len(text)
+    if text.startswith(("0x", "0X"), pos):
+        pos += 2
+        while pos < n and (text[pos].isdigit()
+                           or text[pos].lower() in "abcdef"):
+            pos += 1
+        body = text[start:pos]
+        pos = _int_suffix(text, pos)
+        return pos, Token("num", text[start:pos], start, pos)
+    while pos < n and text[pos].isdigit():
+        pos += 1
+    is_float = False
+    # "1..3" must not lex "1." as a float.
+    if (pos < n and text[pos] == "."
+            and not text.startswith("..", pos)):
+        is_float = True
+        pos += 1
+        while pos < n and text[pos].isdigit():
+            pos += 1
+    if pos < n and text[pos] in "eE":
+        look = pos + 1
+        if look < n and text[look] in "+-":
+            look += 1
+        if look < n and text[look].isdigit():
+            is_float = True
+            pos = look
+            while pos < n and text[pos].isdigit():
+                pos += 1
+    if is_float:
+        return pos, Token("fnum", text[start:pos], start, pos)
+    pos = _int_suffix(text, pos)
+    return pos, Token("num", text[start:pos], start, pos)
+
+
+def _int_suffix(text: str, pos: int) -> int:
+    n = len(text)
+    while pos < n and text[pos] in "uUlL":
+        pos += 1
+    return pos
+
+
+def _lex_char(text: str, pos: int) -> tuple[int, Token]:
+    start = pos
+    pos += 1  # opening quote
+    n = len(text)
+    if pos >= n:
+        raise DuelSyntaxError("unterminated character constant", start, text)
+    if text[pos] == "\\":
+        pos = _skip_escape(text, pos)
+    else:
+        pos += 1
+    if pos >= n or text[pos] != "'":
+        raise DuelSyntaxError("unterminated character constant", start, text)
+    pos += 1
+    return pos, Token("char", text[start:pos], start, pos)
+
+
+def _lex_string(text: str, pos: int) -> tuple[int, Token]:
+    start = pos
+    pos += 1
+    n = len(text)
+    while pos < n and text[pos] != '"':
+        if text[pos] == "\\":
+            pos = _skip_escape(text, pos)
+        else:
+            pos += 1
+    if pos >= n:
+        raise DuelSyntaxError("unterminated string literal", start, text)
+    pos += 1
+    return pos, Token("string", text[start:pos], start, pos)
+
+
+def _skip_escape(text: str, pos: int) -> int:
+    pos += 1  # backslash
+    n = len(text)
+    if pos >= n:
+        raise DuelSyntaxError("dangling backslash", pos - 1, text)
+    if text[pos] == "x":
+        pos += 1
+        while pos < n and (text[pos].isdigit() or text[pos].lower() in "abcdef"):
+            pos += 1
+        return pos
+    if text[pos].isdigit():
+        count = 0
+        while pos < n and text[pos].isdigit() and count < 3:
+            pos += 1
+            count += 1
+        return pos
+    return pos + 1
+
+
+def unescape(body: str) -> str:
+    """Interpret C escape sequences in a char/string literal body."""
+    out = []
+    i = 0
+    n = len(body)
+    while i < n:
+        ch = body[i]
+        if ch != "\\":
+            out.append(ch)
+            i += 1
+            continue
+        i += 1
+        ch = body[i]
+        if ch == "x":
+            i += 1
+            start = i
+            while i < n and (body[i].isdigit() or body[i].lower() in "abcdef"):
+                i += 1
+            out.append(chr(int(body[start:i], 16) & 0xFF))
+            continue
+        if ch.isdigit():
+            start = i
+            while i < n and body[i].isdigit() and i - start < 3:
+                i += 1
+            out.append(chr(int(body[start:i], 8) & 0xFF))
+            continue
+        out.append(_ESCAPES.get(ch, ch))
+        i += 1
+    return "".join(out)
+
+
+class TokenStream:
+    """Cursor over a token list with pushback and ``]]`` splitting."""
+
+    def __init__(self, text: str):
+        self.text = text
+        self.tokens = tokenize(text)
+        self.i = 0
+
+    def peek(self, ahead: int = 0) -> Token:
+        index = min(self.i + ahead, len(self.tokens) - 1)
+        return self.tokens[index]
+
+    def next(self) -> Token:
+        token = self.peek()
+        if token.kind != "eof":
+            self.i += 1
+        return token
+
+    def accept(self, *ops: str) -> Optional[Token]:
+        if self.peek().is_op(*ops):
+            return self.next()
+        return None
+
+    def expect(self, op: str) -> Token:
+        token = self.peek()
+        if op == "]" and token.is_op("]]"):
+            return self.split_rbracket()
+        if op == "[" and token.is_op("[["):
+            return self.split_lbracket()
+        if not token.is_op(op):
+            raise DuelSyntaxError(
+                f"expected {op!r}, found {token.text or 'end of input'!r}",
+                token.start, self.text)
+        return self.next()
+
+    def split_rbracket(self) -> Token:
+        """Split a ``]]`` token into two ``]`` (for ``a[b[0]]``)."""
+        token = self.peek()
+        assert token.is_op("]]")
+        first = Token("op", "]", token.start, token.start + 1)
+        rest = Token("op", "]", token.start + 1, token.end)
+        self.tokens[self.i] = rest
+        return first
+
+    def split_lbracket(self) -> Token:
+        token = self.peek()
+        assert token.is_op("[[")
+        first = Token("op", "[", token.start, token.start + 1)
+        rest = Token("op", "[", token.start + 1, token.end)
+        self.tokens[self.i] = rest
+        return first
+
+    @property
+    def at_end(self) -> bool:
+        return self.peek().kind == "eof"
+
+    def error(self, message: str) -> DuelSyntaxError:
+        token = self.peek()
+        return DuelSyntaxError(message, token.start, self.text)

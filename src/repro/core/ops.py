@@ -1,0 +1,416 @@
+"""apply(): DUEL's own implementation of the C operators.
+
+The paper: "Duel duplicates some debugger capabilities ... Duel
+contains its own type and value representations and its own
+implementation of the C operators."  This module is that ~1200-line
+component: arithmetic with the usual conversions, pointer arithmetic,
+comparisons, logical/bitwise operators, assignment (including compound
+and bit-field forms), casts, sizeof, indexing, and dereference — all
+over :class:`~repro.core.values.DuelValue`.
+
+Type checking happens here, at evaluation time, as the paper requires
+for expressions like ``(x,y).a`` where x and y may have different
+struct types.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.ctype.convert import (
+    convert_value,
+    usual_arithmetic_conversions,
+    integer_promote,
+)
+from repro.ctype.kinds import Kind, wrap_int
+from repro.ctype.types import (
+    ArrayType,
+    CType,
+    EnumType,
+    INT,
+    LONG,
+    PointerType,
+    PrimitiveType,
+    RecordType,
+    ULONG,
+)
+from repro.core.errors import DuelMemoryError, DuelTypeError
+from repro.core.symbolic import (
+    PREC_ADDITIVE,
+    PREC_BITAND,
+    PREC_BITOR,
+    PREC_BITXOR,
+    PREC_EQUALITY,
+    PREC_MULTIPLICATIVE,
+    PREC_RELATIONAL,
+    PREC_SHIFT,
+    Sym,
+    SymBinary,
+    SymIndex,
+    SymText,
+    SymUnary,
+)
+from repro.core.values import DuelValue, ValueOps, lvalue, rvalue
+
+#: C spelling -> symbolic precedence for binary operators.
+BINARY_PREC = {
+    "*": PREC_MULTIPLICATIVE, "/": PREC_MULTIPLICATIVE, "%": PREC_MULTIPLICATIVE,
+    "+": PREC_ADDITIVE, "-": PREC_ADDITIVE,
+    "<<": PREC_SHIFT, ">>": PREC_SHIFT,
+    "<": PREC_RELATIONAL, ">": PREC_RELATIONAL,
+    "<=": PREC_RELATIONAL, ">=": PREC_RELATIONAL,
+    "==": PREC_EQUALITY, "!=": PREC_EQUALITY,
+    "&": PREC_BITAND, "^": PREC_BITXOR, "|": PREC_BITOR,
+}
+
+_COMPARISONS = {"<", ">", "<=", ">=", "==", "!="}
+_INT_ONLY = {"%", "<<", ">>", "&", "^", "|"}
+
+
+class Apply:
+    """Operator application bound to a backend (via :class:`ValueOps`)."""
+
+    def __init__(self, ops: ValueOps):
+        self.ops = ops
+
+    # ==================================================================
+    # binary operators
+    # ==================================================================
+    def binary(self, op: str, a: DuelValue, b: DuelValue,
+               sym: Optional[Sym] = None) -> DuelValue:
+        """Apply a C binary operator; returns the result value."""
+        if sym is None:
+            sym = SymBinary(op, a.sym, b.sym, BINARY_PREC.get(op, PREC_ADDITIVE))
+        ra = self.ops.load_value(a)
+        rb = self.ops.load_value(b)
+        ta = ra.ctype.strip_typedefs()
+        tb = rb.ctype.strip_typedefs()
+        if op in _COMPARISONS:
+            return self._compare(op, ra, rb, sym)
+        if op == "+":
+            if isinstance(ta, PointerType) and tb.is_integer:
+                return self._pointer_add(ra, int(rb.value), sym)
+            if ta.is_integer and isinstance(tb, PointerType):
+                return self._pointer_add(rb, int(ra.value), sym)
+        if op == "-":
+            if isinstance(ta, PointerType) and isinstance(tb, PointerType):
+                return self._pointer_diff(ra, rb, sym)
+            if isinstance(ta, PointerType) and tb.is_integer:
+                return self._pointer_add(ra, -int(rb.value), sym)
+        if isinstance(ta, PointerType) or isinstance(tb, PointerType):
+            raise DuelTypeError(f"invalid pointer operands to {op!r}",
+                                sym.render())
+        return self._arith(op, ra, rb, sym)
+
+    def _arith(self, op: str, ra: DuelValue, rb: DuelValue,
+               sym: Sym) -> DuelValue:
+        ta, tb = ra.ctype, rb.ctype
+        if not (ta.is_arithmetic and tb.is_arithmetic):
+            raise DuelTypeError(
+                f"non-arithmetic operands to {op!r} "
+                f"({ta.name()} and {tb.name()})", sym.render())
+        common = usual_arithmetic_conversions(ta, tb)
+        stripped = common.strip_typedefs()
+        if op in _INT_ONLY and stripped.is_float:
+            raise DuelTypeError(f"floating operand to {op!r}", sym.render())
+        x = convert_value(ra.value, ta, common)
+        y = convert_value(rb.value, tb, common)
+        if op in ("/", "%") and not stripped.is_float and y == 0:
+            raise DuelTypeError("division by zero", sym.render())
+        if op == "+":
+            result = x + y
+        elif op == "-":
+            result = x - y
+        elif op == "*":
+            result = x * y
+        elif op == "/":
+            if stripped.is_float:
+                result = x / y
+            else:
+                result = _c_div(x, y)
+        elif op == "%":
+            result = _c_mod(x, y)
+        elif op == "<<":
+            result = x << (y & 63)
+        elif op == ">>":
+            result = x >> (y & 63)
+        elif op == "&":
+            result = x & y
+        elif op == "^":
+            result = x ^ y
+        elif op == "|":
+            result = x | y
+        else:  # pragma: no cover - parser prevents unknown ops
+            raise DuelTypeError(f"unknown binary operator {op!r}", sym.render())
+        if not stripped.is_float:
+            result = wrap_int(int(result), _kind_of(stripped))
+        return rvalue(common, result, sym)
+
+    def _compare(self, op: str, ra: DuelValue, rb: DuelValue,
+                 sym: Sym) -> DuelValue:
+        x, y = self._comparable_pair(op, ra, rb, sym)
+        result = {
+            "<": x < y, ">": x > y, "<=": x <= y,
+            ">=": x >= y, "==": x == y, "!=": x != y,
+        }[op]
+        return rvalue(INT, int(result), sym)
+
+    def _comparable_pair(self, op: str, ra: DuelValue, rb: DuelValue,
+                         sym: Sym):
+        ta = ra.ctype.strip_typedefs()
+        tb = rb.ctype.strip_typedefs()
+        if isinstance(ta, PointerType) or isinstance(tb, PointerType):
+            ok_a = isinstance(ta, PointerType) or ta.is_integer
+            ok_b = isinstance(tb, PointerType) or tb.is_integer
+            if not (ok_a and ok_b):
+                raise DuelTypeError(
+                    f"invalid pointer comparison with {op!r}", sym.render())
+            return int(ra.value), int(rb.value)
+        if not (ta.is_arithmetic and tb.is_arithmetic):
+            raise DuelTypeError(
+                f"non-arithmetic operands to {op!r}", sym.render())
+        common = usual_arithmetic_conversions(ra.ctype, rb.ctype)
+        return (convert_value(ra.value, ra.ctype, common),
+                convert_value(rb.value, rb.ctype, common))
+
+    def compare_true(self, op: str, a: DuelValue, b: DuelValue) -> bool:
+        """The raw truth of ``a op b`` (used by ``>?`` and friends)."""
+        ra = self.ops.load_value(a)
+        rb = self.ops.load_value(b)
+        sym = SymBinary(op, a.sym, b.sym, PREC_RELATIONAL)
+        x, y = self._comparable_pair(op.rstrip("?"), ra, rb, sym)
+        base = op.rstrip("?")
+        return {
+            "<": x < y, ">": x > y, "<=": x <= y,
+            ">=": x >= y, "==": x == y, "!=": x != y,
+        }[base]
+
+    # -- pointer arithmetic ------------------------------------------------
+    def _pointer_add(self, ptr: DuelValue, delta: int, sym: Sym) -> DuelValue:
+        ptype = ptr.ctype.strip_typedefs()
+        assert isinstance(ptype, PointerType)
+        stride = self._stride(ptype, sym)
+        return rvalue(ptr.ctype, int(ptr.value) + delta * stride, sym)
+
+    def _pointer_diff(self, pa: DuelValue, pb: DuelValue, sym: Sym) -> DuelValue:
+        ta = pa.ctype.strip_typedefs()
+        stride = self._stride(ta, sym)
+        return rvalue(LONG, (int(pa.value) - int(pb.value)) // stride, sym)
+
+    def _stride(self, ptype: PointerType, sym: Sym) -> int:
+        target = ptype.target.strip_typedefs()
+        if target.is_void or target.is_function:
+            return 1
+        try:
+            return max(target.size, 1)
+        except TypeError:
+            raise DuelTypeError(
+                f"arithmetic on pointer to incomplete type {target.name()}",
+                sym.render()) from None
+
+    # ==================================================================
+    # unary operators
+    # ==================================================================
+    def negate(self, v: DuelValue, sym: Optional[Sym] = None) -> DuelValue:
+        r = self.ops.load_value(v)
+        sym = sym or SymUnary("-", v.sym)
+        if not r.ctype.is_arithmetic:
+            raise DuelTypeError("unary - on non-arithmetic value", sym.render())
+        promoted = integer_promote(r.ctype) if r.ctype.is_integer else r.ctype
+        stripped = promoted.strip_typedefs()
+        result = -r.value
+        if not stripped.is_float:
+            result = wrap_int(int(result), _kind_of(stripped))
+        return rvalue(promoted, result, sym)
+
+    def plus(self, v: DuelValue, sym: Optional[Sym] = None) -> DuelValue:
+        r = self.ops.load_value(v)
+        sym = sym or SymUnary("+", v.sym)
+        if not r.ctype.is_arithmetic:
+            raise DuelTypeError("unary + on non-arithmetic value", sym.render())
+        return rvalue(r.ctype, r.value, sym)
+
+    def bitnot(self, v: DuelValue, sym: Optional[Sym] = None) -> DuelValue:
+        r = self.ops.load_value(v)
+        sym = sym or SymUnary("~", v.sym)
+        if not r.ctype.is_integer:
+            raise DuelTypeError("~ on non-integer value", sym.render())
+        promoted = integer_promote(r.ctype)
+        stripped = promoted.strip_typedefs()
+        return rvalue(promoted,
+                      wrap_int(~int(r.value), _kind_of(stripped)), sym)
+
+    def lognot(self, v: DuelValue, sym: Optional[Sym] = None) -> DuelValue:
+        sym = sym or SymUnary("!", v.sym)
+        return rvalue(INT, int(not self.ops.truthy(v)), sym)
+
+    def deref(self, v: DuelValue, sym: Optional[Sym] = None,
+              pattern: str = "*x") -> DuelValue:
+        """``*p``: pointer rvalue -> lvalue of the pointed-to type."""
+        r = self.ops.load_value(v)
+        sym = sym or SymUnary("*", v.sym)
+        stripped = r.ctype.strip_typedefs()
+        if isinstance(stripped, PointerType):
+            address = int(r.value)
+            self._check_pointer(address, stripped.target, v, pattern)
+            return lvalue(stripped.target, address, sym)
+        if isinstance(stripped, ArrayType):
+            return lvalue(stripped.element, v.address, sym)
+        raise DuelTypeError(
+            f"dereference of non-pointer ({r.ctype.name()})", sym.render())
+
+    def addressof(self, v: DuelValue, sym: Optional[Sym] = None) -> DuelValue:
+        sym = sym or SymUnary("&", v.sym)
+        if v.func_name is not None:
+            symbol = self.ops.backend.get_target_variable(v.func_name)
+            return rvalue(PointerType(v.ctype), symbol.address, sym)
+        if not v.is_lvalue:
+            raise DuelTypeError("& of non-lvalue", sym.render())
+        if v.is_bitfield:
+            raise DuelTypeError("& of bit-field", sym.render())
+        return rvalue(PointerType(v.ctype), v.address, sym)
+
+    def sizeof(self, ctype: CType, sym: Sym) -> DuelValue:
+        try:
+            size = ctype.size
+        except TypeError as exc:
+            raise DuelTypeError(str(exc), sym.render()) from None
+        return rvalue(ULONG, size, sym)
+
+    # ==================================================================
+    # indexing, fields, casts
+    # ==================================================================
+    def index(self, base: DuelValue, index: DuelValue,
+              sym: Optional[Sym] = None) -> DuelValue:
+        """``e1[e2]`` with C semantics (pointer or array base)."""
+        if sym is None:
+            sym = SymIndex(base.sym, index.sym)
+        rb = self.ops.load_value(base)
+        ri = self.ops.load_value(index)
+        tb = rb.ctype.strip_typedefs()
+        if not ri.ctype.is_integer:
+            # C allows i[p]; normalise.
+            if isinstance(ri.ctype.strip_typedefs(), PointerType) and \
+                    rb.ctype.is_integer:
+                rb, ri = ri, rb
+                tb = rb.ctype.strip_typedefs()
+            else:
+                raise DuelTypeError("array index is not an integer",
+                                    sym.render())
+        if not isinstance(tb, PointerType):
+            raise DuelTypeError(
+                f"indexed value is not array or pointer ({base.ctype.name()})",
+                sym.render())
+        element = tb.target
+        stride = self._stride(tb, sym)
+        address = int(rb.value) + int(ri.value) * stride
+        self._check_pointer(address, element, base, "x[y]")
+        return lvalue(element, address, sym)
+
+    def field(self, base: DuelValue, name: str, arrow: bool,
+              sym: Sym) -> DuelValue:
+        """Plain C member access (used by the with machinery)."""
+        operand = base
+        if arrow:
+            operand = self.deref(base, sym=base.sym, pattern="x->y")
+        record = operand.ctype.strip_typedefs()
+        if not isinstance(record, RecordType):
+            raise DuelTypeError(
+                f"member access on non-record ({operand.ctype.name()})",
+                sym.render())
+        f = record.field(name)
+        if f is None:
+            raise DuelTypeError(
+                f"no member {name!r} in {record.name()}", sym.render())
+        if not operand.is_lvalue:
+            raise DuelTypeError("member access on non-lvalue record",
+                                sym.render())
+        return DuelValue(
+            ctype=f.ctype, sym=sym,
+            address=operand.address + f.offset,
+            bit_offset=f.bit_offset, bit_width=f.bit_width)
+
+    def cast(self, ctype: CType, v: DuelValue, sym: Sym) -> DuelValue:
+        stripped = ctype.strip_typedefs()
+        if stripped.is_void:
+            return rvalue(ctype, None, sym)
+        if isinstance(stripped, RecordType):
+            raise DuelTypeError("cast to record type", sym.render())
+        r = self.ops.load_value(v)
+        try:
+            converted = convert_value(r.value, r.ctype, ctype)
+        except TypeError as exc:
+            raise DuelTypeError(str(exc), sym.render()) from None
+        return rvalue(ctype, converted, sym)
+
+    # ==================================================================
+    # assignment
+    # ==================================================================
+    def assign(self, dest: DuelValue, src: DuelValue, sym: Sym) -> DuelValue:
+        """``dest = src``; returns dest's new value as the result."""
+        stripped = dest.ctype.strip_typedefs()
+        if isinstance(stripped, RecordType):
+            self.ops.store(dest, src)
+            return dest.with_sym(sym)
+        r = self.ops.load_value(src)
+        try:
+            converted = convert_value(r.value, r.ctype, dest.ctype)
+        except TypeError as exc:
+            raise DuelTypeError(str(exc), sym.render()) from None
+        self.ops.store(dest, converted)
+        return DuelValue(ctype=dest.ctype, sym=sym, value=None,
+                         address=dest.address,
+                         bit_offset=dest.bit_offset,
+                         bit_width=dest.bit_width)
+
+    def compound_assign(self, op: str, dest: DuelValue, src: DuelValue,
+                        sym: Sym) -> DuelValue:
+        """``dest op= src``."""
+        combined = self.binary(op, dest, src, sym=sym)
+        return self.assign(dest, combined, sym)
+
+    def incdec(self, op: str, v: DuelValue, postfix: bool,
+               sym: Sym) -> DuelValue:
+        """``++``/``--``, both fixities; returns old or new value."""
+        old = self.ops.load_value(v)
+        one = rvalue(INT, 1, SymText("1"))
+        updated = self.binary("+" if op == "++" else "-", old, one, sym=sym)
+        self.assign(v, updated, sym)
+        result = old if postfix else self.ops.load_value(v)
+        return result.with_sym(sym)
+
+    # ==================================================================
+    # helpers
+    # ==================================================================
+    def _check_pointer(self, address: int, target: CType, origin: DuelValue,
+                       pattern: str) -> None:
+        """Fault early, with the paper's error format, on bad pointers."""
+        try:
+            size = max(target.strip_typedefs().size, 1)
+        except TypeError:
+            size = 1
+        if address == 0 or not self.ops.backend.is_mapped(address, size):
+            raise DuelMemoryError(
+                "x", pattern, origin.sym.render(), f"lvalue {address:#x}")
+
+
+def _c_div(x: int, y: int) -> int:
+    """C integer division truncates toward zero."""
+    q = abs(x) // abs(y)
+    return q if (x >= 0) == (y >= 0) else -q
+
+
+def _c_mod(x: int, y: int) -> int:
+    """C remainder: (x/y)*y + x%y == x."""
+    return x - _c_div(x, y) * y
+
+
+def _kind_of(stripped: CType) -> Kind:
+    if isinstance(stripped, EnumType):
+        return Kind.INT
+    if isinstance(stripped, PrimitiveType):
+        return stripped.kind
+    if isinstance(stripped, PointerType):
+        return Kind.ULONG
+    return Kind.INT
+

@@ -1,0 +1,156 @@
+"""Compile-time optimisation: constant folding over DUEL ASTs.
+
+Paper §Implementation: "For many Duel expressions, run-time type
+checking and symbol lookup could be done at compile time using
+type-inference techniques."  This module implements the fragment of
+that programme that needs no symbol information: folding constant
+subtrees (``x[1+2]`` indexes with a pre-computed 3; ``(1..3*4)``
+becomes ``(1..12)``) so the evaluator re-evaluates less per generated
+value.
+
+Display is preserved: folded constants keep their *source spelling* as
+the constant's text, so ``x[1+2]`` still prints as ``x[1+2]`` — the
+symbolic-value contract of the paper is unaffected by folding.
+
+Generators are never folded (a ``To`` produces many values; folding
+would change evaluation order and step accounting), and neither are
+casts or sizeof (they need the type environment).  The pass is safe to
+run on any tree: nodes it cannot fold are rebuilt with folded children.
+
+Enabled via ``DuelSession(optimize=True)``; benchmark P7
+(`benchmarks/bench_optimize.py`) measures the effect, reproducing the
+paper's prediction.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core import nodes as N
+from repro.ctype.kinds import Kind, wrap_int
+
+_FOLDABLE_HINTS = {"int", "uint", "long", "ulong", "char", "double"}
+
+_INT_KINDS = {"int": Kind.INT, "uint": Kind.UINT, "long": Kind.LONG,
+              "ulong": Kind.ULONG, "char": Kind.INT}
+
+
+def fold(node: N.Node) -> N.Node:
+    """Return an equivalent tree with constant subtrees pre-computed."""
+    if isinstance(node, N.Binary):
+        left = fold(node.left)
+        right = fold(node.right)
+        folded = _fold_binary(node.operator, left, right)
+        if folded is not None:
+            return folded
+        return N.Binary(node.operator, left, right)
+    if isinstance(node, N.Unary):
+        kid = fold(node.kid)
+        folded = _fold_unary(node.operator, kid)
+        if folded is not None:
+            return folded
+        return N.Unary(node.operator, kid)
+    return _rebuild(node)
+
+
+def _rebuild(node: N.Node) -> N.Node:
+    """Fold children in place for node classes we do not collapse."""
+    for attr in ("left", "right", "kid", "cond", "then", "els", "base",
+                 "index", "seq", "selector", "root", "traversal", "lo",
+                 "hi", "guard", "func", "init", "step", "body"):
+        child = getattr(node, attr, None)
+        if isinstance(child, N.Node):
+            setattr(node, attr, fold(child))
+    if isinstance(node, N.Call):
+        node.args = tuple(fold(a) for a in node.args)
+    return node
+
+
+def _source_text(node: N.Constant) -> str:
+    return node.text or str(node.value)
+
+
+def _fold_binary(op: str, left: N.Node, right: N.Node) -> Optional[N.Node]:
+    if not (isinstance(left, N.Constant) and isinstance(right, N.Constant)):
+        return None
+    if (left.type_hint not in _FOLDABLE_HINTS
+            or right.type_hint not in _FOLDABLE_HINTS):
+        return None
+    x, y = left.value, right.value
+    is_float = "double" in (left.type_hint, right.type_hint)
+    try:
+        if op == "+":
+            value = x + y
+        elif op == "-":
+            value = x - y
+        elif op == "*":
+            value = x * y
+        elif op == "/":
+            if is_float:
+                value = x / y
+            else:
+                q = abs(x) // abs(y)
+                value = q if (x >= 0) == (y >= 0) else -q
+        elif op == "%":
+            if is_float:
+                return None
+            q = abs(x) // abs(y)
+            q = q if (x >= 0) == (y >= 0) else -q
+            value = x - q * y
+        elif op == "<<" and not is_float:
+            value = x << (y & 63)
+        elif op == ">>" and not is_float:
+            value = x >> (y & 63)
+        elif op == "&" and not is_float:
+            value = x & y
+        elif op == "|" and not is_float:
+            value = x | y
+        elif op == "^" and not is_float:
+            value = x ^ y
+        elif op in ("<", ">", "<=", ">=", "==", "!="):
+            value = int({"<": x < y, ">": x > y, "<=": x <= y,
+                         ">=": x >= y, "==": x == y, "!=": x != y}[op])
+            return N.Constant(value, "int",
+                              f"{_source_text(left)}{op}{_source_text(right)}")
+        else:
+            return None
+    except (ZeroDivisionError, TypeError):
+        return None
+    hint = _result_hint(left, right, is_float)
+    if not is_float:
+        value = wrap_int(int(value), _INT_KINDS.get(hint, Kind.INT))
+    text = f"{_source_text(left)}{op}{_source_text(right)}"
+    return N.Constant(value, hint, text)
+
+
+def _fold_unary(op: str, kid: N.Node) -> Optional[N.Node]:
+    if not isinstance(kid, N.Constant):
+        return None
+    if kid.type_hint not in _FOLDABLE_HINTS:
+        return None
+    x = kid.value
+    is_float = kid.type_hint == "double"
+    if op == "-":
+        value = -x
+    elif op == "+":
+        value = x
+    elif op == "~" and not is_float:
+        value = ~x
+    elif op == "!":
+        value = int(not x)
+        return N.Constant(value, "int", f"!{_source_text(kid)}")
+    else:
+        return None
+    hint = kid.type_hint if kid.type_hint != "char" else "int"
+    if not is_float:
+        value = wrap_int(int(value), _INT_KINDS.get(hint, Kind.INT))
+    return N.Constant(value, hint, f"{op}{_source_text(kid)}")
+
+
+def _result_hint(left: N.Constant, right: N.Constant, is_float: bool) -> str:
+    if is_float:
+        return "double"
+    rank = {"char": 0, "int": 1, "uint": 2, "long": 3, "ulong": 4}
+    a = left.type_hint if left.type_hint != "char" else "int"
+    b = right.type_hint if right.type_hint != "char" else "int"
+    return a if rank.get(a, 1) >= rank.get(b, 1) else b

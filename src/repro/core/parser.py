@@ -1,0 +1,542 @@
+"""Parser for DUEL's concrete syntax.
+
+The paper uses a yacc grammar; this is the equivalent recursive-descent
+/ precedence-climbing parser.  Precedence, loosest to tightest:
+
+    ;                            sequence
+    ,                            alternate
+    =>                           imply
+    =  op=  :=                   assignment / alias definition (right)
+    ?:                           conditional
+    ..                           to (nonassoc; also prefix ..e / postfix e..)
+    ||  &&  |  ^  &              logical / bitwise
+    ==  !=  ==?  !=?             equality (+ conditional-yield forms)
+    <  >  <=  >=  <?  >?  <=?  >=?   relational (+ conditional-yield)
+    <<  >>                       shift
+    +  -                         additive
+    *  /  %                      multiplicative
+    unary: - + ! ~ * & ++ -- sizeof (type) #/ +/ */ &&/ ||/ <?/ >?/ ..e
+           if/for/while expressions
+    postfix: [] [[...]] (args) . -> --> -->> @ # ++ --
+    primary: literals, names, _, (e), {e}
+
+The right operand of ``.``/``->``/``-->`` is restricted to a bare name,
+``(expr)``, ``{expr}``, or an if-expression, so that
+``hash[0]-->next->scope`` parses as ``(hash[0]-->next)->scope`` the way
+the paper's examples require.
+
+Casts and declarations are recognised when a parenthesis/statement
+begins with a type keyword, or with a typedef name known to the
+``is_type_name`` predicate (supplied by the session, backed by the
+debugger's symbol tables).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.core.errors import DuelSyntaxError
+from repro.core.lexer import KEYWORDS, Token, TokenStream, TYPE_KEYWORDS, unescape
+from repro.core import nodes as N
+
+#: Tokens that can never begin an expression (used for ``e..`` postfix).
+_NON_STARTERS = {")", "]", "]]", "}", ",", ";", "=>", "?", ":", "@", "#",
+                 "[[", "..", "&&", "||"}
+
+_ASSIGN_OPS = ("=", "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=",
+               "<<=", ">>=")
+_EQUALITY = ("==", "!=", "==?", "!=?")
+_RELATIONAL = ("<", ">", "<=", ">=", "<?", ">?", "<=?", ">=?")
+_REDUCTIONS = ("#/", "+/", "*/", "&&/", "||/", "<?/", ">?/")
+
+_DECL_STARTERS = TYPE_KEYWORDS | {"typedef"}
+
+
+class DuelParser:
+    """Compiles DUEL source text into an AST."""
+
+    def __init__(self, is_type_name: Optional[Callable[[str], bool]] = None):
+        self.is_type_name = is_type_name or (lambda name: False)
+
+    # -- public API -------------------------------------------------------
+    def parse(self, text: str) -> N.Node:
+        stream = TokenStream(text)
+        node = self._sequence(stream)
+        if not stream.at_end:
+            raise stream.error(
+                f"unexpected {stream.peek().text!r} after expression")
+        return node
+
+    # -- sequence / declarations ---------------------------------------------
+    def _sequence(self, s: TokenStream) -> N.Node:
+        node = self._statement(s)
+        while s.accept(";"):
+            if s.at_end or s.peek().is_op(")"):
+                return N.Sequence(node, None)  # trailing ; = side effects only
+            node = N.Sequence(node, self._statement(s))
+        return node
+
+    def _statement(self, s: TokenStream) -> N.Node:
+        if self._starts_declaration(s):
+            return self._declaration(s)
+        return self._alternate(s)
+
+    def _starts_declaration(self, s: TokenStream) -> bool:
+        token = s.peek()
+        if token.kind != "name":
+            return False
+        if token.text in _DECL_STARTERS or token.text in (
+                "static", "extern", "register", "auto"):
+            return True
+        # typedef-name declaration: "size_t n" (name followed by name/*).
+        if self.is_type_name(token.text):
+            look = s.peek(1)
+            return look.kind == "name" or look.is_op("*")
+        return False
+
+    def _declaration(self, s: TokenStream) -> N.Node:
+        start_token = s.peek()
+        start = start_token.start
+        depth = 0
+        end = start
+        while not s.at_end:
+            token = s.peek()
+            if token.is_op("(", "[", "{"):
+                depth += 1
+            elif token.is_op("[["):
+                depth += 2
+            elif token.is_op(")", "]", "}"):
+                depth -= 1
+            elif token.is_op("]]"):
+                depth -= 2
+            elif token.is_op(";") and depth == 0:
+                break
+            end = token.end
+            s.next()
+        text = s.text[start:end]
+        if not text.strip():
+            raise s.error("empty declaration")
+        return N.Declaration(text + ";")
+
+    # -- alternate -------------------------------------------------------------
+    def _alternate(self, s: TokenStream) -> N.Node:
+        node = self._imply(s)
+        while s.accept(","):
+            node = N.Alternate(node, self._imply(s))
+        return node
+
+    # -- imply -----------------------------------------------------------------
+    def _imply(self, s: TokenStream) -> N.Node:
+        node = self._assign(s)
+        if s.accept("=>"):
+            return N.Imply(node, self._imply(s))
+        return node
+
+    # -- assignment / alias definition ------------------------------------------
+    def _assign(self, s: TokenStream) -> N.Node:
+        node = self._conditional(s)
+        token = s.peek()
+        if token.is_op(":="):
+            if not isinstance(node, N.Name):
+                raise s.error("alias definition needs a simple name "
+                              "on the left of :=")
+            s.next()
+            return N.Define(node.name, self._assign(s))
+        if token.is_op(*_ASSIGN_OPS):
+            s.next()
+            rhs = self._assign(s)
+            return N.Assign(token.text, node, rhs)
+        return node
+
+    # -- conditional -----------------------------------------------------------
+    def _conditional(self, s: TokenStream) -> N.Node:
+        node = self._to(s)
+        if s.accept("?"):
+            then = self._assign(s)
+            s.expect(":")
+            els = self._conditional(s)
+            return N.If(node, then, els)
+        return node
+
+    # -- to ----------------------------------------------------------------------
+    def _to(self, s: TokenStream) -> N.Node:
+        if s.accept(".."):
+            return N.To(None, self._oror(s))
+        node = self._oror(s)
+        if s.accept(".."):
+            if self._expression_follows(s):
+                return N.To(node, self._oror(s))
+            return N.To(node, None)
+        return node
+
+    def _expression_follows(self, s: TokenStream) -> bool:
+        token = s.peek()
+        if token.kind == "eof":
+            return False
+        if token.kind == "op":
+            return token.text not in _NON_STARTERS
+        if token.kind == "name" and token.text == "else":
+            return False
+        return True
+
+    # -- binary tiers ----------------------------------------------------------
+    def _oror(self, s: TokenStream) -> N.Node:
+        node = self._andand(s)
+        while s.accept("||"):
+            node = N.OrOr(node, self._andand(s))
+        return node
+
+    def _andand(self, s: TokenStream) -> N.Node:
+        node = self._bitor(s)
+        while s.accept("&&"):
+            node = N.AndAnd(node, self._bitor(s))
+        return node
+
+    def _bitor(self, s: TokenStream) -> N.Node:
+        node = self._bitxor(s)
+        while s.accept("|"):
+            node = N.Binary("|", node, self._bitxor(s))
+        return node
+
+    def _bitxor(self, s: TokenStream) -> N.Node:
+        node = self._bitand(s)
+        while s.accept("^"):
+            node = N.Binary("^", node, self._bitand(s))
+        return node
+
+    def _bitand(self, s: TokenStream) -> N.Node:
+        node = self._equality(s)
+        while s.accept("&"):
+            node = N.Binary("&", node, self._equality(s))
+        return node
+
+    def _equality(self, s: TokenStream) -> N.Node:
+        node = self._relational(s)
+        while True:
+            token = s.peek()
+            if not token.is_op(*_EQUALITY):
+                return node
+            s.next()
+            rhs = self._relational(s)
+            if token.text.endswith("?"):
+                node = N.CompareYield(token.text[:-1], node, rhs)
+            else:
+                node = N.Binary(token.text, node, rhs)
+
+    def _relational(self, s: TokenStream) -> N.Node:
+        node = self._shift(s)
+        while True:
+            token = s.peek()
+            if not token.is_op(*_RELATIONAL):
+                return node
+            s.next()
+            rhs = self._shift(s)
+            if token.text.endswith("?"):
+                node = N.CompareYield(token.text[:-1], node, rhs)
+            else:
+                node = N.Binary(token.text, node, rhs)
+
+    def _shift(self, s: TokenStream) -> N.Node:
+        node = self._additive(s)
+        while True:
+            token = s.peek()
+            if not token.is_op("<<", ">>"):
+                return node
+            s.next()
+            node = N.Binary(token.text, node, self._additive(s))
+
+    def _additive(self, s: TokenStream) -> N.Node:
+        node = self._multiplicative(s)
+        while True:
+            token = s.peek()
+            if not token.is_op("+", "-"):
+                return node
+            s.next()
+            node = N.Binary(token.text, node, self._multiplicative(s))
+
+    def _multiplicative(self, s: TokenStream) -> N.Node:
+        node = self._unary(s)
+        while True:
+            token = s.peek()
+            if not token.is_op("*", "/", "%"):
+                return node
+            s.next()
+            node = N.Binary(token.text, node, self._unary(s))
+
+    # -- unary ---------------------------------------------------------------
+    def _unary(self, s: TokenStream) -> N.Node:
+        token = s.peek()
+        if token.is_op("-", "+", "!", "~", "*", "&"):
+            s.next()
+            return N.Unary(token.text, self._unary(s))
+        if token.is_op("++", "--"):
+            s.next()
+            return N.IncDec(token.text, self._unary(s), postfix=False)
+        if token.is_op(*_REDUCTIONS):
+            s.next()
+            return N.Reduce(token.text[:-1], self._unary(s))
+        if token.is_op(".."):
+            s.next()
+            return N.To(None, self._oror(s))
+        if token.is_op("(") and self._starts_cast(s):
+            return self._cast(s)
+        if token.kind == "name":
+            if token.text == "sizeof":
+                return self._sizeof(s)
+            if token.text == "if":
+                return self._if_expr(s)
+            if token.text == "while":
+                return self._while_expr(s)
+            if token.text == "for":
+                return self._for_expr(s)
+        return self._postfix(s)
+
+    def _starts_cast(self, s: TokenStream) -> bool:
+        look = s.peek(1)
+        if look.kind != "name":
+            return False
+        if look.text in TYPE_KEYWORDS:
+            return True
+        if not self.is_type_name(look.text):
+            return False
+        # "(name)" is a cast only if followed by ")" then something that
+        # a cast could apply to, or by "*"/ ")" inside.
+        after = s.peek(2)
+        return after.is_op("*", ")") or after.kind == "name"
+
+    def _cast(self, s: TokenStream) -> N.Node:
+        s.expect("(")
+        start = s.peek().start
+        depth = 1
+        end = start
+        while not s.at_end:
+            token = s.peek()
+            if token.is_op("("):
+                depth += 1
+            elif token.is_op(")"):
+                depth -= 1
+                if depth == 0:
+                    break
+            end = token.end
+            s.next()
+        s.expect(")")
+        type_text = s.text[start:end]
+        return N.Cast(type_text, self._unary(s))
+
+    def _sizeof(self, s: TokenStream) -> N.Node:
+        s.next()  # 'sizeof'
+        if s.peek().is_op("(") and self._starts_cast(s):
+            s.expect("(")
+            start = s.peek().start
+            depth = 1
+            end = start
+            while not s.at_end:
+                token = s.peek()
+                if token.is_op("("):
+                    depth += 1
+                elif token.is_op(")"):
+                    depth -= 1
+                    if depth == 0:
+                        break
+                end = token.end
+                s.next()
+            s.expect(")")
+            return N.SizeOf(type_text=s.text[start:end])
+        return N.SizeOf(kid=self._unary(s))
+
+    def _if_expr(self, s: TokenStream) -> N.Node:
+        s.next()  # 'if'
+        s.expect("(")
+        cond = self._sequence(s)
+        s.expect(")")
+        then = self._conditional(s)
+        els = None
+        if s.peek().kind == "name" and s.peek().text == "else":
+            s.next()
+            els = self._conditional(s)
+        return N.If(cond, then, els)
+
+    def _while_expr(self, s: TokenStream) -> N.Node:
+        s.next()
+        s.expect("(")
+        cond = self._sequence(s)
+        s.expect(")")
+        body = self._conditional(s)
+        return N.While(cond, body)
+
+    def _for_expr(self, s: TokenStream) -> N.Node:
+        s.next()
+        s.expect("(")
+        init = None if s.peek().is_op(";") else self._alternate(s)
+        s.expect(";")
+        cond = None if s.peek().is_op(";") else self._alternate(s)
+        s.expect(";")
+        step = None if s.peek().is_op(")") else self._alternate(s)
+        s.expect(")")
+        body = self._conditional(s)
+        return N.For(init, cond, step, body)
+
+    # -- postfix -----------------------------------------------------------------
+    def _postfix(self, s: TokenStream) -> N.Node:
+        node = self._primary(s)
+        while True:
+            token = s.peek()
+            if token.is_op("["):
+                s.next()
+                index = self._sequence(s)
+                s.expect("]")
+                node = N.Index(node, index)
+            elif token.is_op("[["):
+                s.next()
+                selector = self._sequence(s)
+                s.expect("]")
+                s.expect("]")
+                node = N.Select(node, selector)
+            elif token.is_op("("):
+                s.next()
+                args = []
+                if not s.peek().is_op(")"):
+                    args.append(self._imply(s))
+                    while s.accept(","):
+                        args.append(self._imply(s))
+                s.expect(")")
+                node = N.Call(node, tuple(args))
+            elif token.is_op(".", "->"):
+                s.next()
+                rhs = self._with_operand(s)
+                node = N.With(node, rhs, arrow=(token.text == "->"))
+            elif token.is_op("-->", "-->>"):
+                s.next()
+                rhs = self._with_operand(s)
+                node = N.Expand(node, rhs,
+                                breadth_first=(token.text == "-->>"))
+            elif token.is_op("@"):
+                s.next()
+                node = N.Until(node, self._guard_operand(s))
+            elif token.is_op("#"):
+                s.next()
+                name = s.next()
+                if name.kind != "name" or name.text in KEYWORDS:
+                    raise s.error("expected index-alias name after #")
+                node = N.IndexAlias(node, name.text)
+            elif token.is_op("++", "--"):
+                s.next()
+                node = N.IncDec(token.text, node, postfix=True)
+            else:
+                return node
+
+    def _with_operand(self, s: TokenStream) -> N.Node:
+        """Right side of . -> --> : name | (expr) | {expr} | if-expr."""
+        token = s.peek()
+        if token.kind == "name" and token.text == "if":
+            return self._if_expr(s)
+        if token.is_op("("):
+            s.next()
+            node = self._sequence(s)
+            s.expect(")")
+            return node
+        if token.is_op("{"):
+            s.next()
+            node = self._sequence(s)
+            s.expect("}")
+            return N.Group(node)
+        if token.kind == "name" and token.text not in KEYWORDS:
+            s.next()
+            return N.Name(token.text)
+        if token.is_op("_"):  # unreachable: "_" lexes as a name
+            s.next()
+            return N.Underscore()
+        raise s.error("expected field name or (expression) after ./->/-->")
+
+    def _guard_operand(self, s: TokenStream) -> N.Node:
+        """Right side of @ : constant | name | (expr) | {expr}."""
+        token = s.peek()
+        if token.is_op("("):
+            s.next()
+            node = self._sequence(s)
+            s.expect(")")
+            return node
+        if token.is_op("{"):
+            s.next()
+            node = self._sequence(s)
+            s.expect("}")
+            return N.Group(node)
+        if token.kind in ("num", "fnum", "char"):
+            return self._primary(s)
+        if token.is_op("-", "+") and s.peek(1).kind in ("num", "fnum", "char"):
+            s.next()
+            return N.Unary(token.text, self._primary(s))
+        if token.kind == "name" and token.text not in KEYWORDS:
+            s.next()
+            return N.Name(token.text)
+        raise s.error("expected constant, name, or (expression) after @")
+
+    # -- primary -----------------------------------------------------------------
+    def _primary(self, s: TokenStream) -> N.Node:
+        token = s.peek()
+        if token.kind == "num":
+            s.next()
+            return _int_constant(token)
+        if token.kind == "fnum":
+            s.next()
+            return N.Constant(float(token.text), "double", token.text)
+        if token.kind == "char":
+            s.next()
+            body = unescape(token.text[1:-1])
+            return N.Constant(ord(body) & 0xFF, "char", token.text)
+        if token.kind == "string":
+            s.next()
+            return N.StringLiteral(
+                unescape(token.text[1:-1]).encode("latin-1"), token.text)
+        if token.kind == "name":
+            if token.text == "_":
+                s.next()
+                return N.Underscore()
+            if token.text == "frame" and s.peek(1).is_op("("):
+                s.next()
+                s.expect("(")
+                index = self._sequence(s)
+                s.expect(")")
+                return N.FrameExpr(index)
+            if token.text in KEYWORDS:
+                raise s.error(f"unexpected keyword {token.text!r}")
+            s.next()
+            return N.Name(token.text)
+        if token.is_op("("):
+            s.next()
+            node = self._sequence(s)
+            s.expect(")")
+            return node
+        if token.is_op("{"):
+            s.next()
+            node = self._sequence(s)
+            s.expect("}")
+            return N.Group(node)
+        raise s.error(
+            f"expected expression, found {token.text or 'end of input'!r}")
+
+
+def _int_constant(token: Token) -> N.Constant:
+    text = token.text
+    body = text.rstrip("uUlL")
+    suffix = text[len(body):].lower()
+    value = int(body, 0)
+    unsigned = "u" in suffix
+    long_ = "l" in suffix
+    if long_ and unsigned:
+        hint = "ulong"
+    elif long_:
+        hint = "long"
+    elif unsigned:
+        hint = "uint"
+    elif value > 0x7FFFFFFF:
+        hint = "long"
+    else:
+        hint = "int"
+    return N.Constant(value, hint, text)
+
+
+def parse(text: str,
+          is_type_name: Optional[Callable[[str], bool]] = None) -> N.Node:
+    """Module-level convenience wrapper around :class:`DuelParser`."""
+    return DuelParser(is_type_name).parse(text)

@@ -1,0 +1,181 @@
+"""DuelSession: the ``duel`` command.
+
+"The duel command is similar to gdb's print command, except that the
+duel command drives its expression argument and prints all of its
+values."  A session compiles an input line, drives the resulting
+generator tree, and renders one output line per produced value in the
+paper's format::
+
+    x[3] = 7
+    hash[42]->scope = 7
+
+Display rule reconstructed from the paper's sessions: expressions that
+mention no program state (no names — pure constant expressions like
+``(1..3)+(5,9)`` or ``1 + (double)3/2``) print their values joined on
+one line (``6 10 7 11 8 12``, ``2.500``); anything touching the target
+prints one ``sym = value`` line per value.  A value whose symbolic
+expression renders identically to the value (reductions) also prints
+bare.
+
+Aliases persist across ``duel`` commands within a session, as in the
+original.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.core import nodes as N
+from repro.core.errors import DuelError
+from repro.core.eval import EvalOptions, Evaluator
+from repro.core.format import ValueFormatter
+from repro.core.parser import DuelParser
+from repro.core.symbolic import DEFAULT_FOLD
+from repro.core.values import DuelValue
+
+
+class DuelSession:
+    """An interactive DUEL evaluation session over one debugger backend.
+
+    Parameters mirror the implementation switches discussed in the
+    paper: ``symbolic`` turns derivation tracking off (it dominates
+    evaluation cost), ``fold`` sets the ``->a->a`` folding threshold,
+    and ``float_format`` controls double rendering (the paper prints
+    ``2.500``; gdb prints ``2.5`` — default matches the paper).
+    """
+
+    def __init__(self, backend, symbolic: bool = True,
+                 float_format: str = "%.3f", fold: int = DEFAULT_FOLD,
+                 max_steps: int = 10_000_000, cycle_mode: str = "stop",
+                 optimize: bool = False):
+        self.backend = backend
+        self.options = EvalOptions(symbolic=symbolic, max_steps=max_steps,
+                                   cycle_mode=cycle_mode)
+        #: Compile-time constant folding (paper §Implementation: "could
+        #: be done at compile time"); display text is preserved.
+        self.optimize = optimize
+        self.evaluator = Evaluator(backend, self.options)
+        self.parser = DuelParser(is_type_name=self.evaluator.is_type_name)
+        self.formatter = ValueFormatter(self.evaluator.ops,
+                                        float_format=float_format)
+        self.evaluator.formatter = self.formatter
+        self.fold = fold
+        #: Executed query texts, newest last (the paper's Discussion
+        #: suggests a query history for re-issuing common queries).
+        self.history: list[str] = []
+        #: Named saved queries ("program-specific queries ... made by
+        #: simply pointing and clicking" — here, by name).
+        self.saved: dict[str, str] = {}
+
+    # -- compiling ------------------------------------------------------
+    def compile(self, text: str) -> N.Node:
+        """Parse one DUEL input line into an AST (folded if enabled)."""
+        node = self.parser.parse(text)
+        if self.optimize:
+            from repro.core.optimize import fold as fold_constants
+            node = fold_constants(node)
+        return node
+
+    # -- evaluation -------------------------------------------------------
+    def eval(self, text: str) -> list[DuelValue]:
+        """Drive ``text`` and collect every produced value."""
+        return list(self.ieval(text))
+
+    def ieval(self, text: str) -> Iterator[DuelValue]:
+        """Drive ``text`` lazily."""
+        node = self.compile(text)
+        self._record(text)
+        self.evaluator.reset()
+        yield from self.evaluator.eval(node)
+
+    def _record(self, text: str) -> None:
+        if not self.history or self.history[-1] != text:
+            self.history.append(text)
+
+    def eval_values(self, text: str):
+        """Raw Python values (ints/floats/addresses) of ``text``."""
+        ops = self.evaluator.ops
+        return [ops.load(v) for v in self.ieval(text)]
+
+    # -- printing ------------------------------------------------------------
+    def format_line(self, v: DuelValue) -> str:
+        """One output line for a produced value: ``sym = value``."""
+        value_text = self.formatter.format(v)
+        if not self.options.symbolic:
+            return value_text
+        sym_text = v.sym.render(self.fold)
+        if sym_text == value_text or sym_text == "?":
+            return value_text
+        return f"{sym_text} = {value_text}"
+
+    def eval_lines(self, text: str) -> list[str]:
+        """All output lines for one ``duel`` command (paper format).
+
+        Constant-only expressions produce a single space-joined line of
+        values, reproducing the paper's ``duel (1..3)+(5,9)`` session.
+        """
+        node = self.compile(text)
+        self._record(text)
+        self.evaluator.reset()
+        values = self.evaluator.eval(node)
+        if self.options.symbolic and not _mentions_state(node):
+            texts = [self.formatter.format(v) for v in values]
+            return [" ".join(texts)] if texts else []
+        return [self.format_line(v) for v in values]
+
+    def duel(self, text: str, out=None) -> None:
+        """The gdb ``duel`` command: evaluate and print."""
+        import sys
+        stream = out if out is not None else sys.stdout
+        try:
+            for line in self.eval_lines(text):
+                stream.write(line + "\n")
+        except DuelError as error:
+            stream.write(str(error) + "\n")
+
+    def values_line(self, text: str) -> str:
+        """Space-joined value texts, the paper's constants-only display.
+
+        The paper's opening examples show ``duel (1..3)+(5,9)`` printing
+        ``6 10 7 11 8 12`` ("the examples ... omitted the symbolic
+        output"); this helper reproduces that presentation.
+        """
+        return " ".join(self.formatter.format(v) for v in self.ieval(text))
+
+    # -- saved queries (paper Discussion: editable query history) -----------
+    def save_query(self, name: str, text: str) -> None:
+        """Name a query for later re-issue (validated eagerly)."""
+        self.compile(text)
+        self.saved[name] = text
+
+    def run_saved(self, name: str) -> list[str]:
+        """Re-issue a saved query by name; returns its output lines."""
+        if name not in self.saved:
+            raise KeyError(f"no saved query named {name!r}")
+        return self.eval_lines(self.saved[name])
+
+    # -- alias management ------------------------------------------------------
+    def clear_aliases(self) -> None:
+        """Drop all debugger aliases (x := ... definitions)."""
+        self.evaluator.scope.clear_aliases()
+
+    def aliases(self) -> dict[str, DuelValue]:
+        return self.evaluator.scope.aliases()
+
+    @property
+    def lookup_count(self) -> int:
+        """Total symbol lookups performed (benchmark P2)."""
+        return self.evaluator.scope.lookup_count
+
+
+def _mentions_state(node: N.Node) -> bool:
+    """True when the AST refers to any name/alias/declaration.
+
+    Pure constant expressions are displayed without symbolics, matching
+    every constants-only session in the paper.
+    """
+    for n in N.walk(node):
+        if isinstance(n, (N.Name, N.Underscore, N.Declaration, N.Define,
+                          N.IndexAlias, N.StringLiteral, N.FrameExpr)):
+            return True
+    return False

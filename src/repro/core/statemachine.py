@@ -1,0 +1,534 @@
+"""The paper's explicit evaluation scheme, reproduced literally.
+
+Because C has no coroutines, the original DUEL implements each
+generator as a state machine: every AST node carries a ``state``
+(non-negative integer) and a saved ``value``; a distinguished
+``NOVALUE`` signals the end of a sequence; each call to ``eval``
+produces one value and "goto" labels resume evaluation mid-operator
+(paper §Semantics, the numbered PLUS listing).
+
+:class:`StateMachineEvaluator` is that scheme in Python, state kept in
+a side table so ASTs stay immutable.  It covers every operator the
+paper gives a listing for — constants, names, unary/binary/assignment,
+``to``, ``alternate``, the conditional-yield comparisons, indexing,
+if/and-and/or-or, imply, sequence, while, select, define — plus the
+structural pair WITH and DFS, whose name-scope entries persist across
+yields exactly as the paper's push/pop bracketing implies.  Reductions,
+calls, and the other conveniences remain generator-engine-only.
+
+The A1 benchmark and the differential tests
+(``tests/property/test_engines.py``,
+``tests/unit/core/test_statemachine.py``) hold the two engines
+observationally identical, symbolic output included.
+
+The two engines must be observationally identical; the property tests
+in ``tests/property/test_engines.py`` check exactly that.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core import nodes as N
+from repro.core.errors import DuelError
+from repro.core.eval import Evaluator
+from repro.core.values import DuelValue
+
+#: The paper's distinguished end-of-sequence marker.
+NOVALUE = None
+
+
+class _NodeState:
+    """The paper's per-node mutable fields: ``state`` and ``value``."""
+
+    __slots__ = ("state", "value", "aux")
+
+    def __init__(self) -> None:
+        self.state = 0
+        self.value: Optional[DuelValue] = None
+        self.aux = None  # iteration counters (TO) etc.
+
+
+class StateMachineEvaluator:
+    """Drives DUEL ASTs with the explicit state/NOVALUE protocol.
+
+    Reuses the backend plumbing (fetch, apply) of a normal
+    :class:`~repro.core.eval.Evaluator`; only the *control* is the
+    paper's hand-compiled scheme instead of Python generators.
+    """
+
+    SUPPORTED = (N.Constant, N.Name, N.Unary, N.Binary, N.CompareYield,
+                 N.To, N.Alternate, N.Index, N.If, N.AndAnd, N.OrOr,
+                 N.Imply, N.Sequence, N.While, N.Select, N.Define,
+                 N.With, N.Expand, N.Underscore, N.Assign)
+
+    def __init__(self, evaluator: Evaluator):
+        self.ev = evaluator
+        self._states: dict[int, _NodeState] = {}
+
+    # -- public ----------------------------------------------------------
+    def supports(self, node: N.Node) -> bool:
+        return all(isinstance(n, self.SUPPORTED) for n in N.walk(node))
+
+    def drive(self, node: N.Node) -> list[DuelValue]:
+        """Top-level command: call eval until NOVALUE (paper's driver)."""
+        unsupported = [n.op for n in N.walk(node)
+                       if not isinstance(n, self.SUPPORTED)]
+        if unsupported:
+            raise DuelError(
+                f"state-machine engine does not implement {unsupported[0]!r}")
+        self._states.clear()
+        depth = self.ev.scope.with_depth
+        out = []
+        try:
+            while True:
+                value = self.eval(node)
+                if value is NOVALUE:
+                    return out
+                out.append(value)
+        finally:
+            # WITH/DFS entries persist between eval calls by design;
+            # unwind any leftovers if evaluation stopped early.
+            while self.ev.scope.with_depth > depth:
+                self.ev.scope.pop()
+
+    # -- the paper's eval ---------------------------------------------------
+    def _st(self, node: N.Node) -> _NodeState:
+        state = self._states.get(id(node))
+        if state is None:
+            state = _NodeState()
+            self._states[id(node)] = state
+        return state
+
+    def eval(self, node: N.Node):
+        """One value of ``node``, or NOVALUE; resumes where it left off."""
+        if isinstance(node, N.Constant):
+            return self._eval_constant(node)
+        if isinstance(node, N.Name):
+            return self._eval_name(node)
+        if isinstance(node, N.Unary):
+            return self._eval_unary(node)
+        if isinstance(node, N.Binary):
+            return self._eval_binary(node)
+        if isinstance(node, N.CompareYield):
+            return self._eval_ifcmp(node)
+        if isinstance(node, N.To):
+            return self._eval_to(node)
+        if isinstance(node, N.Alternate):
+            return self._eval_alternate(node)
+        if isinstance(node, N.Index):
+            return self._eval_index(node)
+        if isinstance(node, N.If):
+            return self._eval_if(node)
+        if isinstance(node, N.AndAnd):
+            return self._eval_andand(node)
+        if isinstance(node, N.OrOr):
+            return self._eval_oror(node)
+        if isinstance(node, N.Assign):
+            return self._eval_assign(node)
+        if isinstance(node, N.Imply):
+            return self._eval_imply(node)
+        if isinstance(node, N.Sequence):
+            return self._eval_sequence(node)
+        if isinstance(node, N.While):
+            return self._eval_while(node)
+        if isinstance(node, N.Select):
+            return self._eval_select(node)
+        if isinstance(node, N.Define):
+            return self._eval_define(node)
+        if isinstance(node, N.With):
+            return self._eval_with(node)
+        if isinstance(node, N.Expand):
+            return self._eval_dfs(node)
+        if isinstance(node, N.Underscore):
+            return self._eval_underscore(node)
+        raise DuelError(f"state-machine engine: {node.op!r}")  # pragma: no cover
+
+    # case CONSTANT (paper listing, verbatim structure)
+    def _eval_constant(self, node: N.Constant):
+        st = self._st(node)
+        if st.state == 0:
+            st.state = 1
+            return next(iter(self.ev.eval(node)))
+        st.state = 0
+        return NOVALUE
+
+    def _eval_name(self, node: N.Name):
+        st = self._st(node)
+        if st.state == 0:
+            st.state = 1
+            return self.ev.scope.fetch(node.name)
+        st.state = 0
+        return NOVALUE
+
+    def _eval_unary(self, node: N.Unary):
+        # while (u = eval(kids[0])) yield apply(op, u)
+        u = self.eval(node.kid)
+        if u is NOVALUE:
+            return NOVALUE
+        return self._apply_unary(node.operator, u)
+
+    def _apply_unary(self, op: str, u: DuelValue) -> DuelValue:
+        apply = self.ev.apply
+        table = {"-": apply.negate, "+": apply.plus, "!": apply.lognot,
+                 "~": apply.bitnot, "*": apply.deref, "&": apply.addressof}
+        return table[op](u)
+
+    # case PLUS, MINUS, MULTIPLY, ... — the numbered listing in the paper.
+    def _eval_binary(self, node: N.Binary):
+        st = self._st(node)
+        while True:
+            if st.state == 1:                       # 2: goto bin1
+                u = self.eval(node.right)           # 8: bin1
+                if u is NOVALUE:                    # 9: goto bin0
+                    st.state = 0
+                    continue
+                return self.ev.apply.binary(        # 10-11: apply, return
+                    node.operator, st.value, u)
+            st.state = 0                            # 3: bin0
+            st.value = self.eval(node.left)         # 4
+            if st.value is NOVALUE:                 # 5-6
+                return NOVALUE
+            st.state = 1                            # 7
+
+    # Assignment: same two-operand machine as PLUS, applying store.
+    def _eval_assign(self, node: N.Assign):
+        from repro.core.symbolic import PREC_ASSIGN, SymBinary
+        st = self._st(node)
+        while True:
+            if st.state == 1:
+                u = self.eval(node.right)
+                if u is NOVALUE:
+                    st.state = 0
+                    continue
+                sym = SymBinary(node.operator, st.value.sym, u.sym,
+                                PREC_ASSIGN)
+                if node.operator == "=":
+                    return self.ev.apply.assign(st.value, u, sym)
+                return self.ev.apply.compound_assign(
+                    node.operator[:-1], st.value, u, sym)
+            st.value = self.eval(node.left)
+            if st.value is NOVALUE:
+                return NOVALUE
+            st.state = 1
+
+    # case IFGT, IFGE, ... — yields the left operand when true.
+    def _eval_ifcmp(self, node: N.CompareYield):
+        st = self._st(node)
+        while True:
+            if st.state == 1:
+                u = self.eval(node.right)
+                if u is NOVALUE:
+                    st.state = 0
+                    continue
+                if self.ev.apply.compare_true(node.operator, st.value, u):
+                    return st.value
+                continue
+            st.value = self.eval(node.left)
+            if st.value is NOVALUE:
+                return NOVALUE
+            st.state = 1
+
+    # case TO — states: 0 fresh, 1 have lo / need hi, 2 iterating.
+    # Prefix ..e uses states 0 -> 2 with a synthetic lo of 0; postfix
+    # e.. uses an unbounded counter.
+    def _eval_to(self, node: N.To):
+        st = self._st(node)
+        from repro.core.values import int_value
+        while True:
+            if st.state == 2:  # iterating aux = (hi, i); hi None = e..
+                hi, i = st.aux
+                if hi is None or i <= hi:
+                    st.aux = (hi, i + 1)
+                    return int_value(i)
+                st.state = 0 if node.lo is None else 1
+                continue
+            if st.state == 1:  # have lo in st.value, pull next hi
+                v = self.eval(node.hi) if node.hi is not None else NOVALUE
+                if v is NOVALUE:
+                    if node.hi is None:  # e.. never gets here (unbounded)
+                        st.state = 0
+                        return NOVALUE
+                    st.state = 0
+                    continue  # next lo
+                lo = int(self.ev.ops.load(st.value))
+                hi = int(self.ev.ops.load(v))
+                st.aux = (hi, lo)
+                st.state = 2
+                continue
+            # state 0: fresh (or back for the next lo / next prefix hi)
+            if node.lo is None:  # ..e  ==  0 .. e-1
+                v = self.eval(node.hi)
+                if v is NOVALUE:
+                    return NOVALUE
+                st.aux = (int(self.ev.ops.load(v)) - 1, 0)
+                st.state = 2
+                continue
+            st.value = self.eval(node.lo)
+            if st.value is NOVALUE:
+                return NOVALUE
+            if node.hi is None:  # e.. unbounded
+                st.aux = (None, int(self.ev.ops.load(st.value)))
+                st.state = 2
+                continue
+            st.state = 1
+
+    # case ALTERNATE (paper listing)
+    def _eval_alternate(self, node: N.Alternate):
+        st = self._st(node)
+        if st.state == 0:
+            u = self.eval(node.left)
+            if u is not NOVALUE:
+                return u
+            st.state = 1
+        v = self.eval(node.right)
+        if v is not NOVALUE:
+            return v
+        st.state = 0
+        return NOVALUE
+
+    def _eval_index(self, node: N.Index):
+        st = self._st(node)
+        while True:
+            if st.state == 1:
+                u = self.eval(node.index)
+                if u is NOVALUE:
+                    st.state = 0
+                    continue
+                return self.ev.apply.index(st.value, u)
+            st.value = self.eval(node.base)
+            if st.value is NOVALUE:
+                return NOVALUE
+            st.state = 1
+
+    # case IF
+    def _eval_if(self, node: N.If):
+        st = self._st(node)
+        while True:
+            if st.state == 1:  # producing then-branch
+                v = self.eval(node.then)
+                if v is not NOVALUE:
+                    return v
+                st.state = 0
+                continue
+            if st.state == 2:  # producing else-branch
+                v = self.eval(node.els)
+                if v is not NOVALUE:
+                    return v
+                st.state = 0
+                continue
+            u = self.eval(node.cond)
+            if u is NOVALUE:
+                return NOVALUE
+            if self.ev.ops.truthy(u):
+                st.state = 1
+            elif node.els is not None:
+                st.state = 2
+            # zero cond without else: loop for the next cond value
+
+    # case ANDAND
+    def _eval_andand(self, node: N.AndAnd):
+        st = self._st(node)
+        while True:
+            if st.state == 1:
+                v = self.eval(node.right)
+                if v is not NOVALUE:
+                    return v
+                st.state = 0
+                continue
+            u = self.eval(node.left)
+            if u is NOVALUE:
+                return NOVALUE
+            if self.ev.ops.truthy(u):
+                st.state = 1
+
+    # Dual of ANDAND (matching the generator engine's semantics).
+    def _eval_oror(self, node: N.OrOr):
+        from repro.core.values import rvalue
+        from repro.ctype.types import INT
+        st = self._st(node)
+        while True:
+            if st.state == 1:
+                v = self.eval(node.right)
+                if v is not NOVALUE:
+                    return v
+                st.state = 0
+                continue
+            u = self.eval(node.left)
+            if u is NOVALUE:
+                return NOVALUE
+            if self.ev.ops.truthy(u):
+                return rvalue(INT, 1, u.sym)
+            st.state = 1
+
+    # case IMPLY
+    def _eval_imply(self, node: N.Imply):
+        st = self._st(node)
+        while True:
+            if st.state == 1:
+                v = self.eval(node.right)
+                if v is not NOVALUE:
+                    return v
+                st.state = 0
+                continue
+            u = self.eval(node.left)
+            if u is NOVALUE:
+                return NOVALUE
+            st.state = 1
+
+    def _reset(self, node: N.Node) -> None:
+        """Reset a subtree's evaluation state (abandon mid-stream)."""
+        for n in N.walk(node):
+            self._states.pop(id(n), None)
+
+    # case WHILE (paper listing): e2 repeats while all of e1 is non-zero.
+    def _eval_while(self, node: N.While):
+        st = self._st(node)
+        while True:
+            if st.state == 1:  # producing body values
+                v = self.eval(node.body)
+                if v is not NOVALUE:
+                    return v
+                st.state = 0
+                continue
+            u = self.eval(node.cond)
+            if u is NOVALUE:
+                st.state = 1  # every condition value was non-zero
+                continue
+            if not self.ev.ops.truthy(u):
+                self._reset(node.cond)  # abandon the mid-stream cond
+                st.state = 0
+                return NOVALUE
+
+    # case SELECT — cached source, matching the generator engine (the
+    # paper notes the real implementation "avoids the re-evaluation").
+    def _eval_select(self, node: N.Select):
+        from repro.core.symbolic import with_lowered_fold
+        st = self._st(node)
+        if st.aux is None:
+            st.aux = {"cache": [], "exhausted": False}
+        cache, state = st.aux["cache"], st.aux
+        while True:
+            sel = self.eval(node.selector)
+            if sel is NOVALUE:
+                if not state["exhausted"]:
+                    self._reset(node.seq)
+                st.aux = None
+                return NOVALUE
+            k = int(self.ev.ops.load(sel))
+            if k < 0:
+                continue
+            while len(cache) <= k and not state["exhausted"]:
+                v = self.eval(node.seq)
+                if v is NOVALUE:
+                    state["exhausted"] = True
+                else:
+                    cache.append(v)
+            if k < len(cache):
+                value = cache[k]
+                if self.ev.options.symbolic:
+                    return value.with_sym(with_lowered_fold(value.sym, 2))
+                return value
+
+    # case DEFINE (paper listing): alias the name to each value.
+    def _eval_define(self, node: N.Define):
+        from repro.core.symbolic import SymText
+        u = self.eval(node.kid)
+        if u is NOVALUE:
+            return NOVALUE
+        self.ev.scope.alias(node.name, u)
+        if self.ev.options.symbolic:
+            return u.with_sym(SymText(node.name))
+        return u
+
+    # case WITH (paper listing): push(u); yield e2's values; pop().
+    # The entry stays pushed *between* eval calls — exactly the
+    # coroutine behaviour the paper's push/pop bracket implies.
+    def _eval_with(self, node: N.With):
+        from repro.core.scope import WithEntry
+        st = self._st(node)
+        while True:
+            if st.state == 1:  # entry pushed, producing e2
+                v = self.eval(node.right)
+                if v is not NOVALUE:
+                    return v
+                self.ev.scope.pop()
+                st.state = 0
+                continue
+            u = self.eval(node.left)
+            if u is NOVALUE:
+                return NOVALUE
+            operand = self.ev._with_operand(u, node.arrow)
+            if operand is None:
+                continue  # NULL under ->: generates nothing
+            self.ev.scope.push(WithEntry(operand, arrow=node.arrow,
+                                         underscore=u))
+            st.state = 1
+
+    # case DFS (paper listing): stack/unstack with the traversal
+    # expression generating successors; children of one node are
+    # computed eagerly (the inner while in the paper's code).
+    def _eval_dfs(self, node: N.Expand):
+        from collections import deque
+        from repro.core.scope import WithEntry
+        st = self._st(node)
+        while True:
+            if st.state == 1:
+                pending, visited = st.aux
+                if not pending:
+                    st.state = 0
+                    st.aux = None
+                    continue
+                v = pending.popleft() if node.breadth_first else pending.pop()
+                operand = self.ev._expand_operand(v)
+                children = []
+                if operand is not None:
+                    self.ev.scope.push(WithEntry(operand, arrow=True,
+                                                 chain=True, underscore=v))
+                    try:
+                        while True:
+                            w = self.eval(node.traversal)
+                            if w is NOVALUE:
+                                break
+                            if self.ev._expandable(w, visited, register=True):
+                                children.append(w)
+                    finally:
+                        self.ev.scope.pop()
+                if node.breadth_first:
+                    pending.extend(children)
+                else:
+                    pending.extend(reversed(children))
+                return v
+            u = self.eval(node.root)
+            if u is NOVALUE:
+                return NOVALUE
+            pending: deque = deque()
+            visited: set = set()
+            if self.ev._expandable(u, visited, register=True):
+                pending.append(u)
+            st.aux = (pending, visited)
+            st.state = 1
+
+    def _eval_underscore(self, node: N.Underscore):
+        st = self._st(node)
+        if st.state == 0:
+            st.state = 1
+            return self.ev.scope.fetch("_")
+        st.state = 0
+        return NOVALUE
+
+    # case SEQUENCE
+    def _eval_sequence(self, node: N.Sequence):
+        st = self._st(node)
+        if st.state == 0:
+            while self.eval(node.left) is not NOVALUE:
+                pass
+            st.state = 1
+        if node.right is None:
+            st.state = 0
+            return NOVALUE
+        v = self.eval(node.right)
+        if v is not NOVALUE:
+            return v
+        st.state = 0
+        return NOVALUE

@@ -1,0 +1,252 @@
+"""Symbolic values: the derivation expressions DUEL prints.
+
+Every value produced during evaluation carries a *symbolic value* — "a
+legal Duel expression that indicates how the value was computed" (paper
+§Implementation).  The rules reproduced here:
+
+* a variable's symbolic value is its name;
+* most binary operators produce ``a op b`` from the operands' symbolics;
+* generators substitute their *current iteration value* (``x[..10]``
+  prints as ``x[3]``, not ``x[i]``);
+* ``{e}`` overrides the default and displays e's value;
+* repeated ``->a->a`` chains from ``-->`` expansions fold into
+  ``-->a[[k]]`` notation.
+
+The paper's two display examples of ``-->`` chains disagree on when to
+fold (``hash[0]->next->next->next->scope`` prints unfolded at depth 3,
+while select output prints ``head-->next[[3]]->value``); we reconcile
+them with a fold threshold (default 4) that ``[[...]]`` select lowers
+to 2 on values it passes through, matching every output in the paper.
+
+Symbolics are small lazy trees so that folding decisions can be made at
+render time; rendering is the expensive half of DUEL evaluation (paper:
+"the computation of the symbolic value is more expensive than computing
+the result"), which benchmark P3 quantifies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+#: Default chain-fold threshold (see module docstring).
+DEFAULT_FOLD = 4
+
+# Precedence levels used for parenthesisation when composing symbolics.
+# Larger binds tighter.  These mirror the DUEL grammar.
+PREC_SEQUENCE = 1
+PREC_IMPLY = 2
+PREC_ASSIGN = 3
+PREC_COND = 4
+PREC_TO = 5
+PREC_OROR = 6
+PREC_ANDAND = 7
+PREC_BITOR = 8
+PREC_BITXOR = 9
+PREC_BITAND = 10
+PREC_EQUALITY = 11
+PREC_RELATIONAL = 12
+PREC_SHIFT = 13
+PREC_ADDITIVE = 14
+PREC_MULTIPLICATIVE = 15
+PREC_UNARY = 16
+PREC_POSTFIX = 17
+PREC_PRIMARY = 18
+
+
+class Sym:
+    """Base class of symbolic-expression nodes."""
+
+    prec: int = PREC_PRIMARY
+
+    def render(self, fold: int = DEFAULT_FOLD) -> str:
+        raise NotImplementedError
+
+    def rendered(self, fold: int, min_prec: int) -> str:
+        """Render, parenthesised if this node binds looser than required."""
+        text = self.render(fold)
+        if self.prec < min_prec:
+            return f"({text})"
+        return text
+
+    def __str__(self) -> str:  # pragma: no cover - debugging convenience
+        return self.render()
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<{type(self).__name__} {self.render()!r}>"
+
+
+@dataclass(frozen=True)
+class SymText(Sym):
+    """A literal fragment: names, constants, substituted values."""
+
+    text: str
+    prec: int = PREC_PRIMARY
+
+    def render(self, fold: int = DEFAULT_FOLD) -> str:
+        return self.text
+
+
+@dataclass(frozen=True)
+class SymBinary(Sym):
+    """``left op right`` with C-style parenthesisation, no spaces.
+
+    The paper prints ``4+0*5 = 4`` and ``x[1]==7 = 0`` — operators join
+    their operands without whitespace.
+    """
+
+    op: str
+    left: Sym
+    right: Sym
+    prec: int = PREC_ADDITIVE
+
+    def render(self, fold: int = DEFAULT_FOLD) -> str:
+        # Left-associative rendering: the right operand needs one level
+        # more binding, the left operand this node's own level.
+        return (self.left.rendered(fold, self.prec)
+                + self.op
+                + self.right.rendered(fold, self.prec + 1))
+
+
+@dataclass(frozen=True)
+class SymUnary(Sym):
+    """Prefix operator application, e.g. ``-x`` or ``*p``."""
+
+    op: str
+    operand: Sym
+    prec: int = PREC_UNARY
+
+    def render(self, fold: int = DEFAULT_FOLD) -> str:
+        return self.op + self.operand.rendered(fold, PREC_UNARY)
+
+
+@dataclass(frozen=True)
+class SymIndex(Sym):
+    """``base[index]``."""
+
+    base: Sym
+    index: Sym
+    prec: int = PREC_POSTFIX
+
+    def render(self, fold: int = DEFAULT_FOLD) -> str:
+        return (self.base.rendered(fold, PREC_POSTFIX)
+                + "[" + self.index.render(fold) + "]")
+
+
+@dataclass(frozen=True)
+class SymField(Sym):
+    """``base.name`` or ``base->name``."""
+
+    base: Sym
+    name: str
+    arrow: bool = True
+    prec: int = PREC_POSTFIX
+
+    def render(self, fold: int = DEFAULT_FOLD) -> str:
+        joiner = "->" if self.arrow else "."
+        return self.base.rendered(fold, PREC_POSTFIX) + joiner + self.name
+
+
+@dataclass
+class SymChain(Sym):
+    """A ``-->`` expansion chain: ``base`` followed by ``count``
+    applications of ``->field``.
+
+    Rendered either expanded (``base->next->next``) or folded
+    (``base-->next[[2]]``) depending on the fold threshold.  ``fold_at``
+    overrides the render-time threshold; select sets it to 2.
+    """
+
+    base: Sym
+    fieldname: str
+    count: int
+    fold_at: Optional[int] = None
+    prec: int = field(default=PREC_POSTFIX, init=False)
+
+    def render(self, fold: int = DEFAULT_FOLD) -> str:
+        threshold = self.fold_at if self.fold_at is not None else fold
+        base = self.base.rendered(fold, PREC_POSTFIX)
+        if self.count == 0:
+            return base
+        if self.count >= threshold:
+            return f"{base}-->{self.fieldname}[[{self.count}]]"
+        return base + "->" + "->".join([self.fieldname] * self.count)
+
+
+@dataclass(frozen=True)
+class SymCall(Sym):
+    """``f(a, b, ...)``."""
+
+    func: Sym
+    args: tuple[Sym, ...]
+    prec: int = PREC_POSTFIX
+
+    def render(self, fold: int = DEFAULT_FOLD) -> str:
+        inner = ", ".join(a.render(fold) for a in self.args)
+        return self.func.rendered(fold, PREC_POSTFIX) + "(" + inner + ")"
+
+
+@dataclass(frozen=True)
+class SymCast(Sym):
+    """``(type)operand``."""
+
+    type_text: str
+    operand: Sym
+    prec: int = PREC_UNARY
+
+    def render(self, fold: int = DEFAULT_FOLD) -> str:
+        return f"({self.type_text})" + self.operand.rendered(fold, PREC_UNARY)
+
+
+def text(value: str, prec: int = PREC_PRIMARY) -> SymText:
+    """Shorthand constructor for :class:`SymText`."""
+    return SymText(value, prec)
+
+
+def chain_of(sym: Sym) -> Optional[SymChain]:
+    """Find the SymChain at the spine of a symbolic tree, if any.
+
+    Select (``[[...]]``) uses this to lower the fold threshold on the
+    dfs chain inside expressions like ``head-->next->value[[3,5]]``.
+    """
+    node = sym
+    while True:
+        if isinstance(node, SymChain):
+            return node
+        if isinstance(node, SymField):
+            node = node.base
+        elif isinstance(node, SymIndex):
+            node = node.base
+        else:
+            return None
+
+
+def with_lowered_fold(sym: Sym, fold_at: int = 2) -> Sym:
+    """Clone ``sym`` with any spine SymChain's fold threshold lowered."""
+    if isinstance(sym, SymChain):
+        return SymChain(sym.base, sym.fieldname, sym.count, fold_at)
+    if isinstance(sym, SymField):
+        return SymField(with_lowered_fold(sym.base, fold_at),
+                        sym.name, sym.arrow)
+    if isinstance(sym, SymIndex):
+        return SymIndex(with_lowered_fold(sym.base, fold_at), sym.index)
+    return sym
+
+
+def extend_chain(parent: Sym, fieldname: str) -> Sym:
+    """Extend a dfs chain by one ``->fieldname`` step.
+
+    ``head`` becomes ``head->next`` becomes ``head->next->next`` and so
+    on, represented compactly as a SymChain so rendering can fold.
+    A traversal that alternates fields (``(left,right)``) produces
+    SymField spines instead, which render as ``root->left->right``.
+    """
+    if isinstance(parent, SymChain) and parent.fieldname == fieldname:
+        return SymChain(parent.base, fieldname, parent.count + 1,
+                        parent.fold_at)
+    if isinstance(parent, SymChain) and parent.count == 0:
+        return SymChain(parent.base, fieldname, 1)
+    if isinstance(parent, (SymText, SymIndex, SymField, SymChain)):
+        if not isinstance(parent, SymChain):
+            return SymChain(parent, fieldname, 1)
+    return SymField(parent, fieldname, arrow=True)

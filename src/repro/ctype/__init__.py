@@ -1,0 +1,102 @@
+"""C type system substrate.
+
+DUEL keeps its own representation of C types and values (the paper's
+implementation "contains its own type and value representations and its
+own implementation of the C operators").  This package provides that
+representation: a :class:`~repro.ctype.types.CType` hierarchy covering
+primitives, pointers, arrays, structs, unions, enums, bitfields,
+typedefs and function types, together with layout rules
+(:mod:`~repro.ctype.layout`), the usual arithmetic conversions
+(:mod:`~repro.ctype.convert`), byte-level codecs
+(:mod:`~repro.ctype.encode`) and a parser for C declaration syntax
+(:mod:`~repro.ctype.declparse`).
+
+The data model follows an LP64, little-endian target (the SUN/DEC
+workstations of the paper were ILP32 big/little-endian; the layout
+engine is parameterised so either can be configured).
+"""
+
+from repro.ctype.kinds import Kind, PRIMITIVES
+from repro.ctype.types import (
+    ArrayType,
+    BitFieldType,
+    CType,
+    EnumType,
+    FunctionType,
+    PointerType,
+    PrimitiveType,
+    StructType,
+    TypedefType,
+    UnionType,
+    Field,
+    CHAR,
+    SCHAR,
+    UCHAR,
+    SHORT,
+    USHORT,
+    INT,
+    UINT,
+    LONG,
+    ULONG,
+    LLONG,
+    ULLONG,
+    FLOAT,
+    DOUBLE,
+    LDOUBLE,
+    VOID,
+    BOOL,
+    pointer_to,
+    array_of,
+)
+from repro.ctype.declparse import DeclParser, DeclError, parse_type
+from repro.ctype.convert import (
+    usual_arithmetic_conversions,
+    integer_promote,
+    convert_value,
+    ConversionError,
+)
+from repro.ctype.encode import encode_value, decode_value, EncodeError
+
+__all__ = [
+    "Kind",
+    "PRIMITIVES",
+    "CType",
+    "PrimitiveType",
+    "PointerType",
+    "ArrayType",
+    "StructType",
+    "UnionType",
+    "EnumType",
+    "FunctionType",
+    "TypedefType",
+    "BitFieldType",
+    "Field",
+    "CHAR",
+    "SCHAR",
+    "UCHAR",
+    "SHORT",
+    "USHORT",
+    "INT",
+    "UINT",
+    "LONG",
+    "ULONG",
+    "LLONG",
+    "ULLONG",
+    "FLOAT",
+    "DOUBLE",
+    "LDOUBLE",
+    "VOID",
+    "BOOL",
+    "pointer_to",
+    "array_of",
+    "DeclParser",
+    "DeclError",
+    "parse_type",
+    "usual_arithmetic_conversions",
+    "integer_promote",
+    "convert_value",
+    "ConversionError",
+    "encode_value",
+    "decode_value",
+    "EncodeError",
+]

@@ -1,0 +1,139 @@
+"""C conversion rules: integer promotions, usual arithmetic
+conversions, and explicit casts, over the CType model.
+
+These are the rules DUEL's ``apply`` uses before every binary operator
+(paper: DUEL "contains ... its own implementation of the C operators").
+"""
+
+from __future__ import annotations
+
+from repro.ctype.kinds import Kind, PRIMITIVES, UNSIGNED_OF, wrap_int
+from repro.ctype.types import (
+    BitFieldType,
+    CType,
+    EnumType,
+    INT,
+    UINT,
+    PointerType,
+    PrimitiveType,
+    DOUBLE,
+)
+
+
+class ConversionError(TypeError):
+    """Raised when a conversion between C types is ill-formed."""
+
+
+def _as_primitive(t: CType) -> PrimitiveType:
+    s = t.strip_typedefs()
+    if isinstance(s, EnumType):
+        return INT
+    if isinstance(s, BitFieldType):
+        base = s.base.strip_typedefs()
+        if isinstance(base, PrimitiveType):
+            return base
+        return INT
+    if isinstance(s, PrimitiveType):
+        return s
+    raise ConversionError(f"{t} is not an arithmetic type")
+
+
+def integer_promote(t: CType) -> CType:
+    """C integer promotion: sub-int integers promote to int."""
+    p = _as_primitive(t)
+    if p.is_float:
+        return p
+    if p.rank < PRIMITIVES[Kind.INT].rank:
+        return INT
+    if isinstance(t.strip_typedefs(), (EnumType, BitFieldType)):
+        return INT
+    return p
+
+
+def usual_arithmetic_conversions(a: CType, b: CType) -> CType:
+    """The common type of two arithmetic operands (C11 6.3.1.8)."""
+    pa = _as_primitive(a)
+    pb = _as_primitive(b)
+    if pa.is_float or pb.is_float:
+        # Highest-ranked float wins (float < double < long double).
+        if not pa.is_float:
+            return pb
+        if not pb.is_float:
+            return pa
+        return pa if pa.rank >= pb.rank else pb
+    qa = integer_promote(pa)
+    qb = integer_promote(pb)
+    assert isinstance(qa, PrimitiveType) and isinstance(qb, PrimitiveType)
+    if qa.kind == qb.kind:
+        return qa
+    if qa.signed == qb.signed:
+        return qa if qa.rank > qb.rank else qb
+    unsigned, signed = (qa, qb) if not qa.signed else (qb, qa)
+    if unsigned.rank >= signed.rank:
+        return unsigned
+    if signed.size > unsigned.size:
+        return signed
+    # Signed type cannot represent all unsigned values: use the
+    # unsigned counterpart of the signed type.
+    counterpart = UNSIGNED_OF.get(signed.kind)
+    if counterpart is None:
+        raise ConversionError(f"no unsigned counterpart for {signed}")
+    return PrimitiveType(counterpart)
+
+
+def convert_value(value, src: CType, dst: CType):
+    """Convert a raw Python value from type ``src`` to type ``dst``.
+
+    Models C's value-changing conversions: float<->int truncation,
+    integer narrowing by two's-complement wrap, pointer<->integer
+    reinterpretation.
+    """
+    s = src.strip_typedefs()
+    d = dst.strip_typedefs()
+    if d.is_void:
+        return None
+    if isinstance(d, PointerType):
+        if isinstance(s, PointerType) or s.is_integer or s.is_function:
+            # Function designators decay to their entry address.
+            return int(value) & ((1 << (d.size * 8)) - 1)
+        raise ConversionError(f"cannot convert {src} to {dst}")
+    if isinstance(d, EnumType):
+        return wrap_int(int(value), Kind.INT)
+    pd = _as_primitive(d)
+    if pd.is_float:
+        return float(value)
+    # Integer destination.
+    if isinstance(s, PointerType):
+        return wrap_int(int(value), pd.kind)
+    if not s.is_arithmetic and not isinstance(s, (EnumType, BitFieldType)):
+        raise ConversionError(f"cannot convert {src} to {dst}")
+    if pd.kind is Kind.BOOL:
+        return 1 if value else 0
+    return wrap_int(int(value), pd.kind)
+
+
+def common_pointer_type(a: CType, b: CType) -> CType:
+    """The type used when comparing/subtracting two pointers."""
+    sa, sb = a.strip_typedefs(), b.strip_typedefs()
+    if not (isinstance(sa, PointerType) and isinstance(sb, PointerType)):
+        raise ConversionError("common_pointer_type on non-pointers")
+    if sa.target.is_void:
+        return sb
+    return sa
+
+
+def is_null_constant(value, ctype: CType) -> bool:
+    """True for the integer constant 0 used in pointer contexts."""
+    return ctype.strip_typedefs().is_integer and int(value) == 0
+
+
+__all__ = [
+    "ConversionError",
+    "integer_promote",
+    "usual_arithmetic_conversions",
+    "convert_value",
+    "common_pointer_type",
+    "is_null_constant",
+    "DOUBLE",
+    "UINT",
+]

@@ -1,0 +1,147 @@
+"""Record layout: sizeof/alignof/offsetof computation.
+
+Implements System-V-style layout: members are placed at the next offset
+aligned to their natural alignment; the struct size is rounded up to
+the maximum member alignment.  Bit-fields pack into allocation units of
+their declared base type; a bit-field that would straddle a unit
+boundary starts a new unit, and a zero-width bit-field closes the
+current unit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.ctype.types import CType, Field, StructType, UnionType
+
+
+def align_up(value: int, alignment: int) -> int:
+    """Round ``value`` up to the next multiple of ``alignment``."""
+    if alignment <= 0:
+        raise ValueError(f"bad alignment {alignment}")
+    return (value + alignment - 1) // alignment * alignment
+
+
+@dataclass
+class MemberDecl:
+    """A declared member, pre-layout: name, type, optional bit width."""
+
+    name: str
+    ctype: CType
+    bit_width: Optional[int] = None
+
+
+def layout_struct(members: Sequence[MemberDecl]) -> tuple[list[Field], int, int]:
+    """Place struct members; returns (fields, size, align)."""
+    fields: list[Field] = []
+    offset = 0  # running byte offset
+    max_align = 1
+    # Bit-field packing state: current allocation unit.
+    unit_offset = -1  # byte offset of the open unit, -1 when closed
+    unit_size = 0
+    bits_used = 0
+
+    for m in members:
+        if m.bit_width is not None:
+            base = m.ctype.strip_typedefs()
+            if not base.is_integer:
+                raise TypeError(f"bit-field {m.name!r} has non-integer type {m.ctype}")
+            width = m.bit_width
+            if width < 0 or width > base.size * 8:
+                raise TypeError(f"bit-field {m.name!r} width {width} out of range")
+            if width == 0:
+                # Zero-width bit-field: close the current unit.
+                if unit_offset >= 0:
+                    offset = unit_offset + unit_size
+                unit_offset = -1
+                bits_used = 0
+                continue
+            unit_bits = base.size * 8
+            starts_new_unit = (
+                unit_offset < 0
+                or base.size != unit_size
+                or bits_used + width > unit_bits
+            )
+            if starts_new_unit:
+                if unit_offset >= 0:
+                    offset = unit_offset + unit_size
+                offset = align_up(offset, base.align)
+                unit_offset = offset
+                unit_size = base.size
+                bits_used = 0
+            fields.append(Field(
+                name=m.name,
+                ctype=m.ctype,
+                offset=unit_offset,
+                bit_offset=bits_used,
+                bit_width=width,
+            ))
+            bits_used += width
+            max_align = max(max_align, base.align)
+            continue
+
+        # Ordinary member: close any open bit-field unit first.
+        if unit_offset >= 0:
+            offset = unit_offset + unit_size
+            unit_offset = -1
+            bits_used = 0
+        align = m.ctype.align
+        offset = align_up(offset, align)
+        fields.append(Field(name=m.name, ctype=m.ctype, offset=offset))
+        offset += m.ctype.size
+        max_align = max(max_align, align)
+
+    if unit_offset >= 0:
+        offset = unit_offset + unit_size
+    size = align_up(max(offset, 1), max_align) if members else 0
+    if not members:
+        size = 0
+    return fields, size, max_align
+
+
+def layout_union(members: Sequence[MemberDecl]) -> tuple[list[Field], int, int]:
+    """Place union members (all at offset 0); returns (fields, size, align)."""
+    fields: list[Field] = []
+    size = 0
+    max_align = 1
+    for m in members:
+        if m.bit_width is not None:
+            base = m.ctype.strip_typedefs()
+            if not base.is_integer:
+                raise TypeError(f"bit-field {m.name!r} has non-integer type {m.ctype}")
+            fields.append(Field(
+                name=m.name, ctype=m.ctype, offset=0,
+                bit_offset=0, bit_width=m.bit_width,
+            ))
+            size = max(size, base.size)
+            max_align = max(max_align, base.align)
+        else:
+            fields.append(Field(name=m.name, ctype=m.ctype, offset=0))
+            size = max(size, m.ctype.size)
+            max_align = max(max_align, m.ctype.align)
+    return fields, align_up(max(size, 0), max_align) if members else 0, max_align
+
+
+def complete_struct(record: StructType, members: Sequence[MemberDecl]) -> StructType:
+    """Compute layout for ``members`` and complete ``record`` with it."""
+    fields, size, align = layout_struct(members)
+    record.complete(fields, size, align)
+    return record
+
+
+def complete_union(record: UnionType, members: Sequence[MemberDecl]) -> UnionType:
+    """Compute layout for ``members`` and complete ``record`` with it."""
+    fields, size, align = layout_union(members)
+    record.complete(fields, size, align)
+    return record
+
+
+def make_struct(tag: str | None, members: Sequence[MemberDecl]) -> StructType:
+    """Create and complete a struct type in one step."""
+    return complete_struct(StructType(tag), members)
+
+
+def make_union(tag: str | None, members: Sequence[MemberDecl]) -> UnionType:
+    """Create and complete a union type in one step."""
+    return complete_union(UnionType(tag), members)

@@ -1,0 +1,30 @@
+"""DUEL-powered debugging facilities (the paper's §Discussion agenda).
+
+The paper closes with three wished-for applications of DUEL beyond the
+``duel`` command:
+
+* "Duel would also be useful in other traditional debugging
+  facilities, e.g., watchpoints and conditional breakpoints."
+* "Annotating programs with assertions written in a Duel-like language
+  might simplify making these kinds of assertions" (e.g. "x[0] through
+  x[n] are positive").
+* Exploring "unnamed" state such as a local in every active frame.
+
+This package implements all three over the simulated inferior:
+:class:`~repro.debugger.debugger.Debugger` runs mini-C programs under a
+statement-level trace with DUEL-conditioned breakpoints, DUEL
+watchpoints, and DUEL assertions.  The paper's caveat — "A faster
+implementation would be required if Duel expressions were used in
+watchpoints" — becomes measurable (benchmarks/bench_watchpoints.py).
+"""
+
+from repro.debugger.debugger import (
+    Assertion,
+    Breakpoint,
+    Debugger,
+    StopEvent,
+    Watchpoint,
+)
+
+__all__ = ["Debugger", "Breakpoint", "Watchpoint", "Assertion",
+           "StopEvent"]

@@ -1,0 +1,33 @@
+"""Mini-C: a compiler/interpreter for a useful C subset.
+
+Runs target programs *inside the simulated inferior*
+(:class:`~repro.target.program.TargetProgram`): globals live in the
+data segment, locals in stack frames, heap objects come from the
+simulated malloc.  After a program runs, its data structures sit in
+target memory exactly where gdb would see them — which is where DUEL
+explores them.
+
+The same interpreter doubles as the paper's baseline: the C loops a
+programmer would type at the debugger instead of a DUEL one-liner
+(:mod:`repro.baseline`).
+
+Supported subset: all C expression operators, int/char/long/double &
+friends, pointers, arrays, structs/unions/enums/typedefs, functions
+with recursion, if/while/for/do/switch/break/continue/return, string
+literals, malloc/printf via :mod:`repro.target.stdlib`.
+"""
+
+from repro.minic.errors import MiniCError, MiniCSyntaxError, MiniCRuntimeError
+from repro.minic.parser import parse_program
+from repro.minic.interp import Interpreter
+from repro.minic.runner import load_program, run_program
+
+__all__ = [
+    "MiniCError",
+    "MiniCSyntaxError",
+    "MiniCRuntimeError",
+    "parse_program",
+    "Interpreter",
+    "load_program",
+    "run_program",
+]

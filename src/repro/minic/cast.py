@@ -1,0 +1,257 @@
+"""AST for mini-C programs: external declarations, statements, expressions."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Union
+
+from repro.ctype.types import CType
+
+
+# ============================ expressions ==============================
+class Expr:
+    """Base class of C expressions."""
+
+    line: int = 0
+
+
+@dataclass
+class IntLit(Expr):
+    value: int
+    unsigned: bool = False
+    long_: bool = False
+    line: int = 0
+
+
+@dataclass
+class FloatLit(Expr):
+    value: float
+    line: int = 0
+
+
+@dataclass
+class CharLit(Expr):
+    value: int
+    line: int = 0
+
+
+@dataclass
+class StrLit(Expr):
+    value: bytes
+    line: int = 0
+
+
+@dataclass
+class Ident(Expr):
+    name: str
+    line: int = 0
+
+
+@dataclass
+class UnaryExpr(Expr):
+    op: str  # - + ! ~ * &
+    operand: Expr
+    line: int = 0
+
+
+@dataclass
+class IncDecExpr(Expr):
+    op: str  # ++ --
+    operand: Expr
+    postfix: bool = False
+    line: int = 0
+
+
+@dataclass
+class BinExpr(Expr):
+    op: str
+    left: Expr
+    right: Expr
+    line: int = 0
+
+
+@dataclass
+class LogicalExpr(Expr):
+    op: str  # && ||
+    left: Expr
+    right: Expr
+    line: int = 0
+
+
+@dataclass
+class CondExpr(Expr):
+    cond: Expr
+    then: Expr
+    els: Expr
+    line: int = 0
+
+
+@dataclass
+class AssignExpr(Expr):
+    op: str  # = += -= ...
+    target: Expr
+    value: Expr
+    line: int = 0
+
+
+@dataclass
+class CommaExpr(Expr):
+    left: Expr
+    right: Expr
+    line: int = 0
+
+
+@dataclass
+class IndexExpr(Expr):
+    base: Expr
+    index: Expr
+    line: int = 0
+
+
+@dataclass
+class FieldExpr(Expr):
+    base: Expr
+    name: str
+    arrow: bool
+    line: int = 0
+
+
+@dataclass
+class CallExpr(Expr):
+    func: Expr
+    args: tuple[Expr, ...]
+    line: int = 0
+
+
+@dataclass
+class CastExpr(Expr):
+    ctype: CType
+    operand: Expr
+    line: int = 0
+
+
+@dataclass
+class SizeofExpr(Expr):
+    ctype: Optional[CType] = None
+    operand: Optional[Expr] = None
+    line: int = 0
+
+
+# ============================ statements ===============================
+class Stmt:
+    """Base class of C statements."""
+
+    line: int = 0
+
+
+@dataclass
+class ExprStmt(Stmt):
+    expr: Optional[Expr]  # None = empty statement ";"
+    line: int = 0
+
+
+@dataclass
+class DeclStmt(Stmt):
+    """Local declarations: one (name, type, initializer) per declarator."""
+
+    decls: tuple[tuple[str, CType, Optional["Initializer"]], ...]
+    line: int = 0
+
+
+@dataclass
+class Block(Stmt):
+    body: tuple[Stmt, ...]
+    line: int = 0
+
+
+@dataclass
+class IfStmt(Stmt):
+    cond: Expr
+    then: Stmt
+    els: Optional[Stmt] = None
+    line: int = 0
+
+
+@dataclass
+class WhileStmt(Stmt):
+    cond: Expr
+    body: Stmt
+    line: int = 0
+
+
+@dataclass
+class DoWhileStmt(Stmt):
+    body: Stmt
+    cond: Expr
+    line: int = 0
+
+
+@dataclass
+class ForStmt(Stmt):
+    init: Optional[Union[Expr, "DeclStmt"]]
+    cond: Optional[Expr]
+    step: Optional[Expr]
+    body: Stmt
+    line: int = 0
+
+
+@dataclass
+class SwitchStmt(Stmt):
+    value: Expr
+    #: (case_value_or_None_for_default, statements)
+    cases: tuple[tuple[Optional[int], tuple[Stmt, ...]], ...]
+    line: int = 0
+
+
+@dataclass
+class BreakStmt(Stmt):
+    line: int = 0
+
+
+@dataclass
+class ContinueStmt(Stmt):
+    line: int = 0
+
+
+@dataclass
+class ReturnStmt(Stmt):
+    value: Optional[Expr] = None
+    line: int = 0
+
+
+# ========================= initializers / top level =======================
+@dataclass
+class Initializer:
+    """Either a single expression or a brace list (possibly nested)."""
+
+    expr: Optional[Expr] = None
+    items: Optional[tuple["Initializer", ...]] = None
+
+    @property
+    def is_list(self) -> bool:
+        return self.items is not None
+
+
+@dataclass
+class VarDef:
+    name: str
+    ctype: CType
+    init: Optional[Initializer] = None
+    line: int = 0
+
+
+@dataclass
+class FuncDef:
+    name: str
+    ctype: CType  # FunctionType
+    param_names: tuple[str, ...]
+    body: Block
+    line: int = 0
+
+
+@dataclass
+class Program:
+    """A parsed translation unit."""
+
+    variables: tuple[VarDef, ...]
+    functions: tuple[FuncDef, ...] = field(default_factory=tuple)

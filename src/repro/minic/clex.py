@@ -1,0 +1,134 @@
+"""C tokenizer for mini-C.
+
+Distinct from the DUEL lexer: C has no ``..``/``-->``/``[[`` tokens (a
+C ``a-->b`` is ``a-- > b``), supports ``/* */`` and ``//`` comments,
+and tracks line numbers for diagnostics.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from repro.minic.errors import MiniCSyntaxError
+
+C_KEYWORDS = frozenset(
+    "auto break case char const continue default do double else enum "
+    "extern float for goto if int long register return short signed "
+    "sizeof static struct switch typedef union unsigned void volatile "
+    "while _Bool".split()
+)
+
+_TOKEN_RE = re.compile(r"""
+    (?P<ws>[ \t\r]+)
+  | (?P<nl>\n)
+  | (?P<comment>//[^\n]*|/\*(?:[^*]|\*(?!/))*\*/)
+  | (?P<fnum>(?:\d+\.\d*|\.\d+)(?:[eE][-+]?\d+)?[fF]?|\d+[eE][-+]?\d+[fF]?)
+  | (?P<num>0[xX][0-9a-fA-F]+[uUlL]*|\d+[uUlL]*)
+  | (?P<char>'(?:\\.|[^'\\])+')
+  | (?P<string>"(?:\\.|[^"\\])*")
+  | (?P<name>[A-Za-z_]\w*)
+  | (?P<op><<=|>>=|\.\.\.|->|\+\+|--|<<|>>|<=|>=|==|!=|&&|\|\||[-+*/%&|^!~<>=?:;,.(){}\[\]]=?)
+""", re.VERBOSE)
+
+# Multi-char assignment ops the op-group can mis-split ("*=" is fine,
+# but "(=" must never match): restrict trailing "=" to operators where
+# it is legal.
+_VALID_OPS = frozenset(
+    "<<= >>= ... -> ++ -- << >> <= >= == != && || "
+    "+ - * / % & | ^ ! ~ < > = ? : ; , . ( ) { } [ ] "
+    "+= -= *= /= %= &= |= ^=".split()
+)
+
+
+@dataclass(frozen=True)
+class CToken:
+    kind: str
+    text: str
+    line: int
+
+    def is_op(self, *ops: str) -> bool:
+        return self.kind == "op" and self.text in ops
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"CToken({self.kind},{self.text!r},l{self.line})"
+
+
+def tokenize_c(source: str) -> list[CToken]:
+    """Tokenise C source into tokens plus a trailing EOF."""
+    tokens: list[CToken] = []
+    line = 1
+    pos = 0
+    n = len(source)
+    while pos < n:
+        m = _TOKEN_RE.match(source, pos)
+        if m is None:
+            raise MiniCSyntaxError(f"bad character {source[pos]!r}", line)
+        pos = m.end()
+        kind = m.lastgroup
+        text = m.group()
+        if kind == "nl":
+            line += 1
+            continue
+        if kind in ("ws", "comment"):
+            line += text.count("\n")
+            continue
+        if kind == "op" and text not in _VALID_OPS:
+            # e.g. "(=": split the spurious "=" back off.
+            tokens.append(CToken("op", text[:-1], line))
+            tokens.append(CToken("op", "=", line))
+            continue
+        tokens.append(CToken(kind, text, line))
+    tokens.append(CToken("eof", "", line))
+    return tokens
+
+
+class CTokenStream:
+    """Cursor with single-token pushback over C tokens."""
+
+    def __init__(self, source: str):
+        self.tokens = tokenize_c(source)
+        self.i = 0
+
+    def peek(self, ahead: int = 0) -> CToken:
+        index = min(self.i + ahead, len(self.tokens) - 1)
+        return self.tokens[index]
+
+    def next(self) -> CToken:
+        token = self.peek()
+        if token.kind != "eof":
+            self.i += 1
+        return token
+
+    def accept(self, *ops: str):
+        if self.peek().is_op(*ops):
+            return self.next()
+        return None
+
+    def accept_name(self, *names: str):
+        token = self.peek()
+        if token.kind == "name" and token.text in names:
+            return self.next()
+        return None
+
+    def expect(self, op: str) -> CToken:
+        token = self.next()
+        if not token.is_op(op):
+            raise MiniCSyntaxError(
+                f"expected {op!r}, found {token.text or 'end of file'!r}",
+                token.line)
+        return token
+
+    def expect_name(self) -> CToken:
+        token = self.next()
+        if token.kind != "name" or token.text in C_KEYWORDS:
+            raise MiniCSyntaxError(
+                f"expected identifier, found {token.text!r}", token.line)
+        return token
+
+    @property
+    def at_end(self) -> bool:
+        return self.peek().kind == "eof"
+
+    def error(self, message: str) -> MiniCSyntaxError:
+        return MiniCSyntaxError(message, self.peek().line)

@@ -1,0 +1,728 @@
+"""Recursive-descent parser for mini-C.
+
+Produces a :class:`~repro.minic.cast.Program`.  Types are built
+directly against a :class:`~repro.ctype.declparse.TypeEnv` using the
+same layout engine as the rest of the system, so a struct declared in
+mini-C source is byte-identical to one declared through the builder
+API or seen by DUEL.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.ctype.declparse import TypeEnv
+from repro.ctype.layout import MemberDecl, complete_struct, complete_union
+from repro.ctype.types import (
+    ArrayType,
+    BOOL,
+    CHAR,
+    CType,
+    DOUBLE,
+    EnumType,
+    FLOAT,
+    FunctionType,
+    INT,
+    LDOUBLE,
+    LLONG,
+    LONG,
+    PointerType,
+    SCHAR,
+    SHORT,
+    StructType,
+    UCHAR,
+    UINT,
+    ULLONG,
+    ULONG,
+    UnionType,
+    USHORT,
+    VOID,
+)
+from repro.minic import cast as A
+from repro.minic.clex import C_KEYWORDS, CTokenStream
+from repro.minic.errors import MiniCSyntaxError
+
+_BASE_COMBOS = {
+    ("void",): VOID, ("_Bool",): BOOL,
+    ("char",): CHAR, ("char", "signed"): SCHAR, ("char", "unsigned"): UCHAR,
+    ("short",): SHORT, ("int", "short"): SHORT,
+    ("short", "unsigned"): USHORT, ("int", "short", "unsigned"): USHORT,
+    ("int",): INT, ("signed",): INT, ("int", "signed"): INT,
+    ("unsigned",): UINT, ("int", "unsigned"): UINT,
+    ("long",): LONG, ("int", "long"): LONG,
+    ("long", "unsigned"): ULONG, ("int", "long", "unsigned"): ULONG,
+    ("long", "long"): LLONG, ("int", "long", "long"): LLONG,
+    ("long", "long", "unsigned"): ULLONG,
+    ("int", "long", "long", "unsigned"): ULLONG,
+    ("float",): FLOAT, ("double",): DOUBLE, ("double", "long"): LDOUBLE,
+}
+
+_TYPE_WORDS = frozenset(
+    "void char short int long signed unsigned float double _Bool "
+    "struct union enum const volatile".split())
+
+_ASSIGN_OPS = ("=", "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=",
+               "<<=", ">>=")
+
+
+class CParser:
+    """Parses one translation unit."""
+
+    def __init__(self, source: str, env: Optional[TypeEnv] = None):
+        self.s = CTokenStream(source)
+        self.env = env if env is not None else TypeEnv()
+
+    # -- entry point -----------------------------------------------------
+    def parse_program(self) -> A.Program:
+        variables: list[A.VarDef] = []
+        functions: list[A.FuncDef] = []
+        while not self.s.at_end:
+            self._external_declaration(variables, functions)
+        return A.Program(tuple(variables), tuple(functions))
+
+    # -- external declarations ----------------------------------------------
+    def _external_declaration(self, variables, functions) -> None:
+        is_typedef = False
+        while True:
+            token = self.s.peek()
+            if token.kind == "name" and token.text in (
+                    "static", "extern", "register", "auto"):
+                self.s.next()
+            elif token.kind == "name" and token.text == "typedef":
+                self.s.next()
+                is_typedef = True
+            else:
+                break
+        base = self._specifiers()
+        if self.s.accept(";"):
+            return  # tag-only declaration
+        first = True
+        while True:
+            name, ctype, params = self._declarator(base)
+            if not name:
+                raise self.s.error("declaration is missing a name")
+            if is_typedef:
+                self.env.add_typedef(name, ctype)
+            elif first and ctype.is_function and self.s.peek().is_op("{"):
+                body = self._block()
+                functions.append(A.FuncDef(name, ctype, tuple(params), body,
+                                           line=self.s.peek().line))
+                return
+            else:
+                init = None
+                if self.s.accept("="):
+                    init = self._initializer()
+                if ctype.is_function:
+                    pass  # prototype only; calls resolve dynamically
+                else:
+                    ctype = self._complete_array_from_init(ctype, init)
+                    variables.append(A.VarDef(name, ctype, init))
+            first = False
+            if self.s.accept(","):
+                continue
+            self.s.expect(";")
+            return
+
+    def _complete_array_from_init(self, ctype: CType,
+                                  init: Optional[A.Initializer]) -> CType:
+        stripped = ctype.strip_typedefs()
+        if (isinstance(stripped, ArrayType) and stripped.length is None
+                and init is not None):
+            if init.is_list:
+                return ArrayType(stripped.element, len(init.items))
+            if init.expr is not None and isinstance(init.expr, A.StrLit):
+                return ArrayType(stripped.element, len(init.expr.value) + 1)
+        return ctype
+
+    # -- type specifiers -------------------------------------------------------
+    def _starts_type(self, ahead: int = 0) -> bool:
+        token = self.s.peek(ahead)
+        if token.kind != "name":
+            return False
+        if token.text in _TYPE_WORDS:
+            return True
+        return self.env.is_type_name(token.text)
+
+    def _specifiers(self) -> CType:
+        words: list[str] = []
+        record: Optional[CType] = None
+        while True:
+            token = self.s.peek()
+            if token.kind != "name":
+                break
+            text = token.text
+            if text in ("const", "volatile"):
+                self.s.next()
+                continue
+            if text in ("struct", "union"):
+                self.s.next()
+                record = self._record(text)
+                continue
+            if text == "enum":
+                self.s.next()
+                record = self._enum()
+                continue
+            if text in _TYPE_WORDS:
+                words.append(self.s.next().text)
+                continue
+            if (self.env.is_type_name(text) and not words
+                    and record is None):
+                self.s.next()
+                return self.env.typedefs[text]
+            break
+        if record is not None:
+            if words:
+                raise self.s.error("bad type specifier combination")
+            return record
+        if not words:
+            raise self.s.error(
+                f"expected type, found {self.s.peek().text!r}")
+        combo = tuple(sorted(words))
+        base = _BASE_COMBOS.get(combo)
+        if base is None:
+            raise self.s.error(
+                f"invalid type specifiers {' '.join(words)!r}")
+        return base
+
+    def _record(self, keyword: str) -> CType:
+        tag = None
+        if self.s.peek().kind == "name" and self.s.peek().text not in C_KEYWORDS:
+            tag = self.s.next().text
+        if keyword == "struct":
+            record = self.env.struct_tag(tag) if tag else StructType(None)
+        else:
+            record = self.env.union_tag(tag) if tag else UnionType(None)
+        if self.s.accept("{"):
+            members: list[MemberDecl] = []
+            while not self.s.accept("}"):
+                base = self._specifiers()
+                if self.s.accept(";"):
+                    members.append(MemberDecl("", base))
+                    continue
+                while True:
+                    if self.s.peek().is_op(":"):
+                        self.s.next()
+                        width = self._const_int()
+                        members.append(MemberDecl("", base, width))
+                    else:
+                        name, ctype, _ = self._declarator(base)
+                        width = None
+                        if self.s.accept(":"):
+                            width = self._const_int()
+                        members.append(MemberDecl(name, ctype, width))
+                    if self.s.accept(","):
+                        continue
+                    self.s.expect(";")
+                    break
+            if keyword == "struct":
+                complete_struct(record, members)
+            else:
+                complete_union(record, members)
+        return record
+
+    def _enum(self) -> EnumType:
+        tag = None
+        if self.s.peek().kind == "name" and self.s.peek().text not in C_KEYWORDS:
+            tag = self.s.next().text
+        enum = self.env.enum_tag(tag) if tag else EnumType(None)
+        if self.s.accept("{"):
+            value = 0
+            while not self.s.accept("}"):
+                name = self.s.expect_name().text
+                if self.s.accept("="):
+                    value = self._const_int()
+                enum.enumerators[name] = value
+                value += 1
+                if not self.s.accept(","):
+                    self.s.expect("}")
+                    break
+            self.env.register_enumerators(enum)
+        return enum
+
+    def _const_int(self) -> int:
+        expr = self._conditional()
+        return _fold_const(expr, self.env)
+
+    # -- declarators -----------------------------------------------------------
+    def _declarator(self, base: CType) -> tuple[str, CType, list[str]]:
+        """Returns (name, type, parameter_names_if_function)."""
+        while self.s.accept("*"):
+            while self.s.accept_name("const", "volatile"):
+                pass
+            base = PointerType(base)
+        name = ""
+        params: list[str] = []
+        inner_start = None
+        if self.s.peek().is_op("(") and self._nested_declarator():
+            self.s.next()
+            inner_start = self.s.i
+            depth = 1
+            while depth:
+                token = self.s.next()
+                if token.is_op("("):
+                    depth += 1
+                elif token.is_op(")"):
+                    depth -= 1
+                elif token.kind == "eof":
+                    raise self.s.error("unterminated declarator")
+            inner_end = self.s.i - 1
+        elif (self.s.peek().kind == "name"
+                and self.s.peek().text not in C_KEYWORDS):
+            name = self.s.next().text
+        suffixes: list[tuple] = []
+        while True:
+            if self.s.accept("["):
+                if self.s.accept("]"):
+                    suffixes.append(("array", None))
+                else:
+                    length = self._const_int()
+                    self.s.expect("]")
+                    suffixes.append(("array", length))
+            elif self.s.peek().is_op("("):
+                self.s.next()
+                ptypes, pnames, varargs = self._param_list()
+                suffixes.append(("func", (ptypes, varargs)))
+                params = pnames
+            else:
+                break
+        ctype = base
+        for tag, payload in reversed(suffixes):
+            if tag == "array":
+                ctype = ArrayType(ctype, payload)
+            else:
+                ptypes, varargs = payload
+                ctype = FunctionType(ctype, tuple(ptypes), varargs)
+        if inner_start is not None:
+            saved_i = self.s.i
+            self.s.i = inner_start
+            name, ctype, params = self._declarator(ctype)
+            if self.s.i != inner_end:
+                raise self.s.error("bad nested declarator")
+            self.s.i = saved_i
+        return name, ctype, params
+
+    def _nested_declarator(self) -> bool:
+        nxt = self.s.peek(1)
+        if nxt.is_op("*", "("):
+            return True
+        return (nxt.kind == "name" and nxt.text not in C_KEYWORDS
+                and not self.env.is_type_name(nxt.text))
+
+    def _param_list(self) -> tuple[list[CType], list[str], bool]:
+        ptypes: list[CType] = []
+        pnames: list[str] = []
+        varargs = False
+        if self.s.accept(")"):
+            return ptypes, pnames, varargs
+        while True:
+            if self.s.accept("..."):
+                varargs = True
+                self.s.expect(")")
+                return ptypes, pnames, varargs
+            base = self._specifiers()
+            name, ctype, _ = self._declarator(base)
+            if ctype.is_void and not name:
+                pass  # (void)
+            else:
+                if ctype.is_array:
+                    ctype = ctype.strip_typedefs().decay()
+                ptypes.append(ctype)
+                pnames.append(name)
+            if self.s.accept(","):
+                continue
+            self.s.expect(")")
+            return ptypes, pnames, varargs
+
+    # -- initializers --------------------------------------------------------
+    def _initializer(self) -> A.Initializer:
+        if self.s.accept("{"):
+            items: list[A.Initializer] = []
+            while not self.s.accept("}"):
+                items.append(self._initializer())
+                if not self.s.accept(","):
+                    self.s.expect("}")
+                    break
+            return A.Initializer(items=tuple(items))
+        return A.Initializer(expr=self._assignment())
+
+    # -- statements -------------------------------------------------------------
+    def _block(self) -> A.Block:
+        line = self.s.peek().line
+        self.s.expect("{")
+        body: list[A.Stmt] = []
+        while not self.s.accept("}"):
+            body.append(self._statement())
+        return A.Block(tuple(body), line=line)
+
+    def _statement(self) -> A.Stmt:
+        token = self.s.peek()
+        line = token.line
+        if token.is_op("{"):
+            return self._block()
+        if token.is_op(";"):
+            self.s.next()
+            return A.ExprStmt(None, line=line)
+        if token.kind == "name":
+            text = token.text
+            if text == "if":
+                return self._if_stmt()
+            if text == "while":
+                return self._while_stmt()
+            if text == "do":
+                return self._do_stmt()
+            if text == "for":
+                return self._for_stmt()
+            if text == "switch":
+                return self._switch_stmt()
+            if text == "break":
+                self.s.next()
+                self.s.expect(";")
+                return A.BreakStmt(line=line)
+            if text == "continue":
+                self.s.next()
+                self.s.expect(";")
+                return A.ContinueStmt(line=line)
+            if text == "return":
+                self.s.next()
+                value = None
+                if not self.s.peek().is_op(";"):
+                    value = self._expression()
+                self.s.expect(";")
+                return A.ReturnStmt(value, line=line)
+            if self._starts_type() or text == "typedef":
+                return self._decl_stmt()
+        stmt = A.ExprStmt(self._expression(), line=line)
+        self.s.expect(";")
+        return stmt
+
+    def _decl_stmt(self) -> A.DeclStmt:
+        line = self.s.peek().line
+        if self.s.accept_name("typedef"):
+            base = self._specifiers()
+            name, ctype, _ = self._declarator(base)
+            self.env.add_typedef(name, ctype)
+            self.s.expect(";")
+            return A.DeclStmt((), line=line)
+        base = self._specifiers()
+        decls: list[tuple[str, CType, Optional[A.Initializer]]] = []
+        if self.s.accept(";"):
+            return A.DeclStmt((), line=line)  # tag-only
+        while True:
+            name, ctype, _ = self._declarator(base)
+            init = None
+            if self.s.accept("="):
+                init = self._initializer()
+            ctype = self._complete_array_from_init(ctype, init)
+            decls.append((name, ctype, init))
+            if self.s.accept(","):
+                continue
+            self.s.expect(";")
+            break
+        return A.DeclStmt(tuple(decls), line=line)
+
+    def _if_stmt(self) -> A.IfStmt:
+        line = self.s.next().line  # 'if'
+        self.s.expect("(")
+        cond = self._expression()
+        self.s.expect(")")
+        then = self._statement()
+        els = None
+        if self.s.accept_name("else"):
+            els = self._statement()
+        return A.IfStmt(cond, then, els, line=line)
+
+    def _while_stmt(self) -> A.WhileStmt:
+        line = self.s.next().line
+        self.s.expect("(")
+        cond = self._expression()
+        self.s.expect(")")
+        return A.WhileStmt(cond, self._statement(), line=line)
+
+    def _do_stmt(self) -> A.DoWhileStmt:
+        line = self.s.next().line
+        body = self._statement()
+        if not self.s.accept_name("while"):
+            raise self.s.error("expected 'while' after do body")
+        self.s.expect("(")
+        cond = self._expression()
+        self.s.expect(")")
+        self.s.expect(";")
+        return A.DoWhileStmt(body, cond, line=line)
+
+    def _for_stmt(self) -> A.ForStmt:
+        line = self.s.next().line
+        self.s.expect("(")
+        init: Optional[object] = None
+        if not self.s.peek().is_op(";"):
+            if self._starts_type():
+                init = self._decl_stmt()  # consumes the ';'
+            else:
+                init = self._expression()
+                self.s.expect(";")
+        else:
+            self.s.next()
+        cond = None
+        if not self.s.peek().is_op(";"):
+            cond = self._expression()
+        self.s.expect(";")
+        step = None
+        if not self.s.peek().is_op(")"):
+            step = self._expression()
+        self.s.expect(")")
+        return A.ForStmt(init, cond, step, self._statement(), line=line)
+
+    def _switch_stmt(self) -> A.SwitchStmt:
+        line = self.s.next().line
+        self.s.expect("(")
+        value = self._expression()
+        self.s.expect(")")
+        self.s.expect("{")
+        cases: list[tuple[Optional[int], tuple[A.Stmt, ...]]] = []
+        current: Optional[list[A.Stmt]] = None
+        current_key: Optional[int] = None
+        started = False
+        while not self.s.accept("}"):
+            if self.s.accept_name("case"):
+                if started:
+                    cases.append((current_key, tuple(current or ())))
+                current_key = self._const_int()
+                self.s.expect(":")
+                current = []
+                started = True
+            elif self.s.accept_name("default"):
+                if started:
+                    cases.append((current_key, tuple(current or ())))
+                current_key = None
+                self.s.expect(":")
+                current = []
+                started = True
+            else:
+                if current is None:
+                    raise self.s.error("statement before first case label")
+                current.append(self._statement())
+        if started:
+            cases.append((current_key, tuple(current or ())))
+        return A.SwitchStmt(value, tuple(cases), line=line)
+
+    # -- expressions ------------------------------------------------------------
+    def _expression(self) -> A.Expr:
+        expr = self._assignment()
+        while self.s.accept(","):
+            expr = A.CommaExpr(expr, self._assignment(), line=expr.line)
+        return expr
+
+    def _assignment(self) -> A.Expr:
+        left = self._conditional()
+        token = self.s.peek()
+        if token.is_op(*_ASSIGN_OPS):
+            self.s.next()
+            right = self._assignment()
+            return A.AssignExpr(token.text, left, right, line=token.line)
+        return left
+
+    def _conditional(self) -> A.Expr:
+        cond = self._logical_or()
+        if self.s.accept("?"):
+            then = self._expression()
+            self.s.expect(":")
+            els = self._conditional()
+            return A.CondExpr(cond, then, els, line=cond.line)
+        return cond
+
+    def _logical_or(self) -> A.Expr:
+        node = self._logical_and()
+        while self.s.accept("||"):
+            node = A.LogicalExpr("||", node, self._logical_and(),
+                                 line=node.line)
+        return node
+
+    def _logical_and(self) -> A.Expr:
+        node = self._bit_or()
+        while self.s.accept("&&"):
+            node = A.LogicalExpr("&&", node, self._bit_or(), line=node.line)
+        return node
+
+    def _bit_or(self) -> A.Expr:
+        node = self._bit_xor()
+        while self.s.accept("|"):
+            node = A.BinExpr("|", node, self._bit_xor(), line=node.line)
+        return node
+
+    def _bit_xor(self) -> A.Expr:
+        node = self._bit_and()
+        while self.s.accept("^"):
+            node = A.BinExpr("^", node, self._bit_and(), line=node.line)
+        return node
+
+    def _bit_and(self) -> A.Expr:
+        node = self._equality()
+        while self.s.accept("&"):
+            node = A.BinExpr("&", node, self._equality(), line=node.line)
+        return node
+
+    def _equality(self) -> A.Expr:
+        node = self._relational()
+        while True:
+            token = self.s.accept("==", "!=")
+            if token is None:
+                return node
+            node = A.BinExpr(token.text, node, self._relational(),
+                             line=token.line)
+
+    def _relational(self) -> A.Expr:
+        node = self._shift()
+        while True:
+            token = self.s.accept("<", ">", "<=", ">=")
+            if token is None:
+                return node
+            node = A.BinExpr(token.text, node, self._shift(), line=token.line)
+
+    def _shift(self) -> A.Expr:
+        node = self._additive()
+        while True:
+            token = self.s.accept("<<", ">>")
+            if token is None:
+                return node
+            node = A.BinExpr(token.text, node, self._additive(),
+                             line=token.line)
+
+    def _additive(self) -> A.Expr:
+        node = self._multiplicative()
+        while True:
+            token = self.s.accept("+", "-")
+            if token is None:
+                return node
+            node = A.BinExpr(token.text, node, self._multiplicative(),
+                             line=token.line)
+
+    def _multiplicative(self) -> A.Expr:
+        node = self._unary()
+        while True:
+            token = self.s.accept("*", "/", "%")
+            if token is None:
+                return node
+            node = A.BinExpr(token.text, node, self._unary(),
+                             line=token.line)
+
+    def _unary(self) -> A.Expr:
+        token = self.s.peek()
+        if token.is_op("-", "+", "!", "~", "*", "&"):
+            self.s.next()
+            return A.UnaryExpr(token.text, self._unary(), line=token.line)
+        if token.is_op("++", "--"):
+            self.s.next()
+            return A.IncDecExpr(token.text, self._unary(), postfix=False,
+                                line=token.line)
+        if token.is_op("(") and self._starts_type(1):
+            self.s.next()
+            base = self._specifiers()
+            _, ctype, _ = self._declarator(base)
+            self.s.expect(")")
+            return A.CastExpr(ctype, self._unary(), line=token.line)
+        if token.kind == "name" and token.text == "sizeof":
+            self.s.next()
+            if self.s.peek().is_op("(") and self._starts_type(1):
+                self.s.next()
+                base = self._specifiers()
+                _, ctype, _ = self._declarator(base)
+                self.s.expect(")")
+                return A.SizeofExpr(ctype=ctype, line=token.line)
+            return A.SizeofExpr(operand=self._unary(), line=token.line)
+        return self._postfix()
+
+    def _postfix(self) -> A.Expr:
+        node = self._primary()
+        while True:
+            token = self.s.peek()
+            if token.is_op("["):
+                self.s.next()
+                index = self._expression()
+                self.s.expect("]")
+                node = A.IndexExpr(node, index, line=token.line)
+            elif token.is_op("("):
+                self.s.next()
+                args: list[A.Expr] = []
+                if not self.s.peek().is_op(")"):
+                    args.append(self._assignment())
+                    while self.s.accept(","):
+                        args.append(self._assignment())
+                self.s.expect(")")
+                node = A.CallExpr(node, tuple(args), line=token.line)
+            elif token.is_op(".", "->"):
+                self.s.next()
+                name = self.s.expect_name().text
+                node = A.FieldExpr(node, name, arrow=(token.text == "->"),
+                                   line=token.line)
+            elif token.is_op("++", "--"):
+                self.s.next()
+                node = A.IncDecExpr(token.text, node, postfix=True,
+                                    line=token.line)
+            else:
+                return node
+
+    def _primary(self) -> A.Expr:
+        token = self.s.next()
+        if token.kind == "num":
+            body = token.text.rstrip("uUlL")
+            suffix = token.text[len(body):].lower()
+            return A.IntLit(int(body, 0), unsigned="u" in suffix,
+                            long_="l" in suffix, line=token.line)
+        if token.kind == "fnum":
+            return A.FloatLit(float(token.text.rstrip("fF")), line=token.line)
+        if token.kind == "char":
+            from repro.core.lexer import unescape
+            return A.CharLit(ord(unescape(token.text[1:-1])) & 0xFF,
+                             line=token.line)
+        if token.kind == "string":
+            from repro.core.lexer import unescape
+            raw = unescape(token.text[1:-1]).encode("latin-1")
+            # Adjacent string literals concatenate.
+            while self.s.peek().kind == "string":
+                extra = self.s.next()
+                raw += unescape(extra.text[1:-1]).encode("latin-1")
+            return A.StrLit(raw, line=token.line)
+        if token.kind == "name" and token.text not in C_KEYWORDS:
+            return A.Ident(token.text, line=token.line)
+        if token.is_op("("):
+            expr = self._expression()
+            self.s.expect(")")
+            return expr
+        raise MiniCSyntaxError(
+            f"expected expression, found {token.text!r}", token.line)
+
+
+def _fold_const(expr: A.Expr, env: TypeEnv) -> int:
+    """Constant-fold an integer expression (array sizes, case labels)."""
+    if isinstance(expr, A.IntLit):
+        return expr.value
+    if isinstance(expr, A.CharLit):
+        return expr.value
+    if isinstance(expr, A.Ident):
+        if expr.name in env.enum_constants:
+            return env.enum_constants[expr.name][0]
+        raise MiniCSyntaxError(f"not a constant: {expr.name}", expr.line)
+    if isinstance(expr, A.UnaryExpr):
+        value = _fold_const(expr.operand, env)
+        return {"-": -value, "+": value, "~": ~value, "!": int(not value)}[expr.op]
+    if isinstance(expr, A.BinExpr):
+        x = _fold_const(expr.left, env)
+        y = _fold_const(expr.right, env)
+        ops = {
+            "+": x + y, "-": x - y, "*": x * y,
+            "/": int(x / y) if y else 0, "%": x - int(x / y) * y if y else 0,
+            "<<": x << y, ">>": x >> y, "&": x & y, "|": x | y, "^": x ^ y,
+            "==": int(x == y), "!=": int(x != y), "<": int(x < y),
+            ">": int(x > y), "<=": int(x <= y), ">=": int(x >= y),
+        }
+        return ops[expr.op]
+    if isinstance(expr, A.SizeofExpr) and expr.ctype is not None:
+        return expr.ctype.size
+    raise MiniCSyntaxError("expected constant expression", expr.line)
+
+
+def parse_program(source: str,
+                  env: Optional[TypeEnv] = None) -> tuple[A.Program, TypeEnv]:
+    """Parse C source; returns the program and its type environment."""
+    parser = CParser(source, env)
+    program = parser.parse_program()
+    return program, parser.env

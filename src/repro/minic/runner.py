@@ -1,0 +1,46 @@
+"""Convenience entry points: source text -> running simulated inferior.
+
+This is the reproduction's stand-in for "compile the program, run it
+under gdb, and stop somewhere interesting": after
+:func:`run_program`, the program's globals and heap structures sit in
+simulated target memory, ready for a
+:class:`~repro.core.session.DuelSession` attached to the same program.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.minic.interp import Interpreter
+from repro.target.program import TargetProgram
+from repro.target.stdlib import TargetExit, install_stdlib
+
+
+def load_program(source: str,
+                 program: Optional[TargetProgram] = None) -> Interpreter:
+    """Parse and load C source into a (new) simulated inferior."""
+    if program is None:
+        program = TargetProgram()
+        install_stdlib(program)
+    interp = Interpreter(program)
+    interp.load_source(source)
+    return interp
+
+
+def run_program(source: str, argv: Optional[Sequence[str]] = None,
+                program: Optional[TargetProgram] = None,
+                call_main: bool = True) -> Interpreter:
+    """Load C source and run ``main`` (if present and requested).
+
+    Returns the interpreter; the exit status (or main's return value)
+    is available as ``interp.exit_status``.
+    """
+    interp = load_program(source, program)
+    status = None
+    if call_main and "main" in interp.functions:
+        try:
+            status = interp.run_main(argv)
+        except TargetExit as stop:
+            status = stop.status
+    interp.exit_status = status
+    return interp

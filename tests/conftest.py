@@ -1,0 +1,65 @@
+"""Shared fixtures: simulated inferiors carrying the paper's workloads."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, settings
+
+from repro import DuelSession, SimulatorBackend, TargetProgram
+from repro.target import builder
+from repro.target.stdlib import install_stdlib
+
+# Property tests drive full interpreter stacks; wall-clock deadlines
+# only add flakiness there.  Module-scoped session fixtures are shared
+# deliberately (sessions are stateless between eval calls).
+settings.register_profile(
+    "repro",
+    deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+settings.load_profile("repro")
+
+
+@pytest.fixture
+def program() -> TargetProgram:
+    """A fresh, empty inferior with the stdlib installed."""
+    p = TargetProgram()
+    install_stdlib(p)
+    return p
+
+
+@pytest.fixture
+def paper(program) -> TargetProgram:
+    """An inferior carrying every structure the paper's examples use,
+    with fixed contents so expected outputs are exact."""
+    builder.int_array(program, "x",
+                      [3, -1, 7, 0, 12, -9, 2, 120, 5, -4])
+    builder.symbol_hash_table(program,
+                              entries=builder.paper_hash_entries())
+    builder.linked_list(program, "L",
+                        [10, 20, 30, 40, 27, 50, 60, 70, 80, 27])
+    builder.linked_list(program, "head",
+                        [11, 42, 5, 33, 19, 29, 8, 77], tag="hnode")
+    builder.binary_tree(program, "root", (9, (3, 4, 5), 12))
+    program.set_argv(["prog", "-v", "file.c"])
+    return program
+
+
+@pytest.fixture
+def session(paper) -> DuelSession:
+    """A DUEL session attached to the paper workload."""
+    return DuelSession(SimulatorBackend(paper))
+
+
+@pytest.fixture
+def empty_session(program) -> DuelSession:
+    """A DUEL session attached to an empty inferior."""
+    return DuelSession(SimulatorBackend(program))
+
+
+@pytest.fixture
+def array_session(program) -> DuelSession:
+    """Session over a small known array x[10]."""
+    builder.int_array(program, "x",
+                      [3, -1, 7, 0, 12, -9, 2, 120, 5, -4])
+    return DuelSession(SimulatorBackend(program))

@@ -1,0 +1,69 @@
+"""Every example script must run clean and print what it promises."""
+
+import importlib.util
+import io
+import sys
+from contextlib import redirect_stdout
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent.parent / "examples"
+
+
+def run_example(name: str) -> str:
+    spec = importlib.util.spec_from_file_location(name, EXAMPLES / name)
+    module = importlib.util.module_from_spec(spec)
+    out = io.StringIO()
+    with redirect_stdout(out):
+        spec.loader.exec_module(module)
+        module.main()
+    return out.getvalue()
+
+
+class TestExamples:
+    def test_quickstart(self):
+        text = run_example("quickstart.py")
+        assert "6 10 7 11 8 12" in text
+        assert "2.500" in text
+        assert "x[7] = 120" in text
+
+    def test_symtab_explore(self):
+        text = run_example("symtab_explore.py")
+        assert "inserted 12 symbols" in text
+        assert 'hash[279]->name = "tmp"' in text
+        assert "nsyms = 12" in text
+        assert 'hashfn("tmp") = 279' in text
+
+    def test_list_tree_debug(self):
+        text = run_example("list_tree_debug.py")
+        assert "L-->next[[4]]->value = 27" in text
+        assert "root->left->right->key = 5" in text
+        assert "ring->next->next->next->value = 4" in text
+
+    def test_minic_bughunt(self):
+        text = run_example("minic_bughunt.py")
+        assert "scheduled 5 tasks" in text
+        assert "Illegal memory reference" in text
+        assert "lvalue 0xdead0000" in text
+
+    def test_strings_argv(self):
+        text = run_example("strings_argv.py")
+        assert 'argv[3] = "duel"' in text
+        assert "strlen(s) = 12" in text
+        assert "3 5, 3 6, 3 7, 4 5, 4 6, 4 7," in text
+
+    def test_watchpoints_assertions(self):
+        text = run_example("watchpoints_assertions.py")
+        assert "VIOLATION: sp = 81" in text
+        assert "sp: 8 -> 81" in text
+        assert "breakpoint 'stack[..8] >? 60' hits: 1" in text
+
+    def test_all_examples_covered(self):
+        scripts = {p.name for p in EXAMPLES.glob("*.py")}
+        tested = {
+            "quickstart.py", "symtab_explore.py", "list_tree_debug.py",
+            "minic_bughunt.py", "strings_argv.py",
+            "watchpoints_assertions.py",
+        }
+        assert scripts == tested, "add a smoke test for new examples"

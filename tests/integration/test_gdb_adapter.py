@@ -1,0 +1,24 @@
+"""The gdb adapter must be importable (and inert) outside gdb."""
+
+import pytest
+
+
+class TestImportGuard:
+    def test_module_imports_without_gdb(self):
+        from repro.target import gdbadapter
+        assert not gdbadapter.HAVE_GDB
+
+    def test_backend_refuses_outside_gdb(self):
+        from repro.target.gdbadapter import GdbBackend
+        with pytest.raises(RuntimeError):
+            GdbBackend()
+
+    def test_command_registration_refuses_outside_gdb(self):
+        from repro.target.gdbadapter import register_duel_command
+        with pytest.raises(RuntimeError):
+            register_duel_command()
+
+    def test_adapter_is_a_debugger_interface(self):
+        from repro.target.gdbadapter import GdbBackend
+        from repro.target.interface import DebuggerInterface
+        assert issubclass(GdbBackend, DebuggerInterface)

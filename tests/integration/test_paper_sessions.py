@@ -1,0 +1,316 @@
+"""E1-E6: every worked ``gdb> duel`` session in the paper, reproduced.
+
+Each test quotes a session from the paper and asserts our output
+line-for-line.  Where the paper's own text is internally inconsistent
+(two known spots, see EXPERIMENTS.md), the test encodes the consistent
+reading and a comment points at the discrepancy.
+"""
+
+import pytest
+
+from repro import DuelSession, SimulatorBackend, TargetProgram
+from repro.core.errors import DuelMemoryError
+from repro.target import builder
+
+
+class TestArithmetic:
+    """E1 — §Design/§Syntax constant-expression sessions."""
+
+    def test_gdb_print_equivalence(self, empty_session):
+        # gdb> duel 1 + (double)3/2   ->   2.500
+        assert empty_session.eval_lines("1 + (double)3/2") == ["2.500"]
+
+    def test_alternate_product(self, empty_session):
+        # gdb> duel (1,2,5)*4+(10,200)
+        assert empty_session.eval_lines("(1,2,5)*4+(10,200)") == \
+            ["14 204 18 208 30 220"]
+
+    def test_to_plus_alternate(self, empty_session):
+        # gdb> duel (3,11)+(5..7)
+        assert empty_session.eval_lines("(3,11)+(5..7)") == \
+            ["8 9 10 16 17 18"]
+
+    def test_design_section_example(self, empty_session):
+        # §Semantics: (1..3)+(5,9) prints 6 10 7 11 8 12.
+        assert empty_session.eval_lines("(1..3)+(5,9)") == ["6 10 7 11 8 12"]
+
+    def test_to_with_generator_operands(self, empty_session):
+        # (to (alternate 1 5) (alternate 5 10)) produces four runs.
+        got = empty_session.eval_values("(1,5)..(5,10)")
+        assert got == ([1, 2, 3, 4, 5]
+                       + [1, 2, 3, 4, 5, 6, 7, 8, 9, 10]
+                       + [5]
+                       + [5, 6, 7, 8, 9, 10])
+
+
+class TestArraySearch:
+    """E2 — §Syntax array-search sessions."""
+
+    @pytest.fixture
+    def xsession(self, program):
+        # Array contents chosen so the paper's exact outputs appear:
+        # x[3]=7, x[18]=9, x[47]=6 are the only values in (5,10) within
+        # the searched portions, and x[3] is the only 7 in x[1..3].
+        values = [0] * 64
+        values[3] = 7
+        values[18] = 9
+        values[47] = 6
+        builder.int_array(program, "x", values)
+        return DuelSession(SimulatorBackend(program))
+
+    def test_range_search(self, xsession):
+        # gdb> duel x[1..4,8,12..50] >? 5 <? 10
+        assert xsession.eval_lines("x[1..4,8,12..50] >? 5 <? 10") == [
+            "x[3] = 7",
+            "x[18] = 9",
+            "x[47] = 6",
+        ]
+
+    def test_equivalent_eq_formulation(self, xsession):
+        # x[1..4,8,12..50] ==? (6..9) is "another formulation of the
+        # same search" (order differs: ==? yields per match).
+        got = xsession.eval_values("x[1..4,8,12..50] ==? (6..9)")
+        assert sorted(got) == [6, 7, 9]
+
+    def test_c_equality_prints_all(self, xsession):
+        # gdb> duel x[1..3] == 7
+        assert xsession.eval_lines("x[1..3] == 7") == [
+            "x[1]==7 = 0",
+            "x[2]==7 = 0",
+            "x[3]==7 = 1",
+        ]
+
+    def test_out_of_range_values_example(self, program):
+        # §Syntax: x[..10] with -9 at 3 and 120 at 8.
+        values = [50, 1, 2, -9, 3, 4, 5, 6, 120, 7]
+        builder.int_array(program, "x", values)
+        duel = DuelSession(SimulatorBackend(program))
+        # Alias formulation shows the alias name:
+        assert duel.eval_lines(
+            "y := x[..10] => if (y < 0 || y > 100) y") == \
+            ["y = -9", "y = 120"]
+        # Underscore formulation pinpoints the elements:
+        assert duel.eval_lines(
+            "x[..10].if (_ < 0 || _ > 100) _") == \
+            ["x[3] = -9", "x[8] = 120"]
+        # And the alias + explicit index variant:
+        assert duel.eval_lines(
+            "y := x[j := ..10] => if (y < 0 || y > 100) x[{j}]") == \
+            ["x[3] = -9", "x[8] = 120"]
+
+
+class TestHashTable:
+    """E3 — the compiler-symbol-table sessions."""
+
+    def test_heads_with_deep_scope(self, session):
+        # gdb> duel (hash[..1024] !=? 0)->scope >? 5
+        assert session.eval_lines("(hash[..1024] !=? 0)->scope >? 5") == [
+            "hash[42]->scope = 7",
+            "hash[529]->scope = 8",
+        ]
+
+    def test_field_alternation(self, session):
+        # gdb> duel hash[1,9]->(scope,name)
+        assert session.eval_lines("hash[1,9]->(scope,name)") == [
+            "hash[1]->scope = 3",
+            'hash[1]->name = "x"',
+            "hash[9]->scope = 2",
+            'hash[9]->name = "abc"',
+        ]
+
+    def test_chain_scopes(self, session):
+        # gdb> duel hash[0]-->next->scope
+        assert session.eval_lines("hash[0]-->next->scope") == [
+            "hash[0]->scope = 4",
+            "hash[0]->next->scope = 3",
+            "hash[0]->next->next->scope = 2",
+            "hash[0]->next->next->next->scope = 1",
+        ]
+
+    def test_sortedness_check(self, session):
+        # gdb> duel hash[..1024]-->next-> if (next) scope <? next->scope
+        assert session.eval_lines(
+            "hash[..1024]-->next-> if (next) scope <? next->scope") == [
+            "hash[287]-->next[[8]]->scope = 5",
+        ]
+
+    def test_clear_heads(self, session):
+        # gdb> duel hash[0..1023]->scope = 0 ;
+        assert session.eval_lines("hash[0..1023]->scope = 0 ;") == []
+        assert session.eval_values(
+            "(hash[..1024] !=? 0)->scope >? 0") == []
+
+    def test_clear_via_alias_chain(self, session):
+        # x:= hash[..1024] !=? 0 => y:= x->scope => y = 0
+        session.eval("x2 := hash[..1024] !=? 0 => y := x2->scope => y = 0")
+        assert session.eval_values("(hash[..1024] !=? 0)->scope >? 0") == []
+
+    def test_deep_scope_names(self, session):
+        # x->(if (scope > 5) name) and the _ variant agree.
+        via_alias = session.eval_values(
+            "x3 := hash[..1024] !=? 0 => x3->(if (scope > 5) name)")
+        via_underscore = session.eval_values(
+            "hash[..1024]->(if (_ && scope > 5) name)")
+        assert via_alias == via_underscore
+        assert len(via_alias) == 2
+
+
+class TestCEquivalents:
+    """E5 — the three C-style reformulations of the hash search."""
+
+    PAPER_OUTPUT = ["hash[42]->scope = 7", "hash[529]->scope = 8"]
+
+    def test_pure_c_loop(self, session):
+        got = session.eval_values(
+            "int i; for (i = 0; i < 1024; i++)"
+            " if (hash[i] && hash[i]->scope > 5) hash[i]->scope")
+        assert got == [7, 8]
+
+    def test_mixed_loop_with_yield(self, session):
+        got = session.eval_values(
+            "int i; for (i = 0; i < 1024; i++)"
+            " if (hash[i]) hash[i]->scope >? 5")
+        assert got == [7, 8]
+
+    def test_mixed_loop_with_filter(self, session):
+        got = session.eval_values(
+            "int i; for (i = 0; i < 1024; i++)"
+            " (hash[i] !=? 0)->scope >? 5")
+        assert got == [7, 8]
+
+    def test_duel_one_liner_agrees(self, session):
+        assert session.eval_lines(
+            "(hash[..1024] !=? 0)->scope >? 5") == self.PAPER_OUTPUT
+
+
+class TestExpansion:
+    """E4 — list/tree expansion sessions."""
+
+    def test_intro_duplicate_query(self, session):
+        # L-->next->(value ==? next-->next->value)
+        assert session.eval_lines(
+            "L-->next->(value ==? next-->next->value)") == [
+            "L-->next[[4]]->value = 27",
+        ]
+
+    def test_duplicate_positions(self, session):
+        # The paper: "its 4th and 9th nodes each contain 27".
+        assert session.eval_lines(
+            "L-->next#i->value ==? L-->next#j->value => "
+            "if (i < j) L-->next[[i,j]]->value") == [
+            "L-->next[[4]]->value = 27",
+            "L-->next[[9]]->value = 27",
+        ]
+
+    def test_tree_preorder(self, session):
+        # Paper states "generates the nodes in a binary tree in
+        # preorder"; its printed output swaps 5 and 4 — see
+        # EXPERIMENTS.md E4 for the discrepancy note.
+        assert session.eval_lines("root-->(left,right)->key") == [
+            "root->key = 9",
+            "root->left->key = 3",
+            "root->left->left->key = 4",
+            "root->left->right->key = 5",
+            "root->right->key = 12",
+        ]
+
+    def test_path_to_five(self, session):
+        # Comparison direction corrected w.r.t. the paper (its printed
+        # query contradicts its printed output; see EXPERIMENTS.md).
+        assert session.eval_lines(
+            "root-->(if (key > 5) left else if (key < 5) right)->key") == [
+            "root->key = 9",
+            "root->left->key = 3",
+            "root->left->right->key = 5",
+        ]
+
+    def test_count_tree(self, session):
+        # gdb> duel #/(root-->(left,right)->key)   ->   5
+        assert session.eval_lines("#/(root-->(left,right)->key)") == ["5"]
+
+    def test_select_on_products(self, empty_session):
+        # gdb> duel ((1..9)*(1..9))[[52,74]]
+        assert empty_session.eval_lines("((1..9)*(1..9))[[52,74]]") == \
+            ["48 27"]
+
+    def test_select_on_list(self, session):
+        # gdb> duel head-->next->value[[3,5]]
+        assert session.eval_lines("head-->next->value[[3,5]]") == [
+            "head-->next[[3]]->value = 33",
+            "head-->next[[5]]->value = 29",
+        ]
+
+    def test_argv_strings(self, session):
+        # argv[0..]@0 generates the strings in argv.
+        assert session.eval_lines("argv[0..]@0") == [
+            'argv[0] = "prog"',
+            'argv[1] = "-v"',
+            'argv[2] = "file.c"',
+        ]
+
+
+class TestForIfSessions:
+    """§Syntax: for/if display sessions with {} substitution."""
+
+    def test_if_without_braces_keeps_symbol(self, empty_session):
+        empty_session.eval("int i;")
+        assert empty_session.eval_lines(
+            "for (i = 0; i < 9; i++) 4 + if (i%3==0) i*5") == [
+            "4+i*5 = 4",
+            "4+i*5 = 19",
+            "4+i*5 = 34",
+        ]
+
+    def test_braces_substitute_value(self, empty_session):
+        empty_session.eval("int i;")
+        assert empty_session.eval_lines(
+            "for (i = 0; i < 9; i++) 4 + if (i%3 == 0) {i}*5") == [
+            "4+0*5 = 4",
+            "4+3*5 = 19",
+            "4+6*5 = 34",
+        ]
+
+    def test_sequence_alias(self, empty_session):
+        # gdb> duel i := 1..3; i + 4   ->   i+4 = 7
+        assert empty_session.eval_lines("i := 1..3; i + 4") == ["i+4 = 7"]
+
+    def test_imply_alias(self, empty_session):
+        # gdb> duel i := 1..3 => {i} + 4
+        assert empty_session.eval_lines("i := 1..3 => {i} + 4") == [
+            "1+4 = 5",
+            "2+4 = 6",
+            "3+4 = 7",
+        ]
+
+
+class TestPrintfSession:
+    """§Semantics: function calls with generator arguments."""
+
+    def test_printf_combinations(self, program):
+        from repro.target.stdlib import stdout_text
+        duel = DuelSession(SimulatorBackend(program))
+        duel.eval('printf("%d %d, ", (3,4), 5..7)')
+        assert stdout_text(program) == "3 5, 3 6, 3 7, 4 5, 4 6, 4 7, "
+
+
+class TestErrors:
+    """E6 — the paper's error-report format."""
+
+    def test_illegal_memory_reference(self, program):
+        # Paper: ptr[..99]->val might produce
+        #   Illegal memory reference in x of x->y:
+        #   ptr[48] = lvalue 0x16820.
+        program.declare("struct cell {int val; struct cell *next;}"
+                        " *ptr[99];")
+        sym = program.lookup("ptr")
+        cell_ptr = program.parse_type("struct cell *")
+        good = program.alloc(16)
+        for i in range(99):
+            program.write_value(sym.address + 8 * i, cell_ptr, good)
+        program.write_value(sym.address + 8 * 48, cell_ptr, 0x16820)
+        duel = DuelSession(SimulatorBackend(program))
+        with pytest.raises(DuelMemoryError) as info:
+            list(duel.ieval("ptr[..99]->val"))
+        assert str(info.value) == (
+            "Illegal memory reference in x of x->y:\n"
+            "ptr[48] = lvalue 0x16820.")

@@ -1,0 +1,233 @@
+"""Larger mini-C programs, run end-to-end and then explored with DUEL.
+
+These are the kind of targets the paper's users debugged: a word-count
+utility, a binary search tree with deletion, and a growable vector.
+Each test runs the program in the simulated inferior and then verifies
+program facts *through DUEL queries* — the reproduction's whole stack
+in one motion.
+"""
+
+import pytest
+
+from repro import DuelSession, SimulatorBackend
+from repro.minic import run_program
+from repro.target.stdlib import stdout_text
+
+WORDCOUNT = r"""
+struct word { char *text; int count; struct word *next; };
+struct word *words;
+int distinct = 0, total = 0;
+
+void tally(char *w) {
+    struct word *p;
+    total++;
+    for (p = words; p; p = p->next)
+        if (strcmp(p->text, w) == 0) { p->count++; return; }
+    p = (struct word *) malloc(sizeof(struct word));
+    p->text = w; p->count = 1; p->next = words;
+    words = p;
+    distinct++;
+}
+
+int main(int argc, char **argv) {
+    int i;
+    for (i = 1; i < argc; i++)
+        tally(argv[i]);
+    printf("%d words, %d distinct\n", total, distinct);
+    return distinct;
+}
+"""
+
+
+class TestWordCount:
+    @pytest.fixture
+    def session(self):
+        interp = run_program(
+            WORDCOUNT,
+            argv=["wc", "the", "quick", "the", "lazy", "the", "quick"])
+        return DuelSession(SimulatorBackend(interp.program)), interp
+
+    def test_program_output(self, session):
+        duel, interp = session
+        assert stdout_text(interp.program) == "6 words, 3 distinct\n"
+        assert interp.exit_status == 3
+
+    def test_counts_via_duel(self, session):
+        duel, _ = session
+        assert duel.eval_values("#/(words-->next)") == [3]
+        assert duel.eval_values("+/(words-->next->count)") == [6]
+
+    def test_find_most_frequent(self, session):
+        duel, _ = session
+        assert duel.eval_values(">?/(words-->next->count)") == [3]
+        lines = duel.eval_lines("words-->next->(if (count == 3) text)")
+        assert len(lines) == 1 and '"the"' in lines[0]
+
+    def test_string_contents_through_pointers(self, session):
+        duel, _ = session
+        got = {duel.formatter.format(v)
+               for v in duel.eval("words-->next->text")}
+        assert got == {'"the"', '"quick"', '"lazy"'}
+
+    def test_call_tally_from_debugger(self, session):
+        duel, _ = session
+        duel.eval('tally("quick")')
+        assert duel.eval_values(
+            "words-->next->(if (strcmp(text, \"quick\") == 0) count)") == [3]
+
+
+BST = r"""
+struct node { int key; struct node *left; struct node *right; };
+struct node *root;
+int nodes = 0;
+
+struct node *insert(struct node *t, int key) {
+    if (t == 0) {
+        t = (struct node *) malloc(sizeof(struct node));
+        t->key = key;
+        nodes++;
+        return t;
+    }
+    if (key < t->key) t->left = insert(t->left, key);
+    else if (key > t->key) t->right = insert(t->right, key);
+    return t;
+}
+
+struct node *delete_min(struct node *t, struct node **out) {
+    if (t->left == 0) { *out = t; return t->right; }
+    t->left = delete_min(t->left, out);
+    return t;
+}
+
+struct node *remove_key(struct node *t, int key) {
+    struct node *m;
+    if (t == 0) return 0;
+    if (key < t->key) { t->left = remove_key(t->left, key); return t; }
+    if (key > t->key) { t->right = remove_key(t->right, key); return t; }
+    nodes--;
+    if (t->left == 0) return t->right;
+    if (t->right == 0) return t->left;
+    t->right = delete_min(t->right, &m);
+    m->left = t->left;
+    m->right = t->right;
+    return m;
+}
+
+int main(void) {
+    int keys[9];
+    int i;
+    keys[0] = 50; keys[1] = 30; keys[2] = 70; keys[3] = 20;
+    keys[4] = 40; keys[5] = 60; keys[6] = 80; keys[7] = 10; keys[8] = 45;
+    for (i = 0; i < 9; i++)
+        root = insert(root, keys[i]);
+    root = remove_key(root, 30);   /* two-child deletion */
+    root = remove_key(root, 80);   /* leaf deletion */
+    return nodes;
+}
+"""
+
+
+class TestBinarySearchTree:
+    @pytest.fixture
+    def session(self):
+        interp = run_program(BST)
+        return DuelSession(SimulatorBackend(interp.program)), interp
+
+    def test_node_accounting(self, session):
+        duel, interp = session
+        assert interp.exit_status == 7
+        assert duel.eval_values("#/(root-->(left,right))") == [7]
+        assert duel.eval_values("nodes") == [7]
+
+    def test_deleted_keys_gone(self, session):
+        duel, _ = session
+        assert duel.eval_values("root-->(left,right)->key ==? 30") == []
+        assert duel.eval_values("root-->(left,right)->key ==? 80") == []
+
+    def test_bst_invariant_via_duel(self, session):
+        duel, _ = session
+        # Every left child key < parent key; every right child > parent.
+        # Note the alias k: inside left->(...), the bare name `key`
+        # would resolve to the *child* (innermost with-scope wins), so
+        # the parent's key must be captured first — the paper's own
+        # "using an alias requires another temporary" pattern.
+        violations = duel.eval_values(
+            "root-->(left,right)->(k := key => "
+            "(if (left && left->key >= k) 1, "
+            " if (right && right->key <= k) 1))")
+        assert violations == []
+        # Sanity: the same query with bare `key` DOES self-compare and
+        # reports a pseudo-violation per child, demonstrating the trap.
+        trap = duel.eval_values(
+            "root-->(left,right)->"
+            "(if (left && left->key >= key) 1,"
+            " if (right && right->key <= key) 1)")
+        assert len(trap) > 0
+
+    def test_minmax(self, session):
+        duel, _ = session
+        assert duel.eval_values("<?/(root-->(left,right)->key)") == [10]
+        assert duel.eval_values(">?/(root-->(left,right)->key)") == [70]
+
+    def test_two_child_replacement(self, session):
+        duel, _ = session
+        # 30's successor (40) took its place under the root's left.
+        assert duel.eval_values("root->left->key") == [40]
+
+
+VECTOR = r"""
+struct vec { int *data; int len; int cap; };
+struct vec v;
+int reallocs = 0;
+
+void push(int value) {
+    int *bigger;
+    int i;
+    if (v.len == v.cap) {
+        v.cap = v.cap ? v.cap * 2 : 4;
+        bigger = (int *) malloc(v.cap * sizeof(int));
+        for (i = 0; i < v.len; i++)
+            bigger[i] = v.data[i];
+        if (v.data) free(v.data);
+        v.data = bigger;
+        reallocs++;
+    }
+    v.data[v.len] = value;
+    v.len++;
+}
+
+int main(void) {
+    int i;
+    for (i = 0; i < 20; i++)
+        push(i * i);
+    return v.len;
+}
+"""
+
+
+class TestVector:
+    @pytest.fixture
+    def session(self):
+        interp = run_program(VECTOR)
+        return DuelSession(SimulatorBackend(interp.program)), interp
+
+    def test_growth_policy(self, session):
+        duel, interp = session
+        assert interp.exit_status == 20
+        assert duel.eval_values("v.cap") == [32]
+        assert duel.eval_values("reallocs") == [4]  # 4, 8, 16, 32
+
+    def test_contents_through_heap_pointer(self, session):
+        duel, _ = session
+        assert duel.eval_values("v.data[..v.len]") == \
+            [i * i for i in range(20)]
+
+    def test_search_in_heap_array(self, session):
+        duel, _ = session
+        lines = duel.eval_lines("v.data[..v.len] >? 300")
+        assert lines == ["v.data[18] = 324", "v.data[19] = 361"]
+
+    def test_free_reuse_accounting(self, session):
+        duel, interp = session
+        # Exactly one live allocation (the final data block).
+        assert interp.program.heap.bytes_allocated >= 32 * 4

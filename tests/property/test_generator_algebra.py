@@ -1,0 +1,150 @@
+"""Property tests: algebraic laws of DUEL generators.
+
+These pin the paper's semantics as equations, e.g.
+
+    #/(e1, e2)        ==  #/e1 + #/e2
+    a..b              has max(0, b-a+1) values
+    (e1 op e2)        has (#/e1) * (#/e2) values for binary op
+    e >? c            is the subsequence of e with values > c
+    e[[..#/e]]        ==  e   (select identity)
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import DuelSession, SimulatorBackend, TargetProgram
+
+small_int = st.integers(-30, 30)
+small_list = st.lists(small_int, min_size=1, max_size=8)
+
+
+@pytest.fixture(scope="module")
+def duel():
+    return DuelSession(SimulatorBackend(TargetProgram()))
+
+
+def lit(values):
+    """A DUEL alternation literal for a list of ints."""
+    return "(" + ",".join(str(v) for v in values) + ")"
+
+
+@given(a=small_int, b=small_int)
+def test_to_length_and_contents(duel, a, b):
+    got = duel.eval_values(f"({a})..({b})")
+    assert got == list(range(a, b + 1))
+
+
+@given(xs=small_list, ys=small_list)
+def test_alternate_concatenates(duel, xs, ys):
+    got = duel.eval_values(f"{lit(xs)}, {lit(ys)}")
+    assert got == xs + ys
+
+
+@given(xs=small_list, ys=small_list)
+def test_count_is_additive_over_alternate(duel, xs, ys):
+    (total,) = duel.eval_values(f"#/({lit(xs)}, {lit(ys)})")
+    assert total == len(xs) + len(ys)
+
+
+@given(xs=small_list, ys=small_list)
+def test_binary_op_is_cross_product(duel, xs, ys):
+    got = duel.eval_values(f"{lit(xs)} + {lit(ys)}")
+    assert got == [x + y for x in xs for y in ys]
+
+
+@given(xs=small_list, c=small_int)
+def test_compare_yield_is_filter(duel, xs, c):
+    got = duel.eval_values(f"{lit(xs)} >? ({c})")
+    assert got == [x for x in xs if x > c]
+
+
+@given(xs=small_list, c=small_int)
+def test_compare_yield_complement_partitions(duel, xs, c):
+    gt = duel.eval_values(f"{lit(xs)} >? ({c})")
+    le = duel.eval_values(f"{lit(xs)} <=? ({c})")
+    assert sorted(gt + le) == sorted(xs)
+
+
+@given(xs=small_list)
+def test_select_identity(duel, xs):
+    got = duel.eval_values(f"{lit(xs)}[[..{len(xs)}]]")
+    assert got == xs
+
+
+@given(xs=small_list, data=st.data())
+def test_select_picks_kth(duel, xs, data):
+    k = data.draw(st.integers(0, len(xs) - 1))
+    assert duel.eval_values(f"{lit(xs)}[[{k}]]") == [xs[k]]
+
+
+@given(xs=small_list)
+def test_sum_reduction(duel, xs):
+    assert duel.eval_values(f"+/{lit(xs)}") == [sum(xs)]
+
+
+@given(xs=small_list)
+def test_min_max_reductions(duel, xs):
+    assert duel.eval_values(f"<?/{lit(xs)}") == [min(xs)]
+    assert duel.eval_values(f">?/{lit(xs)}") == [max(xs)]
+
+
+@given(xs=small_list, ys=small_list)
+def test_imply_repeats_right_per_left_value(duel, xs, ys):
+    got = duel.eval_values(f"{lit(xs)} => {lit(ys)}")
+    assert got == ys * len(xs)
+
+
+@given(xs=small_list)
+def test_sequence_keeps_only_right(duel, xs):
+    got = duel.eval_values(f"{lit(xs)}; 42")
+    assert got == [42]
+
+
+@given(xs=small_list, c=small_int)
+def test_until_is_takewhile(duel, xs, c):
+    # A constant guard (@c) stops at the first value equal to c; the
+    # spelling without parentheses keeps it a constant, not a guard
+    # expression.
+    spelled = str(c) if c >= 0 else f"-{-c}"
+    got = duel.eval_values(f"{lit(xs)}@{spelled}")
+    expect = []
+    for x in xs:
+        if x == c:
+            break
+        expect.append(x)
+    assert got == expect
+
+
+@given(xs=small_list, c=small_int)
+def test_until_guard_expression_uses_truthiness(duel, xs, c):
+    # A parenthesised guard is an expression over _: fires when non-zero.
+    got = duel.eval_values(f"{lit(xs)}@(_ == ({c}))")
+    expect = []
+    for x in xs:
+        if x == c:
+            break
+        expect.append(x)
+    assert got == expect
+
+
+@given(xs=small_list)
+def test_if_generator_condition(duel, xs):
+    got = duel.eval_values(f"if ({lit(xs)}) 1 else 0")
+    assert got == [1 if x else 0 for x in xs]
+
+
+@given(a=st.integers(0, 20))
+def test_prefix_to_is_zero_based(duel, a):
+    assert duel.eval_values(f"..({a})") == list(range(a))
+
+
+@given(xs=small_list)
+def test_index_alias_enumerates(duel, xs):
+    got = duel.eval_values(f"{lit(xs)}#n => {{n}}")
+    assert got == list(range(len(xs)))
+
+
+@given(xs=small_list, ys=small_list)
+def test_andand_generator_law(duel, xs, ys):
+    got = duel.eval_values(f"{lit(xs)} && {lit(ys)}")
+    assert got == [y for x in xs if x != 0 for y in ys]

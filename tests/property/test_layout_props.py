@@ -1,0 +1,86 @@
+"""Property tests: record layout invariants."""
+
+from hypothesis import given, strategies as st
+
+from repro.ctype.layout import MemberDecl, layout_struct, layout_union
+from repro.ctype.types import (
+    CHAR,
+    DOUBLE,
+    INT,
+    LONG,
+    PointerType,
+    SHORT,
+    UCHAR,
+    UINT,
+)
+
+_SCALARS = [CHAR, UCHAR, SHORT, INT, UINT, LONG, DOUBLE, PointerType(CHAR)]
+
+members_strategy = st.lists(
+    st.builds(
+        MemberDecl,
+        name=st.text(alphabet="abcdefgh", min_size=1, max_size=4),
+        ctype=st.sampled_from(_SCALARS),
+    ),
+    min_size=1, max_size=12,
+)
+
+
+@given(members=members_strategy)
+def test_struct_fields_do_not_overlap(members):
+    fields, size, align = layout_struct(members)
+    spans = sorted((f.offset, f.offset + f.ctype.size) for f in fields)
+    for (a_start, a_end), (b_start, b_end) in zip(spans, spans[1:]):
+        assert a_end <= b_start
+
+
+@given(members=members_strategy)
+def test_struct_fields_are_aligned(members):
+    fields, size, align = layout_struct(members)
+    for f in fields:
+        assert f.offset % f.ctype.align == 0
+
+
+@given(members=members_strategy)
+def test_struct_size_covers_all_fields_and_is_aligned(members):
+    fields, size, align = layout_struct(members)
+    assert all(f.offset + f.ctype.size <= size for f in fields)
+    assert size % align == 0
+    assert align == max(f.ctype.align for f in fields)
+
+
+@given(members=members_strategy)
+def test_struct_offsets_monotonic_in_declaration_order(members):
+    fields, size, align = layout_struct(members)
+    offsets = [f.offset for f in fields]
+    assert offsets == sorted(offsets)
+
+
+@given(members=members_strategy)
+def test_union_members_at_zero_and_size_is_max(members):
+    fields, size, align = layout_union(members)
+    assert all(f.offset == 0 for f in fields)
+    assert size >= max(f.ctype.size for f in fields)
+    assert size % align == 0
+
+
+@given(members=members_strategy)
+def test_struct_at_least_as_large_as_union(members):
+    _, ssize, _ = layout_struct(members)
+    _, usize, _ = layout_union(members)
+    assert ssize >= usize
+
+
+@given(widths=st.lists(st.integers(1, 32), min_size=1, max_size=10))
+def test_bitfields_fit_and_do_not_overlap(widths):
+    members = [MemberDecl(f"b{i}", UINT, w) for i, w in enumerate(widths)]
+    fields, size, align = layout_struct(members)
+    seen: set[tuple[int, int]] = set()
+    for f in fields:
+        assert f.bit_offset + f.bit_width <= 32
+        bits = {(f.offset * 8 + f.bit_offset + k)
+                for k in range(f.bit_width)}
+        for b in bits:
+            assert (0, b) not in seen
+            seen.add((0, b))
+    assert size >= (sum(widths) + 31) // 32 * 4 - 4 or size > 0

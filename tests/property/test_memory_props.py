@@ -1,0 +1,83 @@
+"""Property tests: target memory is a faithful byte store."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.ctype.encode import decode_value, encode_value
+from repro.ctype.kinds import Kind, int_bounds
+from repro.ctype.types import CHAR, INT, LONG, PrimitiveType, UCHAR, UINT, ULONG
+from repro.target.memory import Memory
+
+BASE = 0x1000
+SIZE = 0x2000
+
+
+def fresh():
+    m = Memory()
+    m.map_new("data", BASE, SIZE)
+    return m
+
+
+@given(offset=st.integers(0, SIZE - 64),
+       data=st.binary(min_size=1, max_size=64))
+def test_write_read_roundtrip(offset, data):
+    m = fresh()
+    m.write(BASE + offset, data)
+    assert m.read(BASE + offset, len(data)) == data
+
+
+@given(writes=st.lists(
+    st.tuples(st.integers(0, SIZE - 16),
+              st.binary(min_size=1, max_size=16)),
+    max_size=12))
+def test_last_write_wins(writes):
+    """Replaying writes into a Python bytearray model must agree."""
+    m = fresh()
+    model = bytearray(SIZE)
+    for offset, data in writes:
+        m.write(BASE + offset, data)
+        model[offset:offset + len(data)] = data
+    assert m.read(BASE, SIZE) == bytes(model)
+
+
+@given(offset=st.integers(0, SIZE - 8),
+       skew=st.integers(1, 7))
+def test_disjoint_writes_do_not_interfere(offset, skew):
+    m = fresh()
+    if offset + 8 + skew + 1 > SIZE:
+        return
+    m.write(BASE + offset, b"\xAA" * 4)
+    m.write(BASE + offset + 4 + skew, b"\xBB")
+    assert m.read(BASE + offset, 4) == b"\xAA" * 4
+
+
+_INT_TYPES = [CHAR, UCHAR, INT, UINT, LONG, ULONG]
+
+
+@given(index=st.integers(0, len(_INT_TYPES) - 1), data=st.data())
+def test_typed_roundtrip_through_memory(index, data):
+    ctype = _INT_TYPES[index]
+    lo, hi = int_bounds(ctype.kind)
+    value = data.draw(st.integers(lo, hi))
+    m = fresh()
+    m.write(BASE, encode_value(value, ctype))
+    assert decode_value(m.read(BASE, ctype.size), ctype) == value
+
+
+@given(value=st.floats(allow_nan=False, allow_infinity=False,
+                       width=64))
+def test_double_roundtrip_exact(value):
+    from repro.ctype.types import DOUBLE
+    raw = encode_value(value, DOUBLE)
+    assert decode_value(raw, DOUBLE) == value
+
+
+@given(address=st.integers(0, 2**48))
+def test_reads_never_corrupt_state(address):
+    """Failed reads must not change mapped contents."""
+    m = fresh()
+    m.write(BASE, b"sentinel")
+    try:
+        m.read(address, 4)
+    except Exception:
+        pass
+    assert m.read(BASE, 8) == b"sentinel"

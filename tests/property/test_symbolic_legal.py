@@ -1,0 +1,59 @@
+"""Paper invariant: "The symbolic value is a symbolic expression
+(i.e., a legal Duel expression) that indicates how the value was
+computed."
+
+Every symbolic expression we print must therefore re-parse, and —
+stronger — re-evaluating it must reproduce the very value it labels
+(symbols are derivations, so replaying one lands on the same data).
+"""
+
+import pytest
+
+from repro.core.parser import parse
+
+PAPER_QUERIES = [
+    "x[..10] >? 0",
+    "x[1..3] == 7",
+    "x[..10].if (_ < 0 || _ > 100) _",
+    "(hash[..1024] !=? 0)->scope >? 5",
+    "hash[1,9]->(scope,name)",
+    "hash[0]-->next->scope",
+    "hash[..1024]-->next-> if (next) scope <? next->scope",
+    "root-->(left,right)->key",
+    "L-->next->(value ==? next-->next->value)",
+    "head-->next->value[[3,5]]",
+    "argv[0..]@0",
+    "i := 1..3 => {i} + 4",
+]
+
+
+@pytest.mark.parametrize("query", PAPER_QUERIES)
+def test_symbolics_are_legal_duel(session, query):
+    for value in session.eval(query):
+        text = value.sym.render(session.fold)
+        parse(text)  # must not raise
+
+
+@pytest.mark.parametrize("query", [
+    "x[..10] >? 0",
+    "(hash[..1024] !=? 0)->scope >? 5",
+    "hash[0]-->next->scope",
+    "root-->(left,right)->key",
+    "argv[0..]@0",
+])
+def test_replaying_a_symbol_reproduces_its_value(session, query):
+    ops = session.evaluator.ops
+    produced = [(v.sym.render(session.fold), ops.load(v))
+                for v in session.eval(query)]
+    for text, loaded in produced:
+        replayed = session.eval_values(text)
+        assert replayed == [loaded], text
+
+
+def test_folded_chain_notation_replays(session):
+    """Even the -->a[[k]] fold notation is executable DUEL."""
+    (line,) = session.eval_lines(
+        "hash[..1024]-->next-> if (next) scope <? next->scope")
+    symbol = line.split(" = ")[0]
+    assert symbol == "hash[287]-->next[[8]]->scope"
+    assert session.eval_values(symbol) == [5]

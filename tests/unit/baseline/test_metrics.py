@@ -1,0 +1,89 @@
+"""Unit tests for the DUEL-vs-C baseline machinery."""
+
+import pytest
+
+from repro.baseline import PAPER_QUERIES
+from repro.baseline.metrics import (
+    conciseness,
+    expressiveness_table,
+    fresh_pair,
+    run_c,
+    run_duel,
+)
+
+
+class TestConciseness:
+    def test_duel_is_always_shorter(self):
+        for query in PAPER_QUERIES.values():
+            sizes = conciseness(query)
+            assert sizes["duel"].chars < sizes["c"].chars, query.key
+            assert sizes["duel"].tokens < sizes["c"].tokens, query.key
+
+    def test_paper_scale_of_savings(self):
+        # The paper's thesis: one-liners vs multi-line C.  Across the
+        # suite C is at least 3x the characters.
+        table = expressiveness_table()
+        assert all(row["char_ratio"] >= 3.0 for row in table)
+
+    def test_table_covers_all_queries(self):
+        table = expressiveness_table()
+        assert {row["query"] for row in table} == set(PAPER_QUERIES)
+
+
+class TestAgreement:
+    @pytest.mark.parametrize("key", sorted(PAPER_QUERIES))
+    def test_both_sides_run(self, key):
+        query = PAPER_QUERIES[key]
+        session, interp = fresh_pair(query.workload)
+        duel_values = run_duel(session, query)
+        c_lines = run_c(interp, query)
+        assert isinstance(duel_values, list)
+        assert isinstance(c_lines, list)
+
+    def test_hash_scope_same_findings(self):
+        query = PAPER_QUERIES["hash_scope"]
+        session, interp = fresh_pair("hash")
+        duel_values = run_duel(session, query)
+        c_lines = run_c(interp, query)
+        assert len(duel_values) == len(c_lines) == 2
+        assert sorted(duel_values) == sorted(
+            int(line.rsplit("= ", 1)[1]) for line in c_lines)
+
+    def test_array_positive_same_count(self):
+        query = PAPER_QUERIES["array_positive"]
+        session, interp = fresh_pair("array100")
+        assert len(run_duel(session, query)) == len(run_c(interp, query))
+
+    def test_list_dup_found_by_both(self):
+        query = PAPER_QUERIES["list_dup"]
+        session, interp = fresh_pair("dup_list")
+        duel_values = run_duel(session, query)
+        c_lines = run_c(interp, query)
+        assert duel_values == [27]
+        assert len(c_lines) == 1 and c_lines[0].endswith("contain 27")
+
+    def test_tree_count_agrees(self):
+        query = PAPER_QUERIES["tree_count"]
+        session, interp = fresh_pair("tree")
+        assert run_duel(session, query) == [5]
+        assert run_c(interp, query) == ["5"]
+
+    def test_buggy_paper_c_reports_every_node(self):
+        # The paper's own C snippet has q = p: every node matches itself.
+        from repro.baseline.queries import LIST_DUP_C_BUGGY, PairedQuery
+        buggy = PairedQuery("buggy", "", "", LIST_DUP_C_BUGGY, "dup_list")
+        session, interp = fresh_pair("dup_list")
+        lines = run_c(interp, buggy)
+        assert len(lines) == 11  # 10 self-matches + the one real pair
+
+    def test_clear_side_effects_match(self):
+        query = PAPER_QUERIES["hash_clear"]
+        duel_session, _ = fresh_pair("hash")
+        run_duel(duel_session, query)
+        after_duel = duel_session.eval_values(
+            "#/((hash[..1024] !=? 0)->scope >? 0)")
+        c_session, interp = fresh_pair("hash")
+        run_c(interp, query)
+        after_c = c_session.eval_values(
+            "#/((hash[..1024] !=? 0)->scope >? 0)")
+        assert after_duel == after_c == [0]

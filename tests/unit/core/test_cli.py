@@ -1,0 +1,164 @@
+"""Unit tests for the command-line front end."""
+
+import io
+
+import pytest
+
+from repro.cli import main
+
+SYMTAB = r"""
+int values[4] = {5, -2, 9, 0};
+int total = 0;
+int main(void) {
+    int i;
+    for (i = 0; i < 4; i++) total += values[i];
+    printf("total=%d\n", total);
+    return 0;
+}
+"""
+
+
+@pytest.fixture
+def source(tmp_path):
+    path = tmp_path / "prog.c"
+    path.write_text(SYMTAB)
+    return str(path)
+
+
+def run_cli(args, stdin_text=""):
+    out = io.StringIO()
+    status = main(args, stdin=io.StringIO(stdin_text), out=out)
+    return status, out.getvalue()
+
+
+class TestExprMode:
+    def test_single_expression(self, source):
+        status, text = run_cli(["--expr", "values[..4] >? 0", source])
+        assert status == 0
+        assert "values[0] = 5" in text
+        assert "values[2] = 9" in text
+
+    def test_program_output_shown(self, source):
+        status, text = run_cli(["-e", "total", source])
+        assert "total=12" in text        # the program's printf
+        assert "total = 12" in text      # DUEL's answer
+        assert "[program exited with status 0]" in text
+
+    def test_multiple_expressions(self, source):
+        status, text = run_cli(["-e", "1..3", "-e", "total", source])
+        assert "1 2 3" in text and "total = 12" in text
+
+    def test_error_printed_not_raised(self, source):
+        status, text = run_cli(["-e", "nosuchvar", source])
+        assert status == 0
+        assert "no symbol 'nosuchvar'" in text
+
+    def test_no_symbolic_flag(self, source):
+        status, text = run_cli(["--no-symbolic", "-e", "values[0]", source])
+        assert "\n5\n" in text
+
+    def test_missing_file(self):
+        status, text = run_cli(["-e", "1", "/nonexistent.c"])
+        assert status == 1 and "error:" in text
+
+    def test_bad_program(self, tmp_path):
+        path = tmp_path / "bad.c"
+        path.write_text("int main(void) { return }")
+        status, text = run_cli(["-e", "1", str(path)])
+        assert status == 1
+
+
+class TestRepl:
+    def test_session_flow(self, source):
+        status, text = run_cli([source], stdin_text=(
+            "total\n"
+            "x := 2\n"
+            "x * 10\n"
+            "aliases\n"
+            "quit\n"))
+        assert status == 0
+        assert "total = 12" in text
+        assert "x*10 = 20" in text
+        assert "x := 2" in text
+
+    def test_help_and_clear(self, source):
+        status, text = run_cli([source], stdin_text=(
+            "help\nclear\naliases\nquit\n"))
+        assert "DUEL REPL commands" in text
+        assert "(no aliases)" in text
+
+    def test_symbolic_toggle(self, source):
+        status, text = run_cli([source], stdin_text=(
+            "symbolic off\nvalues[0]\nsymbolic on\nvalues[0]\nquit\n"))
+        lines = text.splitlines()
+        assert "5" in lines
+        assert "values[0] = 5" in lines
+
+    def test_empty_output_marker(self, source):
+        status, text = run_cli([source], stdin_text="1..0\nquit\n")
+        assert "(no values)" in text
+
+    def test_calculator_mode_without_program(self):
+        status, text = run_cli([], stdin_text="(1..3)+(5,9)\nquit\n")
+        assert "6 10 7 11 8 12" in text
+
+    def test_eof_terminates(self, source):
+        status, text = run_cli([source], stdin_text="total\n")
+        assert status == 0
+
+
+class TestHistoryAndSaved:
+    def test_history_command(self, source):
+        status, text = run_cli([source], stdin_text=(
+            "1+1\ntotal\nhistory\nquit\n"))
+        assert "  0  1+1" in text
+        assert "  1  total" in text
+
+    def test_save_and_reissue(self, source):
+        status, text = run_cli([source], stdin_text=(
+            "save tot total\n"
+            "!tot\n"
+            "quit\n"))
+        assert "saved 'tot'" in text
+        assert "total = 12" in text
+
+    def test_save_validates(self, source):
+        status, text = run_cli([source], stdin_text=(
+            "save bad total +\nquit\n"))
+        assert "saved" not in text
+
+    def test_unknown_saved_query(self, source):
+        status, text = run_cli([source], stdin_text="!nope\nquit\n")
+        assert "no saved query" in text
+
+    def test_save_usage_message(self, source):
+        status, text = run_cli([source], stdin_text="save onlyname\nquit\n")
+        assert "usage: save" in text
+
+
+class TestSessionHistoryApi:
+    def test_history_dedupes_consecutive(self, source):
+        from repro import DuelSession, SimulatorBackend, TargetProgram
+        session = DuelSession(SimulatorBackend(TargetProgram()))
+        session.eval("1+1")
+        session.eval("1+1")
+        session.eval("2+2")
+        assert session.history == ["1+1", "2+2"]
+
+    def test_run_saved(self):
+        from repro import DuelSession, SimulatorBackend, TargetProgram
+        session = DuelSession(SimulatorBackend(TargetProgram()))
+        session.save_query("sum", "+/(1..10)")
+        assert session.run_saved("sum") == ["55"]
+        import pytest as _pytest
+        with _pytest.raises(KeyError):
+            session.run_saved("missing")
+
+
+class TestOptimizeFlag:
+    def test_optimize_flag_same_output(self, source):
+        plain_status, plain_text = run_cli(["-e", "values[1+1]", source])
+        opt_status, opt_text = run_cli(
+            ["--optimize", "-e", "values[1+1]", source])
+        assert plain_text == opt_text
+        assert "values[1+1] = 9" in opt_text

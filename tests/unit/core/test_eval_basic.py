@@ -1,0 +1,251 @@
+"""Unit tests for the generator evaluator: scalar operators and
+generator control (the paper's §Semantics operator catalogue)."""
+
+import pytest
+
+from repro.core.errors import DuelEvalLimit, DuelNameError, DuelTypeError
+
+
+def values(session, text):
+    return session.eval_values(text)
+
+
+class TestConstantsAndArithmetic:
+    def test_constant(self, empty_session):
+        assert values(empty_session, "5") == [5]
+
+    def test_float_arithmetic(self, empty_session):
+        assert values(empty_session, "1 + (double)3/2") == [2.5]
+
+    def test_char_constant(self, empty_session):
+        assert values(empty_session, "'A'") == [65]
+
+    def test_hex(self, empty_session):
+        assert values(empty_session, "0x10 + 1") == [17]
+
+    def test_unary_ops(self, empty_session):
+        assert values(empty_session, "-(3)") == [-3]
+        assert values(empty_session, "!0") == [1]
+        assert values(empty_session, "~0") == [-1]
+
+    def test_conditional_expression(self, empty_session):
+        assert values(empty_session, "1 ? 10 : 20") == [10]
+        assert values(empty_session, "0 ? 10 : 20") == [20]
+
+
+class TestTo:
+    def test_inclusive_range(self, empty_session):
+        assert values(empty_session, "1..5") == [1, 2, 3, 4, 5]
+
+    def test_empty_range(self, empty_session):
+        assert values(empty_session, "3..2") == []
+
+    def test_prefix_form(self, empty_session):
+        assert values(empty_session, "..4") == [0, 1, 2, 3]
+
+    def test_generator_operands(self, empty_session):
+        # (to (alternate 1 5) (alternate 5 10)) from the paper.
+        got = values(empty_session, "(1,5)..(5,10)")
+        assert got == (list(range(1, 6)) + list(range(1, 11))
+                       + [5] + list(range(5, 11)))
+
+    def test_negative_range(self, empty_session):
+        assert values(empty_session, "-2..1") == [-2, -1, 0, 1]
+
+    def test_non_integer_bound_rejected(self, empty_session):
+        with pytest.raises(DuelTypeError):
+            values(empty_session, "1..2.5")
+
+    def test_unbounded_guarded_by_until(self, empty_session):
+        assert values(empty_session, "(5..)@8") == [5, 6, 7]
+
+    def test_runaway_unbounded_hits_step_limit(self, empty_session):
+        empty_session.options.max_steps = 10_000
+        with pytest.raises(DuelEvalLimit):
+            values(empty_session, "#/(0..)")
+
+
+class TestAlternate:
+    def test_order(self, empty_session):
+        assert values(empty_session, "1,2,5") == [1, 2, 5]
+
+    def test_paper_product(self, empty_session):
+        assert values(empty_session, "(1,2,5)*4+(10,200)") == \
+            [14, 204, 18, 208, 30, 220]
+
+    def test_paper_sum(self, empty_session):
+        assert values(empty_session, "(1..3)+(5,9)") == [6, 10, 7, 11, 8, 12]
+        assert values(empty_session, "(3,11)+(5..7)") == [8, 9, 10, 16, 17, 18]
+
+
+class TestCompareYield:
+    def test_yields_left_operand(self, array_session):
+        # x = [3, -1, 7, 0, 12, -9, 2, 120, 5, -4]
+        assert values(array_session, "x[..10] >? 0") == [3, 7, 12, 2, 120, 5]
+
+    def test_chained_range_check(self, array_session):
+        assert values(array_session, "x[..10] >? 5 <? 10") == [7]
+
+    def test_eq_yield(self, array_session):
+        assert values(array_session, "x[..10] ==? (5..7)") == [7, 5]
+
+    def test_ne_yield(self, empty_session):
+        assert values(empty_session, "(1,2,3) !=? 2") == [1, 3]
+
+    def test_c_comparison_unchanged(self, array_session):
+        assert values(array_session, "x[1..3] == 7") == [0, 1, 0]
+
+
+class TestLogical:
+    def test_andand_generator_semantics(self, empty_session):
+        # e2's values for each non-zero e1 value.
+        assert values(empty_session, "(1,0,2) && (7,8)") == [7, 8, 7, 8]
+
+    def test_andand_c_equivalent_when_scalar(self, empty_session):
+        assert values(empty_session, "1 && 5") == [5]
+        assert values(empty_session, "0 && 5") == []
+
+    def test_oror(self, empty_session):
+        assert values(empty_session, "(0,3) || (9,10)") == [9, 10, 1]
+
+    def test_lognot(self, empty_session):
+        assert values(empty_session, "!(0,1,2)") == [1, 0, 0]
+
+
+class TestIf:
+    def test_if_filters(self, empty_session):
+        assert values(empty_session, "if (1) (2,3)") == [2, 3]
+        assert values(empty_session, "if (0) (2,3)") == []
+
+    def test_if_else(self, empty_session):
+        assert values(empty_session, "if (0) 1 else (8,9)") == [8, 9]
+
+    def test_if_generator_condition(self, empty_session):
+        # For each non-zero cond value -> then; zero -> else.
+        assert values(empty_session, "if ((1,0,1)) 5 else 6") == [5, 6, 5]
+
+
+class TestSequenceImply:
+    def test_sequence_discards_left(self, empty_session):
+        assert values(empty_session, "(1,2,3); 9") == [9]
+
+    def test_trailing_semicolon_side_effects_only(self, array_session):
+        assert values(array_session, "x[0] = 99 ;") == []
+        assert values(array_session, "x[0]") == [99]
+
+    def test_imply_repeats_right(self, empty_session):
+        assert values(empty_session, "(1..3) => 7") == [7, 7, 7]
+
+    def test_imply_with_alias(self, empty_session):
+        assert values(empty_session, "i := 1..3 => {i} + 4") == [5, 6, 7]
+
+
+class TestWhileFor:
+    def test_for_loop(self, empty_session):
+        empty_session.eval("int i;")
+        got = values(empty_session, "for (i = 0; i < 4; i++) i*10")
+        assert got == [0, 10, 20, 30]
+
+    def test_paper_for_with_if(self, empty_session):
+        empty_session.eval("int i;")
+        got = values(empty_session,
+                     "for (i = 0; i < 9; i++) 4 + if (i%3 == 0) {i}*5")
+        assert got == [4, 19, 34]
+
+    def test_while_loop(self, empty_session):
+        empty_session.eval("int n;")
+        empty_session.eval("n = 3 ;")
+        got = values(empty_session, "while (n) n = n - 1")
+        assert got == [2, 1, 0]
+
+
+class TestDefineAndDecl:
+    def test_define_aliases_each_value(self, empty_session):
+        assert values(empty_session, "i := (4,5)") == [4, 5]
+        # After draining, the alias holds the last value.
+        assert values(empty_session, "i") == [5]
+
+    def test_define_preserves_lvalue(self, array_session):
+        array_session.eval("b := x[5]")
+        array_session.eval("b = 123 ;")
+        assert values(array_session, "x[5]") == [123]
+
+    def test_declaration_allocates_target_space(self, empty_session):
+        empty_session.eval("int i;")
+        empty_session.eval("i = 41 ;")
+        assert values(empty_session, "i + 1") == [42]
+
+    def test_declaration_produces_no_values(self, empty_session):
+        assert empty_session.eval("int j;") == []
+
+    def test_paper_sequence_alias(self, empty_session):
+        assert values(empty_session, "i := 1..3; i + 4") == [7]
+
+    def test_unknown_name(self, empty_session):
+        with pytest.raises(DuelNameError):
+            values(empty_session, "nosuchvar")
+
+
+class TestCalls:
+    def test_combinations(self, empty_session, program):
+        calls = []
+        program.define_function("probe", "int probe(int, int)",
+                                lambda p, a, b: calls.append((a, b)) or 0)
+        empty_session.eval("probe((3,4), 5..7)")
+        assert calls == [(3, 5), (3, 6), (3, 7), (4, 5), (4, 6), (4, 7)]
+
+    def test_paper_printf(self, empty_session, program):
+        from repro.target.stdlib import stdout_text
+        empty_session.eval('printf("%d %d, ", (3,4), 5..7)')
+        assert stdout_text(program) == "3 5, 3 6, 3 7, 4 5, 4 6, 4 7, "
+
+    def test_return_value_typed(self, empty_session, program):
+        program.define_function("f", "int f(void)", lambda p: 5)
+        assert values(empty_session, "f() * 2") == [10]
+
+    def test_call_non_function_rejected(self, empty_session):
+        with pytest.raises(DuelTypeError):
+            values(empty_session, "(1)(2)")
+
+
+class TestGroupsReductions:
+    def test_count(self, empty_session):
+        assert values(empty_session, "#/(1..10)") == [10]
+        assert values(empty_session, "#/(1..0)") == [0]
+
+    def test_sum_product(self, empty_session):
+        assert values(empty_session, "+/(1..4)") == [10]
+        assert values(empty_session, "*/(1..4)") == [24]
+
+    def test_min_max(self, empty_session):
+        assert values(empty_session, "<?/(3,1,2)") == [1]
+        assert values(empty_session, ">?/(3,1,2)") == [3]
+
+    def test_all_any(self, empty_session):
+        assert values(empty_session, "&&/(1,2,3)") == [1]
+        assert values(empty_session, "&&/(1,0,3)") == [0]
+        assert values(empty_session, "||/(0,0,2)") == [1]
+        assert values(empty_session, "||/(0,0)") == [0]
+
+    def test_empty_reductions(self, empty_session):
+        assert values(empty_session, "+/(1..0)") == [0]
+        assert values(empty_session, "*/(1..0)") == [1]
+
+    def test_group_passthrough(self, empty_session):
+        assert values(empty_session, "{1+2}") == [3]
+
+
+class TestSizeofCast:
+    def test_sizeof_type(self, empty_session):
+        assert values(empty_session, "sizeof(long)") == [8]
+
+    def test_sizeof_expression(self, array_session):
+        assert values(array_session, "sizeof x") == [40]
+
+    def test_cast_in_expression(self, empty_session):
+        assert values(empty_session, "(char)300") == [44]
+
+    def test_cast_with_target_struct(self, session):
+        # struct symbol exists in the paper workload.
+        got = values(session, "sizeof(struct symbol)")
+        assert got == [24]

@@ -1,0 +1,212 @@
+"""Unit tests for the structural operators: with, -->, select, #, @."""
+
+import pytest
+
+from repro.core.errors import DuelMemoryError, DuelTypeError
+
+
+def values(session, text):
+    return session.eval_values(text)
+
+
+def lines(session, text):
+    return session.eval_lines(text)
+
+
+class TestWith:
+    def test_arrow_field(self, session):
+        assert values(session, "hash[42]->scope") == [7]
+
+    def test_field_alternation(self, session):
+        got = lines(session, "hash[1,9]->(scope,name)")
+        assert got == [
+            "hash[1]->scope = 3",
+            'hash[1]->name = "x"',
+            "hash[9]->scope = 2",
+            'hash[9]->name = "abc"',
+        ]
+
+    def test_null_pointer_generates_nothing(self, session):
+        # bucket 7 is empty in the fixture.
+        assert values(session, "hash[7]->scope") == []
+
+    def test_underscore_refers_to_operand(self, session):
+        got = lines(session, "x[..10].if (_ < 0 || _ > 100) _")
+        # x fixture: [3, -1, 7, 0, 12, -9, 2, 120, 5, -4]
+        assert got == ["x[1] = -1", "x[5] = -9", "x[7] = 120", "x[9] = -4"]
+
+    def test_alias_vs_underscore_output(self, session):
+        # Aliased form shows the alias name, not the array element.
+        got = lines(session, "y := x[..10] => if (y < 0 || y > 100) y")
+        assert got[0] == "y = -1"
+
+    def test_nested_with_scopes(self, session):
+        # Inner with shadows outer for same-named fields.
+        got = values(session, "hash[42]->(next->scope)")
+        assert got == [2]
+
+    def test_arrow_on_non_pointer_rejected(self, session):
+        with pytest.raises(DuelTypeError):
+            values(session, "x[0]->scope")
+
+    def test_generalized_scope_falls_through(self, session):
+        # Names that are not fields resolve in outer scopes.
+        session.eval("k := 5")
+        assert values(session, "hash[42]->(scope + k)") == [12]
+
+
+class TestExpand:
+    def test_list_walk(self, session):
+        assert values(session, "L-->next->value")[:4] == [10, 20, 30, 40]
+
+    def test_list_walk_count(self, session):
+        assert values(session, "#/(L-->next)") == [10]
+
+    def test_tree_preorder(self, session):
+        assert values(session, "root-->(left,right)->key") == [9, 3, 4, 5, 12]
+
+    def test_bfs_level_order(self, session):
+        assert values(session, "root-->>(left,right)->key") == [9, 3, 12, 4, 5]
+
+    def test_guided_traversal(self, session):
+        got = values(session,
+                     "root-->(if (key > 5) left else if (key < 5) right)"
+                     "->key")
+        assert got == [9, 3, 5]
+
+    def test_null_root_empty(self, session):
+        assert values(session, "hash[7]-->next") == []
+
+    def test_dfs_symbolic_folding(self, session):
+        got = lines(session, "hash[0]-->next->scope")
+        assert got == [
+            "hash[0]->scope = 4",
+            "hash[0]->next->scope = 3",
+            "hash[0]->next->next->scope = 2",
+            "hash[0]->next->next->next->scope = 1",
+        ]
+
+    def test_sortedness_query_folds_deep_chain(self, session):
+        got = lines(session,
+                    "hash[..1024]-->next-> if (next) scope <? next->scope")
+        assert got == ["hash[287]-->next[[8]]->scope = 5"]
+
+    def test_cycle_detection_stops(self, program):
+        from repro import DuelSession, SimulatorBackend
+        from repro.target import builder
+        builder.linked_list(program, "ring", [1, 2, 3], cycle_to=0)
+        duel = DuelSession(SimulatorBackend(program))
+        assert duel.eval_values("ring-->next->value") == [1, 2, 3]
+
+    def test_invalid_pointer_terminates_walk(self, program):
+        from repro import DuelSession, SimulatorBackend
+        from repro.target import builder
+        sym = builder.linked_list(program, "L", [1, 2, 3])
+        node = program.types.structs["node"]
+        from repro.ctype.types import PointerType
+        ptr = PointerType(node)
+        head = program.read_value(sym.address, ptr)
+        second = program.read_value(head + node.field("next").offset, ptr)
+        program.write_value(second + node.field("next").offset, ptr,
+                            0xBAD00000)
+        duel = DuelSession(SimulatorBackend(program))
+        assert duel.eval_values("L-->next->value") == [1, 2]
+
+
+class TestSelect:
+    def test_zero_based(self, empty_session):
+        assert values(empty_session, "(10..30)[[3..5]]") == [13, 14, 15]
+
+    def test_paper_multiplication_table(self, empty_session):
+        got = lines(empty_session, "((1..9)*(1..9))[[52,74]]")
+        assert got == ["48 27"]
+
+    def test_select_on_dfs_lowers_fold(self, session):
+        got = lines(session, "head-->next->value[[3,5]]")
+        assert got == [
+            "head-->next[[3]]->value = 33",
+            "head-->next[[5]]->value = 29",
+        ]
+
+    def test_out_of_range_selector_ignored(self, empty_session):
+        assert values(empty_session, "(1..3)[[7]]") == []
+        assert values(empty_session, "(1..3)[[-1]]") == []
+
+    def test_unordered_selectors(self, empty_session):
+        assert values(empty_session, "(10..20)[[5,2]]") == [15, 12]
+
+
+class TestIndexAliasAndUntil:
+    def test_index_alias_positions(self, empty_session):
+        got = values(empty_session, "(5,6,7)#i => {i}")
+        assert got == [0, 1, 2]
+
+    def test_paper_duplicate_query(self, session):
+        got = lines(session,
+                    "L-->next#i->value ==? L-->next#j->value => "
+                    "if (i < j) L-->next[[i,j]]->value")
+        assert got == [
+            "L-->next[[4]]->value = 27",
+            "L-->next[[9]]->value = 27",
+        ]
+
+    def test_until_constant(self, session):
+        assert values(session, "(1..9)@4") == [1, 2, 3]
+
+    def test_until_guard_expression(self, session):
+        assert values(session, "(1..9)@(_ > 4)") == [1, 2, 3, 4]
+
+    def test_until_never_fires(self, empty_session):
+        assert values(empty_session, "(1..3)@99") == [1, 2, 3]
+
+    def test_argv_idiom(self, session):
+        got = lines(session, "argv[0..]@0")
+        assert got == ['argv[0] = "prog"', 'argv[1] = "-v"',
+                       'argv[2] = "file.c"']
+
+    def test_string_idiom(self, program):
+        from repro import DuelSession, SimulatorBackend
+        from repro.ctype.types import CHAR, PointerType
+        sym = program.define("s", PointerType(CHAR))
+        program.write_value(sym.address, PointerType(CHAR),
+                            program.alloc_string("ab"))
+        duel = DuelSession(SimulatorBackend(program))
+        assert duel.eval_values("s[0..999]@0") == [97, 98]
+
+
+class TestAssignmentThroughGenerators:
+    def test_clear_all_heads(self, session):
+        session.eval("hash[0..1023]->scope = 0 ;")
+        assert values(session, "(hash[..1024] !=? 0)->scope >? 0") == []
+
+    def test_alias_chain_assignment(self, session):
+        session.eval("x2 := hash[..1024] !=? 0 => y2 := x2->scope => y2 = 0")
+        assert values(session, "(hash[..1024] !=? 0)->scope >? 0") == []
+
+    def test_conditional_field_update(self, session):
+        session.eval("hash[..1024]-->next->(if (scope > 5) scope = 0) ;")
+        assert values(session, "#/(hash[..1024]-->next->scope >? 5)") == [0]
+
+
+class TestErrors:
+    def test_memory_error_format(self, program):
+        from repro import DuelSession, SimulatorBackend
+        from repro.ctype.types import PointerType, INT
+        sym = program.define("ptr", PointerType(INT))
+        program.write_value(sym.address, PointerType(INT), 0x16820)
+        duel = DuelSession(SimulatorBackend(program))
+        with pytest.raises(DuelMemoryError) as info:
+            duel.eval("*ptr")
+        message = str(info.value)
+        assert "Illegal memory reference" in message
+        assert "ptr = lvalue 0x16820" in message
+
+    def test_arrow_error_pattern(self, program):
+        from repro import DuelSession, SimulatorBackend
+        program.declare("struct cell {int val; struct cell *next;} *bad;")
+        sym = program.lookup("bad")
+        program.write_value(sym.address, sym.ctype, 0xDEAD)
+        duel = DuelSession(SimulatorBackend(program))
+        with pytest.raises(DuelMemoryError) as info:
+            duel.eval("bad->val")
+        assert "in x of x->y" in str(info.value)

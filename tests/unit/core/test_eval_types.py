@@ -1,0 +1,179 @@
+"""DUEL over the full C type system: unions, enums, bitfields,
+typedefs, nested records, multi-dimensional arrays."""
+
+import pytest
+
+from repro import DuelSession, SimulatorBackend
+from repro.ctype.types import DOUBLE, INT
+
+
+@pytest.fixture
+def duel(program):
+    return DuelSession(SimulatorBackend(program))
+
+
+class TestBitfields:
+    @pytest.fixture
+    def flags(self, program, duel):
+        program.declare("struct flags {unsigned ready:1; unsigned mode:3;"
+                        " unsigned count:12;} fl;")
+        return duel
+
+    def test_read_write_fields(self, flags):
+        flags.eval("fl.mode = 5 ;")
+        flags.eval("fl.count = 1234 ;")
+        assert flags.eval_values("fl.mode") == [5]
+        assert flags.eval_values("fl.count") == [1234]
+        assert flags.eval_values("fl.ready") == [0]
+
+    def test_width_wraps(self, flags):
+        flags.eval("fl.mode = 9 ;")  # 3 bits: 9 & 7 == 1
+        assert flags.eval_values("fl.mode") == [1]
+
+    def test_bitfield_arithmetic(self, flags):
+        flags.eval("fl.count = 100 ;")
+        assert flags.eval_values("fl.count * 2 + 1") == [201]
+
+    def test_bitfield_in_generator(self, flags):
+        flags.eval("fl.mode = 3 ;")
+        assert flags.eval_values("(1..5) ==? fl.mode") == [3]
+
+
+class TestUnions:
+    def test_members_alias_storage(self, program, duel):
+        program.declare("union pun {int i; unsigned u;} p;")
+        duel.eval("p.i = -1 ;")
+        assert duel.eval_values("p.u") == [2**32 - 1]
+
+    def test_union_through_pointer(self, program, duel):
+        program.declare("union pun2 {int i; char c;} q;")
+        duel.eval("q.i = 65 ;")
+        assert duel.eval_values("(&q)->c") == [65]
+
+
+class TestEnums:
+    @pytest.fixture
+    def colors(self, program, duel):
+        program.declare("enum color {RED, GREEN = 5, BLUE} c;")
+        return duel
+
+    def test_enum_constant_lookup(self, colors):
+        assert colors.eval_values("GREEN") == [5]
+        assert colors.eval_values("BLUE + RED") == [6]
+
+    def test_enum_variable_display(self, colors):
+        colors.eval("c = GREEN ;")
+        assert colors.eval_lines("c") == ["c = GREEN"]
+
+    def test_enum_comparison_yield(self, colors):
+        colors.eval("c = BLUE ;")
+        assert colors.eval_values("c ==? BLUE") == [6]
+
+    def test_enum_in_range(self, colors):
+        assert colors.eval_values("RED..GREEN") == [0, 1, 2, 3, 4, 5]
+
+
+class TestTypedefs:
+    def test_cast_through_target_typedef(self, program, duel):
+        program.declare("typedef unsigned char byte; int v;")
+        duel.eval("v = 300 ;")
+        assert duel.eval_values("(byte)v") == [44]
+
+    def test_duel_declaration_with_typedef(self, program, duel):
+        program.declare("typedef long counter_t;")
+        duel.eval("counter_t n;")
+        # Note (long): in C, 1 << 40 overflows int — and does here too.
+        duel.eval("n = (long)1 << 40 ;")
+        assert duel.eval_values("n") == [1 << 40]
+        assert duel.eval_values("1 << 40") == [0]  # int wraparound, as in C
+
+    def test_sizeof_typedef(self, program, duel):
+        program.declare("typedef double matrix_t[4];")
+        assert duel.eval_values("sizeof(matrix_t)") == [32]
+
+
+class TestNestedRecords:
+    @pytest.fixture
+    def nested(self, program, duel):
+        program.declare(
+            "struct inner {int x; int y;};"
+            "struct outer {struct inner a; struct inner b;"
+            " struct outer *link;} o1, o2;")
+        return duel
+
+    def test_nested_field_chains(self, nested):
+        nested.eval("o1.a.x = 1 ; o1.b.y = 2 ;")
+        assert nested.eval_values("o1.a.x + o1.b.y") == [3]
+
+    def test_pointer_into_nested(self, nested):
+        nested.eval("o1.link = &o2 ; o2.a.x = 9 ;")
+        assert nested.eval_values("o1.link->a.x") == [9]
+
+    def test_with_over_inner_struct(self, nested):
+        nested.eval("o1.a.x = 7 ;")
+        assert nested.eval_values("o1.a.(x * 2)") == [14]
+
+    def test_struct_copy_assignment(self, nested):
+        nested.eval("o2.a.x = 41 ; o2.a.y = 42 ;")
+        nested.eval("o1.a = o2.a ;")
+        assert nested.eval_values("o1.a.y") == [42]
+
+
+class TestArrays:
+    def test_multidim(self, program, duel):
+        program.declare("int m[3][4];")
+        duel.eval("m[1][2] = 7 ;")
+        assert duel.eval_values("m[1][2]") == [7]
+        assert duel.eval_values("#/(m[..3][..4])") == [12]
+
+    def test_array_of_structs(self, program, duel):
+        program.declare("struct pt {int x; int y;} pts[4];")
+        duel.eval("pts[..4].x = 5 ;")
+        assert duel.eval_values("+/(pts[..4].x)") == [20]
+
+    def test_pointer_indexing(self, program, duel):
+        program.declare("int a[8]; int *p;")
+        duel.eval("a[..8] = 3 ; p = &a[2] ;")
+        assert duel.eval_values("p[1]") == [3]
+        assert duel.eval_values("*(p + 1)") == [3]
+
+    def test_array_decay_difference(self, program, duel):
+        program.declare("int b[8];")
+        assert duel.eval_values("&b[4] - &b[0]") == [4]
+
+
+class TestFloats:
+    def test_double_variable(self, program, duel):
+        program.declare("double d;")
+        duel.eval("d = 2.5 ;")
+        assert duel.eval_values("d * 2") == [5.0]
+
+    def test_mixed_arithmetic_promotes(self, program, duel):
+        program.declare("float f; int i;")
+        duel.eval("f = 0.5 ; i = 2 ;")
+        assert duel.eval_values("f + i") == [2.5]
+
+    def test_float_formatting(self, program, duel):
+        program.declare("double e;")
+        duel.eval("e = 1.5 ;")
+        assert duel.eval_lines("e") == ["e = 1.500"]
+
+
+class TestStrings:
+    def test_string_literal_comparison_via_strcmp(self, program, duel):
+        from repro.target.stdlib import install_stdlib
+        install_stdlib(program)
+        assert duel.eval_values('strcmp("abc", "abc")') == [0]
+
+    def test_string_literal_is_interned(self, program, duel):
+        first = duel.eval_values('"hello"')
+        second = duel.eval_values('"hello"')
+        assert first == second  # same target address
+
+    def test_char_pointer_display(self, program, duel):
+        program.declare("char *msg;")
+        duel.eval('msg = "hey" ;')
+        assert duel.eval_lines("msg") == ['msg = "hey"']
+
+    def test_index_into_literal(self, program, duel):
+        assert duel.eval_values('"abc"[1]') == [98]

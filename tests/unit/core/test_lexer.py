@@ -1,0 +1,134 @@
+"""Unit tests for the DUEL lexer."""
+
+import pytest
+
+from repro.core.errors import DuelSyntaxError
+from repro.core.lexer import Token, TokenStream, tokenize, unescape
+
+
+def texts(source):
+    return [t.text for t in tokenize(source) if t.kind != "eof"]
+
+
+def kinds(source):
+    return [t.kind for t in tokenize(source) if t.kind != "eof"]
+
+
+class TestNumbers:
+    def test_int(self):
+        assert kinds("42") == ["num"]
+
+    def test_hex(self):
+        assert texts("0xFF") == ["0xFF"]
+
+    def test_float(self):
+        assert kinds("1.5") == ["fnum"]
+        assert kinds("1.") == ["fnum"]
+        assert kinds(".5") == ["fnum"]
+        assert kinds("1e3") == ["fnum"]
+        assert kinds("1.5e-2") == ["fnum"]
+
+    def test_range_vs_float(self):
+        # The critical case: 1..3 must NOT lex "1." as a float.
+        assert texts("1..3") == ["1", "..", "3"]
+        assert kinds("1..3") == ["num", "op", "num"]
+
+    def test_unbounded_range(self):
+        assert texts("0..") == ["0", ".."]
+
+    def test_suffixes(self):
+        assert texts("10UL 3u 7ll") == ["10UL", "3u", "7ll"]
+
+
+class TestOperators:
+    @pytest.mark.parametrize("op", [
+        "..", "-->", "->", "[[", "]]", "==?", "!=?", "<=?", ">=?",
+        "<?", ">?", ":=", "=>", "#/", "+/", "&&/", "||/", "<?/", ">?/",
+        "<<=", ">>=", "<<", ">>", "&&", "||", "++", "--", "-->>",
+    ])
+    def test_multichar(self, op):
+        assert texts(f"a {op} b")[1] == op
+
+    def test_longest_match(self):
+        assert texts("a-->b") == ["a", "-->", "b"]
+        assert texts("a-->>b") == ["a", "-->>", "b"]
+        assert texts("a->b") == ["a", "->", "b"]
+        assert texts("a--") == ["a", "--"]
+
+    def test_select_brackets(self):
+        assert texts("x[[1]]") == ["x", "[[", "1", "]]"]
+
+    def test_nested_index_produces_double_bracket(self):
+        # a[b[0]] lexes the tail as "]]"; the parser splits it.
+        assert texts("a[b[0]]")[-1] == "]]"
+
+    def test_reduction_tokens(self):
+        assert texts("#/x") == ["#/", "x"]
+        assert texts("e#i") == ["e", "#", "i"]
+
+    def test_bad_character(self):
+        with pytest.raises(DuelSyntaxError):
+            tokenize("a $ b")
+
+
+class TestComments:
+    def test_double_hash_comment(self):
+        assert texts("1 + 2 ## the rest is ignored .. --> $") == ["1", "+", "2"]
+
+
+class TestLiterals:
+    def test_char(self):
+        toks = tokenize("'a'")
+        assert toks[0].kind == "char"
+
+    def test_char_escapes(self):
+        assert unescape(r"\n") == "\n"
+        assert unescape(r"\0") == "\0"
+        assert unescape(r"\x41") == "A"
+        assert unescape(r"\101") == "A"
+        assert unescape(r"\\") == "\\"
+
+    def test_string(self):
+        toks = tokenize('"hello\\n"')
+        assert toks[0].kind == "string"
+
+    def test_unterminated_string(self):
+        with pytest.raises(DuelSyntaxError):
+            tokenize('"abc')
+
+    def test_unterminated_char(self):
+        with pytest.raises(DuelSyntaxError):
+            tokenize("'a")
+
+
+class TestNames:
+    def test_identifiers(self):
+        assert kinds("foo _bar x9") == ["name"] * 3
+
+    def test_underscore_alone(self):
+        assert texts("_") == ["_"]
+
+
+class TestTokenStream:
+    def test_positions_for_slicing(self):
+        source = "int i; i + 1"
+        stream = TokenStream(source)
+        first = stream.next()
+        assert source[first.start:first.end] == "int"
+
+    def test_split_rbracket(self):
+        stream = TokenStream("a[b[0]]")
+        toks = []
+        while not stream.at_end:
+            tok = stream.peek()
+            if tok.is_op("]]"):
+                toks.append(stream.expect("]").text)
+            else:
+                toks.append(stream.next().text)
+        assert toks == ["a", "[", "b", "[", "0", "]", "]"]
+
+    def test_expect_mismatch_raises(self):
+        stream = TokenStream("a b")
+        stream.next()
+        with pytest.raises(DuelSyntaxError):
+            stream.expect(")")

@@ -1,0 +1,103 @@
+"""Remaining semantic corners: strict cycle mode, frame(), error
+formatting, session switches."""
+
+import pytest
+
+from repro import DuelSession, SimulatorBackend, TargetProgram
+from repro.core.errors import DuelEvalLimit, DuelSyntaxError
+from repro.target import builder
+
+
+class TestCycleModes:
+    @pytest.fixture
+    def ring_program(self):
+        program = TargetProgram()
+        builder.linked_list(program, "ring", [1, 2, 3], cycle_to=0)
+        return program
+
+    def test_stop_mode_terminates(self, ring_program):
+        duel = DuelSession(SimulatorBackend(ring_program),
+                           cycle_mode="stop")
+        assert duel.eval_values("ring-->next->value") == [1, 2, 3]
+
+    def test_strict_mode_mimics_original(self, ring_program):
+        # Paper: "the current implementation does not handle cycles."
+        # Strict mode reproduces that: the walk loops until the guard.
+        duel = DuelSession(SimulatorBackend(ring_program),
+                           cycle_mode="strict")
+        duel.evaluator.options.max_expand = 1000
+        with pytest.raises(DuelEvalLimit):
+            duel.eval("ring-->next->value")
+
+    def test_strict_mode_fine_on_acyclic(self, ring_program):
+        builder.linked_list(ring_program, "line", [7, 8])
+        duel = DuelSession(SimulatorBackend(ring_program),
+                           cycle_mode="strict")
+        assert duel.eval_values("line-->next->value") == [7, 8]
+
+
+class TestFrameExpression:
+    def test_frame_scope_lookup(self, program):
+        from repro.ctype.types import INT
+        outer = program.stack.push("outer")
+        outer.declare("depth", INT)
+        program.write_value(outer.symbols.lookup("depth").address, INT, 1)
+        inner = program.stack.push("inner")
+        inner.declare("depth", INT)
+        program.write_value(inner.symbols.lookup("depth").address, INT, 2)
+        duel = DuelSession(SimulatorBackend(program))
+        # Bare name: innermost frame.
+        assert duel.eval_values("depth") == [2]
+        # frame(i).name: explicit frames, 0 = innermost.
+        assert duel.eval_values("frame(0).depth") == [2]
+        assert duel.eval_values("frame(1).depth") == [1]
+
+    def test_frame_generator(self, program):
+        from repro.ctype.types import INT
+        for level in range(3):
+            frame = program.stack.push(f"f{level}")
+            frame.declare("lvl", INT)
+            program.write_value(frame.symbols.lookup("lvl").address,
+                                INT, level)
+        duel = DuelSession(SimulatorBackend(program))
+        # The paper's Discussion scenario: one local across all frames.
+        assert duel.eval_values("frame(..3).lvl") == [2, 1, 0]
+
+    def test_out_of_range_frames_skipped(self, program):
+        duel = DuelSession(SimulatorBackend(program))
+        assert duel.eval_values("frame(0..5)") == []
+
+
+class TestSyntaxErrorReporting:
+    def test_caret_points_at_error(self):
+        with pytest.raises(DuelSyntaxError) as info:
+            DuelSession(SimulatorBackend(TargetProgram())).eval("1 + $")
+        message = str(info.value)
+        assert "1 + $" in message
+        assert "^" in message
+        caret_line = message.splitlines()[-1]
+        assert caret_line.index("^") == 4
+
+    def test_unbalanced_select(self):
+        with pytest.raises(DuelSyntaxError):
+            DuelSession(SimulatorBackend(TargetProgram())).eval("x[[1]")
+
+
+class TestSessionSwitches:
+    def test_fold_threshold_configurable(self, paper):
+        tight = DuelSession(SimulatorBackend(paper), fold=2)
+        lines = tight.eval_lines("hash[0]-->next->scope")
+        # With fold=2 even short chains use the [[k]] notation.
+        assert lines[2] == "hash[0]-->next[[2]]->scope = 2"
+
+    def test_max_steps_configurable(self, paper):
+        limited = DuelSession(SimulatorBackend(paper), max_steps=50)
+        with pytest.raises(DuelEvalLimit):
+            limited.eval("#/(0..10000)")
+
+    def test_float_format_configurable(self, program):
+        program.declare("double d;")
+        gdb_style = DuelSession(SimulatorBackend(program),
+                                float_format="%g")
+        gdb_style.eval("d = 2.5 ;")
+        assert gdb_style.eval_lines("d") == ["d = 2.5"]

@@ -1,0 +1,276 @@
+"""Unit tests for apply(): DUEL's C operator implementations."""
+
+import pytest
+
+from repro.core.errors import DuelMemoryError, DuelTypeError
+from repro.core.ops import Apply
+from repro.core.symbolic import SymText
+from repro.core.values import ValueOps, int_value, lvalue, rvalue
+from repro.ctype.types import (
+    CHAR,
+    DOUBLE,
+    INT,
+    LONG,
+    PointerType,
+    UINT,
+    array_of,
+)
+from repro.target.interface import SimulatorBackend
+from repro.target.program import TargetProgram
+
+
+@pytest.fixture
+def program():
+    return TargetProgram()
+
+
+@pytest.fixture
+def apply(program):
+    return Apply(ValueOps(SimulatorBackend(program)))
+
+
+def num(x, ctype=INT):
+    return rvalue(ctype, x, SymText(str(x)))
+
+
+class TestArithmetic:
+    def test_add(self, apply):
+        out = apply.binary("+", num(2), num(3))
+        assert out.value == 5 and out.ctype is INT
+
+    def test_division_truncates_toward_zero(self, apply):
+        assert apply.binary("/", num(-7), num(2)).value == -3
+        assert apply.binary("/", num(7), num(-2)).value == -3
+
+    def test_mod_sign_follows_dividend(self, apply):
+        assert apply.binary("%", num(-7), num(2)).value == -1
+        assert apply.binary("%", num(7), num(-2)).value == 1
+
+    def test_division_by_zero(self, apply):
+        with pytest.raises(DuelTypeError):
+            apply.binary("/", num(1), num(0))
+        with pytest.raises(DuelTypeError):
+            apply.binary("%", num(1), num(0))
+
+    def test_float_division(self, apply):
+        out = apply.binary("/", num(3.0, DOUBLE), num(2))
+        assert out.value == 1.5 and out.ctype is DOUBLE
+
+    def test_overflow_wraps(self, apply):
+        out = apply.binary("+", num(2**31 - 1), num(1))
+        assert out.value == -2**31
+
+    def test_unsigned_promotion(self, apply):
+        out = apply.binary("+", num(2**32 - 1, UINT), num(1))
+        assert out.value == 0
+        assert out.ctype.name() == "unsigned int"
+
+    def test_char_operands_promote_to_int(self, apply):
+        out = apply.binary("+", num(100, CHAR), num(100, CHAR))
+        assert out.value == 200 and out.ctype is INT
+
+    def test_shifts_and_bitwise(self, apply):
+        assert apply.binary("<<", num(1), num(4)).value == 16
+        assert apply.binary(">>", num(-8), num(1)).value == -4
+        assert apply.binary("&", num(0b1100), num(0b1010)).value == 0b1000
+        assert apply.binary("|", num(1), num(4)).value == 5
+        assert apply.binary("^", num(5), num(1)).value == 4
+
+    def test_int_only_ops_reject_floats(self, apply):
+        with pytest.raises(DuelTypeError):
+            apply.binary("%", num(1.0, DOUBLE), num(2))
+
+
+class TestComparisons:
+    def test_results_are_int(self, apply):
+        assert apply.binary("<", num(1), num(2)).value == 1
+        assert apply.binary(">=", num(1), num(2)).value == 0
+        assert apply.binary("==", num(3), num(3)).value == 1
+
+    def test_mixed_float_int(self, apply):
+        assert apply.binary("<", num(1), num(1.5, DOUBLE)).value == 1
+
+    def test_compare_true_strips_question(self, apply):
+        assert apply.compare_true(">", num(5), num(3))
+        assert not apply.compare_true("<=?", num(5), num(3))
+
+
+class TestPointers:
+    def test_pointer_plus_int_scales(self, apply, program):
+        p = rvalue(PointerType(INT), 0x1000, SymText("p"))
+        out = apply.binary("+", p, num(3))
+        assert out.value == 0x100C
+
+    def test_int_plus_pointer(self, apply):
+        p = rvalue(PointerType(LONG), 0x1000, SymText("p"))
+        assert apply.binary("+", num(2), p).value == 0x1010
+
+    def test_pointer_difference(self, apply):
+        pa = rvalue(PointerType(INT), 0x1010, SymText("a"))
+        pb = rvalue(PointerType(INT), 0x1000, SymText("b"))
+        out = apply.binary("-", pa, pb)
+        assert out.value == 4
+
+    def test_pointer_comparison(self, apply):
+        pa = rvalue(PointerType(INT), 0x1000, SymText("a"))
+        pb = rvalue(PointerType(INT), 0x2000, SymText("b"))
+        assert apply.binary("<", pa, pb).value == 1
+        assert apply.binary("==", pa, num(0)).value == 0
+
+    def test_pointer_times_int_rejected(self, apply):
+        p = rvalue(PointerType(INT), 0x1000, SymText("p"))
+        with pytest.raises(DuelTypeError):
+            apply.binary("*", p, num(2))
+
+    def test_deref_reads_target(self, apply, program):
+        (sym,) = program.declare("int x;")
+        program.write_value(sym.address, INT, 77)
+        p = rvalue(PointerType(INT), sym.address, SymText("p"))
+        out = apply.deref(p)
+        assert out.is_lvalue
+        assert apply.ops.load(out) == 77
+
+    def test_deref_null_reports_paper_error(self, apply):
+        p = rvalue(PointerType(INT), 0, SymText("ptr[48]"))
+        with pytest.raises(DuelMemoryError) as info:
+            apply.deref(p, pattern="x->y")
+        assert "Illegal memory reference" in str(info.value)
+        assert "ptr[48]" in str(info.value)
+
+    def test_deref_array_gives_element(self, apply, program):
+        (sym,) = program.declare("int a[4];")
+        arr = lvalue(sym.ctype, sym.address, SymText("a"))
+        out = apply.deref(arr)
+        assert out.ctype is INT
+
+    def test_addressof(self, apply, program):
+        (sym,) = program.declare("int x;")
+        lv = lvalue(INT, sym.address, SymText("x"))
+        out = apply.addressof(lv)
+        assert out.value == sym.address
+        assert out.ctype == PointerType(INT)
+
+    def test_addressof_rvalue_rejected(self, apply):
+        with pytest.raises(DuelTypeError):
+            apply.addressof(num(5))
+
+
+class TestIndexing:
+    def test_array_index(self, apply, program):
+        (sym,) = program.declare("int a[4];")
+        program.write_value(sym.address + 8, INT, 42)
+        arr = lvalue(sym.ctype, sym.address, SymText("a"))
+        out = apply.index(arr, num(2))
+        assert apply.ops.load(out) == 42
+        assert out.sym.render() == "a[2]"
+
+    def test_reversed_index(self, apply, program):
+        # C allows 2[a].
+        (sym,) = program.declare("int a[4];")
+        program.write_value(sym.address + 8, INT, 9)
+        arr = lvalue(sym.ctype, sym.address, SymText("a"))
+        out = apply.index(num(2), arr)
+        assert apply.ops.load(out) == 9
+
+    def test_index_non_pointer_rejected(self, apply):
+        with pytest.raises(DuelTypeError):
+            apply.index(num(1), num(2))
+
+    def test_index_out_of_segment_faults(self, apply, program):
+        (sym,) = program.declare("int a[4];")
+        arr = lvalue(sym.ctype, sym.address, SymText("a"))
+        with pytest.raises(DuelMemoryError):
+            apply.index(arr, num(10**9))
+
+
+class TestAssignment:
+    def test_simple_assign(self, apply, program):
+        (sym,) = program.declare("int x;")
+        lv = lvalue(INT, sym.address, SymText("x"))
+        apply.assign(lv, num(5), SymText("x=5"))
+        assert program.read_value(sym.address, INT) == 5
+
+    def test_assign_converts(self, apply, program):
+        (sym,) = program.declare("char c;")
+        lv = lvalue(CHAR, sym.address, SymText("c"))
+        apply.assign(lv, num(300), SymText("c=300"))
+        assert program.read_value(sym.address, CHAR) == 44
+
+    def test_compound_assign(self, apply, program):
+        (sym,) = program.declare("int x;")
+        program.write_value(sym.address, INT, 10)
+        lv = lvalue(INT, sym.address, SymText("x"))
+        apply.compound_assign("+", lv, num(5), SymText("x+=5"))
+        assert program.read_value(sym.address, INT) == 15
+
+    def test_assign_to_rvalue_rejected(self, apply):
+        with pytest.raises(DuelTypeError):
+            apply.assign(num(1), num(2), SymText("1=2"))
+
+    def test_incdec(self, apply, program):
+        (sym,) = program.declare("int x;")
+        program.write_value(sym.address, INT, 7)
+        lv = lvalue(INT, sym.address, SymText("x"))
+        old = apply.incdec("++", lv, postfix=True, sym=SymText("x++"))
+        assert old.value == 7
+        assert program.read_value(sym.address, INT) == 8
+        new = apply.incdec("--", lv, postfix=False, sym=SymText("--x"))
+        assert new.value == 7
+
+
+class TestCastsAndSizeof:
+    def test_cast_double_to_int(self, apply):
+        out = apply.cast(INT, num(3.9, DOUBLE), SymText("(int)3.9"))
+        assert out.value == 3 and out.ctype is INT
+
+    def test_cast_int_to_pointer(self, apply):
+        out = apply.cast(PointerType(INT), num(0x1234), SymText("c"))
+        assert out.value == 0x1234
+
+    def test_sizeof(self, apply):
+        out = apply.sizeof(array_of(INT, 10), SymText("sizeof"))
+        assert out.value == 40
+
+    def test_sizeof_incomplete_rejected(self, apply):
+        from repro.ctype.types import StructType
+        with pytest.raises(DuelTypeError):
+            apply.sizeof(StructType("inc"), SymText("sizeof"))
+
+
+class TestFieldAccess:
+    def test_field_through_pointer(self, apply, program):
+        program.declare("struct pair {int a; int b;} p;")
+        sym = program.lookup("p")
+        program.write_value(sym.address + 4, INT, 11)
+        ptr = rvalue(PointerType(sym.ctype), sym.address, SymText("q"))
+        out = apply.field(ptr, "b", arrow=True, sym=SymText("q->b"))
+        assert apply.ops.load(out) == 11
+
+    def test_missing_field(self, apply, program):
+        program.declare("struct pair2 {int a;} p2;")
+        sym = program.lookup("p2")
+        lv = lvalue(sym.ctype, sym.address, SymText("p2"))
+        with pytest.raises(DuelTypeError):
+            apply.field(lv, "zzz", arrow=False, sym=SymText("p2.zzz"))
+
+    def test_field_on_non_record(self, apply):
+        with pytest.raises(DuelTypeError):
+            apply.field(num(1), "a", arrow=False, sym=SymText("1.a"))
+
+    def test_bitfield_read_write(self, apply, program):
+        program.declare("struct flags {unsigned a:3; unsigned b:5;} fl;")
+        sym = program.lookup("fl")
+        record = sym.ctype
+        fb = record.field("b")
+        from repro.core.values import DuelValue
+        lv = DuelValue(ctype=fb.ctype, sym=SymText("fl.b"),
+                       address=sym.address + fb.offset,
+                       bit_offset=fb.bit_offset, bit_width=fb.bit_width)
+        apply.assign(lv, num(21), SymText("fl.b=21"))
+        assert apply.ops.load(lv) == 21
+        # Neighbouring field untouched.
+        fa = record.field("a")
+        lva = DuelValue(ctype=fa.ctype, sym=SymText("fl.a"),
+                        address=sym.address + fa.offset,
+                        bit_offset=fa.bit_offset, bit_width=fa.bit_width)
+        assert apply.ops.load(lva) == 0

@@ -1,0 +1,111 @@
+"""Unit tests for compile-time constant folding."""
+
+import pytest
+
+from repro import DuelSession, SimulatorBackend, TargetProgram
+from repro.core import nodes as N
+from repro.core.optimize import fold
+from repro.core.parser import parse
+from repro.target import builder
+
+
+def folded(text):
+    return fold(parse(text))
+
+
+class TestFolding:
+    def test_arithmetic_collapses(self):
+        node = folded("1+2*3")
+        assert isinstance(node, N.Constant)
+        assert node.value == 7
+
+    def test_source_text_preserved(self):
+        node = folded("1+2")
+        assert node.value == 3
+        assert node.text == "1+2"
+
+    def test_index_expression(self):
+        node = folded("x[1+2]")
+        assert isinstance(node, N.Index)
+        assert isinstance(node.index, N.Constant)
+        assert node.index.value == 3
+
+    def test_division_semantics_match_runtime(self):
+        assert folded("(-7)/2").value == -3
+        assert folded("(-7)%2").value == -1
+
+    def test_division_by_zero_not_folded(self):
+        node = folded("1/0")
+        assert isinstance(node, N.Binary)
+
+    def test_unary_fold(self):
+        assert folded("-(5)").value == -5
+        assert folded("~0").value == -1
+        assert folded("!3").value == 0
+
+    def test_comparison_fold(self):
+        assert folded("2<3").value == 1
+
+    def test_float_fold(self):
+        node = folded("1.5*2.0")
+        assert node.value == 3.0
+        assert node.type_hint == "double"
+
+    def test_int_overflow_wraps_like_runtime(self):
+        node = folded("2147483647+1")
+        assert node.value == -2**31
+
+    def test_generators_never_folded(self):
+        node = folded("1..3")
+        assert isinstance(node, N.To)
+        node = folded("(1,2)+3")
+        assert isinstance(node, N.Binary)
+
+    def test_names_block_folding(self):
+        node = folded("x+1")
+        assert isinstance(node, N.Binary)
+
+    def test_children_of_unfoldable_nodes_folded(self):
+        node = folded("f(2*3, 4+4)")
+        assert all(isinstance(a, N.Constant) for a in node.args)
+        assert [a.value for a in node.args] == [6, 8]
+
+    def test_deep_nesting(self):
+        node = folded("((1+2)*(3+4))-21")
+        assert node.value == 0
+
+
+class TestSessionIntegration:
+    @pytest.fixture
+    def sessions(self):
+        program = TargetProgram()
+        builder.int_array(program, "x", list(range(8)))
+        plain = DuelSession(SimulatorBackend(program))
+        opt = DuelSession(SimulatorBackend(program), optimize=True)
+        return plain, opt
+
+    @pytest.mark.parametrize("expr", [
+        "1+2*3",
+        "x[1+2]",
+        "x[..8] >? 2+1",
+        "(x[0],x[7]) * (2+3)",
+        "-(4) + x[2]",
+        "x[6/2] == 3",
+    ])
+    def test_optimized_results_identical(self, sessions, expr):
+        plain, opt = sessions
+        assert plain.eval_values(expr) == opt.eval_values(expr)
+
+    def test_display_unchanged(self, sessions):
+        plain, opt = sessions
+        assert (plain.eval_lines("x[1+2]")
+                == opt.eval_lines("x[1+2]")
+                == ["x[1+2] = 3"])
+
+    def test_fewer_steps_after_folding(self, sessions):
+        plain, opt = sessions
+        plain.eval("x[..8] ==? 2+2")
+        plain_steps = plain.evaluator._steps
+        opt.eval("x[..8] ==? 2+2")
+        opt_steps = opt.evaluator._steps
+        assert opt_steps < plain_steps

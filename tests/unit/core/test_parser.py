@@ -1,0 +1,230 @@
+"""Unit tests for the DUEL parser: precedence, shapes, and errors.
+
+ASTs are pinned with the paper's LISP-like sexpr notation.
+"""
+
+import pytest
+
+from repro.core.errors import DuelSyntaxError
+from repro.core.parser import parse
+
+
+def sexpr(text, **kw):
+    return parse(text, **kw).sexpr()
+
+
+class TestPaperAst:
+    def test_paper_example_ast(self):
+        # The paper's own example AST: a*5 + *b.
+        assert sexpr("a*5 + *b") == (
+            '(plus (multiply (name "a") (constant 5))'
+            ' (indirect (name "b")))')
+
+    def test_to_alternate(self):
+        assert sexpr("(1..3)+(5,9)") == (
+            "(plus (to (constant 1) (constant 3))"
+            " (alternate (constant 5) (constant 9)))")
+
+    def test_ifgt_ast(self):
+        assert sexpr("x[0..99] >? 0") == (
+            '(ifgt (index (name "x") (to (constant 0) (constant 99)))'
+            " (constant 0))")
+
+
+class TestPrecedence:
+    def test_multiplicative_over_additive(self):
+        assert sexpr("1+2*3") == \
+            "(plus (constant 1) (multiply (constant 2) (constant 3)))"
+
+    def test_comparison_tighter_than_to(self):
+        # e1..e2 binds looser than relational operators.
+        assert sexpr("1..2<3").startswith("(to (constant 1) (lt")
+
+    def test_alternate_looser_than_to(self):
+        assert sexpr("1..4,8") == \
+            "(alternate (to (constant 1) (constant 4)) (constant 8))"
+
+    def test_conditional_yield_left_assoc(self):
+        assert sexpr("x >? 5 <? 10") == \
+            '(iflt (ifgt (name "x") (constant 5)) (constant 10))'
+
+    def test_define_tighter_than_imply(self):
+        assert sexpr("x := 1 => y := 2 => y") == (
+            '(imply (define "x" (constant 1))'
+            ' (imply (define "y" (constant 2)) (name "y")))')
+
+    def test_assignment_right_assoc(self):
+        assert sexpr("a = b = 0") == (
+            '(assign (name "a") (assign (name "b") (constant 0)))')
+
+    def test_sequence_lowest(self):
+        assert sexpr("a; b; c") == (
+            '(sequence (sequence (name "a") (name "b")) (name "c"))')
+
+    def test_trailing_semicolon(self):
+        assert sexpr("a = 0 ;") == \
+            '(sequence (assign (name "a") (constant 0)))'
+
+    def test_question_colon_desugars_to_if(self):
+        assert sexpr("a ? b : c") == '(if (name "a") (name "b") (name "c"))'
+
+    def test_shift_vs_relational(self):
+        assert sexpr("1<<2<3").startswith("(lt (shl")
+
+
+class TestPostfix:
+    def test_dfs_then_field(self):
+        # hash[0]-->next->scope == ((hash[0]-->next)->scope)
+        assert sexpr("hash[0]-->next->scope") == (
+            '(witharrow (dfs (index (name "hash") (constant 0))'
+            ' (name "next")) (name "scope"))')
+
+    def test_with_general_rhs(self):
+        assert sexpr("p->(a,b)") == (
+            '(witharrow (name "p") (alternate (name "a") (name "b")))')
+
+    def test_dot_with(self):
+        assert sexpr("s.f") == '(with (name "s") (name "f"))'
+
+    def test_bfs_extension(self):
+        assert sexpr("p-->>next").startswith("(bfs")
+
+    def test_select(self):
+        assert sexpr("g[[2]]") == '(select (name "g") (constant 2))'
+
+    def test_nested_brackets_split(self):
+        assert sexpr("a[b[c[0]]]") == (
+            '(index (name "a") (index (name "b")'
+            ' (index (name "c") (constant 0))))')
+
+    def test_index_alias(self):
+        assert sexpr("L#i") == '(indexalias "i" (name "L"))'
+
+    def test_until_with_constant(self):
+        assert sexpr("argv[0..]@0") == (
+            '(until (index (name "argv") (to unbounded (constant 0)))'
+            " (constant 0))")
+
+    def test_until_with_guard_expr(self):
+        assert "(until" in sexpr("s[..9]@(_==0)")
+
+    def test_postfix_incdec(self):
+        assert sexpr("i++") == '(postinc (name "i"))'
+        assert sexpr("--i") == '(predec (name "i"))'
+
+    def test_call_args_at_imply_level(self):
+        assert sexpr("f((3,4), 5..7)") == (
+            '(call (name "f") (alternate (constant 3) (constant 4))'
+            " (to (constant 5) (constant 7)))")
+
+
+class TestControlExpressions:
+    def test_if_as_operand(self):
+        assert sexpr("4 + if (c) 5") == \
+            '(plus (constant 4) (if (name "c") (constant 5)))'
+
+    def test_if_else_chain(self):
+        out = sexpr("if (a) b else if (c) d else e")
+        assert out == ('(if (name "a") (name "b") (if (name "c")'
+                       ' (name "d") (name "e")))')
+
+    def test_if_body_greedy(self):
+        # The body captures the comparison: if (next) scope <? next->scope
+        out = sexpr("if (n) a <? b")
+        assert out == '(if (name "n") (iflt (name "a") (name "b")))'
+
+    def test_for_expression(self):
+        out = sexpr("for (i = 0; i < 9; i++) i")
+        assert out.startswith("(for (assign")
+
+    def test_for_empty_clauses(self):
+        assert sexpr("for (;;) 1") == "(for (constant 1))"
+
+    def test_while_expression(self):
+        assert sexpr("while (x) y") == '(while (name "x") (name "y"))'
+
+
+class TestGroupsAndReductions:
+    def test_group(self):
+        assert sexpr("{i}*5") == \
+            '(multiply (group (name "i")) (constant 5))'
+
+    def test_count(self):
+        assert sexpr("#/x") == '(count (name "x"))'
+
+    @pytest.mark.parametrize("spelling,op", [
+        ("+/", "sum"), ("*/", "product"), ("&&/", "all"),
+        ("||/", "any"), ("<?/", "min"), (">?/", "max"),
+    ])
+    def test_apl_reductions(self, spelling, op):
+        assert sexpr(f"{spelling}x") == f'({op} (name "x"))'
+
+    def test_prefix_to(self):
+        assert sexpr("..10") == "(to prefix (constant 10))"
+
+
+class TestDeclarationsAndCasts:
+    def test_declaration_statement(self):
+        assert sexpr("int i; i") == \
+            '(sequence (decl "int i;") (name "i"))'
+
+    def test_declaration_requires_type(self):
+        # a bare name is an expression, not a declaration
+        assert sexpr("i") == '(name "i")'
+
+    def test_cast(self):
+        assert sexpr("(double)3/2") == \
+            '(divide (cast "double" (constant 3)) (constant 2))'
+
+    def test_struct_cast(self):
+        assert sexpr("(struct s *)p") == '(cast "struct s *" (name "p"))'
+
+    def test_typedef_cast_needs_predicate(self):
+        # Without the predicate, (size_t)x parses as a call.
+        assert sexpr("(size_t)(x)").startswith("(call")
+        out = sexpr("(size_t)(x)", is_type_name=lambda n: n == "size_t")
+        assert out == '(cast "size_t" (name "x"))'
+
+    def test_sizeof_type(self):
+        assert sexpr("sizeof(struct s)") == '(sizeof "struct s")'
+
+    def test_sizeof_expr(self):
+        assert sexpr("sizeof x") == '(sizeof (name "x"))'
+
+
+class TestStrings:
+    def test_string_literal(self):
+        assert sexpr('"abc"') == '(string "abc")'
+
+    def test_char_constant(self):
+        assert sexpr("'\\0'") == "(constant '\\0')"
+
+
+class TestErrors:
+    def test_unbalanced_paren(self):
+        with pytest.raises(DuelSyntaxError):
+            parse("(1 + 2")
+
+    def test_trailing_tokens(self):
+        with pytest.raises(DuelSyntaxError):
+            parse("1 2")
+
+    def test_alias_needs_name(self):
+        with pytest.raises(DuelSyntaxError):
+            parse("x[0] := 5")
+
+    def test_keyword_as_expression(self):
+        with pytest.raises(DuelSyntaxError):
+            parse("else")
+
+    def test_empty_input(self):
+        with pytest.raises(DuelSyntaxError):
+            parse("")
+
+    def test_bad_with_operand(self):
+        with pytest.raises(DuelSyntaxError):
+            parse("p->5")
+
+    def test_index_alias_needs_name(self):
+        with pytest.raises(DuelSyntaxError):
+            parse("x#5")

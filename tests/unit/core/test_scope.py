@@ -1,0 +1,144 @@
+"""Unit tests for name resolution (fetch) and the with stack."""
+
+import pytest
+
+from repro.core.errors import DuelNameError
+from repro.core.scope import Scope, WithEntry
+from repro.core.symbolic import SymText
+from repro.core.values import int_value, lvalue
+from repro.ctype.types import INT
+from repro.target.interface import SimulatorBackend
+from repro.target.program import TargetProgram
+
+
+@pytest.fixture
+def program():
+    return TargetProgram()
+
+
+@pytest.fixture
+def scope(program):
+    return Scope(SimulatorBackend(program))
+
+
+class TestFetchOrder:
+    def test_global_variable(self, scope, program):
+        program.declare("int g;")
+        v = scope.fetch("g")
+        assert v.is_lvalue and v.ctype is INT
+
+    def test_alias_shadows_global(self, scope, program):
+        program.declare("int g;")
+        scope.alias("g", int_value(99))
+        assert scope.fetch("g").value == 99
+
+    def test_with_field_shadows_alias(self, scope, program):
+        program.declare("struct s {int g;} inst;")
+        scope.alias("g", int_value(1))
+        sym = program.lookup("inst")
+        program.write_value(sym.address, INT, 42)
+        scope.push(WithEntry(lvalue(sym.ctype, sym.address, SymText("inst")),
+                             arrow=False))
+        v = scope.fetch("g")
+        assert v.is_lvalue and v.address == sym.address
+
+    def test_innermost_with_wins(self, scope, program):
+        program.declare("struct a {int f;} ia; struct b {int f;} ib;")
+        sa, sb = program.lookup("ia"), program.lookup("ib")
+        scope.push(WithEntry(lvalue(sa.ctype, sa.address, SymText("ia")),
+                             arrow=False))
+        scope.push(WithEntry(lvalue(sb.ctype, sb.address, SymText("ib")),
+                             arrow=False))
+        assert scope.fetch("f").address == sb.address
+
+    def test_outer_with_searched(self, scope, program):
+        program.declare("struct a2 {int fa;} ia2; struct b2 {int fb;} ib2;")
+        sa, sb = program.lookup("ia2"), program.lookup("ib2")
+        scope.push(WithEntry(lvalue(sa.ctype, sa.address, SymText("ia2")),
+                             arrow=False))
+        scope.push(WithEntry(lvalue(sb.ctype, sb.address, SymText("ib2")),
+                             arrow=False))
+        assert scope.fetch("fa").address == sa.address
+
+    def test_enum_constant(self, scope, program):
+        program.declare("enum e {ALPHA = 7};")
+        assert scope.fetch("ALPHA").value == 7
+
+    def test_function_symbol(self, scope, program):
+        program.define_function("f", "int f(void)", lambda p: 0)
+        v = scope.fetch("f")
+        assert v.func_name == "f"
+
+    def test_frame_locals_resolve(self, scope, program):
+        frame = program.stack.push("fn")
+        frame.declare("local", INT)
+        assert scope.fetch("local").is_lvalue
+
+    def test_unknown_raises(self, scope):
+        with pytest.raises(DuelNameError):
+            scope.fetch("nope")
+
+    def test_lookup_counter(self, scope, program):
+        program.declare("int g;")
+        before = scope.lookup_count
+        scope.fetch("g")
+        scope.fetch("g")
+        assert scope.lookup_count == before + 2
+
+
+class TestUnderscore:
+    def test_underscore_is_with_operand(self, scope):
+        scope.push(WithEntry(int_value(5, SymText("x[3]")), arrow=False))
+        v = scope.fetch("_")
+        assert v.value == 5
+        assert v.sym.render() == "x[3]"
+
+    def test_underscore_without_with(self, scope):
+        with pytest.raises(DuelNameError):
+            scope.fetch("_")
+
+
+class TestAliases:
+    def test_alias_sym_is_name(self, scope):
+        scope.alias("k", int_value(3, SymText("1+2")))
+        assert scope.fetch("k").sym.render() == "k"
+
+    def test_unalias(self, scope):
+        scope.alias("k", int_value(3))
+        scope.unalias("k")
+        with pytest.raises(DuelNameError):
+            scope.fetch("k")
+
+    def test_clear_aliases(self, scope):
+        scope.alias("a", int_value(1))
+        scope.alias("b", int_value(2))
+        scope.clear_aliases()
+        assert scope.aliases() == {}
+
+    def test_is_alias(self, scope):
+        scope.alias("a", int_value(1))
+        assert scope.is_alias("a") and not scope.is_alias("b")
+
+
+class TestFieldSymbolics:
+    def test_arrow_spelling(self, scope, program):
+        program.declare("struct s3 {int f;} i3;")
+        sym = program.lookup("i3")
+        scope.push(WithEntry(lvalue(sym.ctype, sym.address, SymText("p")),
+                             arrow=True))
+        assert scope.fetch("f").sym.render() == "p->f"
+
+    def test_dot_spelling(self, scope, program):
+        program.declare("struct s4 {int f;} i4;")
+        sym = program.lookup("i4")
+        scope.push(WithEntry(lvalue(sym.ctype, sym.address, SymText("i4")),
+                             arrow=False))
+        assert scope.fetch("f").sym.render() == "i4.f"
+
+    def test_chain_entry_extends(self, scope, program):
+        program.declare("struct s5 {int v; struct s5 *next;} i5;")
+        sym = program.lookup("i5")
+        scope.push(WithEntry(lvalue(sym.ctype, sym.address, SymText("head")),
+                             arrow=True, chain=True))
+        v = scope.fetch("next")
+        assert v.sym.render() == "head->next"

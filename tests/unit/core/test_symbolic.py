@@ -1,0 +1,111 @@
+"""Unit tests for symbolic-expression construction and rendering."""
+
+from repro.core.symbolic import (
+    PREC_ADDITIVE,
+    PREC_MULTIPLICATIVE,
+    SymBinary,
+    SymCall,
+    SymCast,
+    SymChain,
+    SymField,
+    SymIndex,
+    SymText,
+    SymUnary,
+    chain_of,
+    extend_chain,
+    with_lowered_fold,
+)
+
+
+class TestBasics:
+    def test_text(self):
+        assert SymText("x").render() == "x"
+
+    def test_binary_no_spaces(self):
+        # The paper prints 4+0*5, x[1]==7 — no whitespace.
+        s = SymBinary("+", SymText("4"),
+                      SymBinary("*", SymText("0"), SymText("5"),
+                                PREC_MULTIPLICATIVE),
+                      PREC_ADDITIVE)
+        assert s.render() == "4+0*5"
+
+    def test_parenthesisation(self):
+        inner = SymBinary("+", SymText("1"), SymText("2"), PREC_ADDITIVE)
+        outer = SymBinary("*", inner, SymText("3"), PREC_MULTIPLICATIVE)
+        assert outer.render() == "(1+2)*3"
+
+    def test_left_assoc_no_extra_parens(self):
+        inner = SymBinary("-", SymText("1"), SymText("2"), PREC_ADDITIVE)
+        outer = SymBinary("-", inner, SymText("3"), PREC_ADDITIVE)
+        assert outer.render() == "1-2-3"
+
+    def test_right_operand_same_level_parenthesised(self):
+        inner = SymBinary("-", SymText("2"), SymText("3"), PREC_ADDITIVE)
+        outer = SymBinary("-", SymText("1"), inner, PREC_ADDITIVE)
+        assert outer.render() == "1-(2-3)"
+
+    def test_unary(self):
+        assert SymUnary("-", SymText("x")).render() == "-x"
+        assert SymUnary("*", SymText("p")).render() == "*p"
+
+    def test_index(self):
+        assert SymIndex(SymText("x"), SymText("3")).render() == "x[3]"
+
+    def test_field(self):
+        assert SymField(SymText("p"), "scope").render() == "p->scope"
+        assert SymField(SymText("s"), "f", arrow=False).render() == "s.f"
+
+    def test_call(self):
+        s = SymCall(SymText("f"), (SymText("1"), SymText("x")))
+        assert s.render() == "f(1, x)"
+
+    def test_cast(self):
+        assert SymCast("double", SymText("3")).render() == "(double)3"
+
+
+class TestChains:
+    def test_chain_expands_below_threshold(self):
+        c = SymChain(SymText("hash[0]"), "next", 3)
+        assert c.render(fold=4) == "hash[0]->next->next->next"
+
+    def test_chain_folds_at_threshold(self):
+        c = SymChain(SymText("hash[287]"), "next", 8)
+        assert c.render(fold=4) == "hash[287]-->next[[8]]"
+
+    def test_zero_count_is_base(self):
+        c = SymChain(SymText("head"), "next", 0)
+        assert c.render() == "head"
+
+    def test_field_on_folded_chain(self):
+        c = SymChain(SymText("hash[287]"), "next", 8)
+        s = SymField(c, "scope")
+        assert s.render(fold=4) == "hash[287]-->next[[8]]->scope"
+
+    def test_fold_at_override(self):
+        c = SymChain(SymText("head"), "next", 3, fold_at=2)
+        assert c.render(fold=4) == "head-->next[[3]]"
+
+    def test_extend_chain_same_field(self):
+        base = SymText("head")
+        c1 = extend_chain(base, "next")
+        c2 = extend_chain(c1, "next")
+        assert isinstance(c2, SymChain) and c2.count == 2
+        assert c2.render(fold=4) == "head->next->next"
+
+    def test_extend_chain_field_switch(self):
+        c1 = extend_chain(SymText("root"), "left")
+        c2 = extend_chain(c1, "right")
+        assert c2.render(fold=4) == "root->left->right"
+
+    def test_chain_of_finds_spine(self):
+        c = SymChain(SymText("L"), "next", 4)
+        assert chain_of(SymField(c, "value")) is c
+        assert chain_of(SymText("x")) is None
+
+    def test_with_lowered_fold_clones(self):
+        c = SymChain(SymText("L"), "next", 3)
+        wrapped = SymField(c, "value")
+        lowered = with_lowered_fold(wrapped, 2)
+        assert lowered.render(fold=4) == "L-->next[[3]]->value"
+        # Original untouched.
+        assert wrapped.render(fold=4) == "L->next->next->next->value"

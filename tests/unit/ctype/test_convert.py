@@ -1,0 +1,119 @@
+"""Unit tests for C conversions (promotions, UAC, value conversion)."""
+
+import pytest
+
+from repro.ctype.convert import (
+    ConversionError,
+    common_pointer_type,
+    convert_value,
+    integer_promote,
+    is_null_constant,
+    usual_arithmetic_conversions as uac,
+)
+from repro.ctype.types import (
+    BOOL,
+    CHAR,
+    DOUBLE,
+    EnumType,
+    FLOAT,
+    INT,
+    LONG,
+    PointerType,
+    SHORT,
+    UCHAR,
+    UINT,
+    ULONG,
+    USHORT,
+    VOID,
+)
+
+
+class TestPromotion:
+    def test_sub_int_promotes_to_int(self):
+        assert integer_promote(CHAR) is INT
+        assert integer_promote(SHORT) is INT
+        assert integer_promote(UCHAR) is INT
+        assert integer_promote(USHORT) is INT
+        assert integer_promote(BOOL) is INT
+
+    def test_int_and_up_unchanged(self):
+        assert integer_promote(INT) is INT
+        assert integer_promote(UINT).kind == UINT.kind
+        assert integer_promote(LONG) is LONG
+
+    def test_enum_promotes_to_int(self):
+        assert integer_promote(EnumType("e")) is INT
+
+
+class TestUsualArithmetic:
+    def test_same_type(self):
+        assert uac(INT, INT) is INT
+
+    def test_chars_promote_then_int(self):
+        assert uac(CHAR, CHAR) is INT
+
+    def test_float_wins(self):
+        assert uac(INT, DOUBLE) is DOUBLE
+        assert uac(FLOAT, LONG) is FLOAT
+        assert uac(FLOAT, DOUBLE) is DOUBLE
+
+    def test_rank_wins_same_signedness(self):
+        assert uac(INT, LONG) is LONG
+        assert uac(UINT, ULONG) is ULONG
+
+    def test_unsigned_higher_rank_wins(self):
+        assert uac(INT, ULONG) is ULONG
+
+    def test_signed_wider_wins(self):
+        # long can represent all of unsigned int -> long.
+        assert uac(UINT, LONG) is LONG
+
+    def test_equal_rank_mixed_goes_unsigned(self):
+        assert uac(INT, UINT).name() == "unsigned int"
+
+    def test_non_arithmetic_rejected(self):
+        with pytest.raises(ConversionError):
+            uac(PointerType(INT), INT)
+
+
+class TestConvertValue:
+    def test_float_to_int_truncates(self):
+        assert convert_value(3.9, DOUBLE, INT) == 3
+        assert convert_value(-3.9, DOUBLE, INT) == -3
+
+    def test_int_to_float(self):
+        assert convert_value(7, INT, DOUBLE) == 7.0
+
+    def test_narrowing_wraps(self):
+        assert convert_value(257, INT, CHAR) == 1
+        assert convert_value(-1, INT, UCHAR) == 255
+
+    def test_to_bool(self):
+        assert convert_value(42, INT, BOOL) == 1
+        assert convert_value(0, INT, BOOL) == 0
+
+    def test_pointer_to_int_and_back(self):
+        p = PointerType(INT)
+        assert convert_value(0x1234, p, ULONG) == 0x1234
+        assert convert_value(0x1234, ULONG, p) == 0x1234
+
+    def test_to_void_discards(self):
+        assert convert_value(5, INT, VOID) is None
+
+    def test_enum_roundtrip(self):
+        e = EnumType("e", [("A", 1)])
+        assert convert_value(1, e, INT) == 1
+        assert convert_value(7, INT, e) == 7
+
+
+class TestPointerHelpers:
+    def test_common_pointer_prefers_non_void(self):
+        pi = PointerType(INT)
+        pv = PointerType(VOID)
+        assert common_pointer_type(pv, pi) is pi
+        assert common_pointer_type(pi, pv) is pi
+
+    def test_null_constant(self):
+        assert is_null_constant(0, INT)
+        assert not is_null_constant(1, INT)
+        assert not is_null_constant(0, PointerType(INT))

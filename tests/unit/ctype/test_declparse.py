@@ -1,0 +1,179 @@
+"""Unit tests for the C declaration parser."""
+
+import pytest
+
+from repro.ctype.declparse import DeclError, DeclParser, TypeEnv, parse_type
+from repro.ctype.types import (
+    ArrayType,
+    FunctionType,
+    PointerType,
+    StructType,
+    UnionType,
+)
+
+
+@pytest.fixture
+def parser():
+    return DeclParser()
+
+
+class TestSimpleDeclarations:
+    def test_int(self, parser):
+        decls = parser.parse("int x;")
+        assert decls[0].name == "x"
+        assert decls[0].ctype.name() == "int"
+
+    def test_multiple_declarators(self, parser):
+        decls = parser.parse("int a, *b, c[3];")
+        assert [d.name for d in decls] == ["a", "b", "c"]
+        assert decls[1].ctype == PointerType(decls[0].ctype)
+        assert isinstance(decls[2].ctype, ArrayType)
+
+    def test_specifier_orders(self, parser):
+        assert parser.parse("unsigned long x;")[0].ctype.name() == "unsigned long"
+        assert parser.parse("long unsigned y;")[0].ctype.name() == "unsigned long"
+        assert parser.parse("long long z;")[0].ctype.name() == "long long"
+
+    def test_storage_classes_ignored(self, parser):
+        decls = parser.parse("static int x; extern char y;")
+        assert len(decls) == 2
+
+    def test_const_volatile_ignored(self, parser):
+        assert parser.parse("const int x;")[0].ctype.name() == "int"
+
+    def test_bad_combo_rejected(self, parser):
+        with pytest.raises(DeclError):
+            parser.parse("long float x;")
+
+    def test_missing_semicolon(self, parser):
+        with pytest.raises(DeclError):
+            parser.parse("int x")
+
+
+class TestDerivedTypes:
+    def test_pointer_chain(self, parser):
+        t = parser.parse("char **argv;")[0].ctype
+        assert t == PointerType(PointerType(parser.parse("char c;")[0].ctype))
+
+    def test_array_of_arrays(self, parser):
+        t = parser.parse("int m[2][3];")[0].ctype
+        assert isinstance(t, ArrayType) and t.length == 2
+        assert isinstance(t.element, ArrayType) and t.element.length == 3
+        assert t.size == 24
+
+    def test_array_size_expression(self, parser):
+        t = parser.parse("int x[4*256];")[0].ctype
+        assert t.length == 1024
+
+    def test_function_pointer(self, parser):
+        decls = parser.parse("int (*handler)(int, char *);")
+        t = decls[0].ctype
+        assert isinstance(t, PointerType)
+        assert isinstance(t.target, FunctionType)
+        assert len(t.target.params) == 2
+
+    def test_prototype(self, parser):
+        t = parser.parse("int f(double, char);")[0].ctype
+        assert isinstance(t, FunctionType)
+        assert t.result.name() == "int"
+
+    def test_varargs_prototype(self, parser):
+        t = parser.parse("int printf(char *, ...);")[0].ctype
+        assert t.varargs
+
+    def test_array_param_decays(self, parser):
+        t = parser.parse("int f(int a[10]);")[0].ctype
+        assert isinstance(t.params[0], PointerType)
+
+
+class TestRecords:
+    def test_paper_declaration(self, parser):
+        decls = parser.parse(
+            "struct symbol { char *name; int scope;"
+            " struct symbol *next; } *hash[1024];")
+        hash_t = decls[0].ctype
+        assert isinstance(hash_t, ArrayType) and hash_t.length == 1024
+        sym = parser.env.structs["symbol"]
+        assert sym.size == 24
+        assert sym.field("next").ctype.target is sym
+
+    def test_forward_reference(self, parser):
+        parser.parse("struct a { struct b *link; };")
+        assert not parser.env.structs["b"].is_complete
+        parser.parse("struct b { int x; };")
+        assert parser.env.structs["b"].is_complete
+
+    def test_union(self, parser):
+        parser.parse("union u { int i; double d; } v;")
+        assert isinstance(parser.env.unions["u"], UnionType)
+        assert parser.env.unions["u"].size == 8
+
+    def test_bitfields(self, parser):
+        parser.parse("struct flags { unsigned a:1; unsigned b:2; int :0;"
+                     " unsigned c:3; };")
+        flags = parser.env.structs["flags"]
+        a, b, c = flags.field("a"), flags.field("b"), flags.field("c")
+        assert (a.bit_offset, a.bit_width) == (0, 1)
+        assert (b.bit_offset, b.bit_width) == (1, 2)
+        assert c.offset > a.offset  # :0 closed the unit
+
+    def test_anonymous_inner_struct(self, parser):
+        parser.parse("struct outer { int tag; struct { int x; int y; }; };")
+        outer = parser.env.structs["outer"]
+        assert outer.field("x") is not None
+        assert outer.field("x").offset == 4
+
+    def test_tag_only_declaration(self, parser):
+        assert parser.parse("struct list { int v; };") == []
+        assert parser.env.structs["list"].is_complete
+
+
+class TestEnums:
+    def test_auto_numbering(self, parser):
+        parser.parse("enum color { RED, GREEN = 5, BLUE } c;")
+        e = parser.env.enums["color"]
+        assert e.enumerators == {"RED": 0, "GREEN": 5, "BLUE": 6}
+
+    def test_enum_constant_in_array_size(self, parser):
+        parser.parse("enum sizes { BIG = 10 };")
+        t = parser.parse("int x[BIG];")[0].ctype
+        assert t.length == 10
+
+
+class TestTypedefs:
+    def test_typedef_then_use(self, parser):
+        parser.parse("typedef unsigned long size_t;")
+        t = parser.parse("size_t n;")[0].ctype
+        assert t.name() == "size_t"
+        assert t.strip_typedefs().name() == "unsigned long"
+
+    def test_typedef_pointer(self, parser):
+        parser.parse("typedef struct node *nodep;")
+        t = parser.parse("nodep head;")[0].ctype
+        assert t.strip_typedefs().is_pointer
+
+
+class TestParseType:
+    def test_simple(self):
+        assert parse_type("int").name() == "int"
+        assert parse_type("double *").is_pointer
+
+    def test_abstract_declarators(self):
+        t = parse_type("int *[3]")
+        assert isinstance(t, ArrayType)
+        assert isinstance(t.element, PointerType)
+
+    def test_struct_pointer(self):
+        env = TypeEnv()
+        DeclParser(env).parse("struct s { int x; };")
+        t = parse_type("struct s *", env)
+        assert t.target is env.structs["s"]
+
+    def test_trailing_junk_rejected(self):
+        with pytest.raises(DeclError):
+            parse_type("int x")
+
+    def test_function_pointer_type(self):
+        t = parse_type("void (*)(int)")
+        assert isinstance(t, PointerType)
+        assert t.target.is_function

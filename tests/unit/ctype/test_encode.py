@@ -1,0 +1,110 @@
+"""Unit tests for value <-> byte codecs."""
+
+import pytest
+
+from repro.ctype.encode import (
+    EncodeError,
+    decode_value,
+    encode_value,
+    extract_bitfield,
+    insert_bitfield,
+)
+from repro.ctype.types import (
+    BOOL,
+    CHAR,
+    DOUBLE,
+    EnumType,
+    FLOAT,
+    INT,
+    LDOUBLE,
+    LONG,
+    PointerType,
+    StructType,
+    TypedefType,
+    UCHAR,
+    UINT,
+    VOID,
+)
+
+
+class TestScalarRoundtrips:
+    @pytest.mark.parametrize("ctype,value", [
+        (INT, 0), (INT, 42), (INT, -42), (INT, 2**31 - 1), (INT, -2**31),
+        (UINT, 2**32 - 1), (LONG, -2**63), (CHAR, -1), (UCHAR, 255),
+        (DOUBLE, 3.25), (FLOAT, 0.5), (BOOL, 1),
+    ])
+    def test_roundtrip(self, ctype, value):
+        assert decode_value(encode_value(value, ctype), ctype) == value
+
+    def test_little_endian(self):
+        assert encode_value(1, INT) == b"\x01\x00\x00\x00"
+        assert encode_value(0x0102, INT)[:2] == b"\x02\x01"
+
+    def test_negative_twos_complement(self):
+        assert encode_value(-2, INT) == b"\xfe\xff\xff\xff"
+
+    def test_pointer_roundtrip(self):
+        p = PointerType(INT)
+        raw = encode_value(0xDEADBEEF, p)
+        assert len(raw) == 8
+        assert decode_value(raw, p) == 0xDEADBEEF
+
+    def test_enum_roundtrip(self):
+        e = EnumType("e")
+        assert decode_value(encode_value(-5, e), e) == -5
+
+    def test_long_double_slot(self):
+        raw = encode_value(2.5, LDOUBLE)
+        assert len(raw) == 16
+        assert decode_value(raw, LDOUBLE) == 2.5
+
+    def test_typedef_transparent(self):
+        td = TypedefType("myint", INT)
+        assert decode_value(encode_value(7, td), td) == 7
+
+    def test_overflow_wraps_on_encode(self):
+        raw = encode_value(2**32 + 3, UINT)
+        assert decode_value(raw, UINT) == 3
+
+    def test_bool_normalises(self):
+        assert decode_value(encode_value(17, BOOL), BOOL) == 1
+
+
+class TestErrors:
+    def test_void_rejected(self):
+        with pytest.raises(EncodeError):
+            encode_value(1, VOID)
+        with pytest.raises(EncodeError):
+            decode_value(b"\x00", VOID)
+
+    def test_record_rejected(self):
+        with pytest.raises(EncodeError):
+            encode_value(1, StructType("s"))
+
+    def test_short_read_rejected(self):
+        with pytest.raises(EncodeError):
+            decode_value(b"\x01", INT)
+
+
+class TestBitfields:
+    def test_extract_unsigned(self):
+        unit = 0b1011_0110
+        assert extract_bitfield(unit, 1, 3, signed=False) == 0b011
+        assert extract_bitfield(unit, 4, 4, signed=False) == 0b1011
+
+    def test_extract_signed_sign_extends(self):
+        assert extract_bitfield(0b111, 0, 3, signed=True) == -1
+        assert extract_bitfield(0b011, 0, 3, signed=True) == 3
+
+    def test_insert_preserves_neighbours(self):
+        unit = 0xFFFF
+        updated = insert_bitfield(unit, 4, 4, 0)
+        assert updated == 0xFF0F
+
+    def test_insert_extract_roundtrip(self):
+        unit = insert_bitfield(0, 5, 6, 37)
+        assert extract_bitfield(unit, 5, 6, signed=False) == 37
+
+    def test_insert_masks_overflow(self):
+        unit = insert_bitfield(0, 0, 3, 0xFF)
+        assert unit == 0b111

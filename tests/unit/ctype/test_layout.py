@@ -1,0 +1,159 @@
+"""Unit tests for struct/union layout, including bit-fields."""
+
+import pytest
+
+from repro.ctype.layout import (
+    MemberDecl,
+    align_up,
+    layout_struct,
+    layout_union,
+    make_struct,
+    make_union,
+)
+from repro.ctype.types import (
+    CHAR,
+    DOUBLE,
+    INT,
+    LONG,
+    PointerType,
+    SHORT,
+    UINT,
+)
+
+
+class TestAlignUp:
+    def test_basic(self):
+        assert align_up(0, 4) == 0
+        assert align_up(1, 4) == 4
+        assert align_up(4, 4) == 4
+        assert align_up(5, 8) == 8
+
+    def test_bad_alignment(self):
+        with pytest.raises(ValueError):
+            align_up(3, 0)
+
+
+class TestStructLayout:
+    def test_packing_with_padding(self):
+        # char, int -> int aligned to 4.
+        fields, size, align = layout_struct(
+            [MemberDecl("c", CHAR), MemberDecl("i", INT)])
+        assert [f.offset for f in fields] == [0, 4]
+        assert size == 8 and align == 4
+
+    def test_tail_padding(self):
+        # int, char -> size rounds to 8? no: max align 4 -> size 8.
+        fields, size, align = layout_struct(
+            [MemberDecl("i", INT), MemberDecl("c", CHAR)])
+        assert size == 8 and align == 4
+
+    def test_pointer_alignment(self):
+        fields, size, align = layout_struct(
+            [MemberDecl("c", CHAR), MemberDecl("p", PointerType(CHAR))])
+        assert fields[1].offset == 8
+        assert size == 16 and align == 8
+
+    def test_paper_symbol_struct(self):
+        # struct symbol { char *name; int scope; struct symbol *next; }
+        s = make_struct("symbol", [
+            MemberDecl("name", PointerType(CHAR)),
+            MemberDecl("scope", INT),
+            MemberDecl("next", PointerType(CHAR)),
+        ])
+        assert s.field("name").offset == 0
+        assert s.field("scope").offset == 8
+        assert s.field("next").offset == 16
+        assert s.size == 24
+
+    def test_empty_struct(self):
+        fields, size, align = layout_struct([])
+        assert fields == [] and size == 0 and align == 1
+
+    def test_nested_struct_member(self):
+        inner = make_struct("in", [MemberDecl("d", DOUBLE)])
+        fields, size, align = layout_struct(
+            [MemberDecl("c", CHAR), MemberDecl("s", inner)])
+        assert fields[1].offset == 8
+        assert align == 8
+
+
+class TestBitfields:
+    def test_pack_into_one_unit(self):
+        fields, size, align = layout_struct([
+            MemberDecl("a", UINT, 3),
+            MemberDecl("b", UINT, 5),
+            MemberDecl("c", UINT, 24),
+        ])
+        assert all(f.offset == 0 for f in fields)
+        assert [f.bit_offset for f in fields] == [0, 3, 8]
+        assert size == 4
+
+    def test_overflow_starts_new_unit(self):
+        fields, size, align = layout_struct([
+            MemberDecl("a", UINT, 30),
+            MemberDecl("b", UINT, 5),
+        ])
+        assert fields[0].offset == 0
+        assert fields[1].offset == 4
+        assert fields[1].bit_offset == 0
+        assert size == 8
+
+    def test_zero_width_closes_unit(self):
+        fields, size, align = layout_struct([
+            MemberDecl("a", UINT, 3),
+            MemberDecl("", UINT, 0),
+            MemberDecl("b", UINT, 3),
+        ])
+        named = [f for f in fields if f.name]
+        assert named[0].offset == 0
+        assert named[1].offset == 4
+
+    def test_bitfield_then_plain_member(self):
+        fields, size, align = layout_struct([
+            MemberDecl("a", UINT, 3),
+            MemberDecl("x", INT),
+        ])
+        assert fields[1].offset == 4
+        assert size == 8
+
+    def test_width_out_of_range(self):
+        with pytest.raises(TypeError):
+            layout_struct([MemberDecl("a", UINT, 33)])
+
+    def test_non_integer_bitfield(self):
+        with pytest.raises(TypeError):
+            layout_struct([MemberDecl("a", DOUBLE, 3)])
+
+    def test_short_base_unit(self):
+        fields, size, align = layout_struct([
+            MemberDecl("a", SHORT, 9),
+            MemberDecl("b", SHORT, 9),  # 9+9 > 16: new unit
+        ])
+        assert fields[0].offset == 0
+        assert fields[1].offset == 2
+        assert size == 4
+
+
+class TestUnionLayout:
+    def test_union_size_is_max(self):
+        u = make_union("u", [
+            MemberDecl("c", CHAR),
+            MemberDecl("l", LONG),
+            MemberDecl("i", INT),
+        ])
+        assert u.size == 8
+        assert all(u.field(n).offset == 0 for n in ("c", "l", "i"))
+
+    def test_union_alignment_padding(self):
+        fields, size, align = layout_union([
+            MemberDecl("c3", CHAR), MemberDecl("i", INT),
+        ])
+        assert size == 4 and align == 4
+
+    def test_union_with_bitfield(self):
+        fields, size, align = layout_union([
+            MemberDecl("bits", UINT, 7),
+            MemberDecl("whole", UINT),
+        ])
+        assert size == 4
+        assert fields[0].bit_offset == 0

@@ -1,0 +1,74 @@
+"""Unit tests for the C tokenizer."""
+
+import pytest
+
+from repro.minic.clex import CTokenStream, tokenize_c
+from repro.minic.errors import MiniCSyntaxError
+
+
+def texts(source):
+    return [t.text for t in tokenize_c(source) if t.kind != "eof"]
+
+
+class TestTokens:
+    def test_simple(self):
+        assert texts("int x = 5;") == ["int", "x", "=", "5", ";"]
+
+    def test_c_has_no_duel_tokens(self):
+        # a-->b in C is (a--) > b.
+        assert texts("a-->b") == ["a", "--", ">", "b"]
+
+    def test_comments_stripped(self):
+        assert texts("a /* b */ c // d\n e") == ["a", "c", "e"]
+
+    def test_multiline_comment_tracks_lines(self):
+        toks = tokenize_c("/* one\ntwo */ x")
+        assert toks[0].line == 2
+
+    def test_floats(self):
+        kinds = [t.kind for t in tokenize_c("1.5 .5 2e3 1.0f")
+                 if t.kind != "eof"]
+        assert kinds == ["fnum"] * 4
+
+    def test_compound_assignments(self):
+        assert texts("a += 1; b <<= 2;") == \
+            ["a", "+=", "1", ";", "b", "<<=", "2", ";"]
+
+    def test_spurious_equals_split(self):
+        # The op regex could glue "]=" together; it must split.
+        assert texts("a[0]=1") == ["a", "[", "0", "]", "=", "1"]
+        assert texts("f()=x") == ["f", "(", ")", "=", "x"]
+
+    def test_ellipsis(self):
+        assert "..." in texts("int printf(char *, ...);")
+
+    def test_strings_and_chars(self):
+        toks = tokenize_c('"a\\"b" \'c\'')
+        assert [t.kind for t in toks[:-1]] == ["string", "char"]
+
+    def test_line_numbers(self):
+        toks = tokenize_c("a\nb\nc")
+        assert [t.line for t in toks[:-1]] == [1, 2, 3]
+
+    def test_bad_character(self):
+        with pytest.raises(MiniCSyntaxError):
+            tokenize_c("a @ b")
+
+
+class TestStream:
+    def test_accept_expect(self):
+        s = CTokenStream("( x )")
+        assert s.accept("(")
+        assert s.expect_name().text == "x"
+        s.expect(")")
+        assert s.at_end
+
+    def test_expect_failure(self):
+        s = CTokenStream("x")
+        with pytest.raises(MiniCSyntaxError):
+            s.expect(";")
+
+    def test_keyword_not_identifier(self):
+        s = CTokenStream("while")
+        with pytest.raises(MiniCSyntaxError):
+            s.expect_name()

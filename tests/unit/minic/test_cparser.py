@@ -1,0 +1,173 @@
+"""Unit tests for the mini-C parser."""
+
+import pytest
+
+from repro.minic import cast as A
+from repro.minic.errors import MiniCSyntaxError
+from repro.minic.parser import parse_program
+
+
+def parse(source):
+    return parse_program(source)
+
+
+class TestGlobals:
+    def test_scalar_with_initializer(self):
+        unit, env = parse("int x = 5;")
+        assert unit.variables[0].name == "x"
+        assert unit.variables[0].init.expr.value == 5
+
+    def test_multiple_declarators(self):
+        unit, env = parse("int a, b = 2, *c;")
+        assert [v.name for v in unit.variables] == ["a", "b", "c"]
+        assert unit.variables[2].ctype.is_pointer
+
+    def test_array_initializer(self):
+        unit, env = parse("int a[3] = {1, 2, 3};")
+        assert unit.variables[0].init.is_list
+        assert len(unit.variables[0].init.items) == 3
+
+    def test_unsized_array_completed_from_init(self):
+        unit, env = parse("int a[] = {1, 2, 3, 4};")
+        assert unit.variables[0].ctype.length == 4
+
+    def test_char_array_from_string(self):
+        unit, env = parse('char s[] = "abc";')
+        assert unit.variables[0].ctype.length == 4  # includes NUL
+
+    def test_struct_definition(self):
+        unit, env = parse(
+            "struct node {int v; struct node *next;};"
+            " struct node *head;")
+        assert env.structs["node"].size == 16
+        assert unit.variables[0].name == "head"
+
+    def test_typedef(self):
+        unit, env = parse("typedef unsigned long size_t; size_t n;")
+        assert unit.variables[0].ctype.name() == "size_t"
+
+    def test_enum(self):
+        unit, env = parse("enum state {OFF, ON = 4} s;")
+        assert env.enums["state"].enumerators == {"OFF": 0, "ON": 4}
+
+    def test_enum_constant_as_array_size(self):
+        unit, env = parse("enum k {N = 6}; int a[N];")
+        assert unit.variables[0].ctype.length == 6
+
+    def test_prototype_ignored(self):
+        unit, env = parse("int f(int);")
+        assert unit.variables == () and unit.functions == ()
+
+
+class TestFunctions:
+    def test_definition(self):
+        unit, env = parse("int add(int a, int b) { return a + b; }")
+        func = unit.functions[0]
+        assert func.name == "add"
+        assert func.param_names == ("a", "b")
+        assert isinstance(func.body.body[0], A.ReturnStmt)
+
+    def test_void_params(self):
+        unit, env = parse("int f(void) { return 0; }")
+        assert unit.functions[0].param_names == ()
+
+    def test_pointer_return(self):
+        unit, env = parse("char *f(void) { return 0; }")
+        assert unit.functions[0].ctype.result.is_pointer
+
+
+class TestStatements:
+    def source_body(self, body):
+        unit, _ = parse("void f(void) { %s }" % body)
+        return unit.functions[0].body.body
+
+    def test_if_else(self):
+        (stmt,) = self.source_body("if (x) y = 1; else y = 2;")
+        assert isinstance(stmt, A.IfStmt) and stmt.els is not None
+
+    def test_while(self):
+        (stmt,) = self.source_body("while (n) n = n - 1;")
+        assert isinstance(stmt, A.WhileStmt)
+
+    def test_do_while(self):
+        (stmt,) = self.source_body("do n++; while (n < 3);")
+        assert isinstance(stmt, A.DoWhileStmt)
+
+    def test_for_with_decl_init(self):
+        (stmt,) = self.source_body("for (int i = 0; i < 3; i++) ;")
+        assert isinstance(stmt, A.ForStmt)
+        assert isinstance(stmt.init, A.DeclStmt)
+
+    def test_switch(self):
+        (stmt,) = self.source_body(
+            "switch (x) { case 1: a = 1; break; default: a = 2; }")
+        assert isinstance(stmt, A.SwitchStmt)
+        assert stmt.cases[0][0] == 1
+        assert stmt.cases[1][0] is None
+
+    def test_break_continue_return(self):
+        body = self.source_body("while (1) { break; } return 3;")
+        assert isinstance(body[-1], A.ReturnStmt)
+
+    def test_local_declarations(self):
+        (stmt,) = self.source_body("int i = 1, j;")
+        assert isinstance(stmt, A.DeclStmt)
+        assert len(stmt.decls) == 2
+
+    def test_empty_statement(self):
+        (stmt,) = self.source_body(";")
+        assert isinstance(stmt, A.ExprStmt) and stmt.expr is None
+
+
+class TestExpressions:
+    def expr(self, text):
+        unit, _ = parse("int g; void f(void) { g = %s; }" % text)
+        return unit.functions[0].body.body[0].expr.value
+
+    def test_precedence(self):
+        e = self.expr("1 + 2 * 3")
+        assert isinstance(e, A.BinExpr) and e.op == "+"
+        assert isinstance(e.right, A.BinExpr) and e.right.op == "*"
+
+    def test_ternary(self):
+        assert isinstance(self.expr("a ? b : c"), A.CondExpr)
+
+    def test_call_and_field(self):
+        e = self.expr("f(p->x, q.y)")
+        assert isinstance(e, A.CallExpr)
+        assert isinstance(e.args[0], A.FieldExpr) and e.args[0].arrow
+        assert isinstance(e.args[1], A.FieldExpr) and not e.args[1].arrow
+
+    def test_cast(self):
+        e = self.expr("(char)300")
+        assert isinstance(e, A.CastExpr)
+
+    def test_sizeof_type_and_expr(self):
+        assert isinstance(self.expr("sizeof(int)"), A.SizeofExpr)
+        assert isinstance(self.expr("sizeof g"), A.SizeofExpr)
+
+    def test_address_and_deref(self):
+        e = self.expr("*&g")
+        assert isinstance(e, A.UnaryExpr) and e.op == "*"
+
+    def test_string_concatenation(self):
+        unit, _ = parse('char *s = "ab" "cd";')
+        assert unit.variables[0].init.expr.value == b"abcd"
+
+    def test_logical_vs_bitwise(self):
+        e = self.expr("a && b | c")
+        assert isinstance(e, A.LogicalExpr) and e.op == "&&"
+
+
+class TestErrors:
+    def test_missing_semicolon(self):
+        with pytest.raises(MiniCSyntaxError):
+            parse("int x")
+
+    def test_bad_statement(self):
+        with pytest.raises(MiniCSyntaxError):
+            parse("void f(void) { case 1: ; }")
+
+    def test_unterminated_block(self):
+        with pytest.raises(MiniCSyntaxError):
+            parse("void f(void) { if (1) {")
