@@ -119,16 +119,28 @@ def repl(session: DuelSession, stdin=None, out=None) -> int:
 
 
 def run_command(session: DuelSession, text: str, out) -> None:
-    """One duel command: print all values, or the error, never raise."""
-    try:
-        lines = session.eval_lines(text)
-    except DuelError as error:
-        out.write(str(error) + "\n")
-        return
-    for line in lines:
-        out.write(line + "\n")
-    if not lines:
+    """One duel command: print all values, or the error, never raise.
+
+    Routed through the session's recovering drive, so values produced
+    before a mid-query error still appear, and failed side-effecting
+    queries roll the target back.
+    """
+    sink = _CountingOut(out)
+    session.duel(text, out=sink)
+    if not sink.wrote:
         out.write("(no values)\n")
+
+
+class _CountingOut:
+    """Write-through stream that remembers whether anything was printed."""
+
+    def __init__(self, inner):
+        self.inner = inner
+        self.wrote = False
+
+    def write(self, text: str) -> None:
+        self.wrote = True
+        self.inner.write(text)
 
 
 def main(argv: Optional[Sequence[str]] = None,

@@ -73,6 +73,20 @@ class DuelMemoryError(DuelError):
             f"{operand_sym} = {operand_desc}.")
 
 
+class DuelTargetError(DuelError):
+    """A target-side operation failed outside plain memory access.
+
+    Raised when the debugger interface rejects a function call or a
+    scratch-space allocation (including injected faults).  Carries the
+    structured fault when one is available, so tools can distinguish a
+    flaky target from a bad query.
+    """
+
+    def __init__(self, message: str, fault: Optional[Exception] = None):
+        super().__init__(message)
+        self.fault = fault
+
+
 class DuelEvalLimit(DuelError):
     """Evaluation exceeded the session's step budget (runaway generator)."""
 

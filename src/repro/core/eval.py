@@ -37,8 +37,10 @@ from repro.core import nodes as N
 from repro.core.errors import (
     DuelError,
     DuelEvalLimit,
+    DuelTargetError,
     DuelTypeError,
 )
+from repro.target.memory import TargetMemoryFault
 from repro.core.ops import Apply
 from repro.core.scope import Scope, WithEntry
 from repro.core.symbolic import (
@@ -183,6 +185,15 @@ class Evaluator:
         """Start a fresh top-level evaluation (step budget, with stack)."""
         self._steps = 0
 
+    def invalidate_target_caches(self) -> None:
+        """Forget target-resident scratch after a target rollback.
+
+        Cached string-literal addresses point into allocations that a
+        snapshot restore has undone; keeping them would alias whatever
+        the target allocates there next.
+        """
+        self._string_cache.clear()
+
     def eval(self, node: N.Node) -> Iterator[DuelValue]:
         """All values of ``node``, lazily (the paper's ``eval``)."""
         handler = self._dispatch.get(type(node))
@@ -220,8 +231,14 @@ class Evaluator:
     def _eval_string(self, node: N.StringLiteral):
         address = self._string_cache.get(node.value)
         if address is None:
-            address = self.backend.alloc_target_space(len(node.value) + 1)
-            self.backend.put_target_bytes(address, node.value + b"\0")
+            try:
+                address = self.backend.alloc_target_space(
+                    len(node.value) + 1)
+                self.backend.put_target_bytes(address, node.value + b"\0")
+            except TargetMemoryFault as fault:
+                raise DuelTargetError(
+                    f"cannot place string literal in target: {fault}",
+                    fault) from fault
             self._string_cache[node.value] = address
         sym = self._sym(lambda: SymText(node.text or '"..."'))
         yield rvalue(PointerType(CHAR), address, sym)
@@ -395,8 +412,13 @@ class Evaluator:
             if decl.is_typedef:
                 continue
             size = max(decl.ctype.size, 1)
-            address = self.backend.alloc_target_space(size)
-            self.backend.put_target_bytes(address, bytes(size))
+            try:
+                address = self.backend.alloc_target_space(size)
+                self.backend.put_target_bytes(address, bytes(size))
+            except TargetMemoryFault as fault:
+                raise DuelTargetError(
+                    f"cannot allocate debugger variable "
+                    f"{decl.name!r}: {fault}", fault) from fault
             self.scope.alias(decl.name,
                              lvalue(decl.ctype, address, SymText(decl.name)))
         return
@@ -674,7 +696,14 @@ class Evaluator:
                 target = int(self.ops.load(f))
             else:
                 target = int(f.value)
-        result = self.backend.call_target_func(target, raw_args)
+        try:
+            result = self.backend.call_target_func(target, raw_args)
+        except TargetMemoryFault as fault:
+            # A refused/failed target call is a query error, not a
+            # debugger crash: surface it as a DuelError so sessions
+            # report it (with any partial results) and stay usable.
+            raise DuelTargetError(
+                f"target call failed: {fault}", fault) from fault
         sym = self._sym(lambda: SymCall(f.sym, tuple(a.sym for a in args)))
         if ftype.result.is_void:
             return rvalue(ftype.result, None, sym)

@@ -114,24 +114,76 @@ class DuelSession:
         Constant-only expressions produce a single space-joined line of
         values, reproducing the paper's ``duel (1..3)+(5,9)`` session.
         """
+        return list(self.ieval_lines(text))
+
+    def ieval_lines(self, text: str) -> Iterator[str]:
+        """Output lines, produced lazily as the generator tree drives."""
         node = self.compile(text)
         self._record(text)
         self.evaluator.reset()
+        yield from self._lines(node)
+
+    def _lines(self, node: N.Node) -> Iterator[str]:
         values = self.evaluator.eval(node)
         if self.options.symbolic and not _mentions_state(node):
             texts = [self.formatter.format(v) for v in values]
-            return [" ".join(texts)] if texts else []
-        return [self.format_line(v) for v in values]
+            if texts:
+                yield " ".join(texts)
+            return
+        for v in values:
+            yield self.format_line(v)
 
     def duel(self, text: str, out=None) -> None:
-        """The gdb ``duel`` command: evaluate and print."""
+        """The gdb ``duel`` command: evaluate and print — robustly.
+
+        Drives the expression lazily, printing each value as it is
+        produced, so a ``DuelError`` mid-drive still reports every
+        partial result already yielded before the error line.  For
+        side-effecting queries (assignments, increments, target calls,
+        declarations) a target snapshot is taken first and restored on
+        error, so a failed query never leaves the debuggee
+        half-mutated; the session stays usable either way.
+        """
         import sys
         stream = out if out is not None else sys.stdout
         try:
-            for line in self.eval_lines(text):
-                stream.write(line + "\n")
+            node = self.compile(text)
         except DuelError as error:
             stream.write(str(error) + "\n")
+            return
+        self._record(text)
+        checkpoint = self._checkpoint_for(node)
+        self.evaluator.reset()
+        try:
+            for line in self._lines(node):
+                stream.write(line + "\n")
+        except DuelError as error:
+            self._restore(checkpoint)
+            stream.write(str(error) + "\n")
+
+    # -- failed-query rollback ----------------------------------------------
+    def _checkpoint_for(self, node: N.Node):
+        """Snapshot the target before a query that could mutate it.
+
+        Only possible when the backend exposes its program (the
+        simulator and the fault-injecting wrapper do); other backends
+        simply skip rollback.
+        """
+        if not _has_side_effects(node):
+            return None
+        program = getattr(self.backend, "program", None)
+        if program is None:
+            return None
+        from repro.target import snapshot
+        return (program, snapshot.take(program))
+
+    def _restore(self, checkpoint) -> None:
+        if checkpoint is None:
+            return
+        program, snap = checkpoint
+        from repro.target import snapshot
+        snapshot.restore(program, snap)
+        self.evaluator.invalidate_target_caches()
 
     def values_line(self, text: str) -> str:
         """Space-joined value texts, the paper's constants-only display.
@@ -166,6 +218,18 @@ class DuelSession:
     def lookup_count(self) -> int:
         """Total symbol lookups performed (benchmark P2)."""
         return self.evaluator.scope.lookup_count
+
+
+def _has_side_effects(node: N.Node) -> bool:
+    """True when evaluating the AST can mutate the target.
+
+    Assignments and increments write memory; calls run target code;
+    declarations allocate target scratch space.
+    """
+    for n in N.walk(node):
+        if isinstance(n, (N.Assign, N.IncDec, N.Call, N.Declaration)):
+            return True
+    return False
 
 
 def _mentions_state(node: N.Node) -> bool:

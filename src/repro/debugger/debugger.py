@@ -180,6 +180,19 @@ class Debugger:
         except _Abort:
             return None
 
+    def duel(self, text: str) -> list[str]:
+        """One recovering ``duel`` command against the stopped program.
+
+        Returns the printed lines.  Uses the session's robust drive: a
+        mid-query ``DuelError`` still returns the partial results
+        (followed by the error report), side-effecting queries roll the
+        target back on failure, and the session remains usable.
+        """
+        import io
+        buffer = io.StringIO()
+        self.session.duel(text, out=buffer)
+        return buffer.getvalue().splitlines()
+
     # -- checkpoints ---------------------------------------------------------
     def checkpoint(self):
         """Capture the target's state (rewind with :meth:`restore`)."""

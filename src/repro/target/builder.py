@@ -1,0 +1,211 @@
+"""Deterministic in-target structure builders.
+
+These place the paper's data structures — int arrays, the 1024-bucket
+compiler symbol table, linked lists (optionally cyclic), binary trees —
+directly into a :class:`~repro.target.program.TargetProgram`, so tests
+and benchmarks get exact, reproducible target state without running a
+C program first.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.ctype.layout import MemberDecl, complete_struct
+from repro.ctype.types import (
+    ArrayType,
+    CHAR,
+    INT,
+    PointerType,
+    StructType,
+)
+from repro.target.program import TargetProgram
+from repro.target.symbols import Symbol
+
+_CHAR_P = PointerType(CHAR)
+
+
+def _struct(program: TargetProgram, tag: str,
+            members) -> StructType:
+    """Get-or-create ``struct tag``; re-registration reuses the layout.
+
+    ``members`` is a list of (name, ctype-or-factory); a factory is
+    called with the (possibly incomplete) record to build
+    self-referential pointer types.
+    """
+    record = program.types.struct_tag(tag)
+    if record.is_complete:
+        return record
+    decls = [MemberDecl(name, make(record) if callable(make) else make)
+             for name, make in members]
+    complete_struct(record, decls)
+    return record
+
+
+def int_array(program: TargetProgram, name: str,
+              values: Sequence[int]) -> Symbol:
+    """A global ``int name[len(values)]`` holding ``values``."""
+    symbol = program.define(name, ArrayType(INT, len(values)))
+    for index, value in enumerate(values):
+        program.write_value(symbol.address + index * INT.size, INT, value)
+    return symbol
+
+
+def linked_list(program: TargetProgram, name: str, values: Sequence[int],
+                tag: str = "node",
+                cycle_to: Optional[int] = None) -> Symbol:
+    """A global ``struct tag *name`` heading a singly linked list.
+
+    Each node is ``struct tag { int value; struct tag *next; }``.  With
+    ``cycle_to`` the last node's next points back at node ``cycle_to``
+    (making the list cyclic); otherwise it is NULL.
+    """
+    node = _struct(program, tag, [
+        ("value", INT),
+        ("next", lambda record: PointerType(record)),
+    ])
+    node_p = PointerType(node)
+    value_off = node.field("value").offset
+    next_off = node.field("next").offset
+    addresses = [program.alloc(node.size) for _ in values]
+    for index, (address, value) in enumerate(zip(addresses, values)):
+        program.write_value(address + value_off, INT, value)
+        if index + 1 < len(addresses):
+            link = addresses[index + 1]
+        elif cycle_to is not None and addresses:
+            link = addresses[cycle_to]
+        else:
+            link = 0
+        program.write_value(address + next_off, node_p, link)
+    head = program.define(name, node_p)
+    program.write_value(head.address, node_p, addresses[0] if addresses else 0)
+    return head
+
+
+def binary_tree(program: TargetProgram, name: str, spec,
+                tag: str = "tree") -> Symbol:
+    """A global ``struct tag *name`` rooting a binary tree.
+
+    ``spec`` is an int (a leaf) or a tuple ``(key, left, right)`` whose
+    children are themselves specs or None — the paper's tree is
+    ``(9, (3, 4, 5), 12)``.
+    """
+    node = _tree_struct(program, tag)
+    root = program.define(name, PointerType(node))
+    program.write_value(root.address, PointerType(node),
+                        _build_tree(program, node, spec))
+    return root
+
+
+def _tree_struct(program: TargetProgram, tag: str) -> StructType:
+    return _struct(program, tag, [
+        ("key", INT),
+        ("left", lambda record: PointerType(record)),
+        ("right", lambda record: PointerType(record)),
+    ])
+
+
+def _build_tree(program: TargetProgram, node: StructType, spec) -> int:
+    if spec is None:
+        return 0
+    if isinstance(spec, tuple):
+        key = spec[0]
+        left = spec[1] if len(spec) > 1 else None
+        right = spec[2] if len(spec) > 2 else None
+    else:
+        key, left, right = spec, None, None
+    node_p = PointerType(node)
+    address = program.alloc(node.size)
+    program.write_value(address + node.field("key").offset, INT, key)
+    program.write_value(address + node.field("left").offset, node_p,
+                        _build_tree(program, node, left))
+    program.write_value(address + node.field("right").offset, node_p,
+                        _build_tree(program, node, right))
+    return address
+
+
+def bst_insert_all(program: TargetProgram, name: str,
+                   keys: Sequence[int], tag: str = "tree") -> Symbol:
+    """A global BST built by inserting ``keys`` in order (dups ignored)."""
+    node = _tree_struct(program, tag)
+    node_p = PointerType(node)
+    key_off = node.field("key").offset
+    left_off = node.field("left").offset
+    right_off = node.field("right").offset
+    root = program.define(name, node_p)
+
+    def new_node(key: int) -> int:
+        address = program.alloc(node.size)
+        program.write_value(address + key_off, INT, key)
+        return address
+
+    for key in keys:
+        current = program.read_value(root.address, node_p)
+        if current == 0:
+            program.write_value(root.address, node_p, new_node(key))
+            continue
+        while True:
+            held = program.read_value(current + key_off, INT)
+            if key == held:
+                break
+            slot = current + (left_off if key < held else right_off)
+            child = program.read_value(slot, node_p)
+            if child == 0:
+                program.write_value(slot, node_p, new_node(key))
+                break
+            current = child
+    return root
+
+
+def symbol_hash_table(program: TargetProgram, buckets: int = 1024,
+                      entries: Optional[dict] = None) -> Symbol:
+    """The compiler symbol table from the paper::
+
+        struct symbol { char *name; int scope; struct symbol *next; }
+            *hash[1024];
+
+    ``entries`` maps bucket → [(name, scope), ...] in chain order.
+    """
+    record = _struct(program, "symbol", [
+        ("name", _CHAR_P),
+        ("scope", INT),
+        ("next", lambda r: PointerType(r)),
+    ])
+    record_p = PointerType(record)
+    name_off = record.field("name").offset
+    scope_off = record.field("scope").offset
+    next_off = record.field("next").offset
+    table = program.define("hash", ArrayType(record_p, buckets))
+    for bucket, chain in sorted((entries or {}).items()):
+        head = 0
+        for name, scope in reversed(list(chain)):
+            address = program.alloc(record.size)
+            program.write_value(address + name_off, _CHAR_P,
+                                program.intern_string(name))
+            program.write_value(address + scope_off, INT, scope)
+            program.write_value(address + next_off, record_p, head)
+            head = address
+        program.write_value(table.address + bucket * record_p.size,
+                            record_p, head)
+    return table
+
+
+def paper_hash_entries() -> dict:
+    """The fixed symbol-table contents behind the paper's E3 sessions.
+
+    * bucket 42 and 529 heads have scope > 5 (the deep-scope search);
+    * buckets 1 and 9 carry the field-alternation examples;
+    * bucket 0 is a 4-long, decreasing-scope chain;
+    * bucket 287 holds the single sortedness violation, at chain
+      index 8 (scope 5 followed by scope 6);
+    * bucket 7 (and every other bucket) is empty.
+    """
+    entries = {
+        0: [("outer", 4), ("mid", 3), ("arg", 2), ("main", 1)],
+        1: [("x", 3)],
+        9: [("abc", 2)],
+        42: [("tmp", 7), ("len", 2)],
+        529: [("buf", 8)],
+        287: [(f"s{i}", 5) for i in range(9)] + [("deep", 6)],
+    }
+    return entries

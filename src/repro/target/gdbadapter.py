@@ -1,0 +1,176 @@
+"""Binding of the narrow debugger interface to a live gdb.
+
+Importable everywhere: when the ``gdb`` Python module is absent (i.e.
+outside a gdb process) the module still loads, ``HAVE_GDB`` is False,
+and :class:`GdbBackend`/:func:`register_duel_command` fail fast with a
+clear ``RuntimeError`` instead of an ImportError at import time.
+
+Inside gdb::
+
+    (gdb) python import sys; sys.path.insert(0, ".../src")
+    (gdb) python from repro.target.gdbadapter import register_duel_command
+    (gdb) python register_duel_command()
+    (gdb) duel x[..100] >? 0
+
+The adapter maps the interface onto gdb's Python API: symbols via
+``gdb.lookup_symbol``, memory via the selected inferior's
+``read_memory``/``write_memory``, frames via ``gdb.selected_frame``,
+and calls via ``gdb.parse_and_eval``.  Type translation is best-effort
+(primitives, pointers, arrays, structs/unions/enums); it is not
+exercised by the offline test suite.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.target.interface import DebuggerInterface
+from repro.target.memory import TargetMemoryFault
+from repro.target.symbols import Symbol, SymbolKind
+
+try:  # pragma: no cover - only importable inside gdb
+    import gdb  # type: ignore
+    HAVE_GDB = True
+except ImportError:
+    gdb = None
+    HAVE_GDB = False
+
+_NO_GDB = ("the gdb Python API is not available; "
+           "run this inside gdb (see README 'Using inside real gdb')")
+
+
+def _require_gdb() -> None:
+    if not HAVE_GDB:
+        raise RuntimeError(_NO_GDB)
+
+
+class GdbBackend(DebuggerInterface):
+    """The debugger interface over a live gdb inferior."""
+
+    def __init__(self) -> None:
+        _require_gdb()
+        from repro.ctype.declparse import TypeEnv
+        self._types = TypeEnv()
+
+    # -- type translation (best-effort) --------------------------------
+    def _translate(self, gtype):  # pragma: no cover - needs live gdb
+        from repro.ctype import declparse
+        return declparse.parse_type(str(gtype.strip_typedefs()),
+                                    self._types)
+
+    # -- symbols and types ---------------------------------------------
+    def get_target_variable(self, name: str) -> Optional[Symbol]:  # pragma: no cover
+        sym, _ = gdb.lookup_symbol(name)
+        if sym is None:
+            return None
+        value = sym.value(gdb.selected_frame()) if sym.needs_frame \
+            else sym.value()
+        kind = SymbolKind.FUNCTION if sym.type.code == gdb.TYPE_CODE_FUNC \
+            else SymbolKind.GLOBAL
+        return Symbol(name, self._translate(sym.type),
+                      int(value.address), kind)
+
+    def get_target_typedef(self, name: str):  # pragma: no cover
+        try:
+            return self._translate(gdb.lookup_type(name))
+        except gdb.error:
+            return None
+
+    def _lookup_tagged(self, prefix: str, tag: str):  # pragma: no cover
+        try:
+            return self._translate(gdb.lookup_type(f"{prefix} {tag}"))
+        except gdb.error:
+            return None
+
+    def get_target_struct(self, tag: str):  # pragma: no cover
+        return self._lookup_tagged("struct", tag)
+
+    def get_target_union(self, tag: str):  # pragma: no cover
+        return self._lookup_tagged("union", tag)
+
+    def get_target_enum(self, tag: str):  # pragma: no cover
+        return self._lookup_tagged("enum", tag)
+
+    def enum_constant(self, name: str):  # pragma: no cover
+        sym, _ = gdb.lookup_symbol(name)
+        if sym is None or sym.type.code != gdb.TYPE_CODE_ENUM:
+            return None
+        return int(sym.value()), self._translate(sym.type)
+
+    # -- frames ---------------------------------------------------------
+    def frames_count(self) -> int:  # pragma: no cover
+        count, frame = 0, gdb.newest_frame()
+        while frame is not None:
+            count, frame = count + 1, frame.older()
+        return count
+
+    def get_frame_variable(self, index: int, name: str):  # pragma: no cover
+        frame = gdb.newest_frame()
+        for _ in range(index):
+            if frame is None:
+                return None
+            frame = frame.older()
+        if frame is None:
+            return None
+        try:
+            value = frame.read_var(name)
+        except ValueError:
+            return None
+        return Symbol(name, self._translate(value.type),
+                      int(value.address), SymbolKind.LOCAL)
+
+    # -- memory ----------------------------------------------------------
+    def is_mapped(self, address: int, size: int = 1) -> bool:  # pragma: no cover
+        if address <= 0 or size <= 0:
+            return False
+        try:
+            gdb.selected_inferior().read_memory(address, size)
+            return True
+        except gdb.MemoryError:
+            return False
+
+    def get_target_bytes(self, address: int, size: int) -> bytes:  # pragma: no cover
+        try:
+            return bytes(gdb.selected_inferior().read_memory(address, size))
+        except gdb.MemoryError as err:
+            raise TargetMemoryFault(address, size, "read", str(err))
+
+    def put_target_bytes(self, address: int, data: bytes) -> None:  # pragma: no cover
+        try:
+            gdb.selected_inferior().write_memory(address, data)
+        except gdb.MemoryError as err:
+            raise TargetMemoryFault(address, len(data), "write", str(err))
+
+    def alloc_target_space(self, size: int) -> int:  # pragma: no cover
+        return int(gdb.parse_and_eval(f"(void *) malloc({int(size)})"))
+
+    # -- calls ------------------------------------------------------------
+    def call_target_func(self, target, raw_args: Sequence):  # pragma: no cover
+        args = ", ".join(str(int(a)) for a in raw_args)
+        if isinstance(target, str):
+            call = f"{target}({args})"
+        else:
+            call = f"((long (*)()) {int(target)})({args})"
+        try:
+            return int(gdb.parse_and_eval(call))
+        except gdb.error as err:
+            raise TargetMemoryFault(0, 0, "call", str(err))
+
+
+def register_duel_command() -> None:
+    """Install the ``duel`` command into the running gdb."""
+    _require_gdb()
+
+    from repro.core.session import DuelSession  # pragma: no cover
+
+    class _DuelCommand(gdb.Command):  # pragma: no cover - needs live gdb
+        def __init__(self):
+            super().__init__("duel", gdb.COMMAND_DATA)
+            self._session = None
+
+        def invoke(self, argument, from_tty):
+            if self._session is None:
+                self._session = DuelSession(GdbBackend())
+            self._session.duel(argument)
+
+    _DuelCommand()  # pragma: no cover

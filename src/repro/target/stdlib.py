@@ -1,0 +1,114 @@
+"""A small libc for the simulated inferior.
+
+Installs malloc/free/printf/strcmp/strlen/exit as callable target
+functions with real text-segment addresses (so function pointers to
+them work).  printf appends its formatted text to ``program.output``;
+:func:`stdout_text` joins it back into the program's stdout.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.ctype.types import CHAR, FunctionType, INT, PointerType, ULONG, VOID
+from repro.target.program import TargetProgram
+
+__all__ = ["TargetExit", "install_stdlib", "stdout_text"]
+
+
+class TargetExit(Exception):
+    """The target called exit(); carries the exit status."""
+
+    def __init__(self, status: int):
+        self.status = status
+        super().__init__(f"target exited with status {status}")
+
+
+def stdout_text(program: TargetProgram) -> str:
+    """Everything the target printed, as one string."""
+    return "".join(program.output)
+
+
+def _read_bytes(program: TargetProgram, address: int) -> bytes:
+    data = bytearray()
+    while True:
+        byte = program.memory.read(address + len(data), 1)
+        if byte == b"\0":
+            return bytes(data)
+        data += byte
+
+
+_FORMAT_RE = re.compile(r"%([-+ 0#]*\d*(?:\.\d+)?)([diouxXcsfge%])")
+
+
+def _format(program: TargetProgram, fmt: str, args) -> str:
+    remaining = iter(args)
+
+    def convert(match: re.Match) -> str:
+        flags, conv = match.groups()
+        if conv == "%":
+            return "%"
+        arg = next(remaining, 0)
+        if conv in "di":
+            return ("%" + flags + "d") % int(arg)
+        if conv in "ouxX":
+            value = int(arg)
+            if value < 0:  # C prints the unsigned 32-bit pattern
+                value &= 0xFFFFFFFF
+            return ("%" + flags + conv) % value
+        if conv == "c":
+            return ("%" + flags + "c") % chr(int(arg) & 0xFF)
+        if conv == "s":
+            return ("%" + flags + "s") % program.read_cstring(int(arg))
+        return ("%" + flags + conv) % float(arg)
+
+    return _FORMAT_RE.sub(convert, fmt)
+
+
+def _printf(program: TargetProgram, fmt_address, *args) -> int:
+    text = _format(program, program.read_cstring(int(fmt_address)), args)
+    program.output.append(text)
+    return len(text)
+
+
+def _malloc(program: TargetProgram, size) -> int:
+    return program.alloc(int(size))
+
+
+def _free(program: TargetProgram, address) -> None:
+    program.heap.free(int(address))
+
+
+def _strlen(program: TargetProgram, address) -> int:
+    return len(_read_bytes(program, int(address)))
+
+
+def _strcmp(program: TargetProgram, left, right) -> int:
+    a = _read_bytes(program, int(left))
+    b = _read_bytes(program, int(right))
+    for x, y in zip(a + b"\0", b + b"\0"):
+        if x != y:
+            return x - y
+    return 0
+
+
+def _exit(program: TargetProgram, status=0) -> None:
+    raise TargetExit(int(status))
+
+
+def install_stdlib(program: TargetProgram) -> None:
+    """Install the mini libc into ``program`` (idempotent)."""
+    char_p = PointerType(CHAR)
+    void_p = PointerType(VOID)
+    program.define_function(
+        "malloc", FunctionType(void_p, (ULONG,)), _malloc)
+    program.define_function(
+        "free", FunctionType(VOID, (void_p,)), _free)
+    program.define_function(
+        "printf", FunctionType(INT, (char_p,), varargs=True), _printf)
+    program.define_function(
+        "strlen", FunctionType(ULONG, (char_p,)), _strlen)
+    program.define_function(
+        "strcmp", FunctionType(INT, (char_p, char_p)), _strcmp)
+    program.define_function(
+        "exit", FunctionType(VOID, (INT,)), _exit)

@@ -1,0 +1,71 @@
+"""Symbols and symbol tables for the simulated inferior.
+
+A :class:`Symbol` is what the debugger interface hands back for a name
+lookup: the declared type plus the address where the object lives in
+target memory (for functions, the text-segment entry point).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterator, Optional
+
+from repro.ctype.types import CType
+
+
+class SymbolKind(enum.Enum):
+    """Storage class of a symbol."""
+
+    GLOBAL = "global"
+    LOCAL = "local"
+    PARAMETER = "parameter"
+    FUNCTION = "function"
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"SymbolKind.{self.name}"
+
+
+@dataclass
+class Symbol:
+    """One named object in the target: type, address, storage class."""
+
+    name: str
+    ctype: CType
+    address: int
+    kind: SymbolKind = SymbolKind.GLOBAL
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"Symbol({self.name!r}, {self.ctype.name()}, "
+                f"{self.address:#x}, {self.kind.value})")
+
+
+class SymbolTable:
+    """An ordered name → :class:`Symbol` mapping (one scope's symbols)."""
+
+    def __init__(self) -> None:
+        self._symbols: dict[str, Symbol] = {}
+
+    def define(self, symbol: Symbol) -> Symbol:
+        """Install ``symbol``; redefinition replaces the previous entry."""
+        self._symbols[symbol.name] = symbol
+        return symbol
+
+    def lookup(self, name: str) -> Optional[Symbol]:
+        return self._symbols.get(name)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._symbols
+
+    def __iter__(self) -> Iterator[Symbol]:
+        return iter(self._symbols.values())
+
+    def __len__(self) -> int:
+        return len(self._symbols)
+
+    def copy_state(self) -> dict[str, Symbol]:
+        """Shallow snapshot of the bindings (see repro.target.snapshot)."""
+        return dict(self._symbols)
+
+    def restore_state(self, state: dict[str, Symbol]) -> None:
+        self._symbols = dict(state)

@@ -1,11 +1,13 @@
-"""Property tests: target memory is a faithful byte store."""
+"""Property tests: target memory is a faithful, guarded byte store."""
 
+import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.ctype.encode import decode_value, encode_value
 from repro.ctype.kinds import Kind, int_bounds
 from repro.ctype.types import CHAR, INT, LONG, PrimitiveType, UCHAR, UINT, ULONG
-from repro.target.memory import Memory
+from repro.target.memory import Memory, TargetMemoryFault
+from repro.target.program import TargetProgram
 
 BASE = 0x1000
 SIZE = 0x2000
@@ -81,3 +83,54 @@ def test_reads_never_corrupt_state(address):
     except Exception:
         pass
     assert m.read(BASE, 8) == b"sentinel"
+
+
+@given(sizes=st.lists(st.integers(1, 256), min_size=1, max_size=8),
+       data=st.data())
+def test_alloc_write_read_roundtrip(sizes, data):
+    """Heap allocations are disjoint, mapped, zeroed, and faithful."""
+    program = TargetProgram()
+    blocks = []
+    for size in sizes:
+        address = program.alloc(size)
+        assert program.memory.is_mapped(address, size)
+        assert program.memory.read(address, size) == bytes(size)
+        payload = data.draw(st.binary(min_size=size, max_size=size))
+        program.memory.write(address, payload)
+        blocks.append((address, payload))
+    # Every block still holds its own bytes: no overlap, no bleed.
+    for address, payload in blocks:
+        assert program.memory.read(address, len(payload)) == payload
+
+
+@given(address=st.integers(-2**16, 2**48), size=st.integers(1, 64))
+def test_unmapped_access_always_faults(address, size):
+    """is_mapped is the exact oracle for read/write faulting."""
+    m = fresh()
+    before = m.read(BASE, SIZE)
+    if m.is_mapped(address, size):
+        assert len(m.read(address, size)) == size
+    else:
+        with pytest.raises(TargetMemoryFault):
+            m.read(address, size)
+        with pytest.raises(TargetMemoryFault):
+            m.write(address, b"\xFF" * size)
+        # The failed write touched nothing.
+        assert m.read(BASE, SIZE) == before
+
+
+@given(tail=st.integers(1, 63))
+def test_straddling_write_is_atomic(tail):
+    """A write running off a region's end faults without partial effect."""
+    m = fresh()
+    m.write(BASE, bytes(range(256)) * (SIZE // 256))
+    before = m.read(BASE, SIZE)
+    with pytest.raises(TargetMemoryFault):
+        m.write(BASE + SIZE - tail, b"\xEE" * 64)
+    assert m.read(BASE, SIZE) == before
+
+
+@given(offset=st.integers(0, SIZE - 1), size=st.integers(1, 64))
+def test_is_mapped_matches_region_bounds(offset, size):
+    m = fresh()
+    assert m.is_mapped(BASE + offset, size) == (offset + size <= SIZE)
