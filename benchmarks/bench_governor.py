@@ -1,0 +1,89 @@
+"""Governor overhead on the P3 hot path.
+
+Every value yielded by every generator node passes through the
+inlined ``ResourceGovernor.step()`` accounting in
+``Evaluator._counted`` — the one piece of governor code on the
+evaluation hot path (deadline and cancellation are only polled every
+``CHECK_EVERY`` steps).  This benchmark runs the paper's P3 query
+``x[..1000] !=? 0`` three ways:
+
+* ``with_governor``   — the shipped configuration;
+* ``wrapper_only``    — the per-node wrapper generator kept, the step
+  accounting removed: isolates what the *governor* adds over the
+  counting wrapper the evaluator always had;
+* ``no_wrapper``      — ``_counted`` gone entirely (never a shipped
+  configuration; bounds the cost of per-node wrapping itself).
+
+The smoke test asserts the governor's accounting stays under the 5%
+target with a margin for timer noise; the precise ratios appear in
+the benchmark table.
+"""
+
+import time
+
+import pytest
+
+from conftest import make_array_session
+
+EXPR = "x[..1000] !=? 0"
+
+
+def _passthrough(it):
+    yield from it
+
+
+@pytest.fixture(scope="module")
+def governed_session():
+    return make_array_session(1000, symbolic=False)
+
+
+@pytest.fixture(scope="module")
+def wrapper_only_session():
+    session = make_array_session(1000, symbolic=False)
+    session.evaluator._counted = _passthrough
+    return session
+
+
+@pytest.fixture(scope="module")
+def no_wrapper_session():
+    session = make_array_session(1000, symbolic=False)
+    session.evaluator._counted = lambda it: it
+    return session
+
+
+@pytest.mark.benchmark(group="governor-overhead")
+def test_with_governor(benchmark, governed_session):
+    out = benchmark(governed_session.eval, EXPR)
+    assert len(out) > 900  # almost all seeded values are non-zero
+
+
+@pytest.mark.benchmark(group="governor-overhead")
+def test_wrapper_only(benchmark, wrapper_only_session):
+    out = benchmark(wrapper_only_session.eval, EXPR)
+    assert len(out) > 900
+
+
+@pytest.mark.benchmark(group="governor-overhead")
+def test_no_wrapper(benchmark, no_wrapper_session):
+    out = benchmark(no_wrapper_session.eval, EXPR)
+    assert len(out) > 900
+
+
+def test_overhead_smoke(governed_session, wrapper_only_session):
+    """Step accounting must stay cheap: target <5% on P3, asserted at
+    a looser bound so scheduler noise can't flake the suite."""
+    def best_of(session, repeats=7):
+        timings = []
+        for _ in range(repeats):
+            start = time.perf_counter()
+            session.eval(EXPR)
+            timings.append(time.perf_counter() - start)
+        return min(timings)
+
+    best_of(governed_session, repeats=2)         # warm both paths
+    best_of(wrapper_only_session, repeats=2)
+    governed = best_of(governed_session)
+    baseline = best_of(wrapper_only_session)
+    overhead = governed / baseline - 1.0
+    assert overhead < 0.15, (
+        f"governor accounting overhead {overhead:.1%} on P3 (target <5%)")

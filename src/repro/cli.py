@@ -19,11 +19,13 @@ Inside the REPL::
 from __future__ import annotations
 
 import argparse
+import signal
 import sys
 from typing import Optional, Sequence
 
 from repro import DuelSession, SimulatorBackend, TargetProgram
 from repro.core.errors import DuelError
+from repro.core.governor import CancelToken
 from repro.minic import run_program
 from repro.minic.errors import MiniCError
 from repro.target.stdlib import install_stdlib, stdout_text
@@ -37,11 +39,27 @@ DUEL REPL commands:
   aliases               list debugger aliases (x := ...)
   clear                 drop all aliases
   symbolic on|off       toggle symbolic derivations in output
+  limits [<name> <n>]   show / set per-query limits (n=off disables)
+  stats on|off          print a [steps=.., lookups=.., wall=..ms] footer
   history               show executed queries
   save <name> <expr>    name a query for re-issue
   !<name>               re-issue a saved query
   quit / EOF            leave
+^C stops a running query; its partial values are kept.
 Anything else is handed to DUEL; see README.md for the language."""
+
+
+def sigint_handler(token: CancelToken):
+    """The REPL's ^C handler: trip the cooperative cancel token.
+
+    The governor notices at its next checkpoint, the drive loop stops,
+    partial results stand, and a ``(stopped: ... interrupted)`` line is
+    printed — the paper's "output can be stopped with the standard gdb
+    ^C interrupt", without killing the session.
+    """
+    def handle(signum, frame):
+        token.trip("interrupt")
+    return handle
 
 
 def build_target(source_path: Optional[str],
@@ -65,70 +83,135 @@ def build_target(source_path: Optional[str],
 
 
 def repl(session: DuelSession, stdin=None, out=None) -> int:
-    """Interactive loop; returns an exit status."""
+    """Interactive loop; returns an exit status.
+
+    Installs a SIGINT handler for its lifetime (when running on the
+    main thread) so ^C trips the session's cancel token instead of
+    raising KeyboardInterrupt through a half-driven query.
+    """
     stdin = stdin if stdin is not None else sys.stdin
     out = out if out is not None else sys.stdout
-    for raw in stdin:
-        line = raw.strip()
-        if not line:
-            continue
-        if line in ("quit", "exit", "q"):
-            break
-        if line == "help":
-            out.write(HELP + "\n")
-            continue
-        if line == "aliases":
-            aliases = session.aliases()
-            if not aliases:
-                out.write("(no aliases)\n")
-            for name, value in aliases.items():
-                out.write(f"{name} := {session.formatter.format(value)}\n")
-            continue
-        if line == "clear":
-            session.clear_aliases()
-            continue
-        if line.startswith("symbolic"):
-            mode = line.split()[-1]
-            session.options.symbolic = (mode != "off")
-            out.write(f"symbolic {'on' if session.options.symbolic else 'off'}\n")
-            continue
-        if line == "history":
-            for index, text in enumerate(session.history):
-                out.write(f"{index:3}  {text}\n")
-            continue
-        if line.startswith("save "):
-            parts = line.split(None, 2)
-            if len(parts) < 3:
-                out.write("usage: save <name> <expression>\n")
+    stats = False
+    try:
+        previous = signal.signal(signal.SIGINT,
+                                 sigint_handler(session.governor.token))
+    except ValueError:          # not the main thread: no handler swap
+        previous = None
+    try:
+        for raw in stdin:
+            line = raw.strip()
+            if not line:
                 continue
-            try:
-                session.save_query(parts[1], parts[2])
-                out.write(f"saved {parts[1]!r}\n")
-            except DuelError as error:
-                out.write(str(error) + "\n")
-            continue
-        if line.startswith("!"):
-            name = line[1:].strip()
-            if name not in session.saved:
-                out.write(f"no saved query named {name!r}\n")
+            if line in ("quit", "exit", "q"):
+                break
+            if line == "help":
+                out.write(HELP + "\n")
                 continue
-            run_command(session, session.saved[name], out)
-            continue
-        run_command(session, line, out)
+            if line == "aliases":
+                aliases = session.aliases()
+                if not aliases:
+                    out.write("(no aliases)\n")
+                for name, value in aliases.items():
+                    out.write(f"{name} := "
+                              f"{session.formatter.format(value)}\n")
+                continue
+            if line == "clear":
+                session.clear_aliases()
+                continue
+            if line.split()[0] == "symbolic":
+                parts = line.split()
+                if len(parts) == 2 and parts[1] in ("on", "off"):
+                    session.options.symbolic = (parts[1] == "on")
+                    out.write(f"symbolic {parts[1]}\n")
+                else:
+                    out.write("usage: symbolic on|off\n")
+                continue
+            if line.split()[0] == "stats":
+                parts = line.split()
+                if len(parts) == 2 and parts[1] in ("on", "off"):
+                    stats = (parts[1] == "on")
+                    out.write(f"stats {parts[1]}\n")
+                else:
+                    out.write("usage: stats on|off\n")
+                continue
+            if line.split()[0] == "limits":
+                _limits_command(session, line, out)
+                continue
+            if line == "history":
+                for index, text in enumerate(session.history):
+                    out.write(f"{index:3}  {text}\n")
+                continue
+            if line.startswith("save "):
+                parts = line.split(None, 2)
+                if len(parts) < 3:
+                    out.write("usage: save <name> <expression>\n")
+                    continue
+                try:
+                    session.save_query(parts[1], parts[2])
+                    out.write(f"saved {parts[1]!r}\n")
+                except DuelError as error:
+                    out.write(str(error) + "\n")
+                continue
+            if line.startswith("!"):
+                name = line[1:].strip()
+                if name not in session.saved:
+                    out.write(f"no saved query named {name!r}\n")
+                    continue
+                run_command(session, session.saved[name], out, stats=stats)
+                continue
+            run_command(session, line, out, stats=stats)
+    finally:
+        if previous is not None:
+            signal.signal(signal.SIGINT, previous)
     return 0
 
 
-def run_command(session: DuelSession, text: str, out) -> None:
+def _limits_command(session: DuelSession, line: str, out) -> None:
+    """``limits`` / ``limits show`` / ``limits <name> <value|off>``."""
+    governor = session.governor
+    parts = line.split()
+    if len(parts) == 1 or (len(parts) == 2 and parts[1] == "show"):
+        for row in governor.describe():
+            out.write(row + "\n")
+        return
+    if len(parts) == 3:
+        name, raw = parts[1], parts[2]
+        try:
+            value = None if raw.lower() in ("off", "none") else int(raw)
+        except ValueError:
+            out.write("usage: limits [show|<name> <value|off>]\n")
+            return
+        try:
+            governor.set_limit(name, value)
+        except ValueError as error:
+            out.write(str(error) + "\n")
+            return
+        shown = governor.limits[name]
+        out.write(f"limits {name} {'off' if shown is None else shown}\n")
+        return
+    out.write("usage: limits [show|<name> <value|off>]\n")
+
+
+def run_command(session: DuelSession, text: str, out,
+                stats: bool = False) -> None:
     """One duel command: print all values, or the error, never raise.
 
     Routed through the session's recovering drive, so values produced
-    before a mid-query error still appear, and failed side-effecting
-    queries roll the target back.
+    before a mid-query error still appear, failed side-effecting
+    queries roll the target back, and truncated queries keep their
+    partial output.  With ``stats`` on, a per-query resource footer
+    follows the output.
     """
     sink = _CountingOut(out)
+    lookups_before = session.lookup_count
     session.duel(text, out=sink)
     if not sink.wrote:
         out.write("(no values)\n")
+    if stats:
+        governor = session.governor
+        lookups = session.lookup_count - lookups_before
+        out.write(f"[steps={governor.steps}, lookups={lookups}, "
+                  f"wall={governor.elapsed_ms():.1f}ms]\n")
 
 
 class _CountingOut:
@@ -159,6 +242,18 @@ def main(argv: Optional[Sequence[str]] = None,
                         help="print values without derivations")
     parser.add_argument("--optimize", action="store_true",
                         help="enable compile-time constant folding")
+    parser.add_argument("--max-steps", type=int, default=None,
+                        metavar="N",
+                        help="per-query generator-step budget "
+                             "(0 disables; default 10000000)")
+    parser.add_argument("--deadline-ms", type=int, default=None,
+                        metavar="MS",
+                        help="per-query wall-clock deadline in ms "
+                             "(0 disables; default 30000)")
+    parser.add_argument("--max-lines", type=int, default=None,
+                        metavar="N",
+                        help="per-query output quota in printed values "
+                             "(0 disables; default 10000)")
     parser.add_argument("args", nargs="*", default=[],
                         help="argv for the target program (after --)")
     ns = parser.parse_args(argv)
@@ -168,9 +263,16 @@ def main(argv: Optional[Sequence[str]] = None,
     except (MiniCError, OSError) as error:
         out.write(f"error: {error}\n")
         return 1
+    limit_kwargs = {}
+    if ns.max_steps is not None:
+        limit_kwargs["max_steps"] = ns.max_steps
+    if ns.deadline_ms is not None:
+        limit_kwargs["deadline_ms"] = ns.deadline_ms
+    if ns.max_lines is not None:
+        limit_kwargs["max_lines"] = ns.max_lines
     session = DuelSession(SimulatorBackend(program),
                           symbolic=not ns.no_symbolic,
-                          optimize=ns.optimize)
+                          optimize=ns.optimize, **limit_kwargs)
     if ns.expr:
         for text in ns.expr:
             out.write(f"duel {text}\n")

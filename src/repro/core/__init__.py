@@ -21,14 +21,17 @@ Typical use::
 """
 
 from repro.core.errors import (
+    DuelCancelled,
     DuelError,
     DuelEvalLimit,
     DuelMemoryError,
     DuelNameError,
     DuelSyntaxError,
+    DuelTruncation,
     DuelTypeError,
 )
 from repro.core.eval import EvalOptions, Evaluator
+from repro.core.governor import CancelToken, ResourceGovernor
 from repro.core.parser import DuelParser, parse
 from repro.core.session import DuelSession
 from repro.core.values import DuelValue
@@ -46,4 +49,8 @@ __all__ = [
     "DuelNameError",
     "DuelMemoryError",
     "DuelEvalLimit",
+    "DuelTruncation",
+    "DuelCancelled",
+    "CancelToken",
+    "ResourceGovernor",
 ]

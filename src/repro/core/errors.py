@@ -87,11 +87,81 @@ class DuelTargetError(DuelError):
         self.fault = fault
 
 
-class DuelEvalLimit(DuelError):
-    """Evaluation exceeded the session's step budget (runaway generator)."""
+#: Human noun for each governed resource (``DuelEvalLimit`` messages).
+LIMIT_NOUNS = {
+    "steps": "generator steps",
+    "expand": "expanded nodes",
+    "deadline_ms": "ms of wall-clock time",
+    "lines": "output values",
+    "calls": "target calls",
+    "allocs": "target allocations",
+    "symnodes": "symbolic nodes",
+    "cancel": "interrupts",
+}
 
-    def __init__(self, limit: int):
+#: Exhaustion phrase for each resource (truncation diagnostics).
+LIMIT_PHRASES = {
+    "steps": "step budget exhausted",
+    "expand": "expand budget exhausted",
+    "deadline_ms": "wall-clock deadline expired",
+    "lines": "output quota exhausted",
+    "calls": "target-call quota exhausted",
+    "allocs": "target-allocation quota exhausted",
+    "symnodes": "symbolic-node budget exhausted",
+}
+
+
+class DuelEvalLimit(DuelError):
+    """Evaluation exhausted one of the governor's per-query limits.
+
+    ``kind`` names the limit that tripped (``steps``, ``expand``,
+    ``deadline_ms``, ``lines``, ``calls``, ``allocs``, ``symnodes``) so
+    callers and users can tell a runaway generator from an expired
+    deadline or a target-call storm.
+    """
+
+    def __init__(self, limit: Optional[int], kind: str = "steps"):
+        noun = LIMIT_NOUNS.get(kind, kind)
         super().__init__(
-            f"evaluation exceeded {limit} generator steps; "
-            "use an explicit bound or raise the session limit")
+            f"evaluation exceeded {limit} {noun}; use an explicit "
+            f"bound or raise the session limit ('limits {kind} N')")
         self.limit = limit
+        self.kind = kind
+
+
+class DuelTruncation(DuelEvalLimit):
+    """A limit tripped under the ``truncate`` policy.
+
+    Not an error: the drive loop stops pulling values, keeps every
+    partial result already produced, and prints :meth:`diagnostic` —
+    the graceful-degradation counterpart of :class:`DuelEvalLimit`.
+    Subclasses :class:`DuelEvalLimit` so programmatic callers that
+    collect all values (``session.eval``) still see a limit exception.
+    """
+
+    def __init__(self, limit: Optional[int], kind: str):
+        super().__init__(limit, kind)
+        #: Values produced before the trip; the drive loop fills it in.
+        self.produced: Optional[int] = None
+
+    def diagnostic(self, produced: int) -> str:
+        """The one-line paper-style truncation notice."""
+        phrase = LIMIT_PHRASES.get(self.kind, f"{self.kind} limit reached")
+        hint = ""
+        if self.limit is not None:
+            hint = f"; raise with 'limits {self.kind} {self.limit * 2}'"
+        return f"(stopped: {produced} values, {phrase}{hint})"
+
+
+class DuelCancelled(DuelTruncation):
+    """The cooperative cancel token tripped (^C) mid-drive."""
+
+    def __init__(self, reason: str = "interrupt"):
+        super().__init__(None, "cancel")
+        self.reason = reason
+        message = f"evaluation interrupted ({reason})"
+        self.message = message
+        self.args = (message,)
+
+    def diagnostic(self, produced: int) -> str:
+        return f"(stopped: {produced} values, interrupted)"

@@ -36,10 +36,11 @@ from repro.ctype.types import (
 from repro.core import nodes as N
 from repro.core.errors import (
     DuelError,
-    DuelEvalLimit,
     DuelTargetError,
     DuelTypeError,
 )
+from repro.core.governor import ResourceGovernor
+from repro.target.interface import GovernedBackend
 from repro.target.memory import TargetMemoryFault
 from repro.core.ops import Apply
 from repro.core.scope import Scope, WithEntry
@@ -116,34 +117,73 @@ class BackendTypeEnv(TypeEnv):
         return name in self.typedefs
 
 
+#: Sentinel: "caller did not override this limit".
+_KEEP_DEFAULT = object()
+
+
 class EvalOptions:
-    """Tunable evaluation behaviour (session-level switches)."""
+    """Tunable evaluation behaviour (session-level switches).
+
+    All per-query *limits* live on the attached
+    :class:`~repro.core.governor.ResourceGovernor`; the historical
+    ``max_steps`` / ``max_expand`` attributes remain as read/write
+    views onto it.
+    """
 
     def __init__(self, symbolic: bool = True, max_steps: int = 10_000_000,
-                 cycle_mode: str = "stop", max_expand: int = 1_000_000):
+                 cycle_mode: str = "stop", max_expand: int = 1_000_000,
+                 governor: Optional[ResourceGovernor] = None,
+                 deadline_ms=_KEEP_DEFAULT, max_lines=_KEEP_DEFAULT):
         #: Compute symbolic derivations (P3 benchmarks toggle this off).
         self.symbolic = symbolic
-        #: Generator-step budget guarding runaway ``e..`` loops.
-        self.max_steps = max_steps
         #: "stop" skips revisited nodes in -->; "strict" mimics the
         #: original implementation, which "does not handle cycles".
         self.cycle_mode = cycle_mode
-        #: Bound on nodes expanded per --> root.
-        self.max_expand = max_expand
+        #: Owns every per-query limit, counter, and the cancel token.
+        self.governor = governor if governor is not None \
+            else ResourceGovernor()
+        self.governor.set_limit("steps", max_steps)
+        self.governor.set_limit("expand", max_expand)
+        if deadline_ms is not _KEEP_DEFAULT:
+            self.governor.set_limit("deadline_ms", deadline_ms)
+        if max_lines is not _KEEP_DEFAULT:
+            self.governor.set_limit("lines", max_lines)
+
+    # -- legacy limit views (tests and callers assign these directly) ------
+    @property
+    def max_steps(self) -> Optional[int]:
+        """Generator-step budget guarding runaway ``e..`` loops."""
+        return self.governor.limits["steps"]
+
+    @max_steps.setter
+    def max_steps(self, value: Optional[int]) -> None:
+        self.governor.set_limit("steps", value)
+
+    @property
+    def max_expand(self) -> Optional[int]:
+        """Bound on nodes expanded per --> root."""
+        return self.governor.limits["expand"]
+
+    @max_expand.setter
+    def max_expand(self, value: Optional[int]) -> None:
+        self.governor.set_limit("expand", value)
 
 
 class Evaluator:
     """Evaluates DUEL ASTs against a debugger backend."""
 
     def __init__(self, backend, options: Optional[EvalOptions] = None):
-        self.backend = backend
         self.options = options or EvalOptions()
-        self.ops = ValueOps(backend)
+        self.governor = self.options.governor
+        # All target traffic flows through the governed wrapper so
+        # call/allocation quotas and the cancel token are enforced at
+        # the interface boundary, whatever engine drives the AST.
+        self.backend = GovernedBackend(backend, self.governor)
+        self.ops = ValueOps(self.backend)
         self.apply = Apply(self.ops)
-        self.scope = Scope(backend)
-        self.type_env = BackendTypeEnv(backend)
+        self.scope = Scope(self.backend)
+        self.type_env = BackendTypeEnv(self.backend)
         self._decl_parser = DeclParser(self.type_env)
-        self._steps = 0
         self._string_cache: dict[bytes, int] = {}
         self._dispatch: dict[type, Callable] = {
             N.Constant: self._eval_constant,
@@ -182,8 +222,13 @@ class Evaluator:
 
     # -- plumbing ----------------------------------------------------------
     def reset(self) -> None:
-        """Start a fresh top-level evaluation (step budget, with stack)."""
-        self._steps = 0
+        """Start a fresh top-level evaluation (budgets, deadline, token)."""
+        self.governor.begin_query()
+
+    @property
+    def _steps(self) -> int:
+        """Generator steps charged so far this query (legacy view)."""
+        return self.governor.steps
 
     def invalidate_target_caches(self) -> None:
         """Forget target-resident scratch after a target rollback.
@@ -202,10 +247,15 @@ class Evaluator:
         return self._counted(handler(node))
 
     def _counted(self, it: Iterator[DuelValue]) -> Iterator[DuelValue]:
+        # Inlined ResourceGovernor.step(): this wrapper runs once per
+        # value produced by every node, so a method call here is the
+        # single largest governance cost (~20% on the P3 benchmark).
+        governor = self.governor
         for value in it:
-            self._steps += 1
-            if self._steps > self.options.max_steps:
-                raise DuelEvalLimit(self.options.max_steps)
+            n = governor.steps + 1
+            governor.steps = n
+            if n >= governor._next_check:
+                governor.step_check()
             yield value
 
     def parse_type(self, text: str) -> CType:
@@ -217,16 +267,21 @@ class Evaluator:
     def _sym(self, make: Callable[[], Sym]) -> Sym:
         """Build a symbolic expression unless disabled (ablation P3)."""
         if self.options.symbolic:
+            self.governor.sym_node()
             return make()
         return _NO_SYM
 
     # ==================================================================
     # leaves
     # ==================================================================
-    def _eval_constant(self, node: N.Constant):
+    def constant_value(self, node: N.Constant) -> DuelValue:
+        """The single value of a constant node (shared by both engines)."""
         ctype = _CONST_TYPES[node.type_hint]
         sym = self._sym(lambda: SymText(node.text or str(node.value)))
-        yield rvalue(ctype, node.value, sym)
+        return rvalue(ctype, node.value, sym)
+
+    def _eval_constant(self, node: N.Constant):
+        yield self.constant_value(node)
 
     def _eval_string(self, node: N.StringLiteral):
         address = self._string_cache.get(node.value)
@@ -469,7 +524,6 @@ class Evaluator:
     def _expand_from(self, root: DuelValue, node: N.Expand):
         pending: deque[DuelValue] = deque()
         visited: set[tuple] = set()
-        expanded = 0
         if self._expandable(root, visited, register=True):
             pending.append(root)
         while pending:
@@ -489,9 +543,7 @@ class Evaluator:
                 pending.extend(children)
             else:
                 pending.extend(reversed(children))
-            expanded += 1
-            if expanded > self.options.max_expand:
-                raise DuelEvalLimit(self.options.max_expand)
+            self.governor.charge("expand")
             yield v
 
     def _expand_operand(self, v: DuelValue) -> Optional[DuelValue]:

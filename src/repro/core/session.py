@@ -26,8 +26,8 @@ from __future__ import annotations
 from typing import Iterator
 
 from repro.core import nodes as N
-from repro.core.errors import DuelError
-from repro.core.eval import EvalOptions, Evaluator
+from repro.core.errors import DuelError, DuelTruncation
+from repro.core.eval import _KEEP_DEFAULT, EvalOptions, Evaluator
 from repro.core.format import ValueFormatter
 from repro.core.parser import DuelParser
 from repro.core.symbolic import DEFAULT_FOLD
@@ -47,10 +47,15 @@ class DuelSession:
     def __init__(self, backend, symbolic: bool = True,
                  float_format: str = "%.3f", fold: int = DEFAULT_FOLD,
                  max_steps: int = 10_000_000, cycle_mode: str = "stop",
-                 optimize: bool = False):
+                 optimize: bool = False, deadline_ms=_KEEP_DEFAULT,
+                 max_lines=_KEEP_DEFAULT):
         self.backend = backend
         self.options = EvalOptions(symbolic=symbolic, max_steps=max_steps,
-                                   cycle_mode=cycle_mode)
+                                   cycle_mode=cycle_mode,
+                                   deadline_ms=deadline_ms,
+                                   max_lines=max_lines)
+        #: The per-query resource governor (limits, counters, ^C token).
+        self.governor = self.options.governor
         #: Compile-time constant folding (paper §Implementation: "could
         #: be done at compile time"); display text is preserved.
         self.optimize = optimize
@@ -124,14 +129,41 @@ class DuelSession:
         yield from self._lines(node)
 
     def _lines(self, node: N.Node) -> Iterator[str]:
+        """Output lines, metered: every printed value charges the
+        governor's output quota and hits a cancellation/deadline
+        checkpoint, so even a target-free ``1..`` stays interruptible.
+        A truncation mid-stream keeps the partial output (the
+        constants-only joined line included) and carries the produced
+        count out on the exception for the diagnostic line."""
         values = self.evaluator.eval(node)
-        if self.options.symbolic and not _mentions_state(node):
-            texts = [self.formatter.format(v) for v in values]
-            if texts:
-                yield " ".join(texts)
-            return
-        for v in values:
-            yield self.format_line(v)
+        governor = self.governor
+        produced = 0
+        try:
+            if self.options.symbolic and not _mentions_state(node):
+                texts: list[str] = []
+                try:
+                    for v in values:
+                        governor.checkpoint()
+                        governor.charge("lines")
+                        texts.append(self.formatter.format(v))
+                        produced += 1
+                except DuelTruncation:
+                    if texts:
+                        yield " ".join(texts)
+                    raise
+                if texts:
+                    yield " ".join(texts)
+                return
+            for v in values:
+                governor.checkpoint()
+                governor.charge("lines")
+                line = self.format_line(v)
+                produced += 1
+                yield line
+        except DuelTruncation as truncation:
+            if truncation.produced is None:
+                truncation.produced = produced
+            raise
 
     def duel(self, text: str, out=None) -> None:
         """The gdb ``duel`` command: evaluate and print — robustly.
@@ -143,9 +175,16 @@ class DuelSession:
         declarations) a target snapshot is taken first and restored on
         error, so a failed query never leaves the debuggee
         half-mutated; the session stays usable either way.
+
+        A governor limit tripping under the ``truncate`` policy (or a
+        ^C on the cancel token) is *not* an error: driving stops, the
+        partial results stand — effects already applied are kept, as
+        under the paper's gdb ^C — and one diagnostic line reports
+        what stopped the query and how to raise the limit.
         """
         import sys
         stream = out if out is not None else sys.stdout
+        self.governor.begin_query()
         try:
             node = self.compile(text)
         except DuelError as error:
@@ -154,12 +193,20 @@ class DuelSession:
         self._record(text)
         checkpoint = self._checkpoint_for(node)
         self.evaluator.reset()
+        written = 0
         try:
             for line in self._lines(node):
                 stream.write(line + "\n")
+                written += 1
+        except DuelTruncation as truncation:
+            produced = truncation.produced if truncation.produced \
+                is not None else written
+            stream.write(truncation.diagnostic(produced) + "\n")
         except DuelError as error:
             self._restore(checkpoint)
             stream.write(str(error) + "\n")
+        finally:
+            self.governor.end_query()
 
     # -- failed-query rollback ----------------------------------------------
     def _checkpoint_for(self, node: N.Node):
@@ -201,10 +248,20 @@ class DuelSession:
         self.saved[name] = text
 
     def run_saved(self, name: str) -> list[str]:
-        """Re-issue a saved query by name; returns its output lines."""
+        """Re-issue a saved query by name; returns its output lines.
+
+        Routed through the recovering :meth:`duel` drive — exactly like
+        the REPL's ``!name`` path — so a saved query that faults or
+        truncates mid-drive still returns the lines it produced (plus
+        the error or truncation diagnostic) instead of raising away
+        the partial results.
+        """
         if name not in self.saved:
             raise KeyError(f"no saved query named {name!r}")
-        return self.eval_lines(self.saved[name])
+        import io
+        buffer = io.StringIO()
+        self.duel(self.saved[name], out=buffer)
+        return buffer.getvalue().splitlines()
 
     # -- alias management ------------------------------------------------------
     def clear_aliases(self) -> None:

@@ -101,7 +101,19 @@ class StateMachineEvaluator:
         return state
 
     def eval(self, node: N.Node):
-        """One value of ``node``, or NOVALUE; resumes where it left off."""
+        """One value of ``node``, or NOVALUE; resumes where it left off.
+
+        Every produced value charges the shared governor exactly as the
+        generator engine's ``_counted`` wrapper does (one step per value
+        any node yields), so both engines trip the same budgets —
+        steps, wall-clock deadline, cancellation — at the same counts.
+        """
+        value = self._eval_node(node)
+        if value is not NOVALUE:
+            self.ev.governor.step()
+        return value
+
+    def _eval_node(self, node: N.Node):
         if isinstance(node, N.Constant):
             return self._eval_constant(node)
         if isinstance(node, N.Name):
@@ -144,12 +156,13 @@ class StateMachineEvaluator:
             return self._eval_underscore(node)
         raise DuelError(f"state-machine engine: {node.op!r}")  # pragma: no cover
 
-    # case CONSTANT (paper listing, verbatim structure)
+    # case CONSTANT (paper listing, verbatim structure).  Built via the
+    # shared helper, not ev.eval, so the value is charged exactly once.
     def _eval_constant(self, node: N.Constant):
         st = self._st(node)
         if st.state == 0:
             st.state = 1
-            return next(iter(self.ev.eval(node)))
+            return self.ev.constant_value(node)
         st.state = 0
         return NOVALUE
 
@@ -498,6 +511,7 @@ class StateMachineEvaluator:
                     pending.extend(children)
                 else:
                     pending.extend(reversed(children))
+                self.ev.governor.charge("expand")
                 return v
             u = self.eval(node.root)
             if u is NOVALUE:

@@ -16,6 +16,7 @@ for robustness testing and a live-gdb binding
 from repro.target.interface import (
     DebuggerInterface,
     FaultInjectingBackend,
+    GovernedBackend,
     SimulatorBackend,
 )
 from repro.target.memory import Memory, TargetMemoryFault
@@ -25,6 +26,7 @@ from repro.target.symbols import Symbol, SymbolKind, SymbolTable
 __all__ = [
     "DebuggerInterface",
     "FaultInjectingBackend",
+    "GovernedBackend",
     "Memory",
     "SimulatorBackend",
     "Symbol",

@@ -141,6 +141,39 @@ class SimulatorBackend(DebuggerInterface):
         return self.program.call(target, raw_args)
 
 
+class GovernedBackend:
+    """Meters target traffic against a query's resource governor.
+
+    The evaluator wraps its backend in this before use, so the
+    boundary Hanson's design keeps narrow is also where quotas are
+    enforced: target function calls and scratch allocations charge the
+    ``calls`` / ``allocs`` quotas, and both honour the cooperative
+    cancel token first — a ^C lands *between* target operations, not
+    only between generator steps.  Everything else delegates
+    transparently (reads stay zero-overhead: the step budget already
+    bounds them, one step per value).
+    """
+
+    def __init__(self, inner: DebuggerInterface, governor):
+        self.inner = inner
+        self.governor = governor
+
+    def __getattr__(self, name):
+        return getattr(self.inner, name)
+
+    def call_target_func(self, target, raw_args: Sequence):
+        governor = self.governor
+        governor.checkpoint()
+        governor.charge("calls")
+        return self.inner.call_target_func(target, raw_args)
+
+    def alloc_target_space(self, size: int) -> int:
+        governor = self.governor
+        governor.checkpoint()
+        governor.charge("allocs")
+        return self.inner.alloc_target_space(size)
+
+
 class FaultInjectingBackend(DebuggerInterface):
     """A deterministic fault-injecting wrapper around any backend.
 

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import faulthandler
+
 import pytest
 from hypothesis import HealthCheck, settings
 
@@ -18,6 +20,19 @@ settings.register_profile(
     suppress_health_check=[HealthCheck.function_scoped_fixture],
 )
 settings.load_profile("repro")
+
+#: Per-test wall-clock ceiling.  A governor regression that lets a
+#: runaway query escape its deadline would otherwise hang the suite
+#: (and CI) silently; this dumps every stack and kills the process
+#: instead.  Generous: the slowest legitimate test runs in seconds.
+TEST_WALL_CLOCK_LIMIT = 180.0
+
+
+@pytest.fixture(autouse=True)
+def _wall_clock_guard():
+    faulthandler.dump_traceback_later(TEST_WALL_CLOCK_LIMIT, exit=True)
+    yield
+    faulthandler.cancel_dump_traceback_later()
 
 
 @pytest.fixture

@@ -83,3 +83,52 @@ def test_restartability_matches(rig):
     first = [ops.load(v) for v in sm.drive(node)]
     second = [ops.load(v) for v in sm.drive(node)]
     assert first == second == [6, 10, 7, 11, 8, 12]
+
+
+# -- both engines charge the governor identically (PR: resource governor)
+
+@given(text=expressions)
+def test_engines_charge_identical_step_counts(rig, text):
+    """Step accounting is engine-independent: a budget that stops one
+    engine at value N stops the other at the same N."""
+    session, sm = rig
+    node = session.compile(text)
+    evaluator = session.evaluator
+    evaluator.reset()
+    for _ in evaluator.eval(node):
+        pass
+    generator_steps = session.governor.steps
+    evaluator.reset()
+    sm.drive(node)
+    assert session.governor.steps == generator_steps
+
+
+@given(text=expressions)
+def test_engines_trip_step_budget_at_same_count(rig, text):
+    from hypothesis import assume
+
+    from repro.core.errors import DuelEvalLimit
+
+    session, sm = rig
+    node = session.compile(text)
+    evaluator = session.evaluator
+    evaluator.reset()
+    for _ in evaluator.eval(node):
+        pass
+    total = session.governor.steps
+    assume(total >= 2)
+    budget = total // 2
+    saved = session.options.max_steps
+    session.options.max_steps = budget
+    try:
+        evaluator.reset()
+        with pytest.raises(DuelEvalLimit):
+            for _ in evaluator.eval(node):
+                pass
+        generator_trip = session.governor.steps
+        evaluator.reset()
+        with pytest.raises(DuelEvalLimit):
+            sm.drive(node)
+        assert session.governor.steps == generator_trip == budget + 1
+    finally:
+        session.options.max_steps = saved

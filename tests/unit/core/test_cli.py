@@ -155,6 +155,135 @@ class TestSessionHistoryApi:
             session.run_saved("missing")
 
 
+class TestSymbolicCommandParsing:
+    def test_bare_symbolic_prints_usage(self, source):
+        status, text = run_cli([source], stdin_text="symbolic\nquit\n")
+        assert "usage: symbolic on|off" in text
+
+    def test_garbage_argument_prints_usage(self, source):
+        """'symbolic banana' used to silently *enable* symbolics."""
+        status, text = run_cli([source], stdin_text=(
+            "symbolic off\nsymbolic banana\nvalues[0]\nquit\n"))
+        assert "usage: symbolic on|off" in text
+        # The bad argument must not have flipped the mode back on.
+        assert "\n5\n" in text
+        assert "values[0] = 5" not in text
+
+
+class TestLimitsCommand:
+    def test_show(self, source):
+        status, text = run_cli([source], stdin_text="limits\nquit\n")
+        assert "steps" in text and "deadline_ms" in text
+        assert "truncate" in text
+
+    def test_set_and_truncate(self, source):
+        status, text = run_cli([], stdin_text=(
+            "limits steps 12\n"
+            "1..\n"
+            "quit\n"))
+        assert "limits steps 12" in text
+        assert "step budget exhausted" in text
+        assert "raise with 'limits steps 24'" in text
+
+    def test_set_off(self, source):
+        status, text = run_cli([], stdin_text=(
+            "limits deadline_ms off\nlimits\nquit\n"))
+        assert "limits deadline_ms off" in text
+
+    def test_bad_name_reported(self, source):
+        status, text = run_cli([], stdin_text="limits bananas 3\nquit\n")
+        assert "unknown limit" in text
+
+    def test_usage(self, source):
+        status, text = run_cli([], stdin_text="limits steps\nquit\n")
+        assert "usage: limits" in text
+
+
+class TestStatsFooter:
+    def test_stats_toggle_and_footer(self, source):
+        status, text = run_cli([source], stdin_text=(
+            "stats on\ntotal\nstats off\ntotal\nquit\n"))
+        assert "stats on" in text
+        footers = [l for l in text.splitlines() if l.startswith("[steps=")]
+        assert len(footers) == 1
+        assert "lookups=" in footers[0] and "wall=" in footers[0]
+
+    def test_stats_usage(self, source):
+        status, text = run_cli([source], stdin_text="stats maybe\nquit\n")
+        assert "usage: stats on|off" in text
+
+
+class TestLimitFlags:
+    def test_max_steps_flag(self):
+        status, text = run_cli(["--max-steps", "20", "-e", "1.."])
+        assert status == 0
+        assert "step budget exhausted" in text
+
+    def test_max_lines_flag(self):
+        status, text = run_cli(["--max-lines", "5", "-e", "0..100"])
+        assert "output quota exhausted" in text
+        assert "raise with 'limits lines 10'" in text
+
+    def test_deadline_flag(self):
+        status, text = run_cli(["--deadline-ms", "1", "--max-steps", "0",
+                                "--max-lines", "0", "-e", "#/(0..)"])
+        assert "wall-clock deadline expired" in text
+
+    def test_default_limits_terminate_unbounded_query(self):
+        """Acceptance: `duel 1..` under default limits terminates with
+        partials, a diagnostic, and a still-usable session."""
+        status, text = run_cli([], stdin_text="1..\n+/(1..3)\nquit\n")
+        assert status == 0
+        lines = text.splitlines()
+        assert lines[0].startswith("1 2 3 ")
+        assert "(stopped: 10000 values, output quota exhausted" in text
+        assert "6" in lines[-1]                  # session still works
+
+
+class TestSigint:
+    def test_handler_trips_token(self):
+        import signal as _signal
+        from repro.cli import sigint_handler
+        from repro import DuelSession, SimulatorBackend, TargetProgram
+        session = DuelSession(SimulatorBackend(TargetProgram()))
+        handler = sigint_handler(session.governor.token)
+        handler(_signal.SIGINT, None)
+        assert session.governor.token.tripped
+
+    def test_repl_sigint_mid_drive_prints_partials(self):
+        """A real SIGINT during an unbounded drive: partial results and
+        an (interrupted) line, no traceback, REPL continues."""
+        import signal as _signal
+        import threading
+        from repro.cli import repl
+        from repro import DuelSession, SimulatorBackend, TargetProgram
+        # Unlimited output/steps; a 10s deadline only as a backstop so
+        # a lost signal fails the assertion instead of hanging CI.
+        session = DuelSession(SimulatorBackend(TargetProgram()),
+                              max_steps=0, max_lines=0,
+                              deadline_ms=10_000)
+        out = io.StringIO()
+        timer = threading.Timer(
+            0.15, lambda: _signal.raise_signal(_signal.SIGINT))
+        timer.start()
+        try:
+            status = repl(session, stdin=io.StringIO("1..\n+/(1..3)\nquit\n"),
+                          out=out)
+        finally:
+            timer.cancel()
+        assert status == 0
+        text = out.getvalue()
+        assert "interrupted)" in text
+        assert text.splitlines()[0].startswith("1 2 3 ")
+        assert "6" in text                       # next query still ran
+
+    def test_repl_restores_previous_handler(self, source):
+        import signal as _signal
+        before = _signal.getsignal(_signal.SIGINT)
+        run_cli([source], stdin_text="quit\n")
+        assert _signal.getsignal(_signal.SIGINT) is before
+
+
 class TestOptimizeFlag:
     def test_optimize_flag_same_output(self, source):
         plain_status, plain_text = run_cli(["-e", "values[1+1]", source])

@@ -1,0 +1,287 @@
+"""The query resource governor: deadlines, quotas, cancellation,
+graceful truncation — and the closed state-machine budget bypass."""
+
+import io
+import time
+
+import pytest
+
+from repro import DuelSession, SimulatorBackend, TargetProgram
+from repro.core.errors import (
+    DuelCancelled,
+    DuelEvalLimit,
+    DuelTruncation,
+)
+from repro.core.governor import CancelToken, ResourceGovernor
+from repro.core.statemachine import StateMachineEvaluator
+from repro.target import builder
+
+
+# -- the governor object itself -----------------------------------------
+
+class TestGovernorApi:
+    def test_defaults_and_set_limit(self):
+        governor = ResourceGovernor()
+        assert governor.limits["steps"] == 10_000_000
+        governor.set_limit("steps", 42)
+        assert governor.limits["steps"] == 42
+        governor.set_limit("steps", 0)          # 0 disables
+        assert governor.limits["steps"] is None
+
+    def test_unknown_limit_rejected(self):
+        with pytest.raises(ValueError):
+            ResourceGovernor().set_limit("bananas", 3)
+        with pytest.raises(ValueError):
+            ResourceGovernor().set_policy("steps", "explode")
+
+    def test_begin_query_resets_counters_and_token(self):
+        governor = ResourceGovernor()
+        governor.step()
+        governor.token.trip()
+        governor.begin_query()
+        assert governor.steps == 0
+        assert not governor.token.tripped
+
+    def test_stats_shape(self):
+        stats = ResourceGovernor().stats()
+        assert set(stats) == {"steps", "expand", "lines", "calls",
+                              "allocs", "symnodes", "wall_ms"}
+
+    def test_raise_policy(self):
+        governor = ResourceGovernor()
+        governor.set_limit("steps", 2)
+        governor.set_policy("steps", "raise")
+        governor.step()
+        governor.step()
+        with pytest.raises(DuelEvalLimit) as info:
+            governor.step()
+        assert not isinstance(info.value, DuelTruncation)
+        assert info.value.kind == "steps"
+
+    def test_truncate_policy(self):
+        governor = ResourceGovernor()
+        governor.set_limit("steps", 1)
+        governor.step()
+        with pytest.raises(DuelTruncation) as info:
+            governor.step()
+        assert "step budget exhausted" in info.value.diagnostic(1)
+
+
+class TestCancelToken:
+    def test_trip_and_clear(self):
+        token = CancelToken()
+        assert not token.tripped
+        token.trip("because")
+        assert token.tripped and token.reason == "because"
+        token.clear()
+        assert not token.tripped
+
+    def test_checkpoint_raises_cancelled(self):
+        governor = ResourceGovernor()
+        governor.token.trip()
+        with pytest.raises(DuelCancelled) as info:
+            governor.checkpoint()
+        assert info.value.kind == "cancel"
+        assert "interrupted" in info.value.diagnostic(5)
+
+
+# -- wall-clock deadline ------------------------------------------------
+
+class TestDeadline:
+    def test_deadline_expiry_truncates(self):
+        session = DuelSession(SimulatorBackend(TargetProgram()),
+                              deadline_ms=1, max_steps=0, max_lines=0)
+        with pytest.raises(DuelTruncation) as info:
+            session.eval("#/(0..)")
+        assert info.value.kind == "deadline_ms"
+        assert "wall-clock deadline expired" in info.value.diagnostic(0)
+
+    def test_deadline_off_does_not_trip(self):
+        session = DuelSession(SimulatorBackend(TargetProgram()),
+                              deadline_ms=0)
+        assert session.eval_values("#/(0..5000)") == [5001]
+
+    def test_deadline_is_per_query(self):
+        session = DuelSession(SimulatorBackend(TargetProgram()),
+                              deadline_ms=5_000)
+        session.eval("1+1")
+        time.sleep(0.01)                        # old stamp must not leak
+        assert session.eval_values("2+2") == [4]
+
+
+# -- output quota and graceful truncation -------------------------------
+
+class TestOutputTruncation:
+    def test_line_quota_keeps_partial_results(self, array_session):
+        array_session.governor.set_limit("lines", 5)
+        out = io.StringIO()
+        array_session.duel("x[..10]", out=out)
+        lines = out.getvalue().splitlines()
+        assert lines[:2] == ["x[0] = 3", "x[1] = -1"]
+        assert len(lines) == 6                  # 5 values + diagnostic
+        assert lines[-1] == ("(stopped: 5 values, output quota "
+                             "exhausted; raise with 'limits lines 10')")
+
+    def test_constant_path_keeps_partial_line(self):
+        session = DuelSession(SimulatorBackend(TargetProgram()),
+                              max_lines=50)
+        out = io.StringIO()
+        session.duel("1..", out=out)
+        first, diagnostic = out.getvalue().splitlines()
+        assert first.split() == [str(i) for i in range(1, 51)]
+        assert "output quota exhausted" in diagnostic
+
+    def test_truncated_session_stays_usable(self):
+        session = DuelSession(SimulatorBackend(TargetProgram()),
+                              max_lines=10)
+        session.duel("1..", out=io.StringIO())
+        assert session.eval_values("#/(1..10)") == [10]
+
+    def test_truncation_keeps_applied_side_effects(self, array_session):
+        """Truncation is the paper's ^C: work already done stands (no
+        rollback), work not yet done never happens."""
+        array_session.governor.set_limit("lines", 3)
+        out = io.StringIO()
+        array_session.duel("x[..10] = 0", out=out)
+        assert "output quota exhausted" in out.getvalue()
+        array_session.governor.set_limit("lines", 10_000)
+        values = array_session.eval_values("x[..10]")
+        assert values[:3] == [0, 0, 0]          # applied, kept
+        assert values[3:] == [0, 12, -9, 2, 120, 5, -4]  # never driven
+
+    def test_eval_lines_raises_truncation_for_collectors(self):
+        session = DuelSession(SimulatorBackend(TargetProgram()),
+                              max_lines=5)
+        with pytest.raises(DuelTruncation):
+            session.eval_lines("0..100")
+
+
+# -- target-side quotas (raise policy: rollback applies) ----------------
+
+class TestTargetQuotas:
+    def test_call_quota(self, program):
+        session = DuelSession(SimulatorBackend(program))
+        session.governor.set_limit("calls", 2)
+        with pytest.raises(DuelEvalLimit) as info:
+            session.eval('strlen("a") + strlen("bb") + strlen("ccc")')
+        assert info.value.kind == "calls"
+
+    def test_alloc_quota(self, program):
+        session = DuelSession(SimulatorBackend(program))
+        session.governor.set_limit("allocs", 1)
+        with pytest.raises(DuelEvalLimit) as info:
+            session.eval("int qa; int qb;")
+        assert info.value.kind == "allocs"
+
+    def test_symnode_budget(self, array_session):
+        array_session.governor.set_limit("symnodes", 10)
+        with pytest.raises(DuelEvalLimit) as info:
+            array_session.eval("x[..10] + x[..10]")
+        assert info.value.kind == "symnodes"
+
+
+# -- cooperative cancellation mid-drive ---------------------------------
+
+class _TrippingOut(io.StringIO):
+    """An output stream that trips a cancel token after N writes."""
+
+    def __init__(self, token, after: int):
+        super().__init__()
+        self.token = token
+        self.after = after
+        self.writes = 0
+
+    def write(self, text: str):
+        self.writes += 1
+        if self.writes >= self.after:
+            self.token.trip("interrupt")
+        return super().write(text)
+
+
+class TestCancellation:
+    def test_token_trip_mid_drive_yields_partials(self, array_session):
+        out = _TrippingOut(array_session.governor.token, after=4)
+        array_session.duel("x[..10]", out=out)
+        lines = out.getvalue().splitlines()
+        assert lines[0] == "x[0] = 3"
+        assert lines[-1] == "(stopped: 4 values, interrupted)"
+        # ... and the session is immediately usable again.
+        assert array_session.eval_values("x[0]") == [3]
+
+    def test_cancel_is_not_rolled_back(self, array_session):
+        """^C keeps already-applied effects, exactly like truncation."""
+        out = _TrippingOut(array_session.governor.token, after=2)
+        array_session.duel("x[..10] = 7", out=out)
+        assert "interrupted" in out.getvalue()
+        assert array_session.eval_values("x[0]") == [7]
+
+
+# -- saved queries ride the recovering drive ----------------------------
+
+class TestRunSaved:
+    def test_run_saved_returns_partials_on_fault(self):
+        """A saved query faulting mid-drive keeps the lines it made
+        (the old eval_lines route raised them all away)."""
+        program = TargetProgram()
+        builder.linked_list(program, "L", [10, 20, 30])
+        session = DuelSession(SimulatorBackend(program))
+        session.save_query("walk", "L-->next->value, *(int*)0x16820")
+        lines = session.run_saved("walk")
+        assert lines[:3] == ["L->value = 10",
+                             "L->next->value = 20",
+                             "L->next->next->value = 30"]
+        assert "Illegal memory reference" in "\n".join(lines[3:])
+
+    def test_run_saved_returns_truncation_diagnostic(self):
+        session = DuelSession(SimulatorBackend(TargetProgram()),
+                              max_lines=3)
+        session.save_query("runaway", "1..")
+        lines = session.run_saved("runaway")
+        assert lines[0].split() == ["1", "2", "3"]
+        assert "output quota exhausted" in lines[1]
+
+    def test_run_saved_unknown_still_raises(self):
+        session = DuelSession(SimulatorBackend(TargetProgram()))
+        with pytest.raises(KeyError):
+            session.run_saved("missing")
+
+
+# -- the state-machine engine honours the same budgets ------------------
+
+class TestStateMachineBudget:
+    def test_bypass_closed_unbounded_generator_trips(self):
+        """Regression: drive() used to run ``0..`` forever — the step
+        budget now applies to the explicit engine too."""
+        session = DuelSession(SimulatorBackend(TargetProgram()),
+                              max_steps=500)
+        machine = StateMachineEvaluator(session.evaluator)
+        node = session.compile("0..")
+        session.evaluator.reset()
+        with pytest.raises(DuelEvalLimit) as info:
+            machine.drive(node)
+        assert info.value.kind == "steps"
+        assert session.governor.steps == 501
+
+    def test_machine_and_generator_trip_at_same_count(self, array_session):
+        array_session.options.max_steps = 300
+        machine = StateMachineEvaluator(array_session.evaluator)
+        node = array_session.compile("x[0..9] + (0..)")
+        array_session.evaluator.reset()
+        with pytest.raises(DuelEvalLimit):
+            for _ in array_session.evaluator.eval(node):
+                pass
+        generator_trip = array_session.governor.steps
+        array_session.evaluator.reset()
+        with pytest.raises(DuelEvalLimit):
+            machine.drive(node)
+        assert array_session.governor.steps == generator_trip
+
+    def test_machine_honours_cancel_token(self):
+        session = DuelSession(SimulatorBackend(TargetProgram()),
+                              max_steps=0, max_lines=0)
+        machine = StateMachineEvaluator(session.evaluator)
+        node = session.compile("0..")
+        session.evaluator.reset()
+        session.governor.token.trip()
+        with pytest.raises(DuelCancelled):
+            machine.drive(node)

@@ -19,6 +19,7 @@ def test_unbounded_range_hits_step_budget():
     with pytest.raises(DuelEvalLimit) as info:
         session.eval("1..")
     assert info.value.limit == 10_000
+    assert info.value.kind == "steps"
     assert "exceeded 10000 generator steps" in str(info.value)
 
 
@@ -30,12 +31,17 @@ def test_step_budget_resets_between_queries():
     assert len(session.eval_values("0..2999")) == 3000
 
 
-def test_duel_command_reports_step_budget_and_recovers():
+def test_duel_command_truncates_at_step_budget_and_recovers():
     session = DuelSession(SimulatorBackend(TargetProgram()),
                           max_steps=1_000)
     out = io.StringIO()
     session.duel("1..", out=out)                 # must terminate
-    assert "exceeded 1000 generator steps" in out.getvalue()
+    text = out.getvalue()
+    # Partial values survive, the diagnostic names the limit and the
+    # remedy, and the session stays usable.
+    assert text.startswith("1 2 3 ")
+    assert "step budget exhausted" in text
+    assert "raise with 'limits steps 2000'" in text
     assert session.eval_values("#/(1..10)") == [10]
 
 
