@@ -1,0 +1,184 @@
+"""Emit benchmark profiles as a machine-readable artifact.
+
+Runs a fixed set of paper workloads against the generator engine and
+writes per-workload latency quantiles (p50/p95 over repeated runs),
+generator step counts, and target-read counts as JSON — the
+``BENCH_3.json`` artifact CI uploads so profile regressions can be
+diffed across commits instead of eyeballed in pytest-benchmark
+tables.  The P3 workload is additionally run with a tracer attached;
+the ratio of traced to untraced p50 latency is the *trace overhead*,
+gated at ``--max-trace-overhead`` (CI default: 2.0).
+
+Usage::
+
+    python benchmarks/emit_json.py --out BENCH_3.json
+    python benchmarks/emit_json.py --workload p3_array --repeats 15
+    python benchmarks/emit_json.py --max-trace-overhead 2.0  # exit 1 on breach
+
+Standalone on purpose (argparse, not pytest): CI calls it directly and
+keys a job failure off the exit status.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import statistics
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro import DuelSession, SimulatorBackend          # noqa: E402
+from repro.bench import workloads                        # noqa: E402
+from repro.obs.trace import QueryTracer, RingBufferSink  # noqa: E402
+
+#: name -> (session builder arg, query).  ``p3_array`` is the paper's
+#: P3 scaling query; the rest are the worked-session shapes.
+PROFILES = {
+    "p3_array": ("big_array:1000", "x[..1000] !=? 0"),
+    "hash_scan": ("hash", "(hash[..1024] !=? 0)->scope >? 5"),
+    "hash_chase": ("hash", "hash[0]-->next->scope"),
+    "head_walk": ("head_list", "head-->next->value"),
+    "tree_dfs": ("tree", "#/(root-->(left,right))"),
+    "constants": ("empty", "(1..3)+(5,9)"),
+}
+
+TRACED_PROFILE = "p3_array"
+
+
+def build_session(spec: str) -> DuelSession:
+    if spec == "empty":
+        from repro.target.program import TargetProgram
+        return DuelSession(SimulatorBackend(TargetProgram()),
+                           symbolic=False)
+    if spec.startswith("big_array:"):
+        n = int(spec.split(":", 1)[1])
+        return DuelSession(SimulatorBackend(workloads.big_array(n)),
+                           symbolic=False)
+    return DuelSession(SimulatorBackend(workloads.build_workload(spec)),
+                       symbolic=False)
+
+
+def time_runs(fn, repeats: int) -> list[float]:
+    """Wall-clock milliseconds of ``fn()`` over ``repeats`` runs
+    (after one warm-up run)."""
+    fn()
+    timings = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        timings.append((time.perf_counter() - start) * 1000.0)
+    return timings
+
+
+def quantiles(timings: list[float]) -> dict:
+    ordered = sorted(timings)
+    return {
+        "p50_ms": round(statistics.median(ordered), 4),
+        "p95_ms": round(ordered[min(len(ordered) - 1,
+                                    int(0.95 * len(ordered)))], 4),
+        "min_ms": round(ordered[0], 4),
+        "runs": len(ordered),
+    }
+
+
+def profile_workload(name: str, repeats: int) -> dict:
+    spec, expr = PROFILES[name]
+    session = build_session(spec)
+    timings = time_runs(lambda: session.eval(expr), repeats)
+    # One counted run for the resource profile.
+    backend = session.evaluator.backend
+    reads_before = backend.reads
+    values = session.eval(expr)
+    entry = {
+        "workload": name,
+        "expr": expr,
+        "values": len(values),
+        "steps": session.governor.steps,
+        "target_reads": backend.reads - reads_before,
+        **quantiles(timings),
+    }
+    return entry
+
+
+def trace_overhead(repeats: int) -> dict:
+    """Traced vs untraced p50 on the P3 workload (same session shape
+    the ``bench_trace.py`` smoke uses)."""
+    spec, expr = PROFILES[TRACED_PROFILE]
+    plain = build_session(spec)
+    traced = build_session(spec)
+    node = traced.compile(expr)
+
+    def run_traced():
+        traced.evaluator.reset()
+        tracer = QueryTracer(RingBufferSink())
+        tracer.begin(node, expr)
+        traced.evaluator.set_tracer(tracer)
+        try:
+            return list(traced.evaluator.eval(node))
+        finally:
+            tracer.finish()
+            traced.evaluator.set_tracer(None)
+
+    plain_ms = statistics.median(
+        time_runs(lambda: plain.eval(expr), repeats))
+    traced_ms = statistics.median(time_runs(run_traced, repeats))
+    return {
+        "workload": TRACED_PROFILE,
+        "expr": expr,
+        "untraced_p50_ms": round(plain_ms, 4),
+        "traced_p50_ms": round(traced_ms, 4),
+        "overhead_ratio": round(traced_ms / plain_ms, 3),
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="emit benchmark profiles as JSON")
+    parser.add_argument("--out", default="BENCH_3.json",
+                        help="output path (default BENCH_3.json)")
+    parser.add_argument("--workload", action="append", default=[],
+                        choices=sorted(PROFILES),
+                        help="profile only these workloads (repeatable; "
+                             "default: all)")
+    parser.add_argument("--repeats", type=int, default=11,
+                        help="timed runs per workload (default 11)")
+    parser.add_argument("--max-trace-overhead", type=float, default=None,
+                        metavar="RATIO",
+                        help="fail (exit 1) if traced/untraced p50 on "
+                             "the P3 workload exceeds RATIO")
+    ns = parser.parse_args(argv)
+
+    names = ns.workload or sorted(PROFILES)
+    report = {
+        "schema": "repro-bench/3",
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "workloads": [profile_workload(name, ns.repeats)
+                      for name in names],
+        "trace": trace_overhead(ns.repeats),
+    }
+    Path(ns.out).write_text(json.dumps(report, indent=2) + "\n")
+
+    for entry in report["workloads"]:
+        print(f"{entry['workload']:12} p50={entry['p50_ms']:8.3f}ms "
+              f"p95={entry['p95_ms']:8.3f}ms steps={entry['steps']:7} "
+              f"reads={entry['target_reads']}")
+    overhead = report["trace"]["overhead_ratio"]
+    print(f"trace overhead on {TRACED_PROFILE}: {overhead:.2f}x")
+    print(f"wrote {ns.out}")
+
+    if ns.max_trace_overhead is not None \
+            and overhead > ns.max_trace_overhead:
+        print(f"FAIL: trace overhead {overhead:.2f}x exceeds "
+              f"--max-trace-overhead {ns.max_trace_overhead:.2f}x",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

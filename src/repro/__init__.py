@@ -13,6 +13,8 @@ Packages:
 * :mod:`repro.baseline` — paired DUEL-vs-C queries and conciseness
   metrics for the paper's expressiveness comparison.
 * :mod:`repro.bench` — deterministic workload builders for benchmarks.
+* :mod:`repro.obs` — query observability: per-node tracing, the
+  process metrics registry, and EXPLAIN profile rendering.
 
 Quick start::
 
@@ -26,8 +28,10 @@ Quick start::
 """
 
 from repro.core import DuelSession
+from repro.obs import MetricsRegistry, QueryTracer
 from repro.target import SimulatorBackend, TargetProgram
 
 __version__ = "1.0.0"
 
-__all__ = ["DuelSession", "SimulatorBackend", "TargetProgram", "__version__"]
+__all__ = ["DuelSession", "MetricsRegistry", "QueryTracer",
+           "SimulatorBackend", "TargetProgram", "__version__"]

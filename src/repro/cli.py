@@ -40,7 +40,11 @@ DUEL REPL commands:
   clear                 drop all aliases
   symbolic on|off       toggle symbolic derivations in output
   limits [<name> <n>]   show / set per-query limits (n=off disables)
-  stats on|off          print a [steps=.., lookups=.., wall=..ms] footer
+  stats on|off          print a [steps=.., reads=.., wall=..ms] footer
+  explain <expr>        run traced; print the per-node profile tree
+  trace <expr>          same as explain
+  trace on|off          trace every query (events kept in a ring buffer)
+  metrics               show the process-level metrics registry
   history               show executed queries
   save <name> <expr>    name a query for re-issue
   !<name>               re-issue a saved query
@@ -137,6 +141,23 @@ def repl(session: DuelSession, stdin=None, out=None) -> int:
             if line.split()[0] == "limits":
                 _limits_command(session, line, out)
                 continue
+            if line.split()[0] == "trace":
+                _trace_command(session, line, out)
+                continue
+            if line.split()[0] == "explain":
+                parts = line.split(None, 1)
+                if len(parts) == 2:
+                    session.explain(parts[1], out=out)
+                else:
+                    out.write("usage: explain <expression>\n")
+                continue
+            if line == "metrics":
+                rows = session.metrics.describe()
+                if not rows:
+                    out.write("(no metrics recorded)\n")
+                for row in rows:
+                    out.write(row + "\n")
+                continue
             if line == "history":
                 for index, text in enumerate(session.history):
                     out.write(f"{index:3}  {text}\n")
@@ -192,6 +213,25 @@ def _limits_command(session: DuelSession, line: str, out) -> None:
     out.write("usage: limits [show|<name> <value|off>]\n")
 
 
+def _trace_command(session: DuelSession, line: str, out) -> None:
+    """``trace on|off`` (strict, like ``symbolic``) or ``trace <expr>``.
+
+    Only the exact words ``on``/``off`` flip the mode — anything else
+    is an expression to explain, so a typo like ``trace onn`` can
+    never silently toggle tracing.
+    """
+    parts = line.split(None, 1)
+    if len(parts) == 1:
+        out.write("usage: trace on|off | trace <expression>\n")
+        return
+    argument = parts[1].strip()
+    if argument in ("on", "off"):
+        session.tracing = (argument == "on")
+        out.write(f"trace {argument}\n")
+        return
+    session.explain(argument, out=out)
+
+
 def run_command(session: DuelSession, text: str, out,
                 stats: bool = False) -> None:
     """One duel command: print all values, or the error, never raise.
@@ -210,7 +250,11 @@ def run_command(session: DuelSession, text: str, out,
     if stats:
         governor = session.governor
         lookups = session.lookup_count - lookups_before
+        traffic = session.last_query_stats
         out.write(f"[steps={governor.steps}, lookups={lookups}, "
+                  f"reads={traffic.get('reads', 0)}, "
+                  f"writes={traffic.get('writes', 0)}, "
+                  f"calls={traffic.get('calls', 0)}, "
                   f"wall={governor.elapsed_ms():.1f}ms]\n")
 
 
@@ -254,6 +298,9 @@ def main(argv: Optional[Sequence[str]] = None,
                         metavar="N",
                         help="per-query output quota in printed values "
                              "(0 disables; default 10000)")
+    parser.add_argument("--trace-json", metavar="FILE", default=None,
+                        help="trace every query, writing JSONL events "
+                             "and per-node spans to FILE")
     parser.add_argument("args", nargs="*", default=[],
                         help="argv for the target program (after --)")
     ns = parser.parse_args(argv)
@@ -273,14 +320,29 @@ def main(argv: Optional[Sequence[str]] = None,
     session = DuelSession(SimulatorBackend(program),
                           symbolic=not ns.no_symbolic,
                           optimize=ns.optimize, **limit_kwargs)
-    if ns.expr:
-        for text in ns.expr:
-            out.write(f"duel {text}\n")
-            run_command(session, text, out)
-        return 0
-    if stdin is None and sys.stdin.isatty():  # pragma: no cover
-        out.write("DUEL reproduction; 'help' for commands, 'quit' to exit\n")
-    return repl(session, stdin=stdin, out=out)
+    sink = None
+    if ns.trace_json:
+        from repro.obs.trace import JsonlSink
+        try:
+            sink = JsonlSink(ns.trace_json)
+        except OSError as error:
+            out.write(f"error: {error}\n")
+            return 1
+        session.trace_sink = sink
+        session.tracing = True
+    try:
+        if ns.expr:
+            for text in ns.expr:
+                out.write(f"duel {text}\n")
+                run_command(session, text, out)
+            return 0
+        if stdin is None and sys.stdin.isatty():  # pragma: no cover
+            out.write("DUEL reproduction; 'help' for commands, "
+                      "'quit' to exit\n")
+        return repl(session, stdin=stdin, out=out)
+    finally:
+        if sink is not None:
+            sink.close()
 
 
 if __name__ == "__main__":  # pragma: no cover

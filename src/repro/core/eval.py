@@ -40,7 +40,7 @@ from repro.core.errors import (
     DuelTypeError,
 )
 from repro.core.governor import ResourceGovernor
-from repro.target.interface import GovernedBackend
+from repro.target.interface import GovernedBackend, TracingBackend
 from repro.target.memory import TargetMemoryFault
 from repro.core.ops import Apply
 from repro.core.scope import Scope, WithEntry
@@ -177,8 +177,18 @@ class Evaluator:
         self.governor = self.options.governor
         # All target traffic flows through the governed wrapper so
         # call/allocation quotas and the cancel token are enforced at
-        # the interface boundary, whatever engine drives the AST.
-        self.backend = GovernedBackend(backend, self.governor)
+        # the interface boundary, whatever engine drives the AST; the
+        # tracing wrapper outside it counts reads/writes/calls and
+        # attributes them to the active trace span.
+        self.backend = TracingBackend(GovernedBackend(backend,
+                                                      self.governor))
+        #: The active QueryTracer, or None (tracing off: the only cost
+        #: is the predicate check in :meth:`eval`).
+        self.tracer = None
+        #: Cumulative string-literal cache traffic (metrics registry
+        #: reads per-query deltas).
+        self.string_cache_hits = 0
+        self.string_cache_misses = 0
         self.ops = ValueOps(self.backend)
         self.apply = Apply(self.ops)
         self.scope = Scope(self.backend)
@@ -239,12 +249,24 @@ class Evaluator:
         """
         self._string_cache.clear()
 
+    def set_tracer(self, tracer) -> None:
+        """Attach (or detach, with None) a per-query tracer.
+
+        Propagated to the tracing backend so target traffic lands on
+        the span of whichever node is being pulled.
+        """
+        self.tracer = tracer
+        self.backend.tracer = tracer
+
     def eval(self, node: N.Node) -> Iterator[DuelValue]:
         """All values of ``node``, lazily (the paper's ``eval``)."""
         handler = self._dispatch.get(type(node))
         if handler is None:  # pragma: no cover - parser emits known nodes
             raise DuelError(f"no evaluator for {node.op}")
-        return self._counted(handler(node))
+        tracer = self.tracer
+        if tracer is None:
+            return self._counted(handler(node))
+        return tracer.wrap(node, self._counted(handler(node)))
 
     def _counted(self, it: Iterator[DuelValue]) -> Iterator[DuelValue]:
         # Inlined ResourceGovernor.step(): this wrapper runs once per
@@ -286,6 +308,7 @@ class Evaluator:
     def _eval_string(self, node: N.StringLiteral):
         address = self._string_cache.get(node.value)
         if address is None:
+            self.string_cache_misses += 1
             try:
                 address = self.backend.alloc_target_space(
                     len(node.value) + 1)
@@ -295,6 +318,8 @@ class Evaluator:
                     f"cannot place string literal in target: {fault}",
                     fault) from fault
             self._string_cache[node.value] = address
+        else:
+            self.string_cache_hits += 1
         sym = self._sym(lambda: SymText(node.text or '"..."'))
         yield rvalue(PointerType(CHAR), address, sym)
 

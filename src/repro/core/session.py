@@ -23,7 +23,8 @@ original.
 
 from __future__ import annotations
 
-from typing import Iterator
+from time import perf_counter_ns
+from typing import Iterator, Optional
 
 from repro.core import nodes as N
 from repro.core.errors import DuelError, DuelTruncation
@@ -32,6 +33,8 @@ from repro.core.format import ValueFormatter
 from repro.core.parser import DuelParser
 from repro.core.symbolic import DEFAULT_FOLD
 from repro.core.values import DuelValue
+from repro.obs.metrics import MetricsRegistry, registry as process_registry
+from repro.obs.trace import QueryTracer, RingBufferSink, TraceSink
 
 
 class DuelSession:
@@ -48,7 +51,8 @@ class DuelSession:
                  float_format: str = "%.3f", fold: int = DEFAULT_FOLD,
                  max_steps: int = 10_000_000, cycle_mode: str = "stop",
                  optimize: bool = False, deadline_ms=_KEEP_DEFAULT,
-                 max_lines=_KEEP_DEFAULT):
+                 max_lines=_KEEP_DEFAULT,
+                 metrics: Optional[MetricsRegistry] = None):
         self.backend = backend
         self.options = EvalOptions(symbolic=symbolic, max_steps=max_steps,
                                    cycle_mode=cycle_mode,
@@ -71,6 +75,21 @@ class DuelSession:
         #: Named saved queries ("program-specific queries ... made by
         #: simply pointing and clicking" — here, by name).
         self.saved: dict[str, str] = {}
+        #: Where cross-query aggregates land (default: the shared
+        #: process-level registry; pass your own for isolation).
+        self.metrics = metrics if metrics is not None \
+            else process_registry()
+        #: Trace every query driven by :meth:`duel` (REPL ``trace on``).
+        self.tracing = False
+        #: Sink receiving trace events while :attr:`tracing` is on;
+        #: None means a fresh in-memory ring per query.
+        self.trace_sink: Optional[TraceSink] = None
+        #: The tracer of the most recent traced query.
+        self.last_trace: Optional[QueryTracer] = None
+        #: Per-query stats of the most recent :meth:`duel`/:meth:`explain`
+        #: query: governor counters plus target-traffic/lookup deltas.
+        self.last_query_stats: dict = {}
+        self._format_ns = 0
 
     # -- compiling ------------------------------------------------------
     def compile(self, text: str) -> N.Node:
@@ -137,6 +156,7 @@ class DuelSession:
         count out on the exception for the diagnostic line."""
         values = self.evaluator.eval(node)
         governor = self.governor
+        clock = perf_counter_ns
         produced = 0
         try:
             if self.options.symbolic and not _mentions_state(node):
@@ -145,7 +165,9 @@ class DuelSession:
                     for v in values:
                         governor.checkpoint()
                         governor.charge("lines")
+                        t0 = clock()
                         texts.append(self.formatter.format(v))
+                        self._format_ns += clock() - t0
                         produced += 1
                 except DuelTruncation:
                     if texts:
@@ -157,7 +179,9 @@ class DuelSession:
             for v in values:
                 governor.checkpoint()
                 governor.charge("lines")
+                t0 = clock()
                 line = self.format_line(v)
+                self._format_ns += clock() - t0
                 produced += 1
                 yield line
         except DuelTruncation as truncation:
@@ -185,15 +209,21 @@ class DuelSession:
         import sys
         stream = out if out is not None else sys.stdout
         self.governor.begin_query()
+        self.last_query_stats = {}
+        t0 = perf_counter_ns()
         try:
             node = self.compile(text)
         except DuelError as error:
             stream.write(str(error) + "\n")
             return
+        parse_ns = perf_counter_ns() - t0
         self._record(text)
+        tracer = self._attach_tracer(node, text)
         checkpoint = self._checkpoint_for(node)
         self.evaluator.reset()
+        baseline = self._stats_baseline()
         written = 0
+        drive_t0 = perf_counter_ns()
         try:
             for line in self._lines(node):
                 stream.write(line + "\n")
@@ -206,7 +236,122 @@ class DuelSession:
             self._restore(checkpoint)
             stream.write(str(error) + "\n")
         finally:
-            self.governor.end_query()
+            self._finish_query(tracer, baseline, parse_ns,
+                               perf_counter_ns() - drive_t0)
+
+    def explain(self, text: str, out=None) -> None:
+        """Run ``text`` traced and print its per-node profile tree.
+
+        The query is driven exactly like :meth:`duel` — quotas,
+        rollback and truncation all apply — but the output lines are
+        swallowed; what prints instead is the annotated AST profile
+        (pulls, yields, time share, attributed target reads per node)
+        and a one-line summary, the REPL's ``explain`` command.
+        """
+        import sys
+        from repro.obs.explain import profile_footer, render_profile
+        stream = out if out is not None else sys.stdout
+        self.governor.begin_query()
+        self.last_query_stats = {}
+        t0 = perf_counter_ns()
+        try:
+            node = self.compile(text)
+        except DuelError as error:
+            stream.write(str(error) + "\n")
+            return
+        parse_ns = perf_counter_ns() - t0
+        self._record(text)
+        # Reuse the session sink (--trace-json) when one is attached;
+        # span aggregates alone are enough for the profile otherwise.
+        tracer = QueryTracer(self.trace_sink)
+        tracer.begin(node, text)
+        self.evaluator.set_tracer(tracer)
+        checkpoint = self._checkpoint_for(node)
+        self.evaluator.reset()
+        baseline = self._stats_baseline()
+        note = None
+        drive_t0 = perf_counter_ns()
+        try:
+            for _ in self._lines(node):
+                pass
+        except DuelTruncation as truncation:
+            produced = truncation.produced if truncation.produced \
+                is not None else self.governor.lines
+            note = truncation.diagnostic(produced)
+        except DuelError as error:
+            self._restore(checkpoint)
+            note = str(error)
+        finally:
+            self._finish_query(tracer, baseline, parse_ns,
+                               perf_counter_ns() - drive_t0)
+        for line in render_profile(node, tracer):
+            stream.write(line + "\n")
+        stats = self.last_query_stats
+        stream.write(profile_footer(stats.get("lines", 0),
+                                    stats.get("wall_ms", 0.0), stats) + "\n")
+        if note is not None:
+            stream.write(note + "\n")
+
+    # -- per-query accounting ------------------------------------------------
+    def _attach_tracer(self, node: N.Node,
+                       text: str) -> Optional[QueryTracer]:
+        """A fresh per-query tracer when session tracing is on."""
+        if not self.tracing:
+            return None
+        sink = self.trace_sink if self.trace_sink is not None \
+            else RingBufferSink()
+        tracer = QueryTracer(sink)
+        tracer.begin(node, text)
+        self.evaluator.set_tracer(tracer)
+        return tracer
+
+    def _stats_baseline(self) -> tuple:
+        """Cumulative counters sampled at query start (deltas later)."""
+        backend = self.evaluator.backend
+        evaluator = self.evaluator
+        self._format_ns = 0
+        return (backend.reads, backend.writes, backend.calls,
+                backend.allocs, evaluator.scope.lookup_count,
+                evaluator.string_cache_hits, evaluator.string_cache_misses)
+
+    def _finish_query(self, tracer: Optional[QueryTracer], baseline: tuple,
+                      parse_ns: int, drive_ns: int) -> None:
+        """Freeze the clock, detach tracing, record per-query stats.
+
+        Fills :attr:`last_query_stats` with the governor counters plus
+        the query's target-traffic and lookup deltas, and folds the
+        query into the metrics registry — so identical back-to-back
+        queries report identical per-query stats (wall time aside).
+        """
+        self.governor.end_query()
+        if tracer is not None:
+            tracer.finish()
+            self.evaluator.set_tracer(None)
+            self.last_trace = tracer
+        backend = self.evaluator.backend
+        evaluator = self.evaluator
+        reads0, writes0, calls0, allocs0, lookups0, hits0, misses0 = baseline
+        traffic = {
+            "reads": backend.reads - reads0,
+            "writes": backend.writes - writes0,
+            "calls": backend.calls - calls0,
+            "allocs": backend.allocs - allocs0,
+        }
+        stats = self.governor.stats()
+        stats.update(traffic)
+        stats["lookups"] = evaluator.scope.lookup_count - lookups0
+        self.last_query_stats = stats
+        if self.metrics is not None:
+            format_ns = self._format_ns
+            self.metrics.record_query(
+                self.governor.stats(), traffic,
+                phases={"parse": parse_ns / 1e6,
+                        "eval": max(drive_ns - format_ns, 0) / 1e6,
+                        "format": format_ns / 1e6})
+            self.metrics.counter("string_cache_hits").inc(
+                evaluator.string_cache_hits - hits0)
+            self.metrics.counter("string_cache_misses").inc(
+                evaluator.string_cache_misses - misses0)
 
     # -- failed-query rollback ----------------------------------------------
     def _checkpoint_for(self, node: N.Node):

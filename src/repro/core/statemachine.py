@@ -107,10 +107,31 @@ class StateMachineEvaluator:
         generator engine's ``_counted`` wrapper does (one step per value
         any node yields), so both engines trip the same budgets —
         steps, wall-clock deadline, cancellation — at the same counts.
+
+        When a tracer is attached (one predicate check otherwise), each
+        eval call is bracketed as one *pull* and each produced value as
+        one *yield*, at the same points the generator engine's wrapper
+        fires — the two engines emit identical event sequences, which
+        the parity property tests use as a correctness oracle.
         """
-        value = self._eval_node(node)
+        tracer = self.ev.tracer
+        if tracer is None:
+            value = self._eval_node(node)
+            if value is not NOVALUE:
+                self.ev.governor.step()
+            return value
+        span, t0 = tracer.enter(node)
+        try:
+            value = self._eval_node(node)
+            if value is not NOVALUE:
+                self.ev.governor.step()
+        except BaseException:
+            tracer.exit_error(span, t0)
+            raise
         if value is not NOVALUE:
-            self.ev.governor.step()
+            tracer.exit_yield(span, t0)
+        else:
+            tracer.exit_end(span, t0)
         return value
 
     def _eval_node(self, node: N.Node):

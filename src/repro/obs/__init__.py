@@ -1,0 +1,31 @@
+"""Query observability: tracing, metrics, and EXPLAIN profiles.
+
+The paper's central claim is that a DUEL query is *driven* lazily
+through a tree of generators; this package makes that execution
+visible.  Three layers:
+
+* :mod:`repro.obs.trace` — per-AST-node spans (pulls, yields,
+  cumulative time, target traffic) plus a structured pull/yield event
+  stream, with a ring-buffered in-memory sink and a JSONL exporter.
+  Both evaluation engines emit *identical* event sequences for the
+  same query, so tracing doubles as a correctness oracle for the
+  state-machine engine.
+* :mod:`repro.obs.metrics` — a process-level registry of counters,
+  gauges and fixed-bucket histograms aggregating governor counters,
+  target traffic, cache hit rates and phase timings across queries.
+* :mod:`repro.obs.explain` — renders a traced query as an annotated
+  tree (the ``explain`` REPL command): each node's form with pulls,
+  yields, time share and target reads.
+"""
+
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry, \
+    registry
+from repro.obs.trace import JsonlSink, NodeSpan, QueryTracer, \
+    RingBufferSink, TraceSink
+from repro.obs.explain import render_profile
+
+__all__ = [
+    "Counter", "Gauge", "Histogram", "MetricsRegistry", "registry",
+    "JsonlSink", "NodeSpan", "QueryTracer", "RingBufferSink", "TraceSink",
+    "render_profile",
+]

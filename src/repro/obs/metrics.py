@@ -1,0 +1,224 @@
+"""Process-level metrics: counters, gauges, fixed-bucket histograms.
+
+The governor (PR 3) counts steps/calls/allocs per query and throws the
+numbers away after the stats footer; this registry is where they
+accumulate *across* queries, together with target-backend traffic,
+cache hit rates, and parse/eval/format phase timings, so a long
+debugging session (or a benchmark harness) can ask "where has the time
+gone so far".  Everything is snapshot-able to a plain dict / JSON —
+the shape ``benchmarks/emit_json.py`` records into ``BENCH_3.json``.
+
+One shared process-level instance lives at :func:`registry`;
+:class:`~repro.core.session.DuelSession` records into it by default
+(pass ``metrics=MetricsRegistry()`` for an isolated one).
+"""
+
+from __future__ import annotations
+
+import json
+from bisect import bisect_left
+from typing import Optional, Sequence
+
+#: Default latency buckets, in milliseconds (upper bounds; the last
+#: bucket is open-ended).
+DEFAULT_MS_BUCKETS: tuple[float, ...] = (
+    0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 25.0, 50.0,
+    100.0, 250.0, 500.0, 1000.0, 2500.0, 5000.0, 10000.0)
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        self.value += amount
+
+
+class Gauge:
+    """A value that goes up and down (last write wins)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+
+class Histogram:
+    """Fixed-bucket histogram with sum/count and quantile estimates.
+
+    ``buckets`` are inclusive upper bounds; observations above the last
+    bound land in an implicit overflow bucket.  :meth:`quantile`
+    interpolates within the winning bucket — coarse, but stable and
+    allocation-free, which is what a hot-path metric wants.
+    """
+
+    __slots__ = ("bounds", "counts", "overflow", "total", "count",
+                 "minimum", "maximum")
+
+    def __init__(self, buckets: Sequence[float] = DEFAULT_MS_BUCKETS):
+        self.bounds = tuple(float(b) for b in buckets)
+        if list(self.bounds) != sorted(self.bounds):
+            raise ValueError("histogram buckets must be sorted")
+        self.counts = [0] * len(self.bounds)
+        self.overflow = 0
+        self.total = 0.0
+        self.count = 0
+        self.minimum: Optional[float] = None
+        self.maximum: Optional[float] = None
+
+    def observe(self, value: float) -> None:
+        index = bisect_left(self.bounds, value)
+        if index == len(self.bounds):
+            self.overflow += 1
+        else:
+            self.counts[index] += 1
+        self.total += value
+        self.count += 1
+        if self.minimum is None or value < self.minimum:
+            self.minimum = value
+        if self.maximum is None or value > self.maximum:
+            self.maximum = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Estimated q-quantile (0 < q <= 1) from the bucket counts."""
+        if self.count == 0:
+            return 0.0
+        rank = q * self.count
+        seen = 0.0
+        lower = 0.0
+        for bound, count in zip(self.bounds, self.counts):
+            if count:
+                if seen + count >= rank:
+                    within = (rank - seen) / count
+                    return lower + (bound - lower) * within
+                seen += count
+            lower = bound
+        return self.maximum if self.maximum is not None else lower
+
+    def as_dict(self) -> dict:
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "min": self.minimum,
+            "max": self.maximum,
+            "mean": self.mean,
+            "p50": self.quantile(0.50),
+            "p95": self.quantile(0.95),
+            "buckets": [[bound, count] for bound, count
+                        in zip(self.bounds, self.counts) if count],
+            "overflow": self.overflow,
+        }
+
+
+class MetricsRegistry:
+    """Named counters, gauges and histograms, created on first use."""
+
+    def __init__(self) -> None:
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    # -- accessors ---------------------------------------------------------
+    def counter(self, name: str) -> Counter:
+        found = self._counters.get(name)
+        if found is None:
+            found = self._counters[name] = Counter()
+        return found
+
+    def gauge(self, name: str) -> Gauge:
+        found = self._gauges.get(name)
+        if found is None:
+            found = self._gauges[name] = Gauge()
+        return found
+
+    def histogram(self, name: str,
+                  buckets: Sequence[float] = DEFAULT_MS_BUCKETS
+                  ) -> Histogram:
+        found = self._histograms.get(name)
+        if found is None:
+            found = self._histograms[name] = Histogram(buckets)
+        return found
+
+    # -- aggregation helpers ----------------------------------------------
+    def record_query(self, stats: dict, traffic: Optional[dict] = None,
+                     phases: Optional[dict] = None) -> None:
+        """Fold one finished query into the process totals.
+
+        ``stats`` is :meth:`ResourceGovernor.stats` output; ``traffic``
+        carries per-query reads/writes/calls/allocs deltas from the
+        :class:`~repro.target.interface.TracingBackend`; ``phases``
+        maps phase name (parse/eval/format) to milliseconds.
+        """
+        self.counter("queries_total").inc()
+        for name in ("steps", "expand", "lines", "calls", "allocs",
+                     "symnodes"):
+            if name in stats:
+                self.counter(f"governor_{name}_total").inc(stats[name])
+        if "wall_ms" in stats:
+            self.histogram("query_wall_ms").observe(stats["wall_ms"])
+        if traffic:
+            for name, amount in traffic.items():
+                self.counter(f"target_{name}_total").inc(amount)
+        if phases:
+            for name, ms in phases.items():
+                self.histogram(f"phase_{name}_ms").observe(ms)
+
+    def cache_rate(self, name: str) -> float:
+        """Hit rate of a ``<name>_hits`` / ``<name>_misses`` pair."""
+        hits = self.counter(f"{name}_hits").value
+        misses = self.counter(f"{name}_misses").value
+        total = hits + misses
+        return hits / total if total else 0.0
+
+    # -- snapshots ---------------------------------------------------------
+    def snapshot(self) -> dict:
+        """The whole registry as one plain (JSON-able) dict."""
+        return {
+            "counters": {name: c.value
+                         for name, c in sorted(self._counters.items())},
+            "gauges": {name: g.value
+                       for name, g in sorted(self._gauges.items())},
+            "histograms": {name: h.as_dict()
+                           for name, h in sorted(self._histograms.items())},
+        }
+
+    def to_json(self, indent: Optional[int] = 2) -> str:
+        return json.dumps(self.snapshot(), indent=indent)
+
+    def describe(self) -> list[str]:
+        """Human-readable lines (the REPL ``metrics`` command)."""
+        out = []
+        for name, counter in sorted(self._counters.items()):
+            out.append(f"{name:<28} {counter.value}")
+        for name, gauge in sorted(self._gauges.items()):
+            out.append(f"{name:<28} {gauge.value:g}")
+        for name, hist in sorted(self._histograms.items()):
+            out.append(f"{name:<28} count={hist.count} "
+                       f"mean={hist.mean:.3f} p50={hist.quantile(.5):.3f} "
+                       f"p95={hist.quantile(.95):.3f}")
+        return out
+
+    def reset(self) -> None:
+        self._counters.clear()
+        self._gauges.clear()
+        self._histograms.clear()
+
+
+#: The shared process-level registry (sessions default to this).
+_REGISTRY = MetricsRegistry()
+
+
+def registry() -> MetricsRegistry:
+    """The process-level registry instance."""
+    return _REGISTRY

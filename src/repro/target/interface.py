@@ -174,6 +174,66 @@ class GovernedBackend:
         return self.inner.alloc_target_space(size)
 
 
+class TracingBackend:
+    """Counts target traffic and attributes it to the active trace span.
+
+    Sits outermost in the evaluator's wrapper chain (around
+    :class:`GovernedBackend`), so every read/write/call/alloc the
+    query performs — whichever engine drives it — bumps a process-wide
+    counter here, and, when a
+    :class:`~repro.obs.trace.QueryTracer` is attached, lands on the
+    AST node currently being pulled.  With tracing off the per-read
+    cost is one increment and one predicate check; the bound inner
+    methods are resolved once at construction to keep the
+    ``__getattr__`` delegation hop off the read/write hot path.
+    """
+
+    def __init__(self, inner, tracer=None):
+        self.inner = inner
+        self.tracer = tracer
+        self.reads = 0
+        self.writes = 0
+        self.calls = 0
+        self.allocs = 0
+        self._inner_get = inner.get_target_bytes
+        self._inner_put = inner.put_target_bytes
+
+    def __getattr__(self, name):
+        return getattr(self.inner, name)
+
+    # -- metered hot paths -------------------------------------------------
+    def get_target_bytes(self, address: int, size: int) -> bytes:
+        self.reads += 1
+        tracer = self.tracer
+        if tracer is not None:
+            tracer.on_read()
+        return self._inner_get(address, size)
+
+    def put_target_bytes(self, address: int, data: bytes) -> None:
+        self.writes += 1
+        tracer = self.tracer
+        if tracer is not None:
+            tracer.on_write()
+        self._inner_put(address, data)
+
+    def call_target_func(self, target, raw_args: Sequence):
+        self.calls += 1
+        tracer = self.tracer
+        if tracer is not None:
+            tracer.on_call()
+        return self.inner.call_target_func(target, raw_args)
+
+    def alloc_target_space(self, size: int) -> int:
+        self.allocs += 1
+        return self.inner.alloc_target_space(size)
+
+    # -- reporting ---------------------------------------------------------
+    def counts(self) -> dict:
+        """The cumulative traffic counters as a plain dict."""
+        return {"reads": self.reads, "writes": self.writes,
+                "calls": self.calls, "allocs": self.allocs}
+
+
 class FaultInjectingBackend(DebuggerInterface):
     """A deterministic fault-injecting wrapper around any backend.
 

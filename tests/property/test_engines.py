@@ -103,6 +103,76 @@ def test_engines_charge_identical_step_counts(rig, text):
     assert session.governor.steps == generator_steps
 
 
+# -- both engines emit identical trace streams (PR: observability) ------
+#
+# The tracing instrumentation points were placed so the generator
+# wrapper and the state-machine eval brackets describe the same
+# abstract pull/yield protocol; that makes the trace stream a
+# correctness oracle for the state machine — any divergence in
+# evaluation order shows up as an event-sequence mismatch long before
+# it corrupts a value.
+
+def traced(rig_pair, node, text, drive):
+    session, sm = rig_pair
+    from repro.obs.trace import QueryTracer, RingBufferSink
+    session.evaluator.reset()
+    tracer = QueryTracer(RingBufferSink())
+    tracer.begin(node, text)
+    session.evaluator.set_tracer(tracer)
+    try:
+        drive(session, sm, node)
+    finally:
+        tracer.finish()
+        session.evaluator.set_tracer(None)
+    return tracer
+
+
+def trace_both(rig_pair, text):
+    session, sm = rig_pair
+    node = session.compile(text)
+    generator = traced(rig_pair, node, text,
+                       lambda s, m, n: list(s.evaluator.eval(n)))
+    machine = traced(rig_pair, node, text,
+                     lambda s, m, n: m.drive(n))
+    return generator, machine
+
+
+@given(text=expressions)
+def test_engines_emit_identical_trace_events(rig, text):
+    """The full ordered pull/yield event stream matches, node by node."""
+    generator, machine = trace_both(rig, text)
+    assert generator.events() == machine.events()
+
+
+@given(text=expressions)
+def test_engines_record_identical_span_profiles(rig, text):
+    """Per-node aggregates (pulls, yields, attributed reads) match."""
+    generator, machine = trace_both(rig, text)
+    assert [(s.index, s.op, s.pulls, s.yields, s.reads, s.writes)
+            for s in generator.spans] == \
+        [(s.index, s.op, s.pulls, s.yields, s.reads, s.writes)
+         for s in machine.spans]
+
+
+@pytest.fixture(scope="module")
+def list_rig():
+    program = TargetProgram()
+    builder.linked_list(program, "head", [11, 42, 5, 33, 19, 29, 8, 77])
+    session = DuelSession(SimulatorBackend(program))
+    return session, StateMachineEvaluator(session.evaluator)
+
+
+@pytest.mark.parametrize("text", [
+    "head-->next->value",
+    "head-->next->value >? 20",
+    "head-->next->value == 33 ? 1 : 0",
+])
+def test_engines_trace_list_walks_identically(list_rig, text):
+    generator, machine = trace_both(list_rig, text)
+    assert generator.events() == machine.events()
+    assert generator.events()  # non-trivial stream
+
+
 @given(text=expressions)
 def test_engines_trip_step_budget_at_same_count(rig, text):
     from hypothesis import assume

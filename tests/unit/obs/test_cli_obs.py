@@ -1,0 +1,118 @@
+"""CLI observability: trace/explain/metrics commands, --trace-json."""
+
+import io
+import json
+
+import pytest
+
+from repro.cli import main
+
+SOURCE = r"""
+int values[4] = {5, -2, 9, 0};
+int main(void) { return 0; }
+"""
+
+
+@pytest.fixture
+def source(tmp_path):
+    path = tmp_path / "prog.c"
+    path.write_text(SOURCE)
+    return str(path)
+
+
+def run_cli(args, stdin_text=""):
+    out = io.StringIO()
+    status = main(args, stdin=io.StringIO(stdin_text), out=out)
+    return status, out.getvalue()
+
+
+class TestTraceCommandParsing:
+    def test_strict_on_off(self, source):
+        status, text = run_cli([source], stdin_text=(
+            "trace on\ntrace off\nquit\n"))
+        assert "trace on\n" in text
+        assert "trace off\n" in text
+
+    def test_bare_trace_prints_usage(self, source):
+        status, text = run_cli([source], stdin_text="trace\nquit\n")
+        assert "usage: trace on|off | trace <expression>" in text
+
+    def test_near_miss_is_an_expression_not_a_toggle(self, source):
+        """'trace onn' must not silently toggle tracing (the symbolic
+        on|off hardening, applied here): it parses as an expression."""
+        status, text = run_cli([source], stdin_text=(
+            "trace onn\nquit\n"))
+        assert "trace on\n" not in text
+        assert "no symbol 'onn'" in text
+
+    def test_trace_expression_profiles(self, source):
+        status, text = run_cli([source], stdin_text=(
+            "trace values[..4] >? 0\nquit\n"))
+        assert "pulls=" in text and "yields=" in text
+        assert "(generator engine)" in text
+
+
+class TestExplainCommand:
+    def test_explain_renders_profile(self, source):
+        status, text = run_cli([source], stdin_text=(
+            "explain values[..4] >? 0\nquit\n"))
+        assert "ifgt" in text
+        assert "pulls=" in text
+        assert "100.0%" in text
+        assert "-- 2 values in" in text
+
+    def test_explain_without_argument(self, source):
+        status, text = run_cli([source], stdin_text="explain\nquit\n")
+        assert "usage: explain <expression>" in text
+
+
+class TestMetricsCommand:
+    def test_metrics_after_queries(self, source):
+        status, text = run_cli([source], stdin_text=(
+            "values[0]\nmetrics\nquit\n"))
+        assert "queries_total" in text
+        assert "query_wall_ms" in text
+
+
+class TestStatsFooterTraffic:
+    def test_footer_carries_target_traffic(self, source):
+        status, text = run_cli([source], stdin_text=(
+            "stats on\nvalues[..4] >? 0\nquit\n"))
+        footer = [l for l in text.splitlines()
+                  if l.startswith("[steps=")][0]
+        assert "reads=" in footer
+        assert "writes=0" in footer
+        assert "calls=0" in footer
+        reads = int(footer.split("reads=")[1].split(",")[0])
+        assert reads > 0
+
+
+class TestTraceJsonFlag:
+    def test_writes_jsonl(self, source, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        status, text = run_cli(
+            ["--trace-json", str(path), "-e", "values[..4] >? 0", source])
+        assert status == 0
+        records = [json.loads(line)
+                   for line in path.read_text().splitlines()]
+        kinds = [r["ev"] for r in records]
+        assert kinds[0] == "query"
+        assert "pull" in kinds and "yield" in kinds and "span" in kinds
+        header = records[0]
+        assert header["text"] == "values[..4] >? 0"
+
+    def test_repl_queries_traced_too(self, source, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        status, text = run_cli(["--trace-json", str(path), source],
+                               stdin_text="values[0]\nvalues[1]\nquit\n")
+        headers = [json.loads(line)
+                   for line in path.read_text().splitlines()
+                   if json.loads(line)["ev"] == "query"]
+        assert [h["q"] for h in headers] == [1, 2]
+
+    def test_unwritable_path_is_an_error(self, source, tmp_path):
+        status, text = run_cli(
+            ["--trace-json", str(tmp_path / "no" / "dir" / "t.jsonl"),
+             "-e", "1", source])
+        assert status == 1
+        assert "error:" in text

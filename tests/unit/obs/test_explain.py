@@ -1,0 +1,102 @@
+"""EXPLAIN profiles: render_profile and DuelSession.explain."""
+
+import io
+
+from repro.obs.explain import profile_footer, render_profile
+from repro.obs.trace import QueryTracer
+
+
+def explain_lines(session, text):
+    out = io.StringIO()
+    session.explain(text, out=out)
+    return out.getvalue().splitlines()
+
+
+class TestRenderProfile:
+    def test_tree_shape_and_columns(self, session):
+        node = session.compile("x[..10] >? 5")
+        session.evaluator.reset()
+        tracer = QueryTracer()
+        tracer.begin(node, "")
+        session.evaluator.set_tracer(tracer)
+        list(session.evaluator.eval(node))
+        session.evaluator.set_tracer(None)
+        lines = render_profile(node, tracer)
+        assert len(lines) == len(tracer.spans)
+        root = lines[0]
+        assert root.startswith("ifgt")
+        assert "pulls=4" in root            # 3 values + exhausted pull
+        assert "yields=3" in root
+        assert "100.0%" in root
+        assert any(line.lstrip().startswith(("├─", "└─"))
+                   for line in lines[1:])
+        # Profile columns line up across rows.
+        columns = [line.index("pulls=") for line in lines]
+        assert len(set(columns)) == 1
+
+    def test_traffic_only_when_nonzero(self, session):
+        node = session.compile("(1..3)")
+        session.evaluator.reset()
+        tracer = QueryTracer()
+        tracer.begin(node, "")
+        session.evaluator.set_tracer(tracer)
+        list(session.evaluator.eval(node))
+        session.evaluator.set_tracer(None)
+        lines = render_profile(node, tracer)
+        assert all("reads=" not in line for line in lines)
+
+    def test_footer(self):
+        text = profile_footer(30, 4.7, {"reads": 130, "writes": 0,
+                                        "calls": 0})
+        assert text == ("-- 30 values in 4.7ms; 130 reads, 0 writes, "
+                        "0 calls (generator engine)")
+
+
+class TestSessionExplain:
+    def test_paper_filter_example(self, session):
+        lines = explain_lines(session, "x[..100] >? 5")
+        assert lines[0].startswith("ifgt")
+        assert "pulls=" in lines[0] and "yields=" in lines[0]
+        assert any("reads=" in line for line in lines)
+        assert any('name "x"' in line for line in lines)
+        assert lines[-1].startswith("-- ")
+        assert "values in" in lines[-1]
+        assert "(generator engine)" in lines[-1]
+
+    def test_paper_list_walk_example(self, session):
+        lines = explain_lines(session, "head-->next->value")
+        assert lines[0].startswith("witharrow")
+        assert any("dfs" in line for line in lines)
+        assert any('name "value"' in line for line in lines)
+        assert lines[-1].startswith("-- 8 values in ")
+
+    def test_swallows_output_lines(self, session):
+        lines = explain_lines(session, "x[..10] >? 5")
+        assert not any("x[2] = 7" in line for line in lines)
+
+    def test_compile_error_reports_without_profile(self, session):
+        lines = explain_lines(session, "x[..")
+        assert "expression" in lines[0]
+        assert not any("pulls=" in line for line in lines)
+
+    def test_truncation_appends_diagnostic(self, session):
+        session.governor.set_limit("lines", 2)
+        try:
+            lines = explain_lines(session, "x[..100] !=? 0")
+        finally:
+            session.governor.set_limit("lines", None)
+        assert lines[0].startswith("ifne")
+        assert "(stopped:" in lines[-1]
+
+    def test_explain_fills_last_query_stats(self, session):
+        explain_lines(session, "x[..10] >? 5")
+        stats = session.last_query_stats
+        assert stats["reads"] > 0
+        assert stats["steps"] > 0
+
+    def test_explain_detaches_tracer(self, session):
+        explain_lines(session, "x[3]")
+        assert session.evaluator.tracer is None
+        out = io.StringIO()
+        session.duel("x[3]", out=out)
+        assert out.getvalue().strip() == "x[3] = 0"

@@ -1,0 +1,146 @@
+"""Metrics registry: primitives, aggregation, session integration."""
+
+import io
+import json
+
+import pytest
+
+from repro import DuelSession, SimulatorBackend, TargetProgram
+from repro.obs.metrics import (DEFAULT_MS_BUCKETS, Counter, Gauge,
+                               Histogram, MetricsRegistry, registry)
+from repro.target import builder
+
+
+class TestPrimitives:
+    def test_counter(self):
+        c = Counter()
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+
+    def test_gauge(self):
+        g = Gauge()
+        g.set(2.5)
+        g.set(1.0)
+        assert g.value == 1.0
+
+    def test_histogram_buckets_must_be_sorted(self):
+        with pytest.raises(ValueError):
+            Histogram([2.0, 1.0])
+
+    def test_histogram_counts_and_overflow(self):
+        h = Histogram([1.0, 10.0])
+        for value in (0.5, 0.7, 5.0, 100.0):
+            h.observe(value)
+        assert h.counts == [2, 1]
+        assert h.overflow == 1
+        assert h.count == 4
+        assert h.minimum == 0.5 and h.maximum == 100.0
+        assert h.mean == pytest.approx(106.2 / 4)
+
+    def test_histogram_quantiles_interpolate(self):
+        h = Histogram([10.0, 20.0])
+        for _ in range(10):
+            h.observe(5.0)            # all in the first bucket
+        assert 0.0 < h.quantile(0.5) <= 10.0
+        assert h.quantile(1.0) == 10.0
+        assert Histogram().quantile(0.5) == 0.0   # empty
+
+    def test_histogram_as_dict_elides_empty_buckets(self):
+        h = Histogram(DEFAULT_MS_BUCKETS)
+        h.observe(0.3)
+        record = h.as_dict()
+        assert record["count"] == 1
+        assert record["buckets"] == [[0.5, 1]]
+        assert "p50" in record and "p95" in record
+
+
+class TestRegistry:
+    def test_create_on_first_use(self):
+        m = MetricsRegistry()
+        assert m.counter("a") is m.counter("a")
+        assert m.gauge("g") is m.gauge("g")
+        assert m.histogram("h") is m.histogram("h")
+
+    def test_record_query_folds_governor_stats(self):
+        m = MetricsRegistry()
+        stats = {"steps": 100, "expand": 3, "lines": 10, "calls": 1,
+                 "allocs": 0, "symnodes": 42, "wall_ms": 1.5}
+        m.record_query(stats, traffic={"reads": 7, "writes": 2},
+                       phases={"parse": 0.1, "eval": 1.2})
+        m.record_query(stats)
+        assert m.counter("queries_total").value == 2
+        assert m.counter("governor_steps_total").value == 200
+        assert m.counter("target_reads_total").value == 7
+        assert m.histogram("query_wall_ms").count == 2
+        assert m.histogram("phase_parse_ms").count == 1
+
+    def test_cache_rate(self):
+        m = MetricsRegistry()
+        assert m.cache_rate("string_cache") == 0.0
+        m.counter("string_cache_hits").inc(3)
+        m.counter("string_cache_misses").inc(1)
+        assert m.cache_rate("string_cache") == pytest.approx(0.75)
+
+    def test_snapshot_round_trips_through_json(self):
+        m = MetricsRegistry()
+        m.counter("a").inc(2)
+        m.gauge("g").set(1.5)
+        m.histogram("h").observe(3.0)
+        snap = json.loads(m.to_json())
+        assert snap["counters"]["a"] == 2
+        assert snap["gauges"]["g"] == 1.5
+        assert snap["histograms"]["h"]["count"] == 1
+
+    def test_describe_lists_everything(self):
+        m = MetricsRegistry()
+        m.counter("queries_total").inc()
+        m.histogram("query_wall_ms").observe(0.5)
+        rows = m.describe()
+        assert any("queries_total" in row for row in rows)
+        assert any("query_wall_ms" in row for row in rows)
+
+    def test_reset(self):
+        m = MetricsRegistry()
+        m.counter("a").inc()
+        m.reset()
+        assert m.snapshot() == {"counters": {}, "gauges": {},
+                                "histograms": {}}
+
+    def test_process_registry_is_shared(self):
+        assert registry() is registry()
+
+
+def isolated_session():
+    program = TargetProgram()
+    builder.int_array(program, "x",
+                      [3, -1, 7, 0, 12, -9, 2, 120, 5, -4])
+    return DuelSession(SimulatorBackend(program),
+                       metrics=MetricsRegistry())
+
+
+class TestSessionIntegration:
+    def test_queries_accumulate(self):
+        session = isolated_session()
+        session.duel("x[..10] >? 5", out=io.StringIO())
+        session.duel("x[3]", out=io.StringIO())
+        m = session.metrics
+        assert m.counter("queries_total").value == 2
+        assert m.counter("governor_steps_total").value > 0
+        assert m.counter("target_reads_total").value > 0
+        assert m.histogram("query_wall_ms").count == 2
+        for phase in ("parse", "eval", "format"):
+            assert m.histogram(f"phase_{phase}_ms").count == 2
+
+    def test_string_cache_counters_flow_through(self):
+        session = isolated_session()
+        session.duel('"abc"', out=io.StringIO())
+        session.duel('"abc"', out=io.StringIO())
+        m = session.metrics
+        assert m.counter("string_cache_misses").value >= 1
+        assert m.counter("string_cache_hits").value >= 1
+        assert 0.0 < m.cache_rate("string_cache") < 1.0
+
+    def test_sessions_default_to_process_registry(self, program):
+        session = DuelSession(SimulatorBackend(program))
+        assert session.metrics is registry()

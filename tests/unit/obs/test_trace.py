@@ -1,0 +1,207 @@
+"""Tracing layer: spans, ring buffer, JSONL export, engine hooks."""
+
+import io
+import json
+
+import pytest
+
+from repro import DuelSession, SimulatorBackend
+from repro.core.statemachine import StateMachineEvaluator
+from repro.obs.trace import (JsonlSink, NodeSpan, QueryTracer,
+                             RingBufferSink, TraceSink, node_label)
+
+
+def trace_generator(session, text, sink=None):
+    """Drive ``text`` on the generator engine under a fresh tracer."""
+    node = session.compile(text)
+    session.evaluator.reset()
+    tracer = QueryTracer(sink)
+    tracer.begin(node, text)
+    session.evaluator.set_tracer(tracer)
+    try:
+        values = list(session.evaluator.eval(node))
+    finally:
+        tracer.finish()
+        session.evaluator.set_tracer(None)
+    return node, tracer, values
+
+
+def trace_machine(session, text, sink=None):
+    """Drive ``text`` on the state-machine engine under a tracer."""
+    node = session.compile(text)
+    session.evaluator.reset()
+    tracer = QueryTracer(sink)
+    tracer.begin(node, text)
+    session.evaluator.set_tracer(tracer)
+    try:
+        machine = StateMachineEvaluator(session.evaluator)
+        values = list(machine.drive(node))
+    finally:
+        tracer.finish()
+        session.evaluator.set_tracer(None)
+    return node, tracer, values
+
+
+class TestNodeSpans:
+    def test_preorder_indices(self, session):
+        node = session.compile("x[..10] >? 5")
+        tracer = QueryTracer()
+        tracer.begin(node, "x[..10] >? 5")
+        assert [s.index for s in tracer.spans] == \
+            list(range(len(tracer.spans)))
+        assert tracer.spans[0].depth == 0
+        assert all(s.depth > 0 for s in tracer.spans[1:])
+
+    def test_labels_carry_symbolic_form(self, session):
+        node = session.compile("x[3] + 5")
+        tracer = QueryTracer()
+        tracer.begin(node, "")
+        labels = [s.label for s in tracer.spans]
+        assert any("x" in label for label in labels)
+        assert any("5" in label for label in labels)
+        assert node_label(node) == tracer.spans[0].label
+
+    def test_root_counts_pulls_and_yields(self, session):
+        node, tracer, values = trace_generator(session, "x[..10] >? 5")
+        root = tracer.span_for(node)
+        assert values  # 7, 12, 120
+        assert root.yields == len(values)
+        # One pull per value plus the final exhausted pull.
+        assert root.pulls == len(values) + 1
+        assert root.time_ns > 0
+        assert tracer.total_ns() == root.time_ns
+
+    def test_reads_attributed_to_active_span(self, session):
+        node, tracer, values = trace_generator(session, "x[..10] >? 5")
+        assert sum(s.reads for s in tracer.spans) > 0
+
+    def test_as_dict_shape(self):
+        span = NodeSpan(3, "index", "index", 1)
+        span.pulls, span.yields, span.time_ns = 4, 2, 1000
+        record = span.as_dict()
+        assert record == {"i": 3, "op": "index", "label": "index",
+                          "depth": 1, "pulls": 4, "yields": 2,
+                          "ns": 1000, "reads": 0, "writes": 0,
+                          "calls": 0}
+
+
+class TestRingBufferSink:
+    def test_records_pull_yield_stream(self, session):
+        sink = RingBufferSink()
+        node, tracer, values = trace_generator(session, "(1..3)", sink)
+        events = tracer.events()
+        assert events[0] == ("pull", 0)
+        assert events.count(("yield", 0)) == 3
+        assert sink.queries == 1
+        assert sink.dropped == 0
+
+    def test_ring_drops_oldest(self):
+        sink = RingBufferSink(capacity=4)
+        for index in range(10):
+            sink.emit("pull", index)
+        assert sink.dropped == 6
+        assert list(sink.events) == [("pull", i) for i in range(6, 10)]
+        sink.clear()
+        assert not sink.events and sink.dropped == 0
+
+    def test_base_sink_drops_everything(self, session):
+        node, tracer, values = trace_generator(session, "(1..3)",
+                                               TraceSink())
+        assert tracer.events() == []       # not a ring buffer
+        assert tracer.span_for(node).yields == 3
+
+
+class TestJsonlSink:
+    def test_schema(self, session):
+        buffer = io.StringIO()
+        sink = JsonlSink(buffer)
+        trace_generator(session, "(1..3)+(5,9)", sink)
+        records = [json.loads(line)
+                   for line in buffer.getvalue().splitlines()]
+        header = records[0]
+        assert header["ev"] == "query"
+        assert header["q"] == 1
+        assert header["text"] == "(1..3)+(5,9)"
+        assert [n["i"] for n in header["nodes"]] == \
+            list(range(len(header["nodes"])))
+        kinds = {r["ev"] for r in records}
+        assert kinds == {"query", "pull", "yield", "span"}
+        spans = [r for r in records if r["ev"] == "span"]
+        assert len(spans) == len(header["nodes"])
+        assert spans[0]["yields"] == 6     # the paper's six values
+        for event in records[1:]:
+            assert event["q"] == 1
+
+    def test_query_numbers_increment(self, session):
+        buffer = io.StringIO()
+        sink = JsonlSink(buffer)
+        trace_generator(session, "(1..2)", sink)
+        trace_generator(session, "(3..4)", sink)
+        headers = [json.loads(line)
+                   for line in buffer.getvalue().splitlines()
+                   if '"query"' in line]
+        assert [h["q"] for h in headers] == [1, 2]
+
+    def test_close_only_closes_owned_streams(self, tmp_path):
+        buffer = io.StringIO()
+        JsonlSink(buffer).close()
+        assert not buffer.closed
+        path = tmp_path / "trace.jsonl"
+        sink = JsonlSink(str(path))
+        sink.close()
+        assert path.exists()
+
+
+class TestEngineHooks:
+    """The SM bracket hooks must mirror the generator wrapper."""
+
+    def test_same_span_totals(self, session):
+        _, gen, gen_values = trace_generator(session, "x[..10] >? 5")
+        _, sm, sm_values = trace_machine(session, "x[..10] >? 5")
+        assert [v.sym.render(6) for v in gen_values] == \
+            [v.sym.render(6) for v in sm_values]
+        assert [(s.pulls, s.yields) for s in gen.spans] == \
+            [(s.pulls, s.yields) for s in sm.spans]
+
+    def test_same_event_stream(self, session):
+        _, gen, _ = trace_generator(session, "head-->next->value",
+                                    RingBufferSink())
+        _, sm, _ = trace_machine(session, "head-->next->value",
+                                 RingBufferSink())
+        assert gen.events() == sm.events()
+
+    def test_error_unwinds_stack(self, session):
+        node = session.compile("*(int*)0")
+        session.evaluator.reset()
+        tracer = QueryTracer()
+        tracer.begin(node, "")
+        session.evaluator.set_tracer(tracer)
+        try:
+            with pytest.raises(Exception):
+                list(session.evaluator.eval(node))
+        finally:
+            session.evaluator.set_tracer(None)
+        assert tracer._stack == []
+
+
+class TestSessionTracing:
+    def test_trace_on_keeps_last_trace(self, session):
+        session.tracing = True
+        out = io.StringIO()
+        session.duel("x[..10] >? 5", out=out)
+        assert session.last_trace is not None
+        assert session.last_trace.spans[0].yields == 3
+        events = session.last_trace.events()
+        assert events and events[0] == ("pull", 0)
+
+    def test_trace_off_records_nothing(self, session):
+        out = io.StringIO()
+        session.duel("x[..10] >? 5", out=out)
+        assert session.last_trace is None
+        assert session.evaluator.tracer is None
+
+    def test_tracer_detached_after_query(self, session):
+        session.tracing = True
+        session.duel("x[3]", out=io.StringIO())
+        assert session.evaluator.tracer is None
+        assert session.evaluator.backend.tracer is None
