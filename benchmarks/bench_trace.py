@@ -112,6 +112,99 @@ def test_trace_off_overhead_smoke(traced_off_session, no_hook_session):
         f"tracing-off overhead {overhead:.1%} on P3 (target <5%)")
 
 
+class _NullStream:
+    """Swallows output (and qlog flushes) without allocating."""
+
+    def write(self, text):
+        pass
+
+    def flush(self):
+        pass
+
+
+def _pre_obs_duel(session, text, stream):
+    """``session.duel`` as it was before the query log and flight
+    recorder existed: same parse/trace/drive/finish skeleton, but no
+    qlog predicate, no recorder predicate, no ``_observe_query``."""
+    from time import perf_counter_ns
+    session.governor.begin_query()
+    session.last_query_stats = {}
+    t0 = perf_counter_ns()
+    node = session.compile(text)
+    parse_ns = perf_counter_ns() - t0
+    session._record(text)
+    tracer = session._attach_tracer(node, text)
+    session._checkpoint_for(node)
+    session.evaluator.reset()
+    baseline = session._stats_baseline()
+    drive_t0 = perf_counter_ns()
+    try:
+        for line in session._lines(node):
+            stream.write(line + "\n")
+    finally:
+        session._finish_query(tracer, baseline, parse_ns,
+                              perf_counter_ns() - drive_t0)
+
+
+@pytest.fixture(scope="module")
+def qlog_off_session():
+    return make_array_session(1000, symbolic=False)
+
+
+@pytest.fixture(scope="module")
+def pre_obs_session():
+    return make_array_session(1000, symbolic=False)
+
+
+@pytest.fixture(scope="module")
+def qlog_on_session():
+    from repro.obs.qlog import QueryLog
+    session = make_array_session(1000, symbolic=False)
+    session.qlog = QueryLog(_NullStream())
+    return session
+
+
+@pytest.mark.benchmark(group="qlog-overhead")
+def test_qlog_off(benchmark, qlog_off_session):
+    benchmark(qlog_off_session.duel, EXPR, out=_NullStream())
+
+
+@pytest.mark.benchmark(group="qlog-overhead")
+def test_pre_obs_duel(benchmark, pre_obs_session):
+    benchmark(_pre_obs_duel, pre_obs_session, EXPR, _NullStream())
+
+
+@pytest.mark.benchmark(group="qlog-overhead")
+def test_qlog_on(benchmark, qlog_on_session):
+    benchmark(qlog_on_session.duel, EXPR, out=_NullStream())
+
+
+def test_qlog_off_overhead_smoke(qlog_off_session, pre_obs_session):
+    """With the query log and flight recorder off, the full ``duel``
+    drive must cost what it cost before they existed: target <5% on
+    P3, asserted at a looser bound so timer noise can't flake CI.
+    The off-state cost is two ``is not None`` predicates per query."""
+    assert qlog_off_session.qlog is None
+    assert qlog_off_session.recorder is None
+
+    def best_of(fn, repeats=7):
+        timings = []
+        for _ in range(repeats):
+            start = time.perf_counter()
+            fn()
+            timings.append(time.perf_counter() - start)
+        return min(timings)
+
+    stream = _NullStream()
+    current = lambda: qlog_off_session.duel(EXPR, out=stream)
+    pre_obs = lambda: _pre_obs_duel(pre_obs_session, EXPR, stream)
+    best_of(current, repeats=2)                  # warm both paths
+    best_of(pre_obs, repeats=2)
+    overhead = best_of(current) / best_of(pre_obs) - 1.0
+    assert overhead < 0.15, (
+        f"qlog-off duel overhead {overhead:.1%} on P3 (target <5%)")
+
+
 def test_trace_on_records_the_whole_query(traced_on_session):
     """Sanity: the traced run sees every value the query produced."""
     session = traced_on_session

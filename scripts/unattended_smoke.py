@@ -1,0 +1,186 @@
+#!/usr/bin/env python
+"""End-to-end smoke of the unattended-run stack (CI job).
+
+Boots ``python -m repro`` as a real subprocess with the query log,
+flight recorder and metrics endpoint all on, drives a small batch that
+deliberately truncates one query and target-faults another, scrapes
+``/metrics`` over HTTP while the session is live, and then validates
+every artifact:
+
+* the query log parses line by line with exactly one terminal record
+  per query and the expected outcomes;
+* the flight recorder wrote post-mortem dumps naming both offending
+  queries, the faulted one carrying its EXPLAIN tree;
+* the Prometheus exposition is well-formed and reflects all queries.
+
+Artifacts (query log, dumps, scraped metrics) are left in the
+directory given by ``--artifacts`` so CI can upload them.  Exits 0 on
+success, 1 with a diagnostic on any failure.  Stdlib only.
+"""
+
+import argparse
+import json
+import os
+import re
+import subprocess
+import sys
+import time
+import urllib.request
+
+PROGRAM = """\
+int data[10] = {3, -1, 7, 0, 12, -9, 2, 120, 5, -4};
+int main(void) { return 0; }
+"""
+
+BATCH = ("data[..10]",       # truncated by the lines limit below
+         "data[2000000]",    # faults: illegal memory reference
+         "data[..4] >? 0")   # drains cleanly
+
+SAMPLE = re.compile(
+    r'^[a-zA-Z_:][a-zA-Z0-9_:]*(\{le="[^"]+"\})? -?[0-9][0-9.e+-]*$')
+TYPE_LINE = re.compile(
+    r"^# TYPE [a-zA-Z_:][a-zA-Z0-9_:]* (counter|gauge|histogram)$")
+
+
+def fail(message):
+    print(f"FAIL: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def scrape(url, want, timeout=30.0):
+    """GET ``url`` until ``want`` appears in the body (the REPL runs
+    queries asynchronously from this script's point of view)."""
+    deadline = time.monotonic() + timeout
+    body = ""
+    while time.monotonic() < deadline:
+        try:
+            with urllib.request.urlopen(url, timeout=5) as response:
+                body = response.read().decode()
+            if want in body:
+                return body
+        except OSError:
+            pass
+        time.sleep(0.2)
+    fail(f"{url} never served {want!r}; last body:\n{body}")
+
+
+def check_query_log(path):
+    records = []
+    for number, line in enumerate(open(path), 1):
+        try:
+            records.append(json.loads(line))
+        except json.JSONDecodeError as error:
+            fail(f"{path}:{number} is not JSON: {error}")
+    terminals = {}
+    for record in records:
+        if record["ev"] not in ("received", "parsed"):
+            terminals.setdefault(record["qid"], []).append(record)
+    if sorted(terminals) != [1, 2, 3]:
+        fail(f"expected terminal records for qids 1..3, got "
+             f"{sorted(terminals)}")
+    for qid, rows in terminals.items():
+        if len(rows) != 1:
+            fail(f"query {qid} has {len(rows)} terminal records")
+    outcomes = [terminals[qid][0]["ev"] for qid in (1, 2, 3)]
+    if outcomes != ["truncated", "faulted", "drained"]:
+        fail(f"unexpected outcomes {outcomes}")
+    if terminals[1][0]["kind"] != "lines":
+        fail(f"truncated query verdict {terminals[1][0].get('kind')!r}, "
+             f"expected 'lines'")
+    if terminals[2][0].get("error_type") != "DuelMemoryError":
+        fail(f"faulted query error_type "
+             f"{terminals[2][0].get('error_type')!r}")
+    print(f"query log ok: {len(records)} records, outcomes {outcomes}")
+
+
+def check_dumps(dump_dir):
+    names = sorted(os.listdir(dump_dir))
+    if len(names) < 2:
+        fail(f"expected >=2 post-mortems in {dump_dir}, found {names}")
+    faulted = None
+    for name in names:
+        artifact = json.load(open(os.path.join(dump_dir, name)))
+        for key in ("version", "reason", "queries", "metrics", "limits"):
+            if key not in artifact:
+                fail(f"{name} is missing {key!r}")
+        if "faulted" in artifact["reason"]:
+            faulted = artifact
+    if faulted is None:
+        fail("no post-mortem names the faulted query")
+    if "data[2000000]" not in faulted["reason"]:
+        fail(f"faulted dump reason {faulted['reason']!r} does not "
+             f"name the query")
+    query = next(q for q in faulted["queries"]
+                 if q["outcome"] == "faulted")
+    if not query.get("explain"):
+        fail("faulted query entry has no EXPLAIN tree")
+    print(f"dumps ok: {names}, faulted dump carries "
+          f"{len(query['explain'])}-node explain tree")
+
+
+def check_metrics(body):
+    for line in body.rstrip("\n").splitlines():
+        if not (TYPE_LINE.match(line) or SAMPLE.match(line)):
+            fail(f"invalid exposition line: {line!r}")
+    for needle in ("duel_queries_total 3", "duel_governor_steps_total",
+                   'duel_query_wall_ms_bucket{le="+Inf"} 3'):
+        if needle not in body:
+            fail(f"metrics body is missing {needle!r}")
+    print(f"metrics ok: {len(body.splitlines())} exposition lines")
+
+
+def main():
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--artifacts", default="smoke-artifacts",
+                        help="directory the run's artifacts land in")
+    args = parser.parse_args()
+    os.makedirs(args.artifacts, exist_ok=True)
+    source = os.path.join(args.artifacts, "prog.c")
+    qlog_path = os.path.join(args.artifacts, "queries.jsonl")
+    dump_dir = os.path.join(args.artifacts, "dumps")
+    with open(source, "w") as handle:
+        handle.write(PROGRAM)
+
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        filter(None, ["src", env.get("PYTHONPATH")]))
+    process = subprocess.Popen(
+        [sys.executable, "-m", "repro",
+         "--query-log", qlog_path, "--dump-dir", dump_dir,
+         "--metrics-port", "0", source],
+        stdin=subprocess.PIPE, stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT, text=True, env=env)
+    try:
+        url = None
+        while url is None:
+            line = process.stdout.readline()
+            if not line:
+                fail("REPL exited before announcing the metrics "
+                     "endpoint")
+            if line.startswith("metrics: "):
+                url = line.split()[1]
+        print(f"scraping {url}")
+        process.stdin.write("limits lines 3\n")
+        for text in BATCH:
+            process.stdin.write(text + "\n")
+        process.stdin.flush()
+        body = scrape(url, "duel_queries_total 3")
+        with open(os.path.join(args.artifacts, "metrics.prom"),
+                  "w") as handle:
+            handle.write(body)
+        process.stdin.write("quit\n")
+        process.stdin.close()
+        if process.wait(timeout=30) != 0:
+            fail(f"REPL exited with status {process.returncode}")
+    finally:
+        if process.poll() is None:
+            process.kill()
+
+    check_query_log(qlog_path)
+    check_dumps(dump_dir)
+    check_metrics(body)
+    print("unattended smoke: all checks passed")
+
+
+if __name__ == "__main__":
+    main()

@@ -44,7 +44,9 @@ DUEL REPL commands:
   explain <expr>        run traced; print the per-node profile tree
   trace <expr>          same as explain
   trace on|off          trace every query (events kept in a ring buffer)
-  metrics               show the process-level metrics registry
+  qlog on|off           toggle the structured query log (--query-log)
+  metrics [export]      metrics registry table, or Prometheus text format
+  dump [DIR]            write a flight-recorder post-mortem (--dump-dir)
   history               show executed queries
   save <name> <expr>    name a query for re-issue
   !<name>               re-issue a saved query
@@ -151,12 +153,14 @@ def repl(session: DuelSession, stdin=None, out=None) -> int:
                 else:
                     out.write("usage: explain <expression>\n")
                 continue
-            if line == "metrics":
-                rows = session.metrics.describe()
-                if not rows:
-                    out.write("(no metrics recorded)\n")
-                for row in rows:
-                    out.write(row + "\n")
+            if line.split()[0] == "qlog":
+                _qlog_command(session, line, out)
+                continue
+            if line.split()[0] == "metrics":
+                _metrics_command(session, line, out)
+                continue
+            if line.split()[0] == "dump":
+                _dump_command(session, line, out)
                 continue
             if line == "history":
                 for index, text in enumerate(session.history):
@@ -211,6 +215,74 @@ def _limits_command(session: DuelSession, line: str, out) -> None:
         out.write(f"limits {name} {'off' if shown is None else shown}\n")
         return
     out.write("usage: limits [show|<name> <value|off>]\n")
+
+
+def _qlog_command(session: DuelSession, line: str, out) -> None:
+    """``qlog on|off`` — strict, like ``trace on|off``.
+
+    Only the exact words ``on``/``off`` flip the mode; ``off`` stashes
+    the attached :class:`~repro.obs.qlog.QueryLog` so the session's
+    per-query gate stays a single ``is not None`` predicate, and ``on``
+    restores it.  Without a configured log (``--query-log FILE``)
+    there is nothing to enable, and the command says so.
+    """
+    parts = line.split()
+    if len(parts) != 2 or parts[1] not in ("on", "off"):
+        out.write("usage: qlog on|off\n")
+        return
+    stashed = getattr(session, "_qlog_stashed", None)
+    if parts[1] == "on":
+        if session.qlog is None:
+            if stashed is None:
+                out.write("no query log attached "
+                          "(start with --query-log FILE)\n")
+                return
+            session.qlog = stashed
+            session._qlog_stashed = None
+        out.write("qlog on\n")
+    else:
+        if session.qlog is not None:
+            session._qlog_stashed = session.qlog
+            session.qlog = None
+        out.write("qlog off\n")
+
+
+def _metrics_command(session: DuelSession, line: str, out) -> None:
+    """``metrics`` (sorted table) or ``metrics export`` (Prometheus)."""
+    parts = line.split()
+    if len(parts) == 1:
+        rows = session.metrics.describe()
+        if not rows:
+            out.write("(no metrics recorded)\n")
+        for row in rows:
+            out.write(row + "\n")
+        return
+    if len(parts) == 2 and parts[1] == "export":
+        from repro.obs.exposition import render_prometheus
+        out.write(render_prometheus(session.metrics))
+        return
+    out.write("usage: metrics [export]\n")
+
+
+def _dump_command(session: DuelSession, line: str, out) -> None:
+    """``dump [DIR]`` — write a post-mortem from the flight recorder."""
+    parts = line.split()
+    if len(parts) > 2:
+        out.write("usage: dump [directory]\n")
+        return
+    if session.recorder is None:
+        out.write("no flight recorder (start with --dump-dir DIR)\n")
+        return
+    directory = parts[1] if len(parts) == 2 else None
+    try:
+        path = session.recorder.dump("manual dump",
+                                     metrics=session.metrics,
+                                     governor=session.governor,
+                                     dump_dir=directory)
+    except (ValueError, OSError) as error:
+        out.write(f"dump failed: {error}\n")
+        return
+    out.write(f"dumped {path}\n")
 
 
 def _trace_command(session: DuelSession, line: str, out) -> None:
@@ -301,6 +373,18 @@ def main(argv: Optional[Sequence[str]] = None,
     parser.add_argument("--trace-json", metavar="FILE", default=None,
                         help="trace every query, writing JSONL events "
                              "and per-node spans to FILE")
+    parser.add_argument("--query-log", metavar="FILE", default=None,
+                        help="write one JSONL lifecycle record per "
+                             "query (received/parsed/terminal) to FILE")
+    parser.add_argument("--dump-dir", metavar="DIR", default=None,
+                        help="enable the flight recorder; write "
+                             "post-mortem JSON dumps into DIR on "
+                             "faults, ^C, truncations, or 'dump'")
+    parser.add_argument("--metrics-port", type=int, default=None,
+                        metavar="PORT",
+                        help="serve Prometheus metrics on "
+                             "127.0.0.1:PORT/metrics (0 picks a free "
+                             "port)")
     parser.add_argument("args", nargs="*", default=[],
                         help="argv for the target program (after --)")
     ns = parser.parse_args(argv)
@@ -330,6 +414,38 @@ def main(argv: Optional[Sequence[str]] = None,
             return 1
         session.trace_sink = sink
         session.tracing = True
+    qlog = None
+    if ns.query_log:
+        from repro.obs.qlog import QueryLog
+        try:
+            qlog = QueryLog(ns.query_log)
+        except OSError as error:
+            out.write(f"error: {error}\n")
+            return 1
+        session.qlog = qlog
+    if ns.dump_dir:
+        from repro.obs.recorder import FlightRecorder
+        try:
+            import os
+            os.makedirs(ns.dump_dir, exist_ok=True)
+        except OSError as error:
+            out.write(f"error: {error}\n")
+            if qlog is not None:
+                qlog.close()
+            return 1
+        session.recorder = FlightRecorder(dump_dir=ns.dump_dir)
+    server = None
+    if ns.metrics_port is not None:
+        from repro.obs.exposition import MetricsServer
+        server = MetricsServer(session.metrics, port=ns.metrics_port)
+        try:
+            port = server.start()
+        except OSError as error:
+            out.write(f"error: {error}\n")
+            if qlog is not None:
+                qlog.close()
+            return 1
+        out.write(f"metrics: http://127.0.0.1:{port}/metrics\n")
     try:
         if ns.expr:
             for text in ns.expr:
@@ -341,6 +457,10 @@ def main(argv: Optional[Sequence[str]] = None,
                       "'quit' to exit\n")
         return repl(session, stdin=stdin, out=out)
     finally:
+        if server is not None:
+            server.stop()
+        if qlog is not None:
+            qlog.close()
         if sink is not None:
             sink.close()
 

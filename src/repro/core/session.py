@@ -34,6 +34,8 @@ from repro.core.parser import DuelParser
 from repro.core.symbolic import DEFAULT_FOLD
 from repro.core.values import DuelValue
 from repro.obs.metrics import MetricsRegistry, registry as process_registry
+from repro.obs.qlog import QueryLog, classify
+from repro.obs.recorder import FlightRecorder, should_dump
 from repro.obs.trace import QueryTracer, RingBufferSink, TraceSink
 
 
@@ -89,6 +91,16 @@ class DuelSession:
         #: Per-query stats of the most recent :meth:`duel`/:meth:`explain`
         #: query: governor counters plus target-traffic/lookup deltas.
         self.last_query_stats: dict = {}
+        #: Per-phase (parse/eval/format) milliseconds of that query.
+        self.last_query_phases: dict = {}
+        #: Structured query log receiving one JSONL record per query
+        #: lifecycle event (``--query-log`` / ``qlog on``); None = off,
+        #: at the cost of a single predicate per query.
+        self.qlog: Optional[QueryLog] = None
+        #: Flight recorder of recent completed queries; None = off.
+        #: Attaching one also turns per-query tracing on, so recorded
+        #: entries (and post-mortem dumps) carry EXPLAIN profile trees.
+        self.recorder: Optional[FlightRecorder] = None
         self._format_ns = 0
 
     # -- compiling ------------------------------------------------------
@@ -210,34 +222,45 @@ class DuelSession:
         stream = out if out is not None else sys.stdout
         self.governor.begin_query()
         self.last_query_stats = {}
+        qlog = self.qlog
+        qid = qlog.begin(text, "generator") if qlog is not None else None
         t0 = perf_counter_ns()
         try:
             node = self.compile(text)
         except DuelError as error:
+            if qid is not None:
+                qlog.end(qid, "rejected", error=error)
             stream.write(str(error) + "\n")
             return
         parse_ns = perf_counter_ns() - t0
+        if qid is not None:
+            qlog.parsed(qid, parse_ns / 1e6, node)
         self._record(text)
         tracer = self._attach_tracer(node, text)
         checkpoint = self._checkpoint_for(node)
         self.evaluator.reset()
         baseline = self._stats_baseline()
         written = 0
+        failure = None
         drive_t0 = perf_counter_ns()
         try:
             for line in self._lines(node):
                 stream.write(line + "\n")
                 written += 1
         except DuelTruncation as truncation:
+            failure = truncation
             produced = truncation.produced if truncation.produced \
                 is not None else written
             stream.write(truncation.diagnostic(produced) + "\n")
         except DuelError as error:
+            failure = error
             self._restore(checkpoint)
             stream.write(str(error) + "\n")
         finally:
             self._finish_query(tracer, baseline, parse_ns,
                                perf_counter_ns() - drive_t0)
+            if qid is not None or self.recorder is not None:
+                self._observe_query(qid, text, failure, tracer)
 
     def explain(self, text: str, out=None) -> None:
         """Run ``text`` traced and print its per-node profile tree.
@@ -253,13 +276,19 @@ class DuelSession:
         stream = out if out is not None else sys.stdout
         self.governor.begin_query()
         self.last_query_stats = {}
+        qlog = self.qlog
+        qid = qlog.begin(text, "generator") if qlog is not None else None
         t0 = perf_counter_ns()
         try:
             node = self.compile(text)
         except DuelError as error:
+            if qid is not None:
+                qlog.end(qid, "rejected", error=error)
             stream.write(str(error) + "\n")
             return
         parse_ns = perf_counter_ns() - t0
+        if qid is not None:
+            qlog.parsed(qid, parse_ns / 1e6, node)
         self._record(text)
         # Reuse the session sink (--trace-json) when one is attached;
         # span aggregates alone are enough for the profile otherwise.
@@ -270,20 +299,25 @@ class DuelSession:
         self.evaluator.reset()
         baseline = self._stats_baseline()
         note = None
+        failure = None
         drive_t0 = perf_counter_ns()
         try:
             for _ in self._lines(node):
                 pass
         except DuelTruncation as truncation:
+            failure = truncation
             produced = truncation.produced if truncation.produced \
                 is not None else self.governor.lines
             note = truncation.diagnostic(produced)
         except DuelError as error:
+            failure = error
             self._restore(checkpoint)
             note = str(error)
         finally:
             self._finish_query(tracer, baseline, parse_ns,
                                perf_counter_ns() - drive_t0)
+            if qid is not None or self.recorder is not None:
+                self._observe_query(qid, text, failure, tracer)
         for line in render_profile(node, tracer):
             stream.write(line + "\n")
         stats = self.last_query_stats
@@ -295,11 +329,20 @@ class DuelSession:
     # -- per-query accounting ------------------------------------------------
     def _attach_tracer(self, node: N.Node,
                        text: str) -> Optional[QueryTracer]:
-        """A fresh per-query tracer when session tracing is on."""
-        if not self.tracing:
+        """A fresh per-query tracer when tracing or the recorder is on.
+
+        The flight recorder implies tracing (its entries carry the
+        query's profile tree), but with a much smaller event ring —
+        post-mortems want the span aggregates plus a short tail of
+        events, not 64k of them per query.
+        """
+        recorder = self.recorder
+        if not self.tracing and recorder is None:
             return None
-        sink = self.trace_sink if self.trace_sink is not None \
-            else RingBufferSink()
+        sink = self.trace_sink
+        if sink is None:
+            capacity = 65536 if self.tracing else recorder.ring_capacity
+            sink = RingBufferSink(capacity)
         tracer = QueryTracer(sink)
         tracer.begin(node, text)
         self.evaluator.set_tracer(tracer)
@@ -341,17 +384,66 @@ class DuelSession:
         stats.update(traffic)
         stats["lookups"] = evaluator.scope.lookup_count - lookups0
         self.last_query_stats = stats
+        format_ns = self._format_ns
+        self.last_query_phases = {
+            "parse": parse_ns / 1e6,
+            "eval": max(drive_ns - format_ns, 0) / 1e6,
+            "format": format_ns / 1e6}
         if self.metrics is not None:
-            format_ns = self._format_ns
-            self.metrics.record_query(
-                self.governor.stats(), traffic,
-                phases={"parse": parse_ns / 1e6,
-                        "eval": max(drive_ns - format_ns, 0) / 1e6,
-                        "format": format_ns / 1e6})
+            self.metrics.record_query(self.governor.stats(), traffic,
+                                      phases=self.last_query_phases)
             self.metrics.counter("string_cache_hits").inc(
                 evaluator.string_cache_hits - hits0)
             self.metrics.counter("string_cache_misses").inc(
                 evaluator.string_cache_misses - misses0)
+
+    def _observe_query(self, qid: Optional[int], text: str, failure,
+                       tracer: Optional[QueryTracer]) -> None:
+        """Feed one finished query to the query log and flight recorder.
+
+        Runs in the drive's ``finally`` (after :meth:`_finish_query`
+        froze the stats), so every query — drained, truncated,
+        cancelled or faulted — leaves exactly one terminal log record,
+        and the recorder window always reflects what actually ran.
+        """
+        outcome, kind = classify(failure)
+        stats = self.last_query_stats
+        # The governor's lines counter includes the charge that tripped
+        # the quota; the truncation knows how many values actually made
+        # it out, and that is what the record should say.
+        produced = getattr(failure, "produced", None)
+        values = produced if produced is not None \
+            else stats.get("lines", 0)
+        if qid is not None:
+            self.qlog.end(qid, outcome, values=values, kind=kind,
+                          error=failure if outcome == "faulted" else None,
+                          stats=stats, phases=self.last_query_phases)
+        recorder = self.recorder
+        if recorder is None:
+            return
+        entry = {"qid": qid, "text": text, "outcome": outcome,
+                 "values": values, "stats": dict(stats),
+                 "phases": dict(self.last_query_phases)}
+        if kind is not None:
+            entry["kind"] = kind
+        if failure is not None and outcome == "faulted":
+            entry["error"] = str(failure)
+            entry["error_type"] = type(failure).__name__
+        if tracer is not None:
+            entry["explain"] = [span.as_dict() for span in tracer.spans]
+            events = tracer.events()
+            if events:
+                entry["events"] = [list(event) for event in events]
+        recorder.record(entry)
+        if recorder.dump_dir is not None and should_dump(outcome, failure):
+            reason = f"{outcome}: query {qid} {text!r}"
+            if failure is not None:
+                reason += f" ({failure})"
+            try:
+                recorder.dump(reason, metrics=self.metrics,
+                              governor=self.governor)
+            except OSError:
+                pass        # a failing dump must never break the session
 
     # -- failed-query rollback ----------------------------------------------
     def _checkpoint_for(self, node: N.Node):

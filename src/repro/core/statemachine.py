@@ -72,6 +72,16 @@ class StateMachineEvaluator:
 
     def drive(self, node: N.Node) -> list[DuelValue]:
         """Top-level command: call eval until NOVALUE (paper's driver)."""
+        return list(self.iter_drive(node))
+
+    def iter_drive(self, node: N.Node):
+        """Lazy drive: one value per iteration, NOVALUE ends it.
+
+        The generator-engine-shaped face of the state machine, so
+        engine-agnostic harnesses (the query-log parity tests, partial
+        consumers) can pull values one at a time and observe exactly
+        how many were produced before a limit tripped.
+        """
         unsupported = [n.op for n in N.walk(node)
                        if not isinstance(n, self.SUPPORTED)]
         if unsupported:
@@ -79,13 +89,12 @@ class StateMachineEvaluator:
                 f"state-machine engine does not implement {unsupported[0]!r}")
         self._states.clear()
         depth = self.ev.scope.with_depth
-        out = []
         try:
             while True:
                 value = self.eval(node)
                 if value is NOVALUE:
-                    return out
-                out.append(value)
+                    return
+                yield value
         finally:
             # WITH/DFS entries persist between eval calls by design;
             # unwind any leftovers if evaluation stopped early.

@@ -16,6 +16,22 @@ visible.  Three layers:
 * :mod:`repro.obs.explain` — renders a traced query as an annotated
   tree (the ``explain`` REPL command): each node's form with pulls,
   yields, time share and target reads.
+
+On top of those per-query layers, three process/service-level ones
+turn a long-running session into something an external system can
+audit, post-mortem and scrape:
+
+* :mod:`repro.obs.qlog` — the structured query log: monotone query
+  IDs and one JSONL record per lifecycle event (received → parsed →
+  drained/truncated/cancelled/faulted), with governor verdicts, phase
+  timings and target traffic on the terminal record.
+* :mod:`repro.obs.recorder` — the flight recorder: a bounded window
+  of recent queries (stats + EXPLAIN trees + event rings) written out
+  as a self-contained post-mortem JSON on faults, cancellations,
+  truncations, or the ``dump`` command.
+* :mod:`repro.obs.exposition` — the metrics registry rendered in
+  Prometheus text format, served by a daemon-thread HTTP endpoint
+  (``--metrics-port``).
 """
 
 from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry, \
@@ -23,9 +39,14 @@ from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry, \
 from repro.obs.trace import JsonlSink, NodeSpan, QueryTracer, \
     RingBufferSink, TraceSink
 from repro.obs.explain import render_profile
+from repro.obs.qlog import QueryLog, drive_logged
+from repro.obs.recorder import FlightRecorder
+from repro.obs.exposition import MetricsServer, render_prometheus
 
 __all__ = [
     "Counter", "Gauge", "Histogram", "MetricsRegistry", "registry",
     "JsonlSink", "NodeSpan", "QueryTracer", "RingBufferSink", "TraceSink",
     "render_profile",
+    "QueryLog", "drive_logged", "FlightRecorder",
+    "MetricsServer", "render_prometheus",
 ]

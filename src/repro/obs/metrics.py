@@ -150,6 +150,19 @@ class MetricsRegistry:
             found = self._histograms[name] = Histogram(buckets)
         return found
 
+    # -- iteration (exposition renderers) ----------------------------------
+    def counters(self) -> dict[str, Counter]:
+        """All counters, name-sorted (a copy; safe to iterate)."""
+        return dict(sorted(self._counters.items()))
+
+    def gauges(self) -> dict[str, Gauge]:
+        """All gauges, name-sorted (a copy; safe to iterate)."""
+        return dict(sorted(self._gauges.items()))
+
+    def histograms(self) -> dict[str, Histogram]:
+        """All histograms, name-sorted (a copy; safe to iterate)."""
+        return dict(sorted(self._histograms.items()))
+
     # -- aggregation helpers ----------------------------------------------
     def record_query(self, stats: dict, traffic: Optional[dict] = None,
                      phases: Optional[dict] = None) -> None:
@@ -197,17 +210,22 @@ class MetricsRegistry:
         return json.dumps(self.snapshot(), indent=indent)
 
     def describe(self) -> list[str]:
-        """Human-readable lines (the REPL ``metrics`` command)."""
-        out = []
-        for name, counter in sorted(self._counters.items()):
-            out.append(f"{name:<28} {counter.value}")
-        for name, gauge in sorted(self._gauges.items()):
-            out.append(f"{name:<28} {gauge.value:g}")
-        for name, hist in sorted(self._histograms.items()):
-            out.append(f"{name:<28} count={hist.count} "
-                       f"mean={hist.mean:.3f} p50={hist.quantile(.5):.3f} "
-                       f"p95={hist.quantile(.95):.3f}")
-        return out
+        """Human-readable lines (the REPL ``metrics`` command).
+
+        One line per metric, sorted *globally* by name across all
+        three kinds, so successive ``metrics`` outputs — and outputs
+        from different runs of the same workload — diff cleanly.
+        """
+        rows: list[tuple[str, str]] = []
+        for name, counter in self._counters.items():
+            rows.append((name, f"{name:<28} {counter.value}"))
+        for name, gauge in self._gauges.items():
+            rows.append((name, f"{name:<28} {gauge.value:g}"))
+        for name, hist in self._histograms.items():
+            rows.append((name, f"{name:<28} count={hist.count} "
+                         f"mean={hist.mean:.3f} p50={hist.quantile(.5):.3f} "
+                         f"p95={hist.quantile(.95):.3f}"))
+        return [text for _, text in sorted(rows)]
 
     def reset(self) -> None:
         self._counters.clear()

@@ -1,0 +1,195 @@
+"""Structured query log: one JSONL record per query lifecycle event.
+
+PR 3's tracer answers "where did *this* query spend its time" and
+forgets the answer when the next query starts.  The query log is the
+durable complement: every query a session drives gets a monotonically
+assigned query ID and an append-only JSONL audit trail —
+
+``{"ev": "received", "qid": N, "ts": ..., "text": ..., "engine": ...}``
+    the query text arrived;
+``{"ev": "parsed", "qid": N, "parse_ms": ..., "nodes": ...}``
+    it compiled (AST size recorded);
+``{"ev": "drained" | "truncated" | "cancelled" | "faulted" |
+"rejected", "qid": N, "values": ..., ...}``
+    exactly one terminal record per query: how it ended, how many
+    values it produced, the governor verdict
+    (:attr:`~repro.core.errors.DuelEvalLimit.kind`) when a limit
+    tripped, the error text when it faulted, per-phase timings
+    (parse/eval/format, milliseconds) and the query's target traffic
+    (reads/writes/calls/allocs).
+
+A query that fails to compile gets ``received`` → ``rejected`` (no
+``parsed`` record).  Terminal records are flushed as they are written,
+so an unattended run killed mid-session still leaves a parseable log
+up to and including its last completed query.
+
+Cost discipline: the log is consulted once per *query*, never per
+value, behind the same single-predicate gate the tracer uses
+(``session.qlog is not None``); ``benchmarks/bench_trace.py`` gates
+the qlog-off drive overhead at <5% on the P3 workload.
+
+Both evaluation engines produce identical lifecycle sequences for the
+same query — :func:`drive_logged` brackets an engine-agnostic drive
+with the full lifecycle, and the parity property tests in
+``tests/property/test_engines.py`` diff the resulting records.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from time import perf_counter_ns
+from typing import Optional
+
+from repro.core import nodes as N
+from repro.core.errors import DuelCancelled, DuelError, DuelTruncation
+
+#: Every terminal lifecycle event (exactly one per query).
+TERMINAL_EVENTS = frozenset(
+    {"drained", "truncated", "cancelled", "faulted", "rejected"})
+
+#: Stats keys copied onto terminal records (insertion order kept).
+_STAT_FIELDS = ("steps", "lines", "reads", "writes", "calls", "allocs")
+
+
+class QueryLog:
+    """Append-only JSONL sink for query lifecycle records.
+
+    Accepts a path (opened for writing, closed by :meth:`close`) or
+    any writable text stream.  Query IDs are assigned monotonically by
+    :meth:`begin` and never reused within one log.  ``clock`` is the
+    wall-clock source for the ``ts`` field (override for deterministic
+    tests).
+    """
+
+    def __init__(self, stream_or_path, clock=time.time):
+        if isinstance(stream_or_path, str):
+            self._stream = open(stream_or_path, "w")
+            self._owns = True
+        else:
+            self._stream = stream_or_path
+            self._owns = False
+        self._clock = clock
+        self._next_qid = 1
+        #: Records written so far (all kinds).
+        self.records = 0
+
+    # -- lifecycle events --------------------------------------------------
+    def begin(self, text: str, engine: str = "generator") -> int:
+        """Assign the next query ID and log the ``received`` event."""
+        qid = self._next_qid
+        self._next_qid = qid + 1
+        self._write({"ev": "received", "qid": qid, "ts": self._clock(),
+                     "text": text, "engine": engine})
+        return qid
+
+    def parsed(self, qid: int, parse_ms: float, node) -> None:
+        """The query compiled; ``node`` is the AST root (or a count)."""
+        nodes = node if isinstance(node, int) \
+            else sum(1 for _ in N.walk(node))
+        self._write({"ev": "parsed", "qid": qid, "ts": self._clock(),
+                     "parse_ms": round(parse_ms, 3), "nodes": nodes})
+
+    def end(self, qid: int, outcome: str, *, values: int = 0,
+            kind: Optional[str] = None, error=None,
+            stats: Optional[dict] = None,
+            phases: Optional[dict] = None) -> None:
+        """The query's terminal record (flushed immediately)."""
+        if outcome not in TERMINAL_EVENTS:
+            raise ValueError(f"unknown terminal outcome {outcome!r} "
+                             f"(know: {', '.join(sorted(TERMINAL_EVENTS))})")
+        record: dict = {"ev": outcome, "qid": qid, "ts": self._clock(),
+                        "values": values}
+        if kind is not None:
+            record["kind"] = kind
+        if error is not None:
+            record["error"] = str(error)
+            record["error_type"] = type(error).__name__
+        if stats:
+            for name in _STAT_FIELDS:
+                if name in stats:
+                    record[name] = stats[name]
+            if "wall_ms" in stats:
+                record["wall_ms"] = round(stats["wall_ms"], 3)
+        if phases:
+            record["phases"] = {name: round(ms, 3)
+                                for name, ms in phases.items()}
+        self._write(record)
+        self._stream.flush()
+
+    # -- plumbing ----------------------------------------------------------
+    def _write(self, record: dict) -> None:
+        self._stream.write(json.dumps(record) + "\n")
+        self.records += 1
+
+    def flush(self) -> None:
+        self._stream.flush()
+
+    def close(self) -> None:
+        """Flush, and close the stream if this log opened it."""
+        self._stream.flush()
+        if self._owns:
+            self._stream.close()
+
+
+def classify(failure) -> tuple[str, Optional[str]]:
+    """Map a drive exception (or None) to ``(outcome, verdict kind)``.
+
+    The single classification point shared by the session drive and
+    :func:`drive_logged`, so every producer of terminal records agrees
+    on what ``truncated`` vs ``cancelled`` vs ``faulted`` means.
+    """
+    if failure is None:
+        return "drained", None
+    if isinstance(failure, DuelCancelled):
+        return "cancelled", failure.kind
+    if isinstance(failure, DuelTruncation):
+        return "truncated", failure.kind
+    return "faulted", getattr(failure, "kind", None)
+
+
+def drive_logged(qlog: QueryLog, session, text: str, drive,
+                 engine: str = "generator") -> tuple[str, int]:
+    """Drive one query under full lifecycle logging, engine-agnostic.
+
+    ``drive(node)`` must return an iterator of values and charge the
+    session's governor as the engines do; pass
+    ``session.evaluator.eval`` for the generator engine or
+    ``StateMachineEvaluator.iter_drive`` for the paper's state
+    machine.  Returns ``(outcome, values produced)``.  This is the
+    parity harness: for the same query both engines must leave
+    byte-identical records modulo timings.
+    """
+    governor = session.governor
+    governor.begin_query()
+    qid = qlog.begin(text, engine)
+    t0 = perf_counter_ns()
+    try:
+        node = session.compile(text)
+    except DuelError as error:
+        governor.end_query()
+        qlog.end(qid, "rejected", error=error)
+        return "rejected", 0
+    qlog.parsed(qid, (perf_counter_ns() - t0) / 1e6, node)
+    backend = session.evaluator.backend
+    reads0, writes0 = backend.reads, backend.writes
+    calls0, allocs0 = backend.calls, backend.allocs
+    session.evaluator.reset()
+    values = 0
+    failure = None
+    try:
+        for _ in drive(node):
+            values += 1
+    except DuelError as error:
+        failure = error
+    finally:
+        governor.end_query()
+    outcome, kind = classify(failure)
+    stats = governor.stats()
+    stats["reads"] = backend.reads - reads0
+    stats["writes"] = backend.writes - writes0
+    stats["calls"] = backend.calls - calls0
+    stats["allocs"] = backend.allocs - allocs0
+    qlog.end(qid, outcome, values=values, kind=kind,
+             error=failure if outcome == "faulted" else None, stats=stats)
+    return outcome, values

@@ -96,6 +96,9 @@ class TraceSink:
     def end_query(self, spans: list) -> None:
         """The query finished; ``spans`` hold the final aggregates."""
 
+    def flush(self) -> None:
+        """Push buffered events to durable storage (file sinks)."""
+
     def close(self) -> None:
         """Release any resources (files) held by the sink."""
 
@@ -163,7 +166,18 @@ class JsonlSink(TraceSink):
     def _write(self, record: dict) -> None:
         self._stream.write(json.dumps(record) + "\n")
 
+    def flush(self) -> None:
+        self._stream.flush()
+
     def close(self) -> None:
+        """Flush, then close the stream if this sink opened it.
+
+        ``end_query`` flushes after every query (and the tracer's
+        ``finish`` runs in the drive's ``finally``, interrupts
+        included), so even a query aborted by ^C leaves its records on
+        disk; close is belt-and-braces for session teardown.
+        """
+        self._stream.flush()
         if self._owns:
             self._stream.close()
 

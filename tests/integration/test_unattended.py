@@ -1,0 +1,150 @@
+"""The unattended-run acceptance scenario (ISSUE 4).
+
+One session, full observability stack on, a batch holding one
+truncated, one target-faulted, and one clean query.  Afterwards:
+
+* the query log parses line by line and holds exactly one terminal
+  record per query, with the right outcome and governor verdict;
+* the flight recorder produced post-mortems naming the offending
+  queries, the faulted one carrying its EXPLAIN profile tree;
+* the metrics registry renders as valid Prometheus text reflecting
+  every query, and the scrape endpoint serves the same bytes.
+"""
+
+import io
+import json
+import re
+import urllib.request
+
+import pytest
+
+from repro import DuelSession, SimulatorBackend, TargetProgram
+from repro.obs.exposition import MetricsServer, render_prometheus
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.qlog import TERMINAL_EVENTS, QueryLog
+from repro.obs.recorder import FlightRecorder
+from repro.target import builder
+
+BATCH = ("x[..10]",        # truncated: lines limit set to 3 below
+         "x[2000000]",     # faulted: illegal memory reference
+         "x[..4] >? 0")    # drained
+
+SAMPLE = re.compile(
+    r'^[a-zA-Z_:][a-zA-Z0-9_:]*(\{le="[^"]+"\})? -?[0-9][0-9.e+-]*$')
+TYPE_LINE = re.compile(
+    r"^# TYPE [a-zA-Z_:][a-zA-Z0-9_:]* (counter|gauge|histogram)$")
+
+
+@pytest.fixture(scope="module")
+def run(tmp_path_factory):
+    root = tmp_path_factory.mktemp("unattended")
+    qlog_path = root / "queries.jsonl"
+    dump_dir = root / "dumps"
+    dump_dir.mkdir()
+    program = TargetProgram()
+    builder.int_array(program, "x",
+                      [3, -1, 7, 0, 12, -9, 2, 120, 5, -4])
+    session = DuelSession(SimulatorBackend(program),
+                          metrics=MetricsRegistry())
+    session.qlog = QueryLog(str(qlog_path))
+    session.recorder = FlightRecorder(dump_dir=str(dump_dir))
+    session.governor.set_limit("lines", 3)
+    out = io.StringIO()
+    for text in BATCH:
+        session.duel(text, out=out)
+    session.qlog.close()
+    return session, qlog_path, dump_dir, out.getvalue()
+
+
+class TestQueryLog:
+    def test_every_line_parses(self, run):
+        _, qlog_path, _, _ = run
+        for line in qlog_path.read_text().splitlines():
+            record = json.loads(line)
+            assert "ev" in record and "qid" in record
+
+    def test_one_terminal_record_per_query(self, run):
+        _, qlog_path, _, _ = run
+        terminals = {}
+        for line in qlog_path.read_text().splitlines():
+            record = json.loads(line)
+            if record["ev"] in TERMINAL_EVENTS:
+                terminals.setdefault(record["qid"], []).append(record)
+        assert sorted(terminals) == [1, 2, 3]
+        assert all(len(records) == 1
+                   for records in terminals.values())
+        assert [terminals[qid][0]["ev"] for qid in (1, 2, 3)] == \
+            ["truncated", "faulted", "drained"]
+        assert terminals[1][0]["kind"] == "lines"
+        assert terminals[1][0]["values"] == 3
+        assert terminals[2][0]["error_type"] == "DuelMemoryError"
+        assert terminals[3][0]["reads"] > 0
+
+    def test_queries_carry_their_text(self, run):
+        _, qlog_path, _, _ = run
+        received = [json.loads(line)
+                    for line in qlog_path.read_text().splitlines()
+                    if json.loads(line)["ev"] == "received"]
+        assert [r["text"] for r in received] == list(BATCH)
+
+
+class TestPostMortems:
+    def dumps(self, dump_dir):
+        return [json.loads(path.read_text())
+                for path in sorted(dump_dir.iterdir())]
+
+    def test_both_bad_queries_dumped(self, run):
+        _, _, dump_dir, _ = run
+        artifacts = self.dumps(dump_dir)
+        assert len(artifacts) == 2
+        assert "truncated" in artifacts[0]["reason"]
+        assert "x[..10]" in artifacts[0]["reason"]
+        assert "faulted" in artifacts[1]["reason"]
+        assert "x[2000000]" in artifacts[1]["reason"]
+
+    def test_faulted_dump_names_query_with_explain_tree(self, run):
+        _, _, dump_dir, _ = run
+        artifact = self.dumps(dump_dir)[1]
+        faulted = next(q for q in artifact["queries"]
+                       if q["outcome"] == "faulted")
+        assert faulted["text"] == "x[2000000]"
+        assert faulted["error_type"] == "DuelMemoryError"
+        ops = [span["op"] for span in faulted["explain"]]
+        assert "index" in ops
+        assert faulted["explain"][0]["depth"] == 0
+
+    def test_dump_is_self_contained(self, run):
+        _, _, dump_dir, _ = run
+        artifact = self.dumps(dump_dir)[1]
+        assert artifact["limits"]["lines"] == 3
+        assert artifact["metrics"]["counters"]["queries_total"] >= 2
+
+
+class TestMetrics:
+    def test_prometheus_rendering_reflects_all_queries(self, run):
+        session, _, _, _ = run
+        text = render_prometheus(session.metrics)
+        assert "duel_queries_total 3" in text
+        assert re.search(r"duel_target_reads_total [1-9]", text)
+        for line in text.rstrip("\n").splitlines():
+            assert TYPE_LINE.match(line) or SAMPLE.match(line), line
+
+    def test_scrape_endpoint_serves_the_registry(self, run):
+        session, _, _, _ = run
+        server = MetricsServer(session.metrics, port=0)
+        try:
+            server.start()
+            with urllib.request.urlopen(server.url,
+                                        timeout=5) as response:
+                body = response.read().decode()
+        finally:
+            server.stop()
+        assert body == render_prometheus(session.metrics)
+
+
+class TestPartialOutput:
+    def test_truncated_query_kept_its_partial_values(self, run):
+        _, _, _, output = run
+        assert "(stopped" in output
+        # The three values the lines quota allowed are in the output.
+        assert output.splitlines()[0].startswith("x[0] = 3")

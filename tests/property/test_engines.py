@@ -173,6 +173,82 @@ def test_engines_trace_list_walks_identically(list_rig, text):
     assert generator.events()  # non-trivial stream
 
 
+# -- both engines leave identical query-log records (PR: flight
+# recorder / query log) -------------------------------------------------
+#
+# The structured query log is the third observational surface (after
+# values and trace events) that must not distinguish the engines: for
+# the same query, both must produce the same lifecycle sequence with
+# the same terminal outcome, value count, governor verdict and target
+# traffic — only timings (and the engine tag itself) may differ.
+
+_TIMING_FIELDS = ("ts", "parse_ms", "wall_ms")
+
+
+def logged_records(rig_pair, text, engine, drive):
+    import io
+    import json
+
+    from repro.obs.qlog import QueryLog, drive_logged
+
+    buffer = io.StringIO()
+    qlog = QueryLog(buffer, clock=lambda: 0.0)
+    drive_logged(qlog, rig_pair[0], text, drive, engine=engine)
+    records = [json.loads(line)
+               for line in buffer.getvalue().splitlines()]
+    for record in records:
+        record.pop("engine", None)
+        for field in _TIMING_FIELDS:
+            record.pop(field, None)
+    return records
+
+
+def qlog_both(rig_pair, text):
+    session, sm = rig_pair
+    generator = logged_records(
+        rig_pair, text, "generator",
+        lambda node: session.evaluator.eval(node))
+    machine = logged_records(
+        rig_pair, text, "statemachine",
+        lambda node: sm.iter_drive(node))
+    return generator, machine
+
+
+@given(text=expressions)
+def test_engines_leave_identical_qlog_records(rig, text):
+    generator, machine = qlog_both(rig, text)
+    assert generator == machine
+    assert generator[-1]["ev"] in ("drained", "faulted")
+
+
+def test_engines_log_identical_truncation_records(rig):
+    session, sm = rig
+    saved = session.options.max_steps
+    session.options.max_steps = 40
+    try:
+        generator, machine = qlog_both(rig, "(1..) + x[0]")
+    finally:
+        session.options.max_steps = saved
+    assert generator == machine
+    terminal = generator[-1]
+    assert terminal["ev"] == "truncated"
+    assert terminal["kind"] == "steps"
+    assert terminal["values"] > 0
+
+
+def test_engines_log_identical_fault_records(rig):
+    generator, machine = qlog_both(rig, "x[2000000]")
+    assert generator == machine
+    assert generator[-1]["ev"] == "faulted"
+    assert generator[-1]["error_type"] == "DuelMemoryError"
+
+
+def test_engines_log_identical_rejection_records(rig):
+    generator, machine = qlog_both(rig, "x[")
+    assert generator == machine
+    assert [r["ev"] for r in generator] == ["received", "rejected"]
+
+
 @given(text=expressions)
 def test_engines_trip_step_budget_at_same_count(rig, text):
     from hypothesis import assume

@@ -1,7 +1,9 @@
-"""CLI observability: trace/explain/metrics commands, --trace-json."""
+"""CLI observability: trace/explain/metrics commands, --trace-json,
+--query-log / --dump-dir / --metrics-port and their REPL commands."""
 
 import io
 import json
+import re
 
 import pytest
 
@@ -73,6 +75,32 @@ class TestMetricsCommand:
         assert "queries_total" in text
         assert "query_wall_ms" in text
 
+    def test_metrics_output_is_name_sorted(self, source):
+        status, text = run_cli([source], stdin_text=(
+            "values[0]\nmetrics\nquit\n"))
+        start = text.splitlines().index(
+            next(l for l in text.splitlines() if "governor_" in l))
+        names = []
+        for line in text.splitlines()[start:]:
+            if not re.match(r"^[a-z][a-z0-9_]* ", line):
+                break
+            names.append(line.split()[0])
+        assert len(names) > 3
+        assert names == sorted(names)
+
+    def test_metrics_export_is_prometheus_text(self, source):
+        status, text = run_cli([source], stdin_text=(
+            "values[0]\nmetrics export\nquit\n"))
+        assert "# TYPE duel_queries_total counter" in text
+        # (the CLI shares the process registry, so the count is >= 1)
+        assert re.search(r"duel_queries_total [1-9]\d*", text)
+        assert '_bucket{le="+Inf"}' in text
+
+    def test_metrics_bad_subcommand_prints_usage(self, source):
+        status, text = run_cli([source], stdin_text=(
+            "metrics exprot\nquit\n"))
+        assert "usage: metrics [export]" in text
+
 
 class TestStatsFooterTraffic:
     def test_footer_carries_target_traffic(self, source):
@@ -116,3 +144,164 @@ class TestTraceJsonFlag:
              "-e", "1", source])
         assert status == 1
         assert "error:" in text
+
+
+class TestQueryLogFlag:
+    def test_batch_queries_logged(self, source, tmp_path):
+        path = tmp_path / "q.jsonl"
+        status, text = run_cli(
+            ["--query-log", str(path), "-e", "values[..4] >? 0",
+             "-e", "values[", source])
+        assert status == 0
+        records = [json.loads(line)
+                   for line in path.read_text().splitlines()]
+        events = [(r["qid"], r["ev"]) for r in records]
+        assert events == [(1, "received"), (1, "parsed"), (1, "drained"),
+                          (2, "received"), (2, "rejected")]
+        assert records[2]["values"] == 2
+        assert records[2]["reads"] > 0
+
+    def test_unwritable_path_is_an_error(self, source, tmp_path):
+        status, text = run_cli(
+            ["--query-log", str(tmp_path / "no" / "dir" / "q.jsonl"),
+             "-e", "1", source])
+        assert status == 1
+        assert "error:" in text
+
+    def test_qlog_toggle_suspends_logging(self, source, tmp_path):
+        path = tmp_path / "q.jsonl"
+        status, text = run_cli(
+            ["--query-log", str(path), source],
+            stdin_text=("values[0]\nqlog off\nvalues[1]\n"
+                        "qlog on\nvalues[2]\nquit\n"))
+        assert "qlog off\n" in text and "qlog on\n" in text
+        logged = [json.loads(line)["text"]
+                  for line in path.read_text().splitlines()
+                  if json.loads(line)["ev"] == "received"]
+        assert logged == ["values[0]", "values[2]"]
+
+    def test_qlog_strict_parsing(self, source, tmp_path):
+        status, text = run_cli(
+            ["--query-log", str(tmp_path / "q.jsonl"), source],
+            stdin_text="qlog\nqlog onn\nqlog off extra\nquit\n")
+        assert text.count("usage: qlog on|off") == 3
+
+    def test_qlog_on_without_log_explains(self, source):
+        status, text = run_cli([source], stdin_text="qlog on\nquit\n")
+        assert "no query log attached (start with --query-log FILE)" \
+            in text
+
+
+class TestDumpDirFlag:
+    def test_faulting_batch_produces_postmortem(self, source, tmp_path):
+        dumps = tmp_path / "dumps"
+        status, text = run_cli(
+            ["--dump-dir", str(dumps), "-e", "values[0]",
+             "-e", "values[2000000]", source])
+        assert status == 0
+        (name,) = [p.name for p in dumps.iterdir()]
+        artifact = json.loads((dumps / name).read_text())
+        assert "values[2000000]" in artifact["reason"]
+        assert artifact["queries"][-1]["outcome"] == "faulted"
+
+    def test_manual_dump_command(self, source, tmp_path):
+        dumps = tmp_path / "dumps"
+        status, text = run_cli(
+            ["--dump-dir", str(dumps), source],
+            stdin_text="values[0]\ndump\nquit\n")
+        assert "dumped " in text
+        (name,) = [p.name for p in dumps.iterdir()]
+        artifact = json.loads((dumps / name).read_text())
+        assert artifact["reason"] == "manual dump"
+        assert artifact["queries"][0]["text"] == "values[0]"
+
+    def test_dump_without_recorder_explains(self, source):
+        status, text = run_cli([source], stdin_text="dump\nquit\n")
+        assert "no flight recorder (start with --dump-dir DIR)" in text
+
+    def test_dump_to_explicit_directory(self, source, tmp_path):
+        status, text = run_cli(
+            ["--dump-dir", str(tmp_path / "a"), source],
+            stdin_text=f"values[0]\ndump {tmp_path / 'b'}\nquit\n")
+        assert "dumped " in text
+        assert list((tmp_path / "b").iterdir())
+
+
+class TestMetricsPortFlag:
+    def test_announces_endpoint_and_serves_it(self, source):
+        import urllib.request
+        from repro.cli import repl as real_repl
+        import repro.cli as cli_module
+        scraped = {}
+
+        # Scrape from *inside* the REPL lifetime: stub repl so the
+        # server is still up when the request happens.
+        def scraping_repl(session, stdin=None, out=None):
+            url = scraped["url"]
+            with urllib.request.urlopen(url, timeout=5) as response:
+                scraped["body"] = response.read().decode()
+            return real_repl(session, stdin=stdin, out=out)
+
+        out = io.StringIO()
+
+        class Capture(io.StringIO):
+            def write(inner, text):
+                if text.startswith("metrics: "):
+                    scraped["url"] = text.split()[1]
+                return out.write(text)
+
+        cli_module.repl = scraping_repl
+        try:
+            status = main(["--metrics-port", "0", source],
+                          stdin=io.StringIO("values[0]\nquit\n"),
+                          out=Capture())
+        finally:
+            cli_module.repl = real_repl
+        assert status == 0
+        assert re.match(r"http://127\.0\.0\.1:\d+/metrics",
+                        scraped["url"])
+        assert "# TYPE duel_" in scraped["body"]
+
+
+class TestSigintFlush:
+    def test_interrupted_drive_still_flushes_qlog_and_trace(
+            self, source, tmp_path):
+        """^C mid-drive: the cancelled query's terminal record lands in
+        the query log and its trace records land in the JSONL trace —
+        both files complete and parseable after exit."""
+        import signal as _signal
+        import threading
+        qlog_path = tmp_path / "q.jsonl"
+        trace_path = tmp_path / "t.jsonl"
+        timer = threading.Timer(
+            0.15, lambda: _signal.raise_signal(_signal.SIGINT))
+        timer.start()
+        try:
+            status, text = run_cli(
+                ["--query-log", str(qlog_path),
+                 "--trace-json", str(trace_path),
+                 "--max-steps", "0", "--max-lines", "0",
+                 "--deadline-ms", "10000", source],
+                stdin_text="1..\nvalues[0]\nquit\n")
+        finally:
+            timer.cancel()
+        assert status == 0
+        assert "interrupted)" in text
+        qrecords = [json.loads(line)
+                    for line in qlog_path.read_text().splitlines()]
+        terminals = [(r["qid"], r["ev"]) for r in qrecords
+                     if r["ev"] not in ("received", "parsed")]
+        assert terminals == [(1, "cancelled"), (2, "drained")]
+        cancelled = next(r for r in qrecords if r["ev"] == "cancelled")
+        assert cancelled["kind"] == "cancel"
+        trecords = [json.loads(line)
+                    for line in trace_path.read_text().splitlines()]
+        spans_by_query = {}
+        for record in trecords:
+            if record["ev"] == "span":
+                spans_by_query.setdefault(record["q"], 0)
+                spans_by_query[record["q"]] += 1
+        # The interrupted query's spans were still written (the trace
+        # finish runs in the drive's finally) and flushed on close.
+        assert spans_by_query.get(1, 0) >= 1
+        assert spans_by_query.get(2, 0) >= 1

@@ -1,0 +1,153 @@
+"""Prometheus exposition: text-format validity and the scrape server."""
+
+import io
+import re
+import urllib.error
+import urllib.request
+
+from repro import DuelSession, SimulatorBackend, TargetProgram
+from repro.obs.exposition import (CONTENT_TYPE, MetricsServer, _number,
+                                  render_prometheus, sanitize)
+from repro.obs.metrics import MetricsRegistry
+from repro.target import builder
+
+# One sample or # TYPE comment per line — the subset of the v0.0.4
+# grammar this renderer emits.
+SAMPLE = re.compile(
+    r'^[a-zA-Z_:][a-zA-Z0-9_:]*(\{le="[^"]+"\})? -?[0-9][0-9.e+-]*$')
+TYPE_LINE = re.compile(
+    r"^# TYPE [a-zA-Z_:][a-zA-Z0-9_:]* (counter|gauge|histogram)$")
+
+
+def populated_registry():
+    registry = MetricsRegistry()
+    registry.counter("queries_total").inc(3)
+    registry.gauge("governor_steps_limit").set(10_000_000)
+    hist = registry.histogram("query_wall_ms",
+                              buckets=(0.5, 1.0, 5.0, 25.0))
+    for value in (0.2, 0.5, 0.7, 3.0, 100.0):
+        hist.observe(value)
+    return registry
+
+
+class TestRenderFormat:
+    def test_every_line_is_valid(self):
+        text = render_prometheus(populated_registry())
+        assert text.endswith("\n")
+        for line in text.rstrip("\n").splitlines():
+            assert TYPE_LINE.match(line) or SAMPLE.match(line), line
+
+    def test_counter_and_gauge_samples(self):
+        text = render_prometheus(populated_registry())
+        assert "# TYPE duel_queries_total counter" in text
+        assert "\nduel_queries_total 3\n" in text
+        assert "\nduel_governor_steps_limit 10000000\n" in text
+
+    def test_histogram_buckets_are_cumulative(self):
+        text = render_prometheus(populated_registry())
+        # observations 0.2, 0.5 → le=0.5 (inclusive); 0.7 → le=1;
+        # 3.0 → le=5; 100.0 only in +Inf.
+        assert 'duel_query_wall_ms_bucket{le="0.5"} 2' in text
+        assert 'duel_query_wall_ms_bucket{le="1"} 3' in text
+        assert 'duel_query_wall_ms_bucket{le="5"} 4' in text
+        assert 'duel_query_wall_ms_bucket{le="25"} 4' in text
+        assert 'duel_query_wall_ms_bucket{le="+Inf"} 5' in text
+        assert "duel_query_wall_ms_count 5" in text
+        assert "duel_query_wall_ms_sum 104.4" in text
+
+    def test_inf_bucket_equals_count(self):
+        text = render_prometheus(populated_registry())
+        inf = re.search(r'_bucket\{le="\+Inf"\} (\d+)', text).group(1)
+        count = re.search(r"_count (\d+)", text).group(1)
+        assert inf == count == "5"
+
+    def test_output_is_deterministic(self):
+        a = render_prometheus(populated_registry())
+        b = render_prometheus(populated_registry())
+        assert a == b
+
+    def test_custom_prefix(self):
+        text = render_prometheus(populated_registry(), prefix="repro_")
+        assert text.startswith("# TYPE repro_")
+        assert "duel_" not in text
+
+    def test_sanitize(self):
+        assert sanitize("cache.hit-rate") == "cache_hit_rate"
+        assert sanitize("1weird") == "_1weird"
+        assert sanitize("already_fine:ok") == "already_fine:ok"
+
+    def test_number_rendering(self):
+        assert _number(7) == "7"
+        assert _number(7.0) == "7"
+        assert _number(0.1) == "0.1"
+        assert _number(True) == "1"
+
+    def test_session_metrics_render(self):
+        """The real registry, after real queries, renders cleanly."""
+        program = TargetProgram()
+        builder.int_array(program, "x", list(range(10)))
+        session = DuelSession(SimulatorBackend(program),
+                              metrics=MetricsRegistry())
+        for text in ("x[..5]", "x[0] >? -1"):
+            session.duel(text, out=io.StringIO())
+        rendered = render_prometheus(session.metrics)
+        assert "duel_queries_total 2" in rendered
+        for line in rendered.rstrip("\n").splitlines():
+            assert TYPE_LINE.match(line) or SAMPLE.match(line), line
+
+
+def fetch(url):
+    with urllib.request.urlopen(url, timeout=5) as response:
+        return response.status, response.headers, response.read()
+
+
+class TestMetricsServer:
+    def test_scrape_roundtrip(self):
+        registry = populated_registry()
+        server = MetricsServer(registry, port=0)
+        try:
+            port = server.start()
+            assert port > 0
+            status, headers, body = fetch(server.url)
+            assert status == 200
+            assert headers["Content-Type"] == CONTENT_TYPE
+            assert body.decode() == render_prometheus(registry)
+        finally:
+            server.stop()
+
+    def test_scrapes_see_live_totals(self):
+        registry = populated_registry()
+        server = MetricsServer(registry, port=0)
+        try:
+            server.start()
+            _, _, before = fetch(server.url)
+            registry.counter("queries_total").inc()
+            _, _, after = fetch(server.url)
+            assert b"duel_queries_total 3" in before
+            assert b"duel_queries_total 4" in after
+        finally:
+            server.stop()
+
+    def test_healthz_and_unknown_paths(self):
+        server = MetricsServer(populated_registry(), port=0)
+        try:
+            port = server.start()
+            status, _, body = fetch(f"http://127.0.0.1:{port}/healthz")
+            assert (status, body) == (200, b"ok\n")
+            try:
+                fetch(f"http://127.0.0.1:{port}/nope")
+            except urllib.error.HTTPError as error:
+                assert error.code == 404
+            else:
+                raise AssertionError("expected 404")
+        finally:
+            server.stop()
+
+    def test_stop_is_idempotent_and_start_returns_same_port(self):
+        server = MetricsServer(populated_registry(), port=0)
+        try:
+            port = server.start()
+            assert server.start() == port    # second start is a no-op
+        finally:
+            server.stop()
+            server.stop()                    # and stop tolerates repeats

@@ -55,6 +55,43 @@ class TestPrimitives:
         assert "p50" in record and "p95" in record
 
 
+class TestHistogramEdges:
+    """Boundary behaviour the exposition layer depends on."""
+
+    def test_quantile_of_empty_histogram_is_zero(self):
+        h = Histogram()
+        for q in (0.01, 0.5, 0.95, 1.0):
+            assert h.quantile(q) == 0.0
+        assert h.mean == 0.0
+        assert h.minimum is None and h.maximum is None
+
+    def test_observation_exactly_on_bound_is_inclusive(self):
+        """Bounds are *inclusive* upper bounds (Prometheus ``le``
+        semantics): a value equal to a bound lands in that bucket,
+        never the next one."""
+        h = Histogram([1.0, 10.0, 100.0])
+        for value in (1.0, 10.0, 100.0):
+            h.observe(value)
+        assert h.counts == [1, 1, 1]
+        assert h.overflow == 0
+        # Strictly above the last bound overflows.
+        h.observe(100.0000001)
+        assert h.overflow == 1
+
+    def test_snapshot_json_round_trip_preserves_histogram(self):
+        m = MetricsRegistry()
+        h = m.histogram("h", buckets=(1.0, 10.0))
+        for value in (0.5, 1.0, 3.0, 99.0):
+            h.observe(value)
+        snap = json.loads(json.dumps(m.snapshot()))
+        record = snap["histograms"]["h"]
+        assert record["count"] == 4
+        assert record["sum"] == pytest.approx(103.5)
+        assert record["min"] == 0.5 and record["max"] == 99.0
+        assert record["buckets"] == [[1.0, 2], [10.0, 1]]
+        assert record["overflow"] == 1
+
+
 class TestRegistry:
     def test_create_on_first_use(self):
         m = MetricsRegistry()
@@ -99,6 +136,31 @@ class TestRegistry:
         rows = m.describe()
         assert any("queries_total" in row for row in rows)
         assert any("query_wall_ms" in row for row in rows)
+
+    def test_describe_is_globally_name_sorted(self):
+        """``metrics`` output must be stable regardless of metric kind
+        or creation order, so transcripts diff cleanly."""
+        m = MetricsRegistry()
+        m.histogram("zz_wall_ms").observe(1.0)     # created first ...
+        m.counter("aa_total").inc()
+        m.gauge("mm_limit").set(5)
+        names = [row.split()[0] for row in m.describe()]
+        assert names == ["aa_total", "mm_limit", "zz_wall_ms"]
+        # And the ordering is insensitive to insertion order.
+        other = MetricsRegistry()
+        other.gauge("mm_limit").set(5)
+        other.histogram("zz_wall_ms").observe(1.0)
+        other.counter("aa_total").inc()
+        assert [row.split()[0] for row in other.describe()] == names
+
+    def test_iteration_views_are_sorted_copies(self):
+        m = MetricsRegistry()
+        m.counter("b").inc()
+        m.counter("a").inc()
+        view = m.counters()
+        assert list(view) == ["a", "b"]
+        view["c"] = Counter()                       # mutating the copy ...
+        assert list(m.counters()) == ["a", "b"]     # ... changes nothing
 
     def test_reset(self):
         m = MetricsRegistry()

@@ -1,0 +1,251 @@
+"""Structured query log: lifecycle records, outcomes, session wiring."""
+
+import io
+import json
+
+import pytest
+
+from repro import DuelSession, SimulatorBackend, TargetProgram
+from repro.core.errors import (DuelCancelled, DuelEvalLimit,
+                               DuelNameError, DuelTargetError,
+                               DuelTruncation)
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.qlog import (TERMINAL_EVENTS, QueryLog, classify,
+                            drive_logged)
+from repro.target import builder
+
+
+def fresh_log():
+    buffer = io.StringIO()
+    return QueryLog(buffer, clock=lambda: 123.0), buffer
+
+
+def records_of(buffer):
+    return [json.loads(line) for line in buffer.getvalue().splitlines()]
+
+
+def array_session():
+    program = TargetProgram()
+    builder.int_array(program, "x", [3, -1, 7, 0, 12, -9, 2, 120, 5, -4])
+    return DuelSession(SimulatorBackend(program),
+                       metrics=MetricsRegistry())
+
+
+class TestQueryLogPrimitives:
+    def test_monotone_query_ids(self):
+        qlog, buffer = fresh_log()
+        assert qlog.begin("1") == 1
+        assert qlog.begin("2") == 2
+        assert qlog.begin("3") == 3
+        assert [r["qid"] for r in records_of(buffer)] == [1, 2, 3]
+
+    def test_received_record_shape(self):
+        qlog, buffer = fresh_log()
+        qlog.begin("x[0]", engine="statemachine")
+        (record,) = records_of(buffer)
+        assert record == {"ev": "received", "qid": 1, "ts": 123.0,
+                          "text": "x[0]", "engine": "statemachine"}
+
+    def test_parsed_counts_ast_nodes(self):
+        qlog, buffer = fresh_log()
+        session = array_session()
+        node = session.compile("x[..3] >? 0")
+        qid = qlog.begin("x[..3] >? 0")
+        qlog.parsed(qid, 0.5, node)
+        parsed = records_of(buffer)[1]
+        assert parsed["ev"] == "parsed"
+        assert parsed["parse_ms"] == 0.5
+        assert parsed["nodes"] >= 4
+
+    def test_terminal_record_carries_verdict_and_stats(self):
+        qlog, buffer = fresh_log()
+        qid = qlog.begin("1..")
+        qlog.end(qid, "truncated", values=7, kind="steps",
+                 stats={"steps": 100, "lines": 8, "reads": 3,
+                        "writes": 0, "calls": 0, "allocs": 0,
+                        "wall_ms": 1.23456},
+                 phases={"parse": 0.1, "eval": 1.0, "format": 0.1})
+        terminal = records_of(buffer)[-1]
+        assert terminal["ev"] == "truncated"
+        assert terminal["kind"] == "steps"
+        assert terminal["values"] == 7
+        assert terminal["steps"] == 100
+        assert terminal["reads"] == 3
+        assert terminal["wall_ms"] == 1.235
+        assert terminal["phases"] == {"parse": 0.1, "eval": 1.0,
+                                      "format": 0.1}
+
+    def test_unknown_outcome_rejected(self):
+        qlog, _ = fresh_log()
+        qid = qlog.begin("1")
+        with pytest.raises(ValueError):
+            qlog.end(qid, "exploded")
+
+    def test_owned_file_closed(self, tmp_path):
+        path = tmp_path / "q.jsonl"
+        qlog = QueryLog(str(path))
+        qid = qlog.begin("1")
+        qlog.end(qid, "drained", values=1)
+        qlog.close()
+        assert len(path.read_text().splitlines()) == 2
+
+    def test_terminal_records_flush_immediately(self, tmp_path):
+        """A reader tailing the file sees a query's terminal record
+        without waiting for close — the unattended-run contract."""
+        path = tmp_path / "q.jsonl"
+        qlog = QueryLog(str(path))
+        qid = qlog.begin("1")
+        qlog.end(qid, "drained", values=1)
+        lines = path.read_text().splitlines()     # before close
+        assert json.loads(lines[-1])["ev"] == "drained"
+        qlog.close()
+
+
+class TestClassify:
+    def test_every_mapping(self):
+        assert classify(None) == ("drained", None)
+        assert classify(DuelCancelled("interrupt")) == \
+            ("cancelled", "cancel")
+        assert classify(DuelTruncation(10, "steps")) == \
+            ("truncated", "steps")
+        assert classify(DuelEvalLimit(10, "calls")) == \
+            ("faulted", "calls")
+        assert classify(DuelTargetError("boom")) == ("faulted", None)
+        assert classify(DuelNameError("nope")) == ("faulted", None)
+
+    def test_outcomes_are_terminal_events(self):
+        for failure in (None, DuelCancelled(), DuelTruncation(1, "steps"),
+                        DuelTargetError("x")):
+            outcome, _ = classify(failure)
+            assert outcome in TERMINAL_EVENTS
+
+
+class TestDriveLogged:
+    def test_drained_lifecycle(self):
+        session = array_session()
+        qlog, buffer = fresh_log()
+        outcome, values = drive_logged(
+            qlog, session, "x[..3] >? 0",
+            lambda node: session.evaluator.eval(node))
+        assert outcome == "drained"
+        events = [r["ev"] for r in records_of(buffer)]
+        assert events == ["received", "parsed", "drained"]
+        terminal = records_of(buffer)[-1]
+        assert terminal["values"] == values > 0
+        assert terminal["reads"] > 0
+
+    def test_rejected_lifecycle_skips_parsed(self):
+        session = array_session()
+        qlog, buffer = fresh_log()
+        outcome, values = drive_logged(
+            qlog, session, "x[",
+            lambda node: session.evaluator.eval(node))
+        assert (outcome, values) == ("rejected", 0)
+        events = [r["ev"] for r in records_of(buffer)]
+        assert events == ["received", "rejected"]
+        assert "error" in records_of(buffer)[-1]
+
+    def test_truncated_counts_partial_values(self):
+        session = array_session()
+        session.governor.set_limit("steps", 10)
+        try:
+            qlog, buffer = fresh_log()
+            outcome, values = drive_logged(
+                qlog, session, "1..",
+                lambda node: session.evaluator.eval(node))
+        finally:
+            session.governor.set_limit("steps", 10_000_000)
+        assert outcome == "truncated"
+        terminal = records_of(buffer)[-1]
+        assert terminal["kind"] == "steps"
+        assert terminal["values"] == values
+        assert 0 < values <= 10
+
+    def test_faulted_carries_error_type(self):
+        session = array_session()
+        qlog, buffer = fresh_log()
+        outcome, _ = drive_logged(
+            qlog, session, "x[2000000]",
+            lambda node: session.evaluator.eval(node))
+        assert outcome == "faulted"
+        terminal = records_of(buffer)[-1]
+        assert terminal["error_type"] == "DuelMemoryError"
+        assert "Illegal memory reference" in terminal["error"]
+
+
+class TestSessionIntegration:
+    def drive(self, session, *texts):
+        out = io.StringIO()
+        for text in texts:
+            session.duel(text, out=out)
+        return out
+
+    def test_one_terminal_record_per_query(self):
+        session = array_session()
+        qlog, buffer = fresh_log()
+        session.qlog = qlog
+        session.governor.set_limit("lines", 3)
+        self.drive(session, "x[..10]", "x[", "x[2000000]", "x[0]")
+        by_qid = {}
+        for record in records_of(buffer):
+            if record["ev"] in TERMINAL_EVENTS:
+                by_qid.setdefault(record["qid"], []).append(record["ev"])
+        assert by_qid == {1: ["truncated"], 2: ["rejected"],
+                          3: ["faulted"], 4: ["drained"]}
+
+    def test_truncated_values_match_printed_lines(self):
+        session = array_session()
+        qlog, buffer = fresh_log()
+        session.qlog = qlog
+        session.governor.set_limit("lines", 3)
+        out = self.drive(session, "x[..10]")
+        printed = [line for line in out.getvalue().splitlines()
+                   if not line.startswith("(stopped")]
+        terminal = records_of(buffer)[-1]
+        assert terminal["values"] == len(printed) == 3
+
+    def test_explain_queries_logged_too(self):
+        session = array_session()
+        qlog, buffer = fresh_log()
+        session.qlog = qlog
+        session.explain("x[..4] >? 0", out=io.StringIO())
+        events = [r["ev"] for r in records_of(buffer)]
+        assert events == ["received", "parsed", "drained"]
+
+    def test_qlog_off_means_no_records_and_no_qids_burned(self):
+        session = array_session()
+        qlog, buffer = fresh_log()
+        session.qlog = qlog
+        self.drive(session, "x[0]")
+        session.qlog = None
+        self.drive(session, "x[1]", "x[2]")
+        session.qlog = qlog
+        self.drive(session, "x[3]")
+        qids = [r["qid"] for r in records_of(buffer)
+                if r["ev"] == "received"]
+        assert qids == [1, 2]
+
+    def test_terminal_record_present_after_cancel(self):
+        """A ^C mid-drive still leaves the query's terminal record —
+        the flush-on-interrupt guarantee (here via the token)."""
+        session = array_session()
+        qlog, buffer = fresh_log()
+        session.qlog = qlog
+
+        class TrippingOut(io.StringIO):
+            # ``begin_query`` clears the token, so (like a real ^C)
+            # the trip has to land mid-drive: after a few output
+            # lines, here.
+            def write(inner, text):
+                if inner.getvalue().count("\n") >= 3:
+                    session.governor.token.trip("interrupt")
+                return super().write(text)
+
+        # Mentions target state, so each value prints (and hits the
+        # write hook) as it is produced — constants-only expressions
+        # buffer into one joined line instead.
+        session.duel("x[0] + (1..)", out=TrippingOut())
+        terminal = records_of(buffer)[-1]
+        assert terminal["ev"] == "cancelled"
+        assert terminal["kind"] == "cancel"
+        assert terminal["values"] >= 3

@@ -104,6 +104,20 @@ class TestRingBufferSink:
         sink.clear()
         assert not sink.events and sink.dropped == 0
 
+    def test_exactly_at_capacity_drops_nothing(self):
+        sink = RingBufferSink(capacity=4)
+        for index in range(4):
+            sink.emit("pull", index)
+        assert sink.dropped == 0
+        assert list(sink.events) == [("pull", i) for i in range(4)]
+
+    def test_one_past_capacity_evicts_exactly_one(self):
+        sink = RingBufferSink(capacity=4)
+        for index in range(5):
+            sink.emit("pull", index)
+        assert sink.dropped == 1
+        assert list(sink.events) == [("pull", i) for i in range(1, 5)]
+
     def test_base_sink_drops_everything(self, session):
         node, tracer, values = trace_generator(session, "(1..3)",
                                                TraceSink())
@@ -150,6 +164,18 @@ class TestJsonlSink:
         sink = JsonlSink(str(path))
         sink.close()
         assert path.exists()
+
+    def test_flush_pushes_records_to_disk(self, tmp_path, session):
+        """``flush`` makes every record visible without closing — the
+        hook interrupt handling relies on (base sinks no-op it)."""
+        TraceSink().flush()                # harmless on the base class
+        path = tmp_path / "trace.jsonl"
+        sink = JsonlSink(str(path))
+        trace_generator(session, "(1..3)", sink)
+        sink.flush()
+        lines = path.read_text().splitlines()
+        assert any('"span"' in line for line in lines)
+        sink.close()
 
 
 class TestEngineHooks:
