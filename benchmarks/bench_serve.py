@@ -1,0 +1,208 @@
+"""Closed-loop latency/throughput benchmark for the query service.
+
+Boots an in-process :class:`DuelServer` on a loopback port, then runs
+closed-loop client fleets (each client issues its next query the
+moment the previous one completes) of 1, 4 and 16 clients against the
+paper's P3 workload, recording per-query latency quantiles
+(p50/p95/p99) and aggregate throughput.  A separate single-client
+pass is compared against driving the *same* session shape in-process
+— the difference is the serving overhead (protocol framing, queueing,
+thread handoff), gated at ``--max-serve-overhead`` (CI: 1.25, i.e.
+the wire must cost <25% on P3).
+
+Writes the ``BENCH_5.json`` artifact CI uploads::
+
+    python benchmarks/bench_serve.py --out BENCH_5.json
+    python benchmarks/bench_serve.py --clients 1 --clients 4
+    python benchmarks/bench_serve.py --max-serve-overhead 1.25
+
+Standalone on purpose (argparse, not pytest): CI calls it directly
+and keys a job failure off the exit status.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import statistics
+import sys
+import threading
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro import DuelSession, SimulatorBackend   # noqa: E402
+from repro.bench import workloads                 # noqa: E402
+from repro.serve.client import DuelClient         # noqa: E402
+from repro.serve.server import DuelServer         # noqa: E402
+
+#: The paper's P3 scaling workload (same as ``emit_json.py``).
+P3_SIZE = 1000
+P3_EXPR = f"x[..{P3_SIZE}] !=? 0"
+
+#: Session shape shared by server and in-process baseline.
+SESSION_KWARGS = {"symbolic": False}
+
+
+class _Null:
+    def write(self, text):
+        pass
+
+    def flush(self):
+        pass
+
+
+def quantiles(timings_ms: list[float]) -> dict:
+    ordered = sorted(timings_ms)
+
+    def pick(q):
+        return round(ordered[min(len(ordered) - 1,
+                                 int(q * len(ordered)))], 4)
+
+    return {
+        "p50_ms": round(statistics.median(ordered), 4),
+        "p95_ms": pick(0.95),
+        "p99_ms": pick(0.99),
+        "min_ms": round(ordered[0], 4),
+        "max_ms": round(ordered[-1], 4),
+    }
+
+
+def closed_loop(port: int, clients: int, per_client: int) -> dict:
+    """``clients`` threads, each running ``per_client`` back-to-back
+    queries; returns latency quantiles + aggregate throughput."""
+    barrier = threading.Barrier(clients + 1)
+    latencies: list[list[float]] = [[] for _ in range(clients)]
+    failures: list[str] = []
+
+    def loop(index: int) -> None:
+        try:
+            with DuelClient(port=port, client=f"bench{index}",
+                            timeout=120.0) as client:
+                barrier.wait()
+                for _ in range(per_client):
+                    start = time.perf_counter()
+                    result = client.duel(P3_EXPR)
+                    elapsed = (time.perf_counter() - start) * 1000.0
+                    if result.outcome != "done":
+                        failures.append(result.outcome)
+                        return
+                    latencies[index].append(elapsed)
+        except Exception as error:  # pragma: no cover - bench guard
+            failures.append(repr(error))
+
+    threads = [threading.Thread(target=loop, args=(i,))
+               for i in range(clients)]
+    for thread in threads:
+        thread.start()
+    barrier.wait()
+    wall_start = time.perf_counter()
+    for thread in threads:
+        thread.join()
+    wall = time.perf_counter() - wall_start
+    if failures:
+        raise RuntimeError(f"closed loop failed: {failures[:3]}")
+    merged = [ms for chunk in latencies for ms in chunk]
+    return {
+        "clients": clients,
+        "queries": len(merged),
+        "wall_s": round(wall, 3),
+        "throughput_qps": round(len(merged) / wall, 2),
+        **quantiles(merged),
+    }
+
+
+def inprocess_baseline(repeats: int) -> dict:
+    """The same P3 query driven directly, no server in the path."""
+    session = DuelSession(SimulatorBackend(workloads.big_array(P3_SIZE)),
+                          **SESSION_KWARGS)
+    sink = _Null()
+    session.duel(P3_EXPR, out=sink)       # warm-up
+    timings = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        session.duel(P3_EXPR, out=sink)
+        timings.append((time.perf_counter() - start) * 1000.0)
+    return quantiles(timings)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="closed-loop benchmark of the DUEL query service")
+    parser.add_argument("--out", default="BENCH_5.json",
+                        help="output path (default BENCH_5.json)")
+    parser.add_argument("--clients", action="append", type=int,
+                        default=[], metavar="N",
+                        help="fleet sizes to run (repeatable; "
+                             "default: 1 4 16)")
+    parser.add_argument("--queries", type=int, default=240,
+                        metavar="TOTAL",
+                        help="total queries per fleet (default 240, "
+                             "split across the clients)")
+    parser.add_argument("--repeats", type=int, default=30,
+                        help="in-process baseline runs (default 30)")
+    parser.add_argument("--workers", type=int, default=8,
+                        help="server worker threads (default 8)")
+    parser.add_argument("--max-serve-overhead", type=float, default=None,
+                        metavar="RATIO",
+                        help="fail (exit 1) if single-client served p50 "
+                             "exceeds RATIO x in-process p50")
+    ns = parser.parse_args(argv)
+    fleets = ns.clients or [1, 4, 16]
+
+    server = DuelServer(workloads.big_array(P3_SIZE),
+                        workers=ns.workers,
+                        queue_depth=max(32, 2 * max(fleets)),
+                        max_clients=max(fleets) + 4,
+                        per_client=1,
+                        session_kwargs=dict(SESSION_KWARGS))
+    port = server.start()
+    try:
+        runs = []
+        for clients in fleets:
+            per_client = max(1, ns.queries // clients)
+            entry = closed_loop(port, clients, per_client)
+            runs.append(entry)
+            print(f"{clients:3d} clients: p50={entry['p50_ms']:8.3f}ms "
+                  f"p95={entry['p95_ms']:8.3f}ms "
+                  f"p99={entry['p99_ms']:8.3f}ms "
+                  f"{entry['throughput_qps']:8.1f} q/s")
+        baseline = inprocess_baseline(ns.repeats)
+        single = next((r for r in runs if r["clients"] == 1), None)
+        if single is None:
+            single = closed_loop(port, 1, max(1, ns.queries))
+        overhead = round(single["p50_ms"] / baseline["p50_ms"], 3)
+    finally:
+        server.stop()
+
+    report = {
+        "schema": "repro-bench/5",
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "workload": {"expr": P3_EXPR, "array": P3_SIZE},
+        "closed_loop": runs,
+        "overhead": {
+            "inprocess_p50_ms": baseline["p50_ms"],
+            "served_p50_ms": single["p50_ms"],
+            "ratio": overhead,
+        },
+    }
+    Path(ns.out).write_text(json.dumps(report, indent=2) + "\n")
+    print(f"serve overhead on P3 (single client): {overhead:.2f}x "
+          f"(in-process p50 {baseline['p50_ms']:.3f}ms, "
+          f"served p50 {single['p50_ms']:.3f}ms)")
+    print(f"wrote {ns.out}")
+
+    if ns.max_serve_overhead is not None \
+            and overhead > ns.max_serve_overhead:
+        print(f"FAIL: serve overhead {overhead:.2f}x exceeds "
+              f"--max-serve-overhead {ns.max_serve_overhead:.2f}x",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,239 @@
+#!/usr/bin/env python
+"""End-to-end smoke of the query service (CI job).
+
+Boots ``duel-serve`` (via ``python -m repro --serve``) as a real
+subprocess with the query log and metrics endpoint on, parses the
+announced ports, and drives it with **eight concurrent clients** over
+real TCP — mixed read-only, side-effecting and runaway queries, plus
+one mid-flight cancel — then shuts the server down with SIGINT and
+validates everything:
+
+* every client saw the outcomes isolation promises (writes visible to
+  themselves only, runaways truncated with partials, cancels keeping
+  their partial output);
+* the shared query log parses line by line, qids strictly monotone in
+  file order with exactly one terminal record per query;
+* the live ``/metrics`` scrape shows the serve counters and **zero
+  protocol errors**;
+* the server drains on SIGINT and reports its served/rejected totals.
+
+Artifacts (query log, scraped metrics, outcome summary) land in
+``--artifacts`` for CI upload.  Exits 0 on success, 1 with a
+diagnostic on any failure.
+"""
+
+import argparse
+import json
+import os
+import signal
+import subprocess
+import sys
+import threading
+import time
+import urllib.request
+
+sys.path.insert(0, os.path.join(os.path.dirname(os.path.dirname(
+    os.path.abspath(__file__))), "src"))
+
+from repro.serve.client import DuelClient  # noqa: E402
+
+CLIENTS = 8
+
+PROGRAM = """\
+int data[40] = {3, -1, 7, 0, 12, -9, 2, 120, 5, -4,
+                1, 2, 3, 4, 5, 6, 7, 8, 9, 10,
+                -1, -2, -3, -4, -5, -6, -7, -8, -9, -10,
+                11, 22, 33, 44, 55, 66, 77, 88, 99, 100};
+int main(void) { return 0; }
+"""
+
+
+def fail(message):
+    print(f"FAIL: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def client_worker(port, index, summary):
+    """One client's mixed workload; appends its outcomes to summary."""
+    outcomes = []
+    with DuelClient(port=port, client=f"smoke{index}",
+                    timeout=60.0) as client:
+        # Read-only query.
+        read = client.duel("data[..10]")
+        if read.outcome != "done" or len(read.lines) != 10:
+            fail(f"client {index}: read came back {read.outcome} "
+             f"with {len(read.lines)} lines")
+        outcomes.append(read.outcome)
+        # Side-effecting write: visible to itself, then gone.
+        write = client.duel(f"data[..10] = {5000 + index}")
+        if write.outcome != "done":
+            fail(f"client {index}: write came back {write.outcome}")
+        again = client.duel("data[..10]")
+        if again.lines != read.lines:
+            fail(f"client {index}: write leaked into a later read")
+        outcomes.extend([write.outcome, again.outcome])
+        # Runaway: truncated by the default line budget, with partials.
+        runaway = client.duel("data[(1..) % 40]")
+        if runaway.outcome != "truncated" or not runaway.lines:
+            fail(f"client {index}: runaway came back {runaway.outcome} "
+                 f"with {len(runaway.lines)} lines")
+        outcomes.append(runaway.outcome)
+        # Cancel: issue a long query, cancel after the first values.
+        client.limits("lines", 1_000_000)
+        request = client.start("data[(1..) % 40]")
+        seen = threading.Event()
+        box = {}
+
+        def collect():
+            box["result"] = client.collect(
+                request, on_line=lambda line: seen.set())
+
+        thread = threading.Thread(target=collect)
+        thread.start()
+        if not seen.wait(timeout=60):
+            fail(f"client {index}: cancel target produced no values")
+        client.cancel(request)
+        thread.join(timeout=60)
+        if thread.is_alive():
+            fail(f"client {index}: collect hung after cancel")
+        cancelled = box["result"]
+        if cancelled.outcome != "cancelled" or not cancelled.lines:
+            fail(f"client {index}: cancel came back "
+                 f"{cancelled.outcome} with {len(cancelled.lines)} lines")
+        outcomes.append(cancelled.outcome)
+    summary[index] = outcomes
+
+
+def check_query_log(path):
+    records = []
+    for number, line in enumerate(open(path), 1):
+        try:
+            records.append(json.loads(line))
+        except json.JSONDecodeError as error:
+            fail(f"{path}:{number} is not JSON: {error}")
+    received = [r["qid"] for r in records if r["ev"] == "received"]
+    if received != sorted(received):
+        fail("received qids are not monotone in file order")
+    if len(received) != len(set(received)):
+        fail("duplicate qids in the query log")
+    terminals = {}
+    for record in records:
+        if record["ev"] not in ("received", "parsed"):
+            terminals.setdefault(record["qid"], []).append(record["ev"])
+    for qid, events in terminals.items():
+        if len(events) != 1:
+            fail(f"query {qid} has {len(events)} terminal records: "
+                 f"{events}")
+    expected = CLIENTS * 5  # read, write, re-read, runaway, cancelled
+    if len(received) != expected:
+        fail(f"expected {expected} queries in the log, found "
+             f"{len(received)}")
+    counts = {}
+    for events in terminals.values():
+        counts[events[0]] = counts.get(events[0], 0) + 1
+    if counts.get("drained") != CLIENTS * 3:
+        fail(f"expected {CLIENTS * 3} drained queries, got {counts}")
+    if counts.get("truncated") != CLIENTS:
+        fail(f"expected {CLIENTS} truncated queries, got {counts}")
+    if counts.get("cancelled") != CLIENTS:
+        fail(f"expected {CLIENTS} cancelled queries, got {counts}")
+    print(f"query log ok: {len(records)} records, {len(received)} "
+          f"queries, outcomes {counts}")
+
+
+def check_metrics(body):
+    for needle in ("duel_serve_connections_total",
+                   "duel_serve_queries_total",
+                   "duel_queries_total"):
+        if needle not in body:
+            fail(f"metrics body is missing {needle!r}")
+    if "duel_serve_protocol_errors_total" in body:
+        fail("server counted protocol errors during the smoke")
+    if "duel_serve_internal_errors_total" in body:
+        fail("server counted internal errors during the smoke")
+    print(f"metrics ok: {len(body.splitlines())} exposition lines, "
+          f"zero protocol errors")
+
+
+def main():
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--artifacts", default="serve-smoke-artifacts",
+                        help="directory the run's artifacts land in")
+    args = parser.parse_args()
+    os.makedirs(args.artifacts, exist_ok=True)
+    source = os.path.join(args.artifacts, "prog.c")
+    qlog_path = os.path.join(args.artifacts, "queries.jsonl")
+    with open(source, "w") as handle:
+        handle.write(PROGRAM)
+
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        filter(None, ["src", env.get("PYTHONPATH")]))
+    process = subprocess.Popen(
+        [sys.executable, "-m", "repro", "--serve",
+         "--port", "0", "--workers", "4", "--max-clients", "16",
+         "--query-log", qlog_path, "--metrics-port", "0", source],
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+        text=True, env=env)
+    metrics_url = None
+    port = None
+    try:
+        deadline = time.monotonic() + 30
+        while port is None and time.monotonic() < deadline:
+            line = process.stdout.readline()
+            if not line:
+                fail("server exited before announcing its port")
+            sys.stdout.write(line)
+            if line.startswith("metrics: "):
+                metrics_url = line.split()[1]
+            elif line.startswith("serving on "):
+                port = int(line.rsplit(":", 1)[1])
+        if port is None:
+            fail("server never announced 'serving on host:port'")
+        if metrics_url is None:
+            fail("server never announced its metrics endpoint")
+        print(f"driving {CLIENTS} concurrent clients against :{port}")
+
+        summary = {}
+        threads = [threading.Thread(target=client_worker,
+                                    args=(port, index, summary))
+                   for index in range(CLIENTS)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=120)
+        if any(thread.is_alive() for thread in threads):
+            fail("a client hung")
+        if len(summary) != CLIENTS:
+            fail(f"only {len(summary)}/{CLIENTS} clients finished")
+
+        with urllib.request.urlopen(metrics_url, timeout=10) as response:
+            body = response.read().decode()
+        with open(os.path.join(args.artifacts, "metrics.prom"),
+                  "w") as handle:
+            handle.write(body)
+        with open(os.path.join(args.artifacts, "outcomes.json"),
+                  "w") as handle:
+            json.dump(summary, handle, indent=2, sort_keys=True)
+
+        # Graceful drain on SIGINT.
+        process.send_signal(signal.SIGINT)
+        tail = process.stdout.read()
+        sys.stdout.write(tail)
+        if process.wait(timeout=60) != 0:
+            fail(f"server exited with status {process.returncode}")
+        if "draining..." not in tail:
+            fail("server never reported draining")
+        if f"served {CLIENTS * 5} queries" not in tail:
+            fail(f"server's served count is off: {tail!r}")
+    finally:
+        if process.poll() is None:
+            process.kill()
+
+    check_query_log(qlog_path)
+    check_metrics(body)
+    print("serve smoke: all checks passed")
+
+
+if __name__ == "__main__":
+    main()

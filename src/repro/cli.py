@@ -385,6 +385,39 @@ def main(argv: Optional[Sequence[str]] = None,
                         help="serve Prometheus metrics on "
                              "127.0.0.1:PORT/metrics (0 picks a free "
                              "port)")
+    serve_group = parser.add_argument_group(
+        "query service", "serve DUEL queries over TCP (duel-serve)")
+    serve_group.add_argument("--serve", action="store_true",
+                             help="run the concurrent query service "
+                                  "instead of the REPL")
+    serve_group.add_argument("--host", default="127.0.0.1",
+                             help="service bind address "
+                                  "(default 127.0.0.1)")
+    serve_group.add_argument("--port", type=int, default=0,
+                             metavar="PORT",
+                             help="service port (0 picks a free port, "
+                                  "printed on startup)")
+    serve_group.add_argument("--workers", type=int, default=4,
+                             metavar="N",
+                             help="query worker threads (default 4)")
+    serve_group.add_argument("--queue-depth", type=int, default=16,
+                             metavar="N",
+                             help="admitted-query queue bound; beyond "
+                                  "it queries get 'rejected: "
+                                  "overloaded' (default 16)")
+    serve_group.add_argument("--max-clients", type=int, default=32,
+                             metavar="N",
+                             help="concurrent connection cap "
+                                  "(default 32)")
+    serve_group.add_argument("--per-client", type=int, default=1,
+                             metavar="N",
+                             help="in-flight queries allowed per "
+                                  "client (default 1)")
+    serve_group.add_argument("--drain-timeout", type=float, default=10.0,
+                             metavar="SECONDS",
+                             help="shutdown drain budget before "
+                                  "in-flight queries are cancelled "
+                                  "(default 10)")
     parser.add_argument("args", nargs="*", default=[],
                         help="argv for the target program (after --)")
     ns = parser.parse_args(argv)
@@ -401,6 +434,9 @@ def main(argv: Optional[Sequence[str]] = None,
         limit_kwargs["deadline_ms"] = ns.deadline_ms
     if ns.max_lines is not None:
         limit_kwargs["max_lines"] = ns.max_lines
+    if ns.serve:
+        from repro.serve.server import run_server
+        return run_server(ns, program, limit_kwargs, out)
     session = DuelSession(SimulatorBackend(program),
                           symbolic=not ns.no_symbolic,
                           optimize=ns.optimize, **limit_kwargs)

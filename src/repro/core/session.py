@@ -201,6 +201,93 @@ class DuelSession:
                 truncation.produced = produced
             raise
 
+    def ievents(self, text: str, on_begin=None) -> Iterator[tuple]:
+        """Drive one query as a stream of ``(kind, payload)`` events.
+
+        The full recovering drive of :meth:`duel` — governor, qlog,
+        tracer, metrics, flight recorder, failed-query rollback — as a
+        lazy event stream instead of writes to a text stream, so a
+        front end that is *not* a terminal (the ``repro.serve`` query
+        service) can multiplex queries without re-implementing the
+        lifecycle.  Events, in order:
+
+        ``("value", line)``
+            one per output line, produced as the generator tree drives;
+        exactly one terminal event closing the query:
+            ``("done", info)`` — drained completely;
+            ``("truncated", info)`` / ``("cancelled", info)`` — a
+            governor limit or the cancel token stopped it; partial
+            values stand and ``info["diagnostic"]`` holds the one-line
+            notice;
+            ``("faulted", info)`` — a mid-drive :class:`DuelError`
+            (side effects rolled back, ``info["error"]`` set);
+            ``("error", info)`` — the text never compiled
+            (``info["error"]`` set, nothing was driven).
+
+        ``info`` always carries ``values`` (lines actually produced)
+        and, for driven queries, ``stats``/``phases`` snapshots.
+        ``on_begin`` (when given) runs after the governor reset but
+        before the first value is pulled — the serve layer uses it to
+        close the race between a ``cancel`` frame and query start.
+        """
+        self.governor.begin_query()
+        self.last_query_stats = {}
+        qlog = self.qlog
+        qid = qlog.begin(text, "generator") if qlog is not None else None
+        t0 = perf_counter_ns()
+        try:
+            node = self.compile(text)
+        except DuelError as error:
+            if qid is not None:
+                qlog.end(qid, "rejected", error=error)
+            yield ("error", {"values": 0, "error": str(error),
+                             "error_type": type(error).__name__})
+            return
+        parse_ns = perf_counter_ns() - t0
+        if qid is not None:
+            qlog.parsed(qid, parse_ns / 1e6, node)
+        self._record(text)
+        if on_begin is not None:
+            on_begin()
+        tracer = self._attach_tracer(node, text)
+        checkpoint = self._checkpoint_for(node)
+        self.evaluator.reset()
+        baseline = self._stats_baseline()
+        produced = 0
+        failure = None
+        drive_t0 = perf_counter_ns()
+        try:
+            for line in self._lines(node):
+                produced += 1
+                yield ("value", line)
+        except DuelTruncation as truncation:
+            failure = truncation
+            if truncation.produced is not None:
+                produced = truncation.produced
+        except DuelError as error:
+            failure = error
+            self._restore(checkpoint)
+        finally:
+            self._finish_query(tracer, baseline, parse_ns,
+                               perf_counter_ns() - drive_t0)
+            if qid is not None or self.recorder is not None:
+                self._observe_query(qid, text, failure, tracer)
+        outcome, kind = classify(failure)
+        info: dict = {"values": produced,
+                      "stats": dict(self.last_query_stats),
+                      "phases": dict(self.last_query_phases)}
+        if kind is not None:
+            info["kind"] = kind
+        if outcome == "drained":
+            yield ("done", info)
+        elif outcome in ("truncated", "cancelled"):
+            info["diagnostic"] = failure.diagnostic(produced)
+            yield (outcome, info)
+        else:
+            info["error"] = str(failure)
+            info["error_type"] = type(failure).__name__
+            yield ("faulted", info)
+
     def duel(self, text: str, out=None) -> None:
         """The gdb ``duel`` command: evaluate and print — robustly.
 
@@ -217,50 +304,20 @@ class DuelSession:
         partial results stand — effects already applied are kept, as
         under the paper's gdb ^C — and one diagnostic line reports
         what stopped the query and how to raise the limit.
+
+        This is the terminal rendering of :meth:`ievents`: values
+        print as they stream, truncations print their diagnostic,
+        faults print the error line.
         """
         import sys
         stream = out if out is not None else sys.stdout
-        self.governor.begin_query()
-        self.last_query_stats = {}
-        qlog = self.qlog
-        qid = qlog.begin(text, "generator") if qlog is not None else None
-        t0 = perf_counter_ns()
-        try:
-            node = self.compile(text)
-        except DuelError as error:
-            if qid is not None:
-                qlog.end(qid, "rejected", error=error)
-            stream.write(str(error) + "\n")
-            return
-        parse_ns = perf_counter_ns() - t0
-        if qid is not None:
-            qlog.parsed(qid, parse_ns / 1e6, node)
-        self._record(text)
-        tracer = self._attach_tracer(node, text)
-        checkpoint = self._checkpoint_for(node)
-        self.evaluator.reset()
-        baseline = self._stats_baseline()
-        written = 0
-        failure = None
-        drive_t0 = perf_counter_ns()
-        try:
-            for line in self._lines(node):
-                stream.write(line + "\n")
-                written += 1
-        except DuelTruncation as truncation:
-            failure = truncation
-            produced = truncation.produced if truncation.produced \
-                is not None else written
-            stream.write(truncation.diagnostic(produced) + "\n")
-        except DuelError as error:
-            failure = error
-            self._restore(checkpoint)
-            stream.write(str(error) + "\n")
-        finally:
-            self._finish_query(tracer, baseline, parse_ns,
-                               perf_counter_ns() - drive_t0)
-            if qid is not None or self.recorder is not None:
-                self._observe_query(qid, text, failure, tracer)
+        for kind, payload in self.ievents(text):
+            if kind == "value":
+                stream.write(payload + "\n")
+            elif kind in ("truncated", "cancelled"):
+                stream.write(payload["diagnostic"] + "\n")
+            elif kind in ("faulted", "error"):
+                stream.write(payload["error"] + "\n")
 
     def explain(self, text: str, out=None) -> None:
         """Run ``text`` traced and print its per-node profile tree.

@@ -16,6 +16,7 @@ One shared process-level instance lives at :func:`registry`;
 from __future__ import annotations
 
 import json
+import threading
 from bisect import bisect_left
 from typing import Optional, Sequence
 
@@ -27,27 +28,39 @@ DEFAULT_MS_BUCKETS: tuple[float, ...] = (
 
 
 class Counter:
-    """A monotonically increasing count."""
+    """A monotonically increasing count (thread-safe).
 
-    __slots__ = ("value",)
+    ``value += amount`` is three interleavable bytecodes under
+    CPython, so concurrent sessions recording into one registry (the
+    ``repro.serve`` front end multiplexes every client into the
+    process registry) would drop increments without the lock.  The
+    lock is per-instrument and only taken per *query*, never per
+    value, so the hot path is untouched.
+    """
+
+    __slots__ = ("value", "_lock")
 
     def __init__(self) -> None:
         self.value = 0
+        self._lock = threading.Lock()
 
     def inc(self, amount: int = 1) -> None:
-        self.value += amount
+        with self._lock:
+            self.value += amount
 
 
 class Gauge:
-    """A value that goes up and down (last write wins)."""
+    """A value that goes up and down (last write wins, thread-safe)."""
 
-    __slots__ = ("value",)
+    __slots__ = ("value", "_lock")
 
     def __init__(self) -> None:
         self.value = 0.0
+        self._lock = threading.Lock()
 
     def set(self, value: float) -> None:
-        self.value = value
+        with self._lock:
+            self.value = value
 
 
 class Histogram:
@@ -57,10 +70,16 @@ class Histogram:
     bound land in an implicit overflow bucket.  :meth:`quantile`
     interpolates within the winning bucket — coarse, but stable and
     allocation-free, which is what a hot-path metric wants.
+
+    Thread-safe: :meth:`observe` mutates seven fields that must stay
+    mutually consistent (``sum``/``count``/bucket counts), and
+    :meth:`as_dict` snapshots under the same lock so an exposition
+    scrape racing an observation never renders ``count`` and ``sum``
+    from different instants.
     """
 
     __slots__ = ("bounds", "counts", "overflow", "total", "count",
-                 "minimum", "maximum")
+                 "minimum", "maximum", "_lock")
 
     def __init__(self, buckets: Sequence[float] = DEFAULT_MS_BUCKETS):
         self.bounds = tuple(float(b) for b in buckets)
@@ -72,19 +91,21 @@ class Histogram:
         self.count = 0
         self.minimum: Optional[float] = None
         self.maximum: Optional[float] = None
+        self._lock = threading.Lock()
 
     def observe(self, value: float) -> None:
-        index = bisect_left(self.bounds, value)
-        if index == len(self.bounds):
-            self.overflow += 1
-        else:
-            self.counts[index] += 1
-        self.total += value
-        self.count += 1
-        if self.minimum is None or value < self.minimum:
-            self.minimum = value
-        if self.maximum is None or value > self.maximum:
-            self.maximum = value
+        with self._lock:
+            index = bisect_left(self.bounds, value)
+            if index == len(self.bounds):
+                self.overflow += 1
+            else:
+                self.counts[index] += 1
+            self.total += value
+            self.count += 1
+            if self.minimum is None or value < self.minimum:
+                self.minimum = value
+            if self.maximum is None or value > self.maximum:
+                self.maximum = value
 
     @property
     def mean(self) -> float:
@@ -92,76 +113,104 @@ class Histogram:
 
     def quantile(self, q: float) -> float:
         """Estimated q-quantile (0 < q <= 1) from the bucket counts."""
-        if self.count == 0:
+        return self._quantile(q, self.snapshot_state())
+
+    def _quantile(self, q: float, state: tuple) -> float:
+        counts, _, _, count, _, maximum = state
+        if count == 0:
             return 0.0
-        rank = q * self.count
+        rank = q * count
         seen = 0.0
         lower = 0.0
-        for bound, count in zip(self.bounds, self.counts):
-            if count:
-                if seen + count >= rank:
-                    within = (rank - seen) / count
+        for bound, bucket in zip(self.bounds, counts):
+            if bucket:
+                if seen + bucket >= rank:
+                    within = (rank - seen) / bucket
                     return lower + (bound - lower) * within
-                seen += count
+                seen += bucket
             lower = bound
-        return self.maximum if self.maximum is not None else lower
+        return maximum if maximum is not None else lower
+
+    def snapshot_state(self) -> tuple:
+        """A consistent ``(counts, overflow, total, count, min, max)``."""
+        with self._lock:
+            return (list(self.counts), self.overflow, self.total,
+                    self.count, self.minimum, self.maximum)
 
     def as_dict(self) -> dict:
+        state = self.snapshot_state()
+        counts, overflow, total, count, minimum, maximum = state
         return {
-            "count": self.count,
-            "sum": self.total,
-            "min": self.minimum,
-            "max": self.maximum,
-            "mean": self.mean,
-            "p50": self.quantile(0.50),
-            "p95": self.quantile(0.95),
-            "buckets": [[bound, count] for bound, count
-                        in zip(self.bounds, self.counts) if count],
-            "overflow": self.overflow,
+            "count": count,
+            "sum": total,
+            "min": minimum,
+            "max": maximum,
+            "mean": total / count if count else 0.0,
+            "p50": self._quantile(0.50, state),
+            "p95": self._quantile(0.95, state),
+            "buckets": [[bound, n] for bound, n
+                        in zip(self.bounds, counts) if n],
+            "overflow": overflow,
         }
 
 
 class MetricsRegistry:
-    """Named counters, gauges and histograms, created on first use."""
+    """Named counters, gauges and histograms, created on first use.
+
+    Thread-safe: instrument creation is lock-guarded (two sessions
+    racing ``counter("queries_total")`` get the *same* counter, never
+    two), each instrument guards its own mutation, and the iteration
+    views copy the maps under the lock — so an exposition scrape or a
+    ``metrics`` command racing live queries always sees a coherent
+    registry.  The ``repro.serve`` front end funnels every client
+    session into one shared registry, which is what forced the issue.
+    """
 
     def __init__(self) -> None:
         self._counters: dict[str, Counter] = {}
         self._gauges: dict[str, Gauge] = {}
         self._histograms: dict[str, Histogram] = {}
+        self._lock = threading.Lock()
 
     # -- accessors ---------------------------------------------------------
     def counter(self, name: str) -> Counter:
-        found = self._counters.get(name)
-        if found is None:
-            found = self._counters[name] = Counter()
-        return found
+        with self._lock:
+            found = self._counters.get(name)
+            if found is None:
+                found = self._counters[name] = Counter()
+            return found
 
     def gauge(self, name: str) -> Gauge:
-        found = self._gauges.get(name)
-        if found is None:
-            found = self._gauges[name] = Gauge()
-        return found
+        with self._lock:
+            found = self._gauges.get(name)
+            if found is None:
+                found = self._gauges[name] = Gauge()
+            return found
 
     def histogram(self, name: str,
                   buckets: Sequence[float] = DEFAULT_MS_BUCKETS
                   ) -> Histogram:
-        found = self._histograms.get(name)
-        if found is None:
-            found = self._histograms[name] = Histogram(buckets)
-        return found
+        with self._lock:
+            found = self._histograms.get(name)
+            if found is None:
+                found = self._histograms[name] = Histogram(buckets)
+            return found
 
     # -- iteration (exposition renderers) ----------------------------------
     def counters(self) -> dict[str, Counter]:
         """All counters, name-sorted (a copy; safe to iterate)."""
-        return dict(sorted(self._counters.items()))
+        with self._lock:
+            return dict(sorted(self._counters.items()))
 
     def gauges(self) -> dict[str, Gauge]:
         """All gauges, name-sorted (a copy; safe to iterate)."""
-        return dict(sorted(self._gauges.items()))
+        with self._lock:
+            return dict(sorted(self._gauges.items()))
 
     def histograms(self) -> dict[str, Histogram]:
         """All histograms, name-sorted (a copy; safe to iterate)."""
-        return dict(sorted(self._histograms.items()))
+        with self._lock:
+            return dict(sorted(self._histograms.items()))
 
     # -- aggregation helpers ----------------------------------------------
     def record_query(self, stats: dict, traffic: Optional[dict] = None,
@@ -199,11 +248,11 @@ class MetricsRegistry:
         """The whole registry as one plain (JSON-able) dict."""
         return {
             "counters": {name: c.value
-                         for name, c in sorted(self._counters.items())},
+                         for name, c in self.counters().items()},
             "gauges": {name: g.value
-                       for name, g in sorted(self._gauges.items())},
+                       for name, g in self.gauges().items()},
             "histograms": {name: h.as_dict()
-                           for name, h in sorted(self._histograms.items())},
+                           for name, h in self.histograms().items()},
         }
 
     def to_json(self, indent: Optional[int] = 2) -> str:
@@ -217,20 +266,25 @@ class MetricsRegistry:
         from different runs of the same workload — diff cleanly.
         """
         rows: list[tuple[str, str]] = []
-        for name, counter in self._counters.items():
+        for name, counter in self.counters().items():
             rows.append((name, f"{name:<28} {counter.value}"))
-        for name, gauge in self._gauges.items():
+        for name, gauge in self.gauges().items():
             rows.append((name, f"{name:<28} {gauge.value:g}"))
-        for name, hist in self._histograms.items():
-            rows.append((name, f"{name:<28} count={hist.count} "
-                         f"mean={hist.mean:.3f} p50={hist.quantile(.5):.3f} "
-                         f"p95={hist.quantile(.95):.3f}"))
+        for name, hist in self.histograms().items():
+            state = hist.snapshot_state()
+            count, total = state[3], state[2]
+            mean = total / count if count else 0.0
+            rows.append((name, f"{name:<28} count={count} "
+                         f"mean={mean:.3f} "
+                         f"p50={hist._quantile(.5, state):.3f} "
+                         f"p95={hist._quantile(.95, state):.3f}"))
         return [text for _, text in sorted(rows)]
 
     def reset(self) -> None:
-        self._counters.clear()
-        self._gauges.clear()
-        self._histograms.clear()
+        with self._lock:
+            self._counters.clear()
+            self._gauges.clear()
+            self._histograms.clear()
 
 
 #: The shared process-level registry (sessions default to this).

@@ -37,6 +37,7 @@ with the full lifecycle, and the parity property tests in
 from __future__ import annotations
 
 import json
+import threading
 import time
 from time import perf_counter_ns
 from typing import Optional
@@ -60,6 +61,13 @@ class QueryLog:
     :meth:`begin` and never reused within one log.  ``clock`` is the
     wall-clock source for the ``ts`` field (override for deterministic
     tests).
+
+    Safe to share between sessions on different threads (the
+    ``repro.serve`` front end funnels every client into one log): qid
+    allocation and the ``received`` write are one atomic step under a
+    single lock, so qids are globally monotone *and* appear in the
+    file in qid order; every record is written whole — concurrent
+    queries interleave at record granularity, never mid-line.
     """
 
     def __init__(self, stream_or_path, clock=time.time):
@@ -71,16 +79,25 @@ class QueryLog:
             self._owns = False
         self._clock = clock
         self._next_qid = 1
+        self._lock = threading.Lock()
         #: Records written so far (all kinds).
         self.records = 0
 
     # -- lifecycle events --------------------------------------------------
     def begin(self, text: str, engine: str = "generator") -> int:
-        """Assign the next query ID and log the ``received`` event."""
-        qid = self._next_qid
-        self._next_qid = qid + 1
-        self._write({"ev": "received", "qid": qid, "ts": self._clock(),
-                     "text": text, "engine": engine})
+        """Assign the next query ID and log the ``received`` event.
+
+        Allocation and write share one critical section: if they were
+        separate lock acquisitions, two threads could allocate qids 7
+        and 8 and then write 8's record first, breaking the "file is
+        sorted by arrival" property downstream analyzers lean on.
+        """
+        with self._lock:
+            qid = self._next_qid
+            self._next_qid = qid + 1
+            self._write_locked({"ev": "received", "qid": qid,
+                                "ts": self._clock(), "text": text,
+                                "engine": engine})
         return qid
 
     def parsed(self, qid: int, parse_ms: float, node) -> None:
@@ -114,22 +131,29 @@ class QueryLog:
         if phases:
             record["phases"] = {name: round(ms, 3)
                                 for name, ms in phases.items()}
-        self._write(record)
-        self._stream.flush()
+        with self._lock:
+            self._write_locked(record)
+            self._stream.flush()
 
     # -- plumbing ----------------------------------------------------------
     def _write(self, record: dict) -> None:
+        with self._lock:
+            self._write_locked(record)
+
+    def _write_locked(self, record: dict) -> None:
         self._stream.write(json.dumps(record) + "\n")
         self.records += 1
 
     def flush(self) -> None:
-        self._stream.flush()
+        with self._lock:
+            self._stream.flush()
 
     def close(self) -> None:
         """Flush, and close the stream if this log opened it."""
-        self._stream.flush()
-        if self._owns:
-            self._stream.close()
+        with self._lock:
+            self._stream.flush()
+            if self._owns:
+                self._stream.close()
 
 
 def classify(failure) -> tuple[str, Optional[str]]:

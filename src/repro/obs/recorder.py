@@ -33,6 +33,7 @@ from __future__ import annotations
 
 import json
 import os
+import threading
 import time
 from collections import deque
 from typing import Optional
@@ -74,6 +75,7 @@ class FlightRecorder:
         self.dump_dir = dump_dir
         self.entries: deque[dict] = deque(maxlen=capacity)
         self._clock = clock
+        self._lock = threading.Lock()
         #: Queries recorded over the recorder's lifetime (not clipped).
         self.recorded = 0
         #: Post-mortems written so far (also the dump file sequence).
@@ -81,17 +83,24 @@ class FlightRecorder:
 
     # -- recording ---------------------------------------------------------
     def record(self, entry: dict) -> None:
-        """Append one completed query's record (oldest falls off)."""
+        """Append one completed query's record (oldest falls off).
+
+        Lock-guarded: concurrent sessions sharing one recorder (the
+        ``repro.serve`` front end) must not lose ``recorded`` counts
+        or interleave with a :meth:`dump` snapshotting the window.
+        """
         events = entry.get("events")
         if events is not None and len(events) > self.ring_capacity:
             entry["events"] = events[-self.ring_capacity:]
             entry["events_clipped"] = True
-        self.entries.append(entry)
-        self.recorded += 1
+        with self._lock:
+            self.entries.append(entry)
+            self.recorded += 1
 
     def last(self, n: Optional[int] = None) -> list[dict]:
         """The most recent ``n`` entries (all of them by default)."""
-        window = list(self.entries)
+        with self._lock:
+            window = list(self.entries)
         return window if n is None else window[-n:]
 
     # -- post-mortems ------------------------------------------------------
@@ -109,13 +118,16 @@ class FlightRecorder:
             raise ValueError("no dump directory configured "
                              "(set dump_dir or pass one)")
         os.makedirs(directory, exist_ok=True)
-        self.dumps += 1
+        with self._lock:
+            self.dumps += 1
+            recorded = self.recorded
+            window = list(self.entries)
         artifact = {
             "version": DUMP_VERSION,
             "reason": reason,
             "dumped_at": self._clock(),
-            "queries_recorded": self.recorded,
-            "queries": list(self.entries),
+            "queries_recorded": recorded,
+            "queries": window,
             "metrics": metrics.snapshot() if metrics is not None else None,
             "limits": dict(governor.limits) if governor is not None
             else None,

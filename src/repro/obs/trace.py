@@ -39,6 +39,7 @@ Trace JSON schema (one object per JSONL line):
 from __future__ import annotations
 
 import json
+import threading
 from collections import deque
 from time import perf_counter_ns
 from typing import Iterator, Optional
@@ -109,6 +110,12 @@ class RingBufferSink(TraceSink):
     The ring bounds memory for unbounded queries (``1..`` under
     ``trace on``): old events fall off the front, ``dropped`` counts
     them so consumers know the window is partial.
+
+    Thread-safe: the length check, ``dropped`` increment and append
+    must be one atomic step (two tracers sharing a sink would
+    under-count drops and interleave half-recorded state), and
+    :meth:`snapshot` copies under the same lock so a reader racing
+    live emits never sees the deque mid-rotation.
     """
 
     def __init__(self, capacity: int = 65536):
@@ -116,18 +123,27 @@ class RingBufferSink(TraceSink):
         self.events: deque[tuple[str, int]] = deque(maxlen=capacity)
         self.dropped = 0
         self.queries = 0
+        self._lock = threading.Lock()
 
     def begin_query(self, text: str, spans: list) -> None:
-        self.queries += 1
+        with self._lock:
+            self.queries += 1
 
     def emit(self, kind: str, index: int) -> None:
-        if len(self.events) == self.capacity:
-            self.dropped += 1
-        self.events.append((kind, index))
+        with self._lock:
+            if len(self.events) == self.capacity:
+                self.dropped += 1
+            self.events.append((kind, index))
+
+    def snapshot(self) -> list[tuple[str, int]]:
+        """A consistent copy of the buffered events."""
+        with self._lock:
+            return list(self.events)
 
     def clear(self) -> None:
-        self.events.clear()
-        self.dropped = 0
+        with self._lock:
+            self.events.clear()
+            self.dropped = 0
 
 
 class JsonlSink(TraceSink):
@@ -318,7 +334,7 @@ class QueryTracer:
     def events(self) -> list[tuple[str, int]]:
         """The recorded event sequence (ring-buffer sinks only)."""
         if isinstance(self.sink, RingBufferSink):
-            return list(self.sink.events)
+            return self.sink.snapshot()
         return []
 
     def total_ns(self) -> int:

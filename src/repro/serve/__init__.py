@@ -1,0 +1,22 @@
+"""``repro.serve``: the concurrent DUEL query service.
+
+The network front end over the whole stack: a versioned JSONL-over-TCP
+protocol (:mod:`repro.serve.protocol`), per-client sessions with
+snapshot-isolated writes over one shared target
+(:mod:`repro.serve.sessions`), a threaded server with bounded-queue
+admission control wired into the governor/qlog/metrics/recorder
+(:mod:`repro.serve.server`), and a blocking client library plus CLIs
+(:mod:`repro.serve.client`)::
+
+    duel-serve program.c --port 4693 --workers 8 --query-log q.jsonl
+    duel-client --port 4693 --expr 'x[..100] >? 0'
+"""
+
+from repro.serve.client import DuelClient, QueryResult, ServeError
+from repro.serve.protocol import PROTOCOL_VERSION, ProtocolError
+from repro.serve.server import DuelServer
+from repro.serve.sessions import SessionManager
+
+__all__ = ["DuelClient", "DuelServer", "PROTOCOL_VERSION",
+           "ProtocolError", "QueryResult", "ServeError",
+           "SessionManager"]

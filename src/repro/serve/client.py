@@ -1,0 +1,336 @@
+"""Blocking client library and ``duel-client`` CLI for the DUEL service.
+
+The library speaks :mod:`repro.serve.protocol` over one TCP
+connection::
+
+    from repro.serve.client import DuelClient
+
+    with DuelClient(port=4693) as duel:
+        result = duel.duel("x[..100] >? 0")
+        for line in result.lines:
+            print(line)
+        if result.outcome != "done":
+            print(result.diagnostic or result.error)
+
+:meth:`DuelClient.duel` blocks until the query's terminal frame; the
+lower-level :meth:`start` / :meth:`collect` pair issues a query
+without waiting, which is how a second thread (or the CLI's ^C
+handler) gets a window to send ``cancel``.  One client object is one
+protocol conversation: it is *not* thread-safe for concurrent
+queries — open one client per concurrent stream, which is also what
+the server's per-client admission cap assumes.
+"""
+
+from __future__ import annotations
+
+import socket
+from typing import Callable, Iterator, Optional
+
+from repro.serve import protocol
+from repro.serve.protocol import ProtocolError
+
+
+class ServeError(Exception):
+    """The conversation broke (connection died, protocol violated)."""
+
+
+class QueryResult:
+    """Everything one ``duel`` request produced.
+
+    ``outcome`` is the terminal event (``done`` / ``truncated`` /
+    ``cancelled`` / ``faulted`` / ``error`` / ``rejected``);
+    ``lines`` are the streamed output lines (partial results included
+    on truncation); ``diagnostic`` / ``error`` / ``reason`` carry the
+    terminal frame's explanation, ``stats`` the per-query governor
+    counters when the server sent them.
+    """
+
+    __slots__ = ("request_id", "outcome", "lines", "values", "kind",
+                 "diagnostic", "error", "reason", "stats")
+
+    def __init__(self, request_id: int, outcome: str, lines: list,
+                 frame: dict):
+        self.request_id = request_id
+        self.outcome = outcome
+        self.lines = lines
+        self.values = frame.get("values", len(lines))
+        self.kind = frame.get("kind")
+        self.diagnostic = frame.get("diagnostic")
+        self.error = frame.get("error")
+        self.reason = frame.get("reason")
+        self.stats = frame.get("stats")
+
+    @property
+    def ok(self) -> bool:
+        """True when the query ran to completion (no partials)."""
+        return self.outcome == "done"
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<QueryResult #{self.request_id} {self.outcome} "
+                f"{len(self.lines)} lines>")
+
+
+class DuelClient:
+    """A blocking protocol conversation with one ``duel-serve``."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0,
+                 client: Optional[str] = None, timeout: float = 30.0,
+                 connect: bool = True):
+        self.host = host
+        self.port = port
+        self.client_name = client
+        self.timeout = timeout
+        self._sock: Optional[socket.socket] = None
+        self._rfile = None
+        self._wfile = None
+        self._next_id = 0
+        #: The server's ``welcome`` frame (after :meth:`connect`).
+        self.welcome: Optional[dict] = None
+        if connect:
+            self.connect()
+
+    # -- conversation lifecycle -------------------------------------------
+    def connect(self) -> dict:
+        """Dial, say hello, store and return the ``welcome`` frame."""
+        if self._sock is not None:
+            return self.welcome
+        sock = socket.create_connection((self.host, self.port),
+                                        timeout=self.timeout)
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        self._sock = sock
+        self._rfile = sock.makefile("rb")
+        self._wfile = sock.makefile("wb")
+        self._send(protocol.hello(self.client_name))
+        frame = self.read_frame()
+        if frame is None or frame.get("ev") == "error":
+            detail = frame.get("error") if frame else "connection closed"
+            self.close()
+            raise ServeError(f"server refused the conversation: {detail}")
+        if frame.get("ev") != "welcome":
+            self.close()
+            raise ServeError(f"expected welcome, got {frame!r}")
+        self.welcome = frame
+        return frame
+
+    def close(self) -> None:
+        """Say ``bye`` (best effort) and drop the connection."""
+        if self._sock is None:
+            return
+        try:
+            self._send({"op": "bye"})
+        except (OSError, ServeError):
+            pass
+        for stream in (self._rfile, self._wfile):
+            try:
+                stream.close()
+            except OSError:
+                pass
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+        self._sock = self._rfile = self._wfile = None
+
+    def __enter__(self) -> "DuelClient":
+        self.connect()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- plumbing ----------------------------------------------------------
+    def _send(self, frame: dict) -> None:
+        if self._wfile is None:
+            raise ServeError("not connected")
+        try:
+            self._wfile.write(protocol.encode(frame))
+            self._wfile.flush()
+        except OSError as error:
+            raise ServeError(f"connection lost: {error}") from error
+
+    def read_frame(self) -> Optional[dict]:
+        """The next server frame, or None on EOF."""
+        if self._rfile is None:
+            raise ServeError("not connected")
+        try:
+            line = self._rfile.readline(protocol.MAX_FRAME + 2)
+        except OSError as error:
+            raise ServeError(f"connection lost: {error}") from error
+        if not line:
+            return None
+        try:
+            return protocol.decode(line)
+        except ProtocolError as error:
+            raise ServeError(f"unreadable server frame: {error}") from error
+
+    def _take_id(self) -> int:
+        self._next_id += 1
+        return self._next_id
+
+    # -- queries -----------------------------------------------------------
+    def start(self, text: str) -> int:
+        """Issue a ``duel`` request without waiting; returns its id."""
+        request_id = self._take_id()
+        self._send({"op": "duel", "id": request_id, "text": text})
+        return request_id
+
+    def collect(self, request_id: int,
+                on_line: Optional[Callable[[str], None]] = None
+                ) -> QueryResult:
+        """Consume frames until ``request_id``'s terminal frame."""
+        lines: list[str] = []
+        while True:
+            frame = self.read_frame()
+            if frame is None:
+                raise ServeError("connection closed mid-query")
+            if frame.get("id") != request_id:
+                continue              # a stale reply from a prior query
+            ev = frame.get("ev")
+            if ev == "value":
+                for line in frame.get("lines", ()):
+                    lines.append(line)
+                    if on_line is not None:
+                        on_line(line)
+            elif ev in protocol.TERMINAL_EVENTS:
+                return QueryResult(request_id, ev, lines, frame)
+            elif ev == "cancel":
+                continue              # ack of a cancel we sent
+            else:
+                raise ServeError(f"unexpected frame mid-query: {frame!r}")
+
+    def duel(self, text: str,
+             on_line: Optional[Callable[[str], None]] = None
+             ) -> QueryResult:
+        """Run one query to completion (values stream via ``on_line``)."""
+        return self.collect(self.start(text), on_line=on_line)
+
+    def iduel(self, text: str) -> Iterator[str]:
+        """Lines of one query, lazily; raises on non-``done`` outcomes
+        only for rejections and errors (truncation keeps partials)."""
+        request_id = self.start(text)
+        result = self.collect(request_id)
+        yield from result.lines
+        if result.outcome in ("error", "rejected"):
+            raise ServeError(result.error or result.reason or
+                             result.outcome)
+
+    def cancel(self, request_id: int) -> None:
+        """Trip the server-side cancel token of an in-flight query."""
+        self._send({"op": "cancel", "id": self._take_id(),
+                    "target": request_id})
+
+    # -- control operations ------------------------------------------------
+    def _control(self, frame: dict, expect: str) -> dict:
+        request_id = self._take_id()
+        frame["id"] = request_id
+        self._send(frame)
+        while True:
+            reply = self.read_frame()
+            if reply is None:
+                raise ServeError("connection closed mid-operation")
+            if reply.get("id") != request_id:
+                continue
+            if reply.get("ev") in (expect, "error", "rejected"):
+                return reply
+            raise ServeError(f"unexpected reply: {reply!r}")
+
+    def aliases(self) -> dict:
+        reply = self._control({"op": "alias"}, "alias")
+        if reply["ev"] != "alias":
+            raise ServeError(reply.get("error") or reply.get("reason")
+                             or "alias listing failed")
+        return reply["aliases"]
+
+    def limits(self, name: Optional[str] = None, value=None) -> dict:
+        frame: dict = {"op": "limits"}
+        if name is not None:
+            frame["name"] = name
+            frame["value"] = value
+        reply = self._control(frame, "limits")
+        if reply["ev"] != "limits":
+            raise ServeError(reply.get("error") or "limits failed")
+        return reply
+
+    def stats(self) -> dict:
+        reply = self._control({"op": "stats"}, "stats")
+        if reply["ev"] != "stats":
+            raise ServeError(reply.get("error") or "stats failed")
+        return reply
+
+
+def main(argv=None) -> int:
+    """``duel-client``: a line-oriented console over the service.
+
+    ``--expr`` runs a batch and exits; otherwise lines from stdin are
+    queries (``quit`` leaves, ``cancel`` has no meaning here — hit ^C
+    during a query to cancel it in place and keep the partial
+    output).
+    """
+    import argparse
+    import sys
+
+    parser = argparse.ArgumentParser(
+        prog="duel-client",
+        description="console client for a running duel-serve")
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, required=True)
+    parser.add_argument("--name", default=None,
+                        help="client name shown in server logs")
+    parser.add_argument("--expr", "-e", action="append", default=[],
+                        help="run this query and exit (repeatable)")
+    ns = parser.parse_args(argv)
+    out = sys.stdout
+
+    try:
+        client = DuelClient(host=ns.host, port=ns.port, client=ns.name)
+    except (OSError, ServeError) as error:
+        out.write(f"error: {error}\n")
+        return 1
+
+    def run_one(text: str) -> None:
+        request_id = client.start(text)
+        try:
+            result = client.collect(
+                request_id, on_line=lambda s: out.write(s + "\n"))
+        except KeyboardInterrupt:
+            client.cancel(request_id)
+            result = client.collect(
+                request_id, on_line=lambda s: out.write(s + "\n"))
+        if result.outcome in ("truncated", "cancelled"):
+            out.write((result.diagnostic or "(stopped)") + "\n")
+        elif result.outcome in ("faulted", "error"):
+            out.write((result.error or result.outcome) + "\n")
+        elif result.outcome == "rejected":
+            out.write(f"rejected: {result.reason}\n")
+
+    try:
+        if ns.expr:
+            for text in ns.expr:
+                out.write(f"duel {text}\n")
+                run_one(text)
+            return 0
+        if sys.stdin.isatty():  # pragma: no cover - interactive nicety
+            out.write(f"connected to {ns.host}:{ns.port} as "
+                      f"{client.welcome.get('client')}; "
+                      "'quit' to leave\n")
+        for raw in sys.stdin:
+            line = raw.strip()
+            if not line:
+                continue
+            if line in ("quit", "exit", "q"):
+                break
+            run_one(line)
+        return 0
+    except KeyboardInterrupt:
+        # ^C at the prompt (not mid-query) just leaves.
+        out.write("\n")
+        return 0
+    except (ServeError, OSError) as error:
+        out.write(f"error: {error}\n")
+        return 1
+    finally:
+        client.close()
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,215 @@
+"""The DUEL query service wire protocol: versioned JSONL over TCP.
+
+Hanson's sequel to the paper (*A Machine-Independent Debugger —
+Revisited*, MSR-TR-99-4) splits the debugger into a client speaking a
+small wire protocol to a "nub" owning the target.  ``repro.serve``
+makes the same cut one level up: the server owns the target program
+and the per-client :class:`~repro.core.session.DuelSession`\\ s, and
+clients speak this protocol — one JSON object per ``\\n``-terminated
+line, both directions, UTF-8.
+
+Client → server frames (``op`` selects the operation; every frame
+except ``hello``/``bye`` carries a client-chosen ``id`` echoed on all
+responses):
+
+``{"op": "hello", "version": 1, "client": "ana"}``
+    must be the first frame; negotiates the protocol version;
+``{"op": "duel", "id": N, "text": "x[..100] >? 0"}``
+    evaluate one DUEL query (the ``duel`` command over the wire);
+``{"op": "alias", "id": N}``
+    list this client's debugger aliases (``x := ...``);
+``{"op": "limits", "id": N[, "name": "steps", "value": 20000]}``
+    show — or, with ``name``/``value``, set — this client's governor
+    limits (``value: null`` disables one);
+``{"op": "stats", "id": N}``
+    last-query stats plus server admission counters;
+``{"op": "cancel", "id": N, "target": M}``
+    trip the cancel token of this client's in-flight query ``M``;
+``{"op": "bye"}``
+    close the conversation (the server answers ``bye`` and hangs up).
+
+Server → client frames (``ev`` tags the event):
+
+``{"ev": "welcome", "version": 1, "server": ..., "client": ...}``
+    the ``hello`` reply;
+``{"ev": "value", "id": N, "lines": [...]}``
+    a batch of output lines of query ``N``, streamed in production
+    order (batched — ``CHUNK`` lines per frame — so a P3-sized result
+    does not pay one syscall per value);
+``{"ev": "done" | "truncated" | "cancelled" | "faulted" | "error",
+"id": N, "values": ..., ...}``
+    exactly one terminal frame per accepted query, mirroring the
+    query log's verdicts (``done`` = drained; ``truncated`` /
+    ``cancelled`` carry the paper-style ``diagnostic`` line and
+    governor verdict ``kind``; ``faulted`` / ``error`` carry the
+    error text);
+``{"ev": "rejected", "id": N, "reason": "overloaded" | "busy" | ...}``
+    admission control refused the query — explicit backpressure, the
+    query never ran;
+``{"ev": "alias" | "limits" | "stats", "id": N, ...}``
+    control-operation replies;
+``{"ev": "bye"}``
+    goodbye (also sent unsolicited when the server drains for
+    shutdown, with a ``reason``).
+
+Framing discipline: a frame is one line, at most :data:`MAX_FRAME`
+bytes; anything unparsable or oversized raises
+:class:`ProtocolError`, which the server answers with a terminal
+``error`` frame before dropping the connection — a misbehaving client
+can never wedge a worker.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Optional
+
+#: Protocol version spoken by this module (bump on breaking changes).
+PROTOCOL_VERSION = 1
+
+#: Hard cap on one frame's encoded size, bytes (1 MiB).
+MAX_FRAME = 1 << 20
+
+#: Output lines batched per ``value`` frame.
+CHUNK = 64
+
+#: Byte budget per ``value`` frame (flush early when lines are fat).
+CHUNK_BYTES = 256 << 10
+
+#: Largest single output line shipped intact; longer ones are clipped
+#: (a cancelled constants-only runaway can join megabytes into one
+#: display line — the wire stays bounded regardless).
+MAX_LINE = MAX_FRAME - 4096
+
+#: Every client→server operation.
+REQUEST_OPS = frozenset(
+    {"hello", "duel", "alias", "limits", "stats", "cancel", "bye"})
+
+#: Terminal events of a ``duel`` request (exactly one per query).
+TERMINAL_EVENTS = frozenset(
+    {"done", "truncated", "cancelled", "faulted", "error", "rejected"})
+
+#: Request ops that must carry an integer ``id``.
+_NEEDS_ID = frozenset({"duel", "alias", "limits", "stats", "cancel"})
+
+
+class ProtocolError(Exception):
+    """A frame violated the protocol (bad JSON, shape, or size)."""
+
+
+# -- framing ---------------------------------------------------------------
+def encode(frame: dict) -> bytes:
+    """One frame as a compact JSONL line (UTF-8, size-checked)."""
+    data = json.dumps(frame, separators=(",", ":")).encode("utf-8") + b"\n"
+    if len(data) > MAX_FRAME:
+        raise ProtocolError(f"frame of {len(data)} bytes exceeds the "
+                            f"{MAX_FRAME}-byte limit")
+    return data
+
+
+def decode(line: bytes) -> dict:
+    """Parse one received line into a frame dict (strictly an object)."""
+    if len(line) > MAX_FRAME:
+        raise ProtocolError(f"frame of {len(line)} bytes exceeds the "
+                            f"{MAX_FRAME}-byte limit")
+    try:
+        frame = json.loads(line)
+    except (ValueError, UnicodeDecodeError) as error:
+        raise ProtocolError(f"frame is not JSON: {error}") from error
+    if not isinstance(frame, dict):
+        raise ProtocolError("frame must be a JSON object")
+    return frame
+
+
+def read_frames(stream):
+    """Yield frames from a binary line stream until EOF.
+
+    ``stream`` is anything with ``readline`` (a ``socket.makefile``);
+    blank lines are ignored (keep-alive friendly), malformed lines
+    raise :class:`ProtocolError` with the offending prefix.
+    """
+    while True:
+        line = stream.readline(MAX_FRAME + 2)
+        if not line:
+            return
+        if line.strip() == b"":
+            continue
+        if not line.endswith(b"\n") and len(line) > MAX_FRAME:
+            raise ProtocolError("unterminated oversized frame")
+        yield decode(line)
+
+
+# -- request validation ----------------------------------------------------
+def validate_request(frame: dict) -> str:
+    """Check one client frame's shape; returns its ``op``.
+
+    Raises :class:`ProtocolError` on an unknown or malformed request,
+    with a message safe to echo back to the client.
+    """
+    op = frame.get("op")
+    if op not in REQUEST_OPS:
+        raise ProtocolError(
+            f"unknown op {op!r} (know: {', '.join(sorted(REQUEST_OPS))})")
+    if op in _NEEDS_ID and not isinstance(frame.get("id"), int):
+        raise ProtocolError(f"op {op!r} requires an integer 'id'")
+    if op == "duel" and not isinstance(frame.get("text"), str):
+        raise ProtocolError("op 'duel' requires a string 'text'")
+    if op == "cancel" and not isinstance(frame.get("target"), int):
+        raise ProtocolError("op 'cancel' requires an integer 'target'")
+    if op == "hello":
+        version = frame.get("version")
+        if not isinstance(version, int):
+            raise ProtocolError("op 'hello' requires an integer 'version'")
+    if op == "limits" and "name" in frame:
+        if not isinstance(frame["name"], str):
+            raise ProtocolError("limits 'name' must be a string")
+    return op
+
+
+# -- frame builders --------------------------------------------------------
+def hello(client: Optional[str] = None,
+          version: int = PROTOCOL_VERSION) -> dict:
+    frame = {"op": "hello", "version": version}
+    if client is not None:
+        frame["client"] = client
+    return frame
+
+
+def welcome(client: str, server: str = "duel-serve",
+            version: int = PROTOCOL_VERSION, **extra) -> dict:
+    frame = {"ev": "welcome", "version": version, "server": server,
+             "client": client}
+    frame.update(extra)
+    return frame
+
+
+def clip_line(line: str) -> str:
+    """``line`` bounded to :data:`MAX_LINE` encoded bytes."""
+    data = line.encode("utf-8")
+    if len(data) <= MAX_LINE:
+        return line
+    keep = data[:MAX_LINE // 2].decode("utf-8", "ignore")
+    return f"{keep} ... (line clipped: {len(data)} bytes)"
+
+
+def value_frame(request_id: int, lines: list) -> dict:
+    return {"ev": "value", "id": request_id,
+            "lines": [clip_line(line) for line in lines]}
+
+
+def terminal(request_id: int, outcome: str, info: dict) -> dict:
+    """A terminal frame from one :meth:`DuelSession.ievents` payload."""
+    if outcome not in TERMINAL_EVENTS:
+        raise ProtocolError(f"unknown terminal outcome {outcome!r}")
+    frame = {"ev": outcome, "id": request_id,
+             "values": info.get("values", 0)}
+    for key in ("kind", "diagnostic", "error", "error_type", "stats"):
+        if key in info:
+            frame[key] = info[key]
+    return frame
+
+
+def rejected(request_id: int, reason: str, **extra) -> dict:
+    frame = {"ev": "rejected", "id": request_id, "reason": reason}
+    frame.update(extra)
+    return frame

@@ -1,0 +1,684 @@
+"""The concurrent DUEL query server: ``duel-serve``.
+
+A network-facing front end over everything PRs 1–4 built: each
+accepted query runs under its client's resource governor (with the
+:class:`~repro.core.governor.CancelToken` reachable from ``cancel``
+frames and tripped on disconnect), is audited by the shared
+:class:`~repro.obs.qlog.QueryLog`, folded into the process
+:class:`~repro.obs.metrics.MetricsRegistry` (scrapeable via
+``--metrics-port``), and captured by the shared
+:class:`~repro.obs.recorder.FlightRecorder`.  The target program is
+shared by every client through the snapshot-isolating
+:class:`~repro.serve.sessions.SessionManager`.
+
+Concurrency model — three kinds of threads:
+
+* the **acceptor** (``ThreadingTCPServer.serve_forever`` in a daemon
+  thread) accepts connections;
+* one **connection thread** per client (the ``ThreadingTCPServer``
+  handler) reads frames and answers control operations inline, so a
+  ``cancel`` or ``stats`` is handled even while the client's query is
+  being driven elsewhere;
+* a bounded pool of **query workers** drains one shared, bounded
+  queue of admitted ``duel`` requests and streams results back.
+
+Admission control is explicit, never buffering: a ``duel`` frame is
+rejected with ``rejected: busy`` when the client already has
+``per_client`` queries in flight, and with ``rejected: overloaded``
+when the shared queue is full — the client finds out immediately
+instead of hanging.  ``max_clients`` bounds concurrent connections
+the same way (``error`` + hangup on the over-limit connect).
+
+Shutdown drains: :meth:`DuelServer.stop` stops the acceptor, lets the
+workers finish every admitted query (up to ``drain_timeout``, after
+which remaining queries' cancel tokens are tripped), sends each
+connected client an unsolicited ``bye`` and closes the sockets.
+"""
+
+from __future__ import annotations
+
+import queue
+import socket
+import socketserver
+import struct
+import threading
+from typing import Optional
+
+from repro.serve import protocol
+from repro.serve.sessions import ClientSession, SessionManager
+
+#: A queue sentinel telling one worker to exit.
+_STOP = object()
+
+#: Socket send timeout, seconds.  A client that stops reading while
+#: its query streams would otherwise block the worker in ``write``
+#: forever (the governor only runs while the query makes progress, so
+#: not even a deadline rescues a worker stuck in a syscall).  After
+#: this long the write fails, the connection is declared dead and the
+#: query's token is tripped — a slow consumer costs one worker at
+#: most ``SEND_TIMEOUT`` seconds, never the whole pool.
+SEND_TIMEOUT = 30.0
+
+
+class _Pending:
+    """One admitted ``duel`` request, from queue to terminal frame.
+
+    The cancellation handshake lives here.  ``cancel()`` may arrive
+    at any point relative to the worker picking the request up;
+    ``mark_started`` / the ``on_begin`` recheck and the ``lock``
+    guarantee a cancel is never lost: before the drive starts the
+    request is dropped outright, after it the session's live token is
+    tripped (``begin_query`` clears the token, so the recheck runs
+    *after* that clear, closing the race).
+    """
+
+    __slots__ = ("conn", "client", "request_id", "text", "lock",
+                 "cancelled", "started", "done")
+
+    def __init__(self, conn: "_Connection", client: ClientSession,
+                 request_id: int, text: str):
+        self.conn = conn
+        self.client = client
+        self.request_id = request_id
+        self.text = text
+        self.lock = threading.Lock()
+        self.cancelled = False
+        self.started = False
+        self.done = False
+
+    def cancel(self, reason: str = "client cancel") -> None:
+        with self.lock:
+            self.cancelled = True
+            if self.started and not self.done:
+                self.client.token.trip(reason)
+
+    def mark_started(self) -> bool:
+        """Claim the request for driving; False when already cancelled."""
+        with self.lock:
+            if self.cancelled:
+                return False
+            self.started = True
+            return True
+
+    def recheck(self) -> None:
+        """``on_begin`` hook: re-trip a cancel that raced query start."""
+        with self.lock:
+            if self.cancelled:
+                self.client.token.trip("client cancel")
+
+
+class _Connection:
+    """Wire state of one connected client (shared with the workers)."""
+
+    def __init__(self, client: ClientSession, wfile, server: "DuelServer"):
+        self.client = client
+        self._wfile = wfile
+        self._server = server
+        self._write_lock = threading.Lock()
+        self.pending: dict[int, _Pending] = {}
+        self._pending_lock = threading.Lock()
+        self.alive = True
+        #: Frames this connection failed to deliver (client vanished).
+        self.dropped_frames = 0
+
+    # -- frame delivery ----------------------------------------------------
+    def send(self, frame: dict) -> bool:
+        """Write one frame; False (never an exception) on a dead peer."""
+        data = protocol.encode(frame)
+        with self._write_lock:
+            if not self.alive:
+                self.dropped_frames += 1
+                return False
+            try:
+                self._wfile.write(data)
+                self._wfile.flush()
+                return True
+            except (OSError, ValueError):
+                self.alive = False
+                self.dropped_frames += 1
+                return False
+
+    # -- pending-query tracking -------------------------------------------
+    def add_pending(self, pending: _Pending) -> None:
+        with self._pending_lock:
+            self.pending[pending.request_id] = pending
+            self.client.inflight += 1
+
+    def finish_pending(self, pending: _Pending) -> None:
+        with pending.lock:
+            pending.done = True
+        with self._pending_lock:
+            self.pending.pop(pending.request_id, None)
+            self.client.inflight -= 1
+
+    def find_pending(self, request_id: int) -> Optional[_Pending]:
+        with self._pending_lock:
+            return self.pending.get(request_id)
+
+    def cancel_all(self, reason: str) -> None:
+        with self._pending_lock:
+            targets = list(self.pending.values())
+        for pending in targets:
+            pending.cancel(reason)
+
+
+class DuelServer:
+    """The embeddable query service (the CLI wraps this).
+
+    Parameters map one-to-one onto the ``duel-serve`` flags:
+    ``workers`` query threads drain a queue of at most ``queue_depth``
+    admitted requests; ``per_client`` caps one client's in-flight
+    queries; ``max_clients`` caps concurrent connections.  ``qlog``,
+    ``recorder`` and ``metrics`` are shared across every client
+    session — the thread-safe variants of those subsystems exist for
+    exactly this.
+    """
+
+    def __init__(self, program, *, host: str = "127.0.0.1", port: int = 0,
+                 workers: int = 4, queue_depth: int = 16,
+                 max_clients: int = 32, per_client: int = 1,
+                 session_kwargs: Optional[dict] = None,
+                 metrics=None, qlog=None, recorder=None,
+                 drain_timeout: float = 10.0):
+        if workers <= 0:
+            raise ValueError("need at least one worker")
+        if queue_depth <= 0:
+            raise ValueError("queue depth must be positive")
+        if per_client <= 0:
+            raise ValueError("per-client cap must be positive")
+        self.sessions = SessionManager(program,
+                                       session_kwargs=session_kwargs,
+                                       metrics=metrics, qlog=qlog,
+                                       recorder=recorder)
+        self.metrics = metrics
+        self.host = host
+        self.port = port
+        self.workers = workers
+        self.queue_depth = queue_depth
+        self.max_clients = max_clients
+        self.per_client = per_client
+        self.drain_timeout = drain_timeout
+        self._queue: queue.Queue = queue.Queue(maxsize=queue_depth)
+        self._worker_threads: list[threading.Thread] = []
+        self._tcp: Optional[socketserver.ThreadingTCPServer] = None
+        self._acceptor: Optional[threading.Thread] = None
+        self._conns: set[_Connection] = set()
+        self._conns_lock = threading.Lock()
+        self._client_seq = 0
+        self._stopping = False
+        #: Lifetime counters (also mirrored into ``metrics``).
+        self.served = 0
+        self.rejected = 0
+        self.protocol_errors = 0
+
+    # -- lifecycle ---------------------------------------------------------
+    def start(self) -> int:
+        """Bind, spin up workers and the acceptor; returns the port."""
+        server = self
+
+        class Handler(socketserver.StreamRequestHandler):
+            def handle(self):
+                server._handle_connection(self)
+
+        class TCP(socketserver.ThreadingTCPServer):
+            allow_reuse_address = True
+            daemon_threads = True
+
+        self._tcp = TCP((self.host, self.port), Handler)
+        self.port = self._tcp.server_address[1]
+        for index in range(self.workers):
+            thread = threading.Thread(target=self._worker_loop,
+                                      name=f"duel-worker-{index}",
+                                      daemon=True)
+            thread.start()
+            self._worker_threads.append(thread)
+        self._acceptor = threading.Thread(target=self._tcp.serve_forever,
+                                          name="duel-acceptor", daemon=True)
+        self._acceptor.start()
+        return self.port
+
+    def stop(self) -> None:
+        """Graceful drain: finish admitted queries, then hang up."""
+        if self._tcp is None:
+            return
+        self._stopping = True
+        self._tcp.shutdown()          # stop accepting new connections
+        for _ in self._worker_threads:
+            self._queue.put(_STOP)    # after all admitted work
+        deadline = self.drain_timeout
+        for thread in self._worker_threads:
+            thread.join(timeout=deadline)
+            if thread.is_alive():
+                # Past the drain budget: trip every in-flight token so
+                # the stuck queries come back as graceful cancellations.
+                with self._conns_lock:
+                    conns = list(self._conns)
+                for conn in conns:
+                    conn.cancel_all("server shutdown")
+                thread.join(timeout=deadline)
+        with self._conns_lock:
+            conns = list(self._conns)
+        for conn in conns:
+            conn.send({"ev": "bye", "reason": "server shutdown"})
+            conn.alive = False
+        self._tcp.server_close()
+        if self._acceptor is not None:
+            self._acceptor.join(timeout=5)
+        self._tcp = None
+        self._worker_threads = []
+
+    @property
+    def address(self) -> tuple[str, int]:
+        return (self.host, self.port)
+
+    def inflight(self) -> int:
+        """Admitted-but-unfinished queries across all clients."""
+        with self._conns_lock:
+            conns = list(self._conns)
+        return sum(len(conn.pending) for conn in conns)
+
+    def queued(self) -> int:
+        return self._queue.qsize()
+
+    def connections(self) -> int:
+        with self._conns_lock:
+            return len(self._conns)
+
+    # -- metrics helpers ---------------------------------------------------
+    def _count(self, name: str, amount: int = 1) -> None:
+        if self.metrics is not None:
+            self.metrics.counter(name).inc(amount)
+
+    def _gauge_sync(self) -> None:
+        if self.metrics is not None:
+            self.metrics.gauge("serve_clients").set(self.connections())
+            self.metrics.gauge("serve_inflight").set(self.inflight())
+            self.metrics.gauge("serve_queued").set(self.queued())
+
+    # -- connection handling ----------------------------------------------
+    def _handle_connection(self, handler) -> None:
+        try:
+            handler.connection.settimeout(None)
+            handler.connection.setsockopt(socket.IPPROTO_TCP,
+                                          socket.TCP_NODELAY, 1)
+            # Bound sends only (SO_SNDTIMEO, not settimeout: reads on
+            # this socket must still block indefinitely for idle
+            # clients).  See SEND_TIMEOUT.
+            seconds = int(SEND_TIMEOUT)
+            micros = int((SEND_TIMEOUT - seconds) * 1e6)
+            handler.connection.setsockopt(
+                socket.SOL_SOCKET, socket.SO_SNDTIMEO,
+                struct.pack("ll", seconds, micros))
+        except (OSError, AttributeError):
+            pass
+        if self._stopping or self.connections() >= self.max_clients:
+            try:
+                handler.wfile.write(protocol.encode(
+                    {"ev": "error",
+                     "error": "server full" if not self._stopping
+                     else "server shutting down"}))
+                handler.wfile.flush()
+            except OSError:
+                pass
+            self._count("serve_refused_connections_total")
+            return
+        # First frame must be a well-formed hello.
+        try:
+            frames = protocol.read_frames(handler.rfile)
+            first = next(frames, None)
+            if first is None:
+                return
+            if protocol.validate_request(first) != "hello":
+                raise protocol.ProtocolError("first frame must be 'hello'")
+            if first["version"] != protocol.PROTOCOL_VERSION:
+                raise protocol.ProtocolError(
+                    f"unsupported protocol version {first['version']} "
+                    f"(server speaks {protocol.PROTOCOL_VERSION})")
+        except protocol.ProtocolError as error:
+            self.protocol_errors += 1
+            self._count("serve_protocol_errors_total")
+            try:
+                handler.wfile.write(protocol.encode(
+                    {"ev": "error", "error": str(error)}))
+                handler.wfile.flush()
+            except OSError:
+                pass
+            return
+        with self._conns_lock:
+            self._client_seq += 1
+            seq = self._client_seq
+        name = first.get("client") or f"client-{seq}"
+        client_id = f"{name}#{seq}"
+        client = self.sessions.open(client_id)
+        conn = _Connection(client, handler.wfile, self)
+        with self._conns_lock:
+            self._conns.add(conn)
+        self._count("serve_connections_total")
+        self._gauge_sync()
+        conn.send(protocol.welcome(
+            client_id, version=protocol.PROTOCOL_VERSION,
+            limits=dict(client.session.governor.limits),
+            per_client=self.per_client))
+        try:
+            self._serve_frames(conn, frames)
+        except protocol.ProtocolError as error:
+            self.protocol_errors += 1
+            self._count("serve_protocol_errors_total")
+            conn.send({"ev": "error", "error": str(error)})
+        except OSError:
+            pass
+        finally:
+            conn.alive = False
+            conn.cancel_all("client disconnected")
+            with self._conns_lock:
+                self._conns.discard(conn)
+            # The session object dies with the connection; its aliases
+            # and governor state are unreachable afterwards, which is
+            # the isolation contract.
+            self.sessions.close(client_id)
+            self._gauge_sync()
+
+    def _serve_frames(self, conn: _Connection, frames) -> None:
+        """The connection thread's read loop (control ops run inline)."""
+        for frame in frames:
+            op = protocol.validate_request(frame)
+            if op == "bye":
+                conn.send({"ev": "bye"})
+                return
+            if op == "hello":
+                conn.send({"ev": "error",
+                           "error": "already said hello"})
+                continue
+            if op == "duel":
+                self._admit(conn, frame)
+            elif op == "cancel":
+                self._op_cancel(conn, frame)
+            elif op == "alias":
+                self._op_alias(conn, frame)
+            elif op == "limits":
+                self._op_limits(conn, frame)
+            elif op == "stats":
+                self._op_stats(conn, frame)
+
+    # -- admission control -------------------------------------------------
+    def _admit(self, conn: _Connection, frame: dict) -> None:
+        request_id = frame["id"]
+        if self._stopping:
+            self.rejected += 1
+            self._count("serve_rejected_total")
+            conn.send(protocol.rejected(request_id, "shutting down"))
+            return
+        if conn.client.inflight >= self.per_client:
+            self.rejected += 1
+            self._count("serve_rejected_total")
+            conn.send(protocol.rejected(
+                request_id, "busy",
+                detail=f"client already has {conn.client.inflight} "
+                       f"quer{'y' if conn.client.inflight == 1 else 'ies'} "
+                       f"in flight (cap {self.per_client})"))
+            return
+        pending = _Pending(conn, conn.client, request_id, frame["text"])
+        conn.add_pending(pending)
+        try:
+            self._queue.put_nowait(pending)
+        except queue.Full:
+            conn.finish_pending(pending)
+            self.rejected += 1
+            self._count("serve_rejected_total")
+            conn.send(protocol.rejected(
+                request_id, "overloaded",
+                detail=f"query queue full ({self.queue_depth} deep)"))
+            return
+        self._gauge_sync()
+
+    # -- control operations ------------------------------------------------
+    def _op_cancel(self, conn: _Connection, frame: dict) -> None:
+        pending = conn.find_pending(frame["target"])
+        if pending is None:
+            conn.send({"ev": "cancel", "id": frame["id"],
+                       "target": frame["target"], "found": False})
+            return
+        pending.cancel()
+        self._count("serve_cancels_total")
+        conn.send({"ev": "cancel", "id": frame["id"],
+                   "target": frame["target"], "found": True})
+
+    def _op_alias(self, conn: _Connection, frame: dict) -> None:
+        client = conn.client
+        if not client.lock.acquire(timeout=1.0):
+            conn.send(protocol.rejected(frame["id"], "busy",
+                                        detail="a query is running"))
+            return
+        try:
+            session = client.session
+            aliases = {name: session.formatter.format(value)
+                       for name, value in session.aliases().items()}
+        finally:
+            client.lock.release()
+        conn.send({"ev": "alias", "id": frame["id"], "aliases": aliases})
+
+    def _op_limits(self, conn: _Connection, frame: dict) -> None:
+        governor = conn.client.session.governor
+        name = frame.get("name")
+        if name is not None:
+            # Setting limits is allowed mid-query on purpose: raising
+            # a deadline to rescue a long query is the use case.
+            try:
+                governor.set_limit(name, frame.get("value"))
+            except ValueError as error:
+                conn.send({"ev": "error", "id": frame["id"],
+                           "error": str(error)})
+                return
+        conn.send({"ev": "limits", "id": frame["id"],
+                   "limits": dict(governor.limits),
+                   "policies": dict(governor.policies)})
+
+    def _op_stats(self, conn: _Connection, frame: dict) -> None:
+        client = conn.client
+        conn.send({"ev": "stats", "id": frame["id"],
+                   "query": dict(client.session.last_query_stats),
+                   "client": {"queries": client.queries,
+                              "inflight": client.inflight},
+                   "server": {"clients": self.connections(),
+                              "inflight": self.inflight(),
+                              "queued": self.queued(),
+                              "served": self.served,
+                              "rejected": self.rejected,
+                              "protocol_errors": self.protocol_errors}})
+
+    # -- query workers -----------------------------------------------------
+    def _worker_loop(self) -> None:
+        while True:
+            item = self._queue.get()
+            try:
+                if item is _STOP:
+                    return
+                self._drive(item)
+            finally:
+                self._queue.task_done()
+
+    def _drive(self, pending: _Pending) -> None:
+        conn = pending.conn
+        if not pending.mark_started():
+            conn.finish_pending(pending)
+            conn.send(protocol.terminal(
+                pending.request_id, "cancelled",
+                {"values": 0,
+                 "diagnostic": "(stopped: 0 values, interrupted)",
+                 "kind": "cancel"}))
+            return
+        self.served += 1
+        self._count("serve_queries_total")
+        batch: list[str] = []
+        batch_bytes = 0
+        request_id = pending.request_id
+        outcome_frame = None
+        try:
+            events = self.sessions.run(pending.client, pending.text,
+                                       on_begin=pending.recheck)
+            for kind, payload in events:
+                if kind == "value":
+                    batch.append(payload)
+                    batch_bytes += len(payload)
+                    if len(batch) >= protocol.CHUNK \
+                            or batch_bytes >= protocol.CHUNK_BYTES:
+                        if not conn.send(protocol.value_frame(
+                                request_id, batch)):
+                            # Peer is gone: stop driving promptly.
+                            pending.cancel("client disconnected")
+                        batch = []
+                        batch_bytes = 0
+                else:
+                    outcome_frame = protocol.terminal(request_id, kind,
+                                                      payload)
+        except Exception as error:    # defensive: a drive bug must not
+            outcome_frame = protocol.terminal(  # kill the worker
+                request_id, "error",
+                {"values": 0, "error": f"internal error: {error}",
+                 "error_type": type(error).__name__})
+            self._count("serve_internal_errors_total")
+        finally:
+            conn.finish_pending(pending)
+            try:
+                if batch:
+                    conn.send(protocol.value_frame(request_id, batch))
+                if outcome_frame is None:
+                    outcome_frame = protocol.terminal(
+                        request_id, "error",
+                        {"values": 0, "error": "internal error: drive "
+                         "ended without a terminal event"})
+                conn.send(outcome_frame)
+                self._count(
+                    f"serve_outcome_{outcome_frame['ev']}_total")
+            except Exception:         # a reply we cannot frame must
+                self.protocol_errors += 1     # not kill the worker
+                self._count("serve_protocol_errors_total")
+            self._gauge_sync()
+
+
+def run_server(ns, program, limit_kwargs: dict, out,
+               ready=None, stop_event=None) -> int:
+    """Boot a :class:`DuelServer` from parsed CLI flags and block.
+
+    Reuses every unattended-observability flag the REPL grew in PRs
+    2–4 — ``--query-log`` / ``--dump-dir`` / ``--metrics-port`` now
+    aggregate *across clients* — and announces the bound endpoints on
+    ``out`` (flushed line by line, so wrappers like
+    ``scripts/serve_smoke.py`` can scrape the ports).  Blocks until
+    SIGINT/SIGTERM (or ``stop_event``), then drains gracefully.
+    ``ready`` (a ``threading.Event``) is set once serving, for
+    embedders.
+    """
+    import signal
+
+    from repro.obs.metrics import registry as process_registry
+
+    metrics = process_registry()
+    qlog = None
+    if ns.query_log:
+        from repro.obs.qlog import QueryLog
+        try:
+            qlog = QueryLog(ns.query_log)
+        except OSError as error:
+            out.write(f"error: {error}\n")
+            return 1
+    recorder = None
+    if ns.dump_dir:
+        import os
+
+        from repro.obs.recorder import FlightRecorder
+        try:
+            os.makedirs(ns.dump_dir, exist_ok=True)
+        except OSError as error:
+            out.write(f"error: {error}\n")
+            if qlog is not None:
+                qlog.close()
+            return 1
+        recorder = FlightRecorder(dump_dir=ns.dump_dir)
+    metrics_server = None
+    if ns.metrics_port is not None:
+        from repro.obs.exposition import MetricsServer
+        metrics_server = MetricsServer(metrics, port=ns.metrics_port)
+        try:
+            mport = metrics_server.start()
+        except OSError as error:
+            out.write(f"error: {error}\n")
+            if qlog is not None:
+                qlog.close()
+            return 1
+        out.write(f"metrics: http://127.0.0.1:{mport}/metrics\n")
+    session_kwargs = dict(limit_kwargs)
+    session_kwargs["symbolic"] = not ns.no_symbolic
+    session_kwargs["optimize"] = ns.optimize
+    server = DuelServer(program, host=ns.host, port=ns.port,
+                        workers=ns.workers, queue_depth=ns.queue_depth,
+                        max_clients=ns.max_clients,
+                        per_client=ns.per_client,
+                        session_kwargs=session_kwargs,
+                        metrics=metrics, qlog=qlog, recorder=recorder,
+                        drain_timeout=ns.drain_timeout)
+    try:
+        port = server.start()
+    except OSError as error:
+        out.write(f"error: {error}\n")
+        if qlog is not None:
+            qlog.close()
+        if metrics_server is not None:
+            metrics_server.stop()
+        return 1
+    out.write(f"serving on {ns.host}:{port}\n")
+    try:
+        out.flush()
+    except (AttributeError, OSError):
+        pass
+    stopper = stop_event if stop_event is not None else threading.Event()
+
+    def request_stop(signum=None, frame=None):
+        stopper.set()
+
+    previous = {}
+    for signame in ("SIGINT", "SIGTERM"):
+        signum = getattr(signal, signame, None)
+        if signum is None:
+            continue
+        try:
+            previous[signum] = signal.signal(signum, request_stop)
+        except ValueError:            # not the main thread
+            pass
+    if ready is not None:
+        ready.set()
+    try:
+        stopper.wait()
+    finally:
+        for signum, handler in previous.items():
+            signal.signal(signum, handler)
+        out.write("draining...\n")
+        try:
+            out.flush()
+        except (AttributeError, OSError):
+            pass
+        server.stop()
+        if metrics_server is not None:
+            metrics_server.stop()
+        if qlog is not None:
+            qlog.close()
+        out.write(f"served {server.served} queries "
+                  f"({server.rejected} rejected)\n")
+    return 0
+
+
+def main(argv=None) -> int:
+    """``duel-serve``: the standalone server CLI.
+
+    Shares flags (and the target bootstrap) with ``python -m repro
+    --serve``; this entry point just forces ``--serve`` on.
+    """
+    import sys
+    from repro.cli import main as cli_main
+    args = list(argv) if argv is not None else sys.argv[1:]
+    return cli_main(["--serve", *args])
+
+
+if __name__ == "__main__":  # pragma: no cover
+    import sys
+    raise SystemExit(main(sys.argv[1:]))

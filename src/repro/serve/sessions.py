@@ -1,0 +1,222 @@
+"""Session multiplexing over one shared target program.
+
+Every connected client gets its own
+:class:`~repro.core.session.DuelSession` — and with it a private
+alias namespace, governor, and limits — over the *same*
+:class:`~repro.target.program.TargetProgram`.  Two hazards follow
+from sharing the target, and this module owns both:
+
+**Torn reads.**  The simulator mutates region bytes, heap bookkeeping
+and symbol tables in many small steps; a reader racing a writer could
+observe half a mutation.  All query execution therefore goes through
+a readers–writer lock: read-only queries run concurrently, queries
+that can mutate the target (assignments, increments, target calls,
+declarations — the same :func:`~repro.core.session._has_side_effects`
+predicate the rollback machinery uses) run exclusively.
+
+**Cross-client corruption.**  Even a *successful* write query must
+not leak into other clients' reads: the service promises each client
+an isolated view of the stopped inferior.  Side-effecting queries get
+*snapshot isolation*: under the write lock the manager takes a
+:func:`repro.target.snapshot.take` checkpoint, drives the query — the
+query's own output sees its effects, exactly like a private copy of
+the target — and restores the checkpoint before the lock is
+released.  A fault-injected crash mid-write is covered by the same
+restore, so one client's disaster is invisible to the rest.
+
+The paper's single-user REPL semantics (writes persist across
+queries) remain available in-process; the serve layer deliberately
+trades them for isolation, the way a debugging *service* must.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable, Iterator, Optional
+
+from repro.core.session import DuelSession, _has_side_effects
+from repro.target import snapshot
+from repro.target.interface import SimulatorBackend
+
+
+class ReadWriteLock:
+    """A writer-preferring readers–writer lock.
+
+    Many readers may hold the lock at once; a writer waits for the
+    readers to drain and excludes everyone.  Pending writers block new
+    readers (writer preference), so a stream of cheap read queries
+    cannot starve a write query forever.
+    """
+
+    def __init__(self) -> None:
+        self._cond = threading.Condition()
+        self._readers = 0
+        self._writer = False
+        self._waiting_writers = 0
+
+    # -- reader side -------------------------------------------------------
+    def acquire_read(self, timeout: Optional[float] = None) -> bool:
+        with self._cond:
+            ok = self._cond.wait_for(
+                lambda: not self._writer and not self._waiting_writers,
+                timeout)
+            if ok:
+                self._readers += 1
+            return ok
+
+    def release_read(self) -> None:
+        with self._cond:
+            self._readers -= 1
+            if self._readers == 0:
+                self._cond.notify_all()
+
+    # -- writer side -------------------------------------------------------
+    def acquire_write(self, timeout: Optional[float] = None) -> bool:
+        with self._cond:
+            self._waiting_writers += 1
+            try:
+                ok = self._cond.wait_for(
+                    lambda: not self._writer and self._readers == 0,
+                    timeout)
+                if ok:
+                    self._writer = True
+                return ok
+            finally:
+                self._waiting_writers -= 1
+
+    def release_write(self) -> None:
+        with self._cond:
+            self._writer = False
+            self._cond.notify_all()
+
+
+class ClientSession:
+    """One client's private DUEL session over the shared program.
+
+    ``lock`` serializes query execution on the underlying
+    :class:`DuelSession` (sessions are not reentrant); ``inflight``
+    counts admitted-but-unfinished queries for the per-client
+    admission cap.  The session's governor token is the cancellation
+    handle ``cancel`` frames and disconnects trip.
+    """
+
+    def __init__(self, client_id: str, session: DuelSession):
+        self.client_id = client_id
+        self.session = session
+        self.lock = threading.Lock()
+        self.inflight = 0
+        self.queries = 0
+
+    @property
+    def token(self):
+        return self.session.governor.token
+
+
+class SessionManager:
+    """Creates, tracks, and runs per-client sessions over one target.
+
+    ``session_factory`` builds one :class:`DuelSession` per client
+    (the default attaches a fresh :class:`SimulatorBackend` to the
+    shared program with ``session_kwargs``); ``qlog``, ``recorder``
+    and ``metrics`` — when given — are shared by every session, which
+    is exactly why those subsystems are lock-guarded.
+    """
+
+    def __init__(self, program, *, session_kwargs: Optional[dict] = None,
+                 metrics=None, qlog=None, recorder=None,
+                 session_factory: Optional[Callable[[], DuelSession]] = None):
+        self.program = program
+        self._session_kwargs = dict(session_kwargs or {})
+        self._metrics = metrics
+        self._qlog = qlog
+        self._recorder = recorder
+        self._session_factory = session_factory
+        self._rw = ReadWriteLock()
+        self._lock = threading.Lock()
+        self._sessions: dict[str, ClientSession] = {}
+
+    # -- session lifecycle -------------------------------------------------
+    def _make_session(self) -> DuelSession:
+        if self._session_factory is not None:
+            session = self._session_factory()
+        else:
+            kwargs = dict(self._session_kwargs)
+            if self._metrics is not None:
+                kwargs.setdefault("metrics", self._metrics)
+            session = DuelSession(SimulatorBackend(self.program), **kwargs)
+        if self._qlog is not None:
+            session.qlog = self._qlog
+        if self._recorder is not None:
+            session.recorder = self._recorder
+        return session
+
+    def open(self, client_id: str) -> ClientSession:
+        """Create (or return) the client's session."""
+        with self._lock:
+            found = self._sessions.get(client_id)
+            if found is None:
+                found = ClientSession(client_id, self._make_session())
+                self._sessions[client_id] = found
+            return found
+
+    def close(self, client_id: str) -> None:
+        """Drop the client's session (its aliases die with it)."""
+        with self._lock:
+            self._sessions.pop(client_id, None)
+
+    def get(self, client_id: str) -> Optional[ClientSession]:
+        with self._lock:
+            return self._sessions.get(client_id)
+
+    def count(self) -> int:
+        with self._lock:
+            return len(self._sessions)
+
+    # -- query execution ---------------------------------------------------
+    def classify(self, client: ClientSession, text: str) -> bool:
+        """True when ``text`` can mutate the target (needs isolation).
+
+        A text that does not compile is classified read-only: the
+        drive will surface the parse error itself, and an unparsed
+        query cannot write anything.
+        """
+        try:
+            node = client.session.compile(text)
+        except Exception:
+            return False
+        return _has_side_effects(node)
+
+    def run(self, client: ClientSession, text: str,
+            on_begin=None) -> Iterator[tuple]:
+        """Drive one query with isolation; yields ``ievents`` events.
+
+        Read-only queries share the target under the read lock;
+        side-effecting queries take the write lock, a snapshot, drive
+        with their effects visible to themselves, and restore before
+        releasing — snapshot isolation, with the restore in a
+        ``finally`` so a crash (or an abandoned generator) can never
+        leak a half-mutated target.
+        """
+        writes = self.classify(client, text)
+        with client.lock:
+            client.queries += 1
+            if writes:
+                self._rw.acquire_write()
+                try:
+                    checkpoint = snapshot.take(self.program)
+                    try:
+                        yield from client.session.ievents(
+                            text, on_begin=on_begin)
+                    finally:
+                        snapshot.restore(self.program, checkpoint)
+                        ev = client.session.evaluator
+                        ev.invalidate_target_caches()
+                finally:
+                    self._rw.release_write()
+            else:
+                self._rw.acquire_read()
+                try:
+                    yield from client.session.ievents(
+                        text, on_begin=on_begin)
+                finally:
+                    self._rw.release_read()

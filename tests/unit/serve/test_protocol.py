@@ -1,0 +1,133 @@
+"""Unit tests for the JSONL wire protocol (framing, validation)."""
+
+import io
+
+import pytest
+
+from repro.serve import protocol
+from repro.serve.protocol import ProtocolError
+
+
+class TestFraming:
+    def test_encode_decode_roundtrip(self):
+        frame = {"op": "duel", "id": 7, "text": "x[..10] >? 0"}
+        assert protocol.decode(protocol.encode(frame)) == frame
+
+    def test_encode_is_one_compact_line(self):
+        data = protocol.encode({"op": "bye"})
+        assert data.endswith(b"\n")
+        assert data.count(b"\n") == 1
+        assert b" " not in data  # compact separators
+
+    def test_encode_rejects_oversized_frames(self):
+        huge = {"ev": "value", "id": 1, "lines": ["x" * protocol.MAX_FRAME]}
+        with pytest.raises(ProtocolError, match="exceeds"):
+            protocol.encode(huge)
+
+    def test_decode_rejects_bad_json(self):
+        with pytest.raises(ProtocolError, match="not JSON"):
+            protocol.decode(b"{nope\n")
+
+    def test_decode_rejects_non_objects(self):
+        with pytest.raises(ProtocolError, match="JSON object"):
+            protocol.decode(b"[1,2,3]\n")
+
+    def test_decode_rejects_oversized_input(self):
+        with pytest.raises(ProtocolError, match="exceeds"):
+            protocol.decode(b"x" * (protocol.MAX_FRAME + 1))
+
+    def test_read_frames_until_eof(self):
+        stream = io.BytesIO(b'{"op":"hello","version":1}\n'
+                            b'\n'  # blank keep-alive line: skipped
+                            b'{"op":"bye"}\n')
+        frames = list(protocol.read_frames(stream))
+        assert [f["op"] for f in frames] == ["hello", "bye"]
+
+    def test_read_frames_raises_on_unterminated_oversize(self):
+        stream = io.BytesIO(b"x" * (protocol.MAX_FRAME + 2))
+        with pytest.raises(ProtocolError):
+            list(protocol.read_frames(stream))
+
+
+class TestValidation:
+    def test_valid_requests_pass(self):
+        assert protocol.validate_request(
+            {"op": "duel", "id": 1, "text": "1+2"}) == "duel"
+        assert protocol.validate_request(
+            {"op": "hello", "version": 1}) == "hello"
+        assert protocol.validate_request(
+            {"op": "cancel", "id": 2, "target": 1}) == "cancel"
+        assert protocol.validate_request({"op": "bye"}) == "bye"
+
+    def test_unknown_op_rejected(self):
+        with pytest.raises(ProtocolError, match="unknown op"):
+            protocol.validate_request({"op": "evaluate"})
+
+    @pytest.mark.parametrize("op", ["duel", "alias", "limits", "stats",
+                                    "cancel"])
+    def test_missing_id_rejected(self, op):
+        frame = {"op": op, "text": "1", "target": 1, "version": 1}
+        with pytest.raises(ProtocolError, match="integer 'id'"):
+            protocol.validate_request(frame)
+
+    def test_duel_needs_string_text(self):
+        with pytest.raises(ProtocolError, match="string 'text'"):
+            protocol.validate_request({"op": "duel", "id": 1, "text": 5})
+
+    def test_cancel_needs_integer_target(self):
+        with pytest.raises(ProtocolError, match="integer 'target'"):
+            protocol.validate_request({"op": "cancel", "id": 1,
+                                       "target": "one"})
+
+    def test_hello_needs_integer_version(self):
+        with pytest.raises(ProtocolError, match="integer 'version'"):
+            protocol.validate_request({"op": "hello"})
+
+    def test_limits_name_must_be_string(self):
+        with pytest.raises(ProtocolError, match="must be a string"):
+            protocol.validate_request({"op": "limits", "id": 1, "name": 3})
+
+
+class TestBuilders:
+    def test_hello_welcome_pair(self):
+        hello = protocol.hello("ana")
+        assert hello == {"op": "hello", "version": protocol.PROTOCOL_VERSION,
+                         "client": "ana"}
+        welcome = protocol.welcome("ana#1", limits={"steps": 100})
+        assert welcome["ev"] == "welcome"
+        assert welcome["limits"] == {"steps": 100}
+
+    def test_clip_line_keeps_short_lines_intact(self):
+        assert protocol.clip_line("x[5] = 3") == "x[5] = 3"
+
+    def test_clip_line_bounds_huge_lines(self):
+        huge = "v" * (protocol.MAX_FRAME * 2)
+        clipped = protocol.clip_line(huge)
+        assert len(clipped.encode()) <= protocol.MAX_LINE
+        assert "line clipped" in clipped
+        # The clip notice reports the original size.
+        assert str(len(huge.encode())) in clipped
+
+    def test_value_frame_clips_each_line(self):
+        frame = protocol.value_frame(3, ["ok", "w" * (protocol.MAX_FRAME)])
+        assert frame["lines"][0] == "ok"
+        assert "line clipped" in frame["lines"][1]
+        # The whole frame must now encode.
+        protocol.encode(frame)
+
+    def test_terminal_copies_known_keys_only(self):
+        frame = protocol.terminal(9, "truncated", {
+            "values": 4, "kind": "steps", "diagnostic": "(stopped)",
+            "stats": {"steps": 100}, "internal_thing": "secret"})
+        assert frame == {"ev": "truncated", "id": 9, "values": 4,
+                         "kind": "steps", "diagnostic": "(stopped)",
+                         "stats": {"steps": 100}}
+
+    def test_terminal_rejects_unknown_outcomes(self):
+        with pytest.raises(ProtocolError, match="unknown terminal"):
+            protocol.terminal(1, "exploded", {})
+
+    def test_rejected_frame(self):
+        frame = protocol.rejected(5, "overloaded", detail="queue full")
+        assert frame == {"ev": "rejected", "id": 5,
+                         "reason": "overloaded", "detail": "queue full"}
