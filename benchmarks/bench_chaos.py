@@ -1,0 +1,217 @@
+"""Fault-tolerance benchmark: guard overhead + recovery latency.
+
+Two questions, one artifact (``BENCH_6.json``):
+
+1. **What does the fault-tolerance machinery cost when nothing is
+   failing?**  The same single-client closed loop over the paper's P3
+   workload is run against two in-process servers: one with the guard
+   rails wound tight (heartbeats every 0.5s, watchdog ticking at
+   20Hz) and one with heartbeats disabled and the watchdog nearly
+   idle.  The p50 ratio is the steady-state overhead, gated at
+   ``--max-guard-overhead`` (CI: 1.05, i.e. the guards must cost <5%
+   on the query path — they do their work off it).
+
+2. **How long does a client take to recover from a killed
+   connection?**  A :class:`ChaosProxy` with a scripted plan drops
+   every trial's first connection mid-reply; the client's
+   retry/reconnect/resume machinery redials (the retried connection
+   runs clean by plan design) and the query completes.  The wall time
+   of that ``duel()`` call — fault, backoff, redial, session resume,
+   re-execution — is the recovery time, reported as a distribution.
+
+Standalone on purpose (argparse, not pytest): CI calls it directly
+and keys a job failure off the exit status::
+
+    python benchmarks/bench_chaos.py --out BENCH_6.json
+    python benchmarks/bench_chaos.py --max-guard-overhead 1.05
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import statistics
+import sys
+import threading
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.bench import workloads                          # noqa: E402
+from repro.serve.chaos import (ChaosProxy, FaultPlan,      # noqa: E402
+                               drop_after)
+from repro.serve.client import DuelClient, RetryPolicy     # noqa: E402
+from repro.serve.server import DuelServer                  # noqa: E402
+
+#: The paper's P3 scaling workload (same as ``bench_serve.py``).
+P3_SIZE = 1000
+P3_EXPR = f"x[..{P3_SIZE}] !=? 0"
+
+#: Session shape shared by both server configurations.
+SESSION_KWARGS = {"symbolic": False}
+
+#: Recovery trials read a modest slice so the run is dominated by the
+#: recovery dance, not by evaluation.
+RECOVERY_EXPR = "x[..30]"
+
+#: Byte offset of the scripted drop: past the welcome frame (~270
+#: bytes) but inside the first reply (~1.4kB), so every doomed
+#: connection dies mid-conversation with a query in flight.
+DROP_AT = 400
+
+
+def quantiles(timings_ms: list[float]) -> dict:
+    ordered = sorted(timings_ms)
+
+    def pick(q):
+        return round(ordered[min(len(ordered) - 1,
+                                 int(q * len(ordered)))], 4)
+
+    return {
+        "p50_ms": round(statistics.median(ordered), 4),
+        "p95_ms": pick(0.95),
+        "p99_ms": pick(0.99),
+        "min_ms": round(ordered[0], 4),
+        "max_ms": round(ordered[-1], 4),
+    }
+
+
+def closed_loop(port: int, queries: int) -> dict:
+    """One client, ``queries`` back-to-back P3 queries."""
+    latencies: list[float] = []
+    with DuelClient(port=port, client="bench", timeout=120.0) as client:
+        client.duel(P3_EXPR)                       # warm-up
+        for _ in range(queries):
+            start = time.perf_counter()
+            result = client.duel(P3_EXPR)
+            elapsed = (time.perf_counter() - start) * 1000.0
+            if result.outcome != "done":
+                raise RuntimeError(
+                    f"closed loop saw outcome {result.outcome!r}")
+            latencies.append(elapsed)
+    return {"queries": queries, **quantiles(latencies)}
+
+
+def make_server(guarded: bool) -> DuelServer:
+    """The serve path with the guard rails tight or effectively off."""
+    knobs = (dict(heartbeat_interval=0.5, heartbeat_timeout=5.0,
+                  watchdog_tick=0.05)
+             if guarded else
+             dict(heartbeat_interval=0.0, heartbeat_timeout=0.0,
+                  watchdog_tick=5.0))
+    return DuelServer(workloads.big_array(P3_SIZE),
+                      workers=4, queue_depth=32, max_clients=8,
+                      per_client=1,
+                      session_kwargs=dict(SESSION_KWARGS),
+                      **knobs)
+
+
+def steady_state(queries: int) -> dict:
+    """Guarded vs unguarded closed loop; the ratio is the overhead."""
+    runs = {}
+    for label, guarded in (("unguarded", False), ("guarded", True)):
+        server = make_server(guarded)
+        port = server.start()
+        try:
+            runs[label] = closed_loop(port, queries)
+        finally:
+            server.stop()
+        print(f"{label:>9}: p50={runs[label]['p50_ms']:8.3f}ms "
+              f"p95={runs[label]['p95_ms']:8.3f}ms")
+    ratio = round(runs["guarded"]["p50_ms"]
+                  / runs["unguarded"]["p50_ms"], 3)
+    return {"unguarded": runs["unguarded"],
+            "guarded": runs["guarded"],
+            "ratio": ratio}
+
+
+def recovery(trials: int) -> dict:
+    """Drop each trial's first connection mid-reply; time the retry.
+
+    Connection indices through the proxy go 0, 1, 2, ... in accept
+    order; each trial dials once (faulted) and redials once (clean),
+    so faulting every even index makes recovery deterministic.
+    """
+    server = make_server(guarded=True)
+    port = server.start()
+    plan = {2 * t: [drop_after(DROP_AT)] for t in range(trials)}
+    proxy = ChaosProxy(("127.0.0.1", port), FaultPlan.scripted(plan))
+    proxy_port = proxy.start()
+    timings: list[float] = []
+    resumed = 0
+    try:
+        for t in range(trials):
+            client = DuelClient(
+                port=proxy_port, client=f"recov{t}", timeout=30.0,
+                retry=RetryPolicy(retries=4, base=0.05, factor=2.0,
+                                  max_backoff=0.5, jitter=0.0))
+            start = time.perf_counter()
+            result = client.duel(RECOVERY_EXPR)
+            elapsed = (time.perf_counter() - start) * 1000.0
+            if result.outcome != "done":
+                raise RuntimeError(
+                    f"trial {t}: outcome {result.outcome!r}")
+            if client.reconnects < 1:
+                raise RuntimeError(
+                    f"trial {t}: the scripted drop never fired")
+            resumed += 1 if client.resumed else 0
+            timings.append(elapsed)
+            client.close()
+        injected = sum(1 for _i, kind, _d, _o in proxy.events
+                       if kind == "drop")
+    finally:
+        proxy.stop()
+        server.stop()
+    print(f" recovery: p50={quantiles(timings)['p50_ms']:8.3f}ms over "
+          f"{trials} dropped connections ({resumed} sessions resumed)")
+    return {"trials": trials, "drops_injected": injected,
+            "sessions_resumed": resumed, **quantiles(timings)}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="fault-tolerance benchmark of the query service")
+    parser.add_argument("--out", default="BENCH_6.json",
+                        help="output path (default BENCH_6.json)")
+    parser.add_argument("--queries", type=int, default=120,
+                        help="closed-loop queries per configuration "
+                             "(default 120)")
+    parser.add_argument("--trials", type=int, default=20,
+                        help="recovery trials (default 20)")
+    parser.add_argument("--max-guard-overhead", type=float,
+                        default=None, metavar="RATIO",
+                        help="fail (exit 1) if the guarded p50 exceeds "
+                             "RATIO x the unguarded p50")
+    ns = parser.parse_args(argv)
+
+    overhead = steady_state(ns.queries)
+    recovered = recovery(ns.trials)
+
+    report = {
+        "schema": "repro-bench/6",
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "workload": {"expr": P3_EXPR, "array": P3_SIZE},
+        "steady_state": overhead,
+        "recovery": recovered,
+    }
+    Path(ns.out).write_text(json.dumps(report, indent=2) + "\n")
+    print(f"guard overhead on P3 (single client): "
+          f"{overhead['ratio']:.2f}x "
+          f"(unguarded p50 {overhead['unguarded']['p50_ms']:.3f}ms, "
+          f"guarded p50 {overhead['guarded']['p50_ms']:.3f}ms)")
+    print(f"wrote {ns.out}")
+
+    if ns.max_guard_overhead is not None \
+            and overhead["ratio"] > ns.max_guard_overhead:
+        print(f"FAIL: guard overhead {overhead['ratio']:.2f}x exceeds "
+              f"--max-guard-overhead {ns.max_guard_overhead:.2f}x",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,310 @@
+#!/usr/bin/env python
+"""End-to-end chaos smoke of the query service (CI job).
+
+Boots ``duel-serve`` (via ``python -m repro --serve``) as a real
+subprocess, puts a :class:`~repro.serve.chaos.ChaosProxy` with a
+**scripted, deterministic fault plan** in front of it, and drives
+concurrent clients through the chaos — connections dropped mid-frame,
+responses truncated at byte boundaries, a slow-loris stall, plus one
+client that goes silent until the server's heartbeats reap it.  Every
+client uses the library's retry/reconnect/idempotency machinery, so
+the run proves the fault-tolerance layer end to end:
+
+* a **global hang timeout** kills the whole run — the one failure
+  mode chaos testing exists to catch is the hang;
+* every client finishes with definite outcomes (or an explicit error
+  after exhausted retries), never a wedge;
+* the query log parses, qids are strictly monotone in file order
+  (server lifecycle records carry no qid and are validated against
+  their closed vocabulary instead);
+* the idem-tagged write executed **at most once per client** even
+  where the fault plan broke the conversation mid-reply;
+* after the run every session is reaped: the final ``stats`` frame
+  reports zero parked sessions and only the verifier connected.
+
+Artifacts (query log, outcome summary, injected-fault record) land in
+``--artifacts`` for CI upload.  Exits 0 on success, 1 with a
+diagnostic on any failure.
+"""
+
+import argparse
+import json
+import os
+import signal
+import subprocess
+import sys
+import threading
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(os.path.dirname(
+    os.path.abspath(__file__))), "src"))
+
+from repro.serve import protocol  # noqa: E402
+from repro.serve.chaos import (ChaosProxy, FaultPlan, drop_after,  # noqa: E402
+                               stall_after, truncate_after)
+from repro.serve.client import (DuelClient, RetryPolicy,  # noqa: E402
+                                ServeError)
+
+CLIENTS = 6
+HANG_TIMEOUT = 180.0
+
+PROGRAM = """\
+int data[40] = {3, -1, 7, 0, 12, -9, 2, 120, 5, -4,
+                1, 2, 3, 4, 5, 6, 7, 8, 9, 10,
+                -1, -2, -3, -4, -5, -6, -7, -8, -9, -10,
+                11, 22, 33, 44, 55, 66, 77, 88, 99, 100};
+int main(void) { return 0; }
+"""
+
+#: The scripted plan, by accepted-connection index.  Reconnects get
+#: fresh indices, so the retried conversations run clean on purpose:
+#: fault once, recover once, deterministic every run.
+PLAN = {
+    1: [truncate_after(600)],        # response cut mid-frame
+    2: [drop_after(700)],            # orderly mid-conversation close
+    3: [stall_after(400, 3.0)],      # slow-loris on the reply stream
+    4: [drop_after(80, "up")],       # request never reaches the server
+}
+
+
+def fail(message):
+    print(f"FAIL: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def arm_hang_timeout(process):
+    """The global backstop: kill everything if the smoke wedges."""
+
+    def explode():
+        print(f"FAIL: chaos smoke exceeded the {HANG_TIMEOUT:.0f}s "
+              "hang timeout", file=sys.stderr)
+        try:
+            process.kill()
+        except OSError:
+            pass
+        os._exit(1)
+
+    timer = threading.Timer(HANG_TIMEOUT, explode)
+    timer.daemon = True
+    timer.start()
+    return timer
+
+
+def client_worker(port, index, summary):
+    """One resilient client's workload through the chaos proxy."""
+    outcomes = []
+    client = DuelClient(port=port, client=f"chaos{index}",
+                        timeout=15.0, connect=False,
+                        retry=RetryPolicy(retries=4, base=0.3,
+                                          factor=1.5, max_backoff=1.0,
+                                          jitter=0.0))
+    try:
+        attempt = 0
+        while True:
+            try:
+                client.connect()
+                break
+            except (OSError, ServeError):
+                attempt += 1
+                if attempt > client.retry.retries:
+                    raise
+                client._teardown()
+                client.retry.wait(attempt)
+        read = client.duel("data[..10]")
+        outcomes.append(read.outcome)
+        # The idempotent write: unique text per client, so the query
+        # log can prove it executed at most once despite retries.
+        write = client.duel(f"data[{index}] = {9000 + index}")
+        outcomes.append(write.outcome)
+        again = client.duel("data[..10]")
+        outcomes.append(again.outcome)
+        if again.outcome == "done" and read.outcome == "done" \
+                and again.lines != read.lines:
+            fail(f"client {index}: write leaked into a later read")
+        client.close()
+    except (ServeError, OSError) as error:
+        outcomes.append(f"error: {error}")
+    summary[index] = {"outcomes": outcomes,
+                      "reconnects": client.reconnects,
+                      "resumed": client.resumed}
+
+
+def silent_client(port, summary):
+    """Says hello, then nothing: the heartbeat reaper's test dummy."""
+    import socket
+    sock = socket.create_connection(("127.0.0.1", port), timeout=10)
+    sock.settimeout(30)
+    rfile = sock.makefile("rb")
+    sock.sendall(protocol.encode(protocol.hello("silent")))
+    welcome = protocol.decode(rfile.readline())
+    if welcome.get("ev") != "welcome":
+        fail(f"silent client got {welcome!r} instead of a welcome")
+    # Ignore every ping; the server must hang up on us.
+    t0 = time.monotonic()
+    reaped = False
+    try:
+        while time.monotonic() - t0 < 60:
+            if not sock.recv(65536):
+                reaped = True        # clean EOF: the reaper closed us
+                break
+    except OSError:
+        reaped = True                # an RST from the reaper counts too
+    if not reaped:
+        fail("the server never reaped the silent client")
+    sock.close()
+    summary["silent"] = {"reaped_after_s":
+                         round(time.monotonic() - t0, 2)}
+
+
+def check_query_log(path):
+    records = []
+    for number, line in enumerate(open(path), 1):
+        try:
+            records.append(json.loads(line))
+        except json.JSONDecodeError as error:
+            fail(f"{path}:{number} is not JSON: {error}")
+    server_events = [r for r in records if r.get("ev") == "server"]
+    queries = [r for r in records if r.get("ev") != "server"]
+    received = [r["qid"] for r in queries if r["ev"] == "received"]
+    if received != sorted(received):
+        fail("received qids are not monotone in file order")
+    if len(received) != len(set(received)):
+        fail("duplicate qids in the query log")
+    # Exactly-once: each client's unique write text drove at most one
+    # execution (replays answer from the idempotency cache and never
+    # reach the drive, hence never the log).
+    for index in range(CLIENTS):
+        text = f"data[{index}] = {9000 + index}"
+        drives = [r for r in queries
+                  if r["ev"] == "received" and r.get("text") == text]
+        if len(drives) > 1:
+            fail(f"idempotent write {text!r} executed "
+                 f"{len(drives)} times")
+    kinds = {}
+    for record in server_events:
+        kinds[record["kind"]] = kinds.get(record["kind"], 0) + 1
+    if not kinds.get("reaped"):
+        fail("no 'reaped' server event despite the silent client")
+    if not kinds.get("drain_begin"):
+        fail("shutdown never logged drain_begin")
+    print(f"query log ok: {len(received)} queries, "
+          f"server events {kinds}")
+    return kinds
+
+
+def main():
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--artifacts", default="chaos-smoke-artifacts",
+                        help="directory the run's artifacts land in")
+    args = parser.parse_args()
+    os.makedirs(args.artifacts, exist_ok=True)
+    source = os.path.join(args.artifacts, "prog.c")
+    qlog_path = os.path.join(args.artifacts, "queries.jsonl")
+    with open(source, "w") as handle:
+        handle.write(PROGRAM)
+
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        filter(None, ["src", env.get("PYTHONPATH")]))
+    process = subprocess.Popen(
+        [sys.executable, "-m", "repro", "--serve",
+         "--port", "0", "--workers", "4", "--max-clients", "24",
+         "--heartbeat-interval", "0.5", "--heartbeat-timeout", "2",
+         "--resume-ttl", "5",
+         "--query-log", qlog_path, source],
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+        text=True, env=env)
+    timer = arm_hang_timeout(process)
+    port = None
+    try:
+        deadline = time.monotonic() + 30
+        while port is None and time.monotonic() < deadline:
+            line = process.stdout.readline()
+            if not line:
+                fail("server exited before announcing its port")
+            sys.stdout.write(line)
+            if line.startswith("serving on "):
+                port = int(line.rsplit(":", 1)[1])
+        if port is None:
+            fail("server never announced 'serving on host:port'")
+
+        proxy = ChaosProxy(("127.0.0.1", port),
+                           FaultPlan.scripted(PLAN))
+        proxy_port = proxy.start()
+        print(f"chaos proxy :{proxy_port} -> server :{port}, "
+              f"faults scripted on connections {sorted(PLAN)}")
+
+        summary = {}
+        threads = [threading.Thread(target=client_worker,
+                                    args=(proxy_port, index, summary))
+                   for index in range(CLIENTS)]
+        threads.append(threading.Thread(target=silent_client,
+                                        args=(port, summary)))
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=120)
+        if any(thread.is_alive() for thread in threads):
+            fail("a chaos client hung")
+        if len(summary) != CLIENTS + 1:
+            fail(f"only {len(summary)}/{CLIENTS + 1} workers reported")
+        for index in range(CLIENTS):
+            outcomes = summary[index]["outcomes"]
+            for outcome in outcomes:
+                if outcome not in ("done", "truncated", "cancelled",
+                                   "faulted", "rejected") \
+                        and not str(outcome).startswith("error:"):
+                    fail(f"client {index} saw a non-terminal outcome "
+                         f"{outcome!r}")
+        reconnects = sum(summary[i]["reconnects"]
+                         for i in range(CLIENTS))
+        print(f"clients done: {reconnects} reconnects across "
+              f"{CLIENTS} clients, "
+              f"silent client reaped after "
+              f"{summary['silent']['reaped_after_s']}s")
+        if not proxy.events:
+            fail("the chaos proxy injected nothing — plan misfired")
+        print(f"injected faults: {proxy.events}")
+        proxy.stop()
+
+        # Give the parked-session TTL a chance to expire, then ask
+        # the server itself: every session must be reaped by now.
+        time.sleep(6.0)
+        verifier = DuelClient(port=port, client="verify", timeout=15.0)
+        stats = verifier.stats()["server"]
+        verifier.close()
+        if stats["parked"] != 0:
+            fail(f"{stats['parked']} sessions still parked after TTL")
+        if stats["clients"] > 1:
+            fail(f"{stats['clients']} connections still registered "
+                 "(only the verifier should be)")
+        if stats["reaped"] < 1:
+            fail("the server never reaped the silent client")
+        print(f"post-run stats ok: {stats}")
+
+        with open(os.path.join(args.artifacts, "outcomes.json"),
+                  "w") as handle:
+            json.dump({"summary": {str(k): v
+                                   for k, v in summary.items()},
+                       "injected": proxy.events,
+                       "stats": stats},
+                      handle, indent=2, sort_keys=True)
+
+        process.send_signal(signal.SIGINT)
+        tail = process.stdout.read()
+        sys.stdout.write(tail)
+        if process.wait(timeout=60) != 0:
+            fail(f"server exited with status {process.returncode}")
+        if "draining..." not in tail:
+            fail("server never reported draining")
+    finally:
+        timer.cancel()
+        if process.poll() is None:
+            process.kill()
+
+    check_query_log(qlog_path)
+    print("chaos smoke: all checks passed")
+
+
+if __name__ == "__main__":
+    main()

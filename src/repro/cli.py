@@ -418,6 +418,32 @@ def main(argv: Optional[Sequence[str]] = None,
                              help="shutdown drain budget before "
                                   "in-flight queries are cancelled "
                                   "(default 10)")
+    serve_group.add_argument("--heartbeat-interval", type=float,
+                             default=10.0, metavar="SECONDS",
+                             help="ping connections idle this long; "
+                                  "0 disables heartbeats (default 10)")
+    serve_group.add_argument("--heartbeat-timeout", type=float,
+                             default=30.0, metavar="SECONDS",
+                             help="reap connections silent this long "
+                                  "after a ping (default 30)")
+    serve_group.add_argument("--resume-ttl", type=float, default=60.0,
+                             metavar="SECONDS",
+                             help="how long an abnormally disconnected "
+                                  "session stays resumable; 0 disables "
+                                  "parking (default 60)")
+    serve_group.add_argument("--breaker-threshold", type=int, default=5,
+                             metavar="N",
+                             help="target faults within the window "
+                                  "that trip degraded mode (default 5)")
+    serve_group.add_argument("--breaker-window", type=float, default=30.0,
+                             metavar="SECONDS",
+                             help="sliding fault window feeding the "
+                                  "circuit breaker (default 30)")
+    serve_group.add_argument("--breaker-cooldown", type=float,
+                             default=10.0, metavar="SECONDS",
+                             help="how long writes stay rejected "
+                                  "before a half-open probe "
+                                  "(default 10)")
     parser.add_argument("args", nargs="*", default=[],
                         help="argv for the target program (after --)")
     ns = parser.parse_args(argv)

@@ -27,7 +27,7 @@ from time import perf_counter_ns
 from typing import Iterator, Optional
 
 from repro.core import nodes as N
-from repro.core.errors import DuelError, DuelTruncation
+from repro.core.errors import DuelCancelled, DuelError, DuelTruncation
 from repro.core.eval import _KEEP_DEFAULT, EvalOptions, Evaluator
 from repro.core.format import ValueFormatter
 from repro.core.parser import DuelParser
@@ -267,6 +267,12 @@ class DuelSession:
         except DuelError as error:
             failure = error
             self._restore(checkpoint)
+        except GeneratorExit:
+            # The consumer abandoned the stream mid-drive (a serve
+            # worker unwound, a client vanished): that is a
+            # cancellation in the audit trail, never a clean drain.
+            failure = DuelCancelled("drive abandoned")
+            raise
         finally:
             self._finish_query(tracer, baseline, parse_ns,
                                perf_counter_ns() - drive_t0)

@@ -24,7 +24,7 @@ from repro.ctype.types import (
     INT,
     RecordType,
 )
-from repro.core.errors import DuelMemoryError, DuelTypeError
+from repro.core.errors import DuelError, DuelMemoryError, DuelTypeError
 from repro.core.symbolic import Sym, SymText
 
 
@@ -156,6 +156,11 @@ class ValueOps:
     def _read(self, v: DuelValue, address: int, size: int) -> bytes:
         try:
             return self.backend.get_target_bytes(address, size)
+        except DuelError:
+            # A cancellation or limit tripping *inside* a backend call
+            # (the watchdog's async raise) is not a memory fault and
+            # must keep its identity.
+            raise
         except Exception:
             raise DuelMemoryError(
                 "x", "x", v.sym.render(), f"lvalue {address:#x}") from None
@@ -163,6 +168,8 @@ class ValueOps:
     def _write(self, v: DuelValue, address: int, data: bytes) -> None:
         try:
             self.backend.put_target_bytes(address, data)
+        except DuelError:
+            raise
         except Exception:
             raise DuelMemoryError(
                 "x", "x=y", v.sym.render(), f"lvalue {address:#x}") from None

@@ -91,10 +91,17 @@ class MetricsServer:
     server never blocks interpreter exit.
     """
 
-    def __init__(self, registry, port: int = 0, host: str = "127.0.0.1"):
+    def __init__(self, registry, port: int = 0, host: str = "127.0.0.1",
+                 health=None):
         self.registry = registry
         self.host = host
         self.port = port
+        #: Optional callable returning ``(status code, body text)`` for
+        #: ``/healthz`` — the serve layer plugs its
+        #: :meth:`~repro.serve.health.ServerHealth.healthz` in here so
+        #: the probe reports ok/degraded/draining instead of a static
+        #: liveness "ok".
+        self.health = health
         self._server: Optional[ThreadingHTTPServer] = None
         self._thread: Optional[threading.Thread] = None
 
@@ -103,20 +110,29 @@ class MetricsServer:
         if self._server is not None:
             return self.port
         registry = self.registry
+        server = self
 
         class Handler(BaseHTTPRequestHandler):
             def do_GET(self):
                 path = self.path.split("?", 1)[0].rstrip("/") or "/"
+                status = 200
                 if path in ("/", "/metrics"):
                     body = render_prometheus(registry).encode("utf-8")
                     content_type = CONTENT_TYPE
                 elif path == "/healthz":
-                    body = b"ok\n"
+                    if server.health is not None:
+                        try:
+                            status, text = server.health()
+                        except Exception:
+                            status, text = 500, "health probe failed\n"
+                        body = text.encode("utf-8")
+                    else:
+                        body = b"ok\n"
                     content_type = "text/plain; charset=utf-8"
                 else:
                     self.send_error(404, "unknown path")
                     return
-                self.send_response(200)
+                self.send_response(status)
                 self.send_header("Content-Type", content_type)
                 self.send_header("Content-Length", str(len(body)))
                 self.end_headers()

@@ -23,6 +23,13 @@ A query that fails to compile gets ``received`` → ``rejected`` (no
 so an unattended run killed mid-session still leaves a parseable log
 up to and including its last completed query.
 
+The serve layer additionally writes qid-less **server records** for
+connection-level lifecycle events the fault-tolerance machinery
+produces (``{"ev": "server", "kind": ..., ...}``): heartbeat reaps,
+watchdog hard-cancels, circuit-breaker trips and recoveries, session
+parking and resumption.  Analyzers keying on qids should filter on
+``ev != "server"``; :data:`SERVER_EVENT_KINDS` names the vocabulary.
+
 Cost discipline: the log is consulted once per *query*, never per
 value, behind the same single-predicate gate the tracer uses
 (``session.qlog is not None``); ``benchmarks/bench_trace.py`` gates
@@ -48,6 +55,12 @@ from repro.core.errors import DuelCancelled, DuelError, DuelTruncation
 #: Every terminal lifecycle event (exactly one per query).
 TERMINAL_EVENTS = frozenset(
     {"drained", "truncated", "cancelled", "faulted", "rejected"})
+
+#: Connection/server lifecycle record kinds (``ev: "server"``).
+SERVER_EVENT_KINDS = frozenset(
+    {"reaped", "hard_cancel", "worker_lost", "breaker_open",
+     "breaker_closed", "session_parked", "session_resumed",
+     "session_expired", "drain_begin", "drain_fast"})
 
 #: Stats keys copied onto terminal records (insertion order kept).
 _STAT_FIELDS = ("steps", "lines", "reads", "writes", "calls", "allocs")
@@ -131,6 +144,23 @@ class QueryLog:
         if phases:
             record["phases"] = {name: round(ms, 3)
                                 for name, ms in phases.items()}
+        with self._lock:
+            self._write_locked(record)
+            self._stream.flush()
+
+    def server_event(self, kind: str, **fields) -> None:
+        """A qid-less server lifecycle record (flushed immediately).
+
+        ``kind`` must come from :data:`SERVER_EVENT_KINDS` so the
+        vocabulary stays closed and greppable; extra ``fields`` are
+        copied onto the record (client ids, reasons, counts).
+        """
+        if kind not in SERVER_EVENT_KINDS:
+            raise ValueError(
+                f"unknown server event kind {kind!r} "
+                f"(know: {', '.join(sorted(SERVER_EVENT_KINDS))})")
+        record = {"ev": "server", "kind": kind, "ts": self._clock()}
+        record.update(fields)
         with self._lock:
             self._write_locked(record)
             self._stream.flush()

@@ -10,13 +10,23 @@ admission control wired into the governor/qlog/metrics/recorder
 
     duel-serve program.c --port 4693 --workers 8 --query-log q.jsonl
     duel-client --port 4693 --expr 'x[..100] >? 0'
+
+Fault tolerance (PR 6): a deterministic chaos proxy for tests
+(:mod:`repro.serve.chaos`), client retry/reconnect/idempotency
+(:class:`~repro.serve.client.RetryPolicy`), server heartbeats, a
+watchdog with crash-only session reclaim, and degraded-mode health
+(:mod:`repro.serve.health`).
 """
 
-from repro.serve.client import DuelClient, QueryResult, ServeError
+from repro.serve.chaos import ChaosProxy, Directive, FaultPlan
+from repro.serve.client import (DuelClient, QueryResult, RetryPolicy,
+                                ServeError)
+from repro.serve.health import CircuitBreaker, ServerHealth
 from repro.serve.protocol import PROTOCOL_VERSION, ProtocolError
 from repro.serve.server import DuelServer
 from repro.serve.sessions import SessionManager
 
-__all__ = ["DuelClient", "DuelServer", "PROTOCOL_VERSION",
-           "ProtocolError", "QueryResult", "ServeError",
-           "SessionManager"]
+__all__ = ["ChaosProxy", "CircuitBreaker", "Directive", "DuelClient",
+           "DuelServer", "FaultPlan", "PROTOCOL_VERSION",
+           "ProtocolError", "QueryResult", "RetryPolicy", "ServeError",
+           "ServerHealth", "SessionManager"]

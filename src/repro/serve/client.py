@@ -19,19 +19,84 @@ handler) gets a window to send ``cancel``.  One client object is one
 protocol conversation: it is *not* thread-safe for concurrent
 queries — open one client per concurrent stream, which is also what
 the server's per-client admission cap assumes.
+
+Fault tolerance (PR 6) — :meth:`duel` survives a flaky transport:
+
+* **Retry with backoff.**  A conversation that breaks mid-query
+  (reset, timeout, truncated frame) is retried up to
+  :attr:`RetryPolicy.retries` times with exponential backoff plus
+  jitter; pass a :class:`RetryPolicy` with a seeded ``rng`` and a
+  fake ``sleep`` for deterministic tests.
+* **Reconnect with resume.**  Every reconnect presents the resume key
+  from the last ``welcome``; if the server still holds the parked
+  session, aliases, limits and the idempotency cache come back
+  intact.  When resume fails (TTL expired), the client replays its
+  recorded governor-limit settings and alias-defining queries into
+  the fresh session, best effort.
+* **Idempotency tokens.**  Side-effecting queries (classified with
+  the real parser, client side) are automatically tagged with an
+  ``idem`` token, so a retry after an ambiguous disconnect is
+  *replayed* from the server's cache (``result.replayed``) rather
+  than executed a second time.  Pass ``idem=`` to control the token,
+  or construct with ``auto_idem=False`` to opt out.
+* **Heartbeats.**  Server ``ping`` frames are answered automatically
+  inside every read loop, so a client waiting on a slow query is
+  never reaped as dead.
+
+Timeouts: ``connect_timeout`` bounds the dial + handshake,
+``op_timeout`` bounds each wait for a server frame (a wedged server
+costs a bounded wait, then the retry machinery kicks in).
 """
 
 from __future__ import annotations
 
+import random
+import secrets
 import socket
+import time
 from typing import Callable, Iterator, Optional
 
 from repro.serve import protocol
 from repro.serve.protocol import ProtocolError
 
+#: Alias-defining queries remembered for replay into a fresh session.
+REPLAY_MAX = 32
+
 
 class ServeError(Exception):
     """The conversation broke (connection died, protocol violated)."""
+
+
+class RetryPolicy:
+    """Exponential backoff with jitter for reconnect/retry loops.
+
+    ``backoff(attempt)`` (1-based) returns
+    ``min(base * factor**(attempt-1), max_backoff)`` scaled by up to
+    ``jitter`` of random spread.  ``rng`` and ``sleep`` are
+    injectable, so tests can make retries deterministic and
+    instantaneous; ``retries=0`` disables retrying entirely.
+    """
+
+    def __init__(self, retries: int = 3, base: float = 0.05,
+                 factor: float = 2.0, max_backoff: float = 2.0,
+                 jitter: float = 0.5, rng=None, sleep=time.sleep):
+        if retries < 0:
+            raise ValueError("retries must be >= 0")
+        self.retries = retries
+        self.base = base
+        self.factor = factor
+        self.max_backoff = max_backoff
+        self.jitter = jitter
+        self._rng = rng if rng is not None else random.Random()
+        self._sleep = sleep
+
+    def backoff(self, attempt: int) -> float:
+        raw = min(self.base * (self.factor ** max(attempt - 1, 0)),
+                  self.max_backoff)
+        return raw * (1.0 + self.jitter * self._rng.random())
+
+    def wait(self, attempt: int) -> None:
+        self._sleep(self.backoff(attempt))
 
 
 class QueryResult:
@@ -42,11 +107,13 @@ class QueryResult:
     ``lines`` are the streamed output lines (partial results included
     on truncation); ``diagnostic`` / ``error`` / ``reason`` carry the
     terminal frame's explanation, ``stats`` the per-query governor
-    counters when the server sent them.
+    counters when the server sent them.  ``replayed`` is True when
+    the server answered from its idempotency cache instead of
+    re-executing (a retried token).
     """
 
     __slots__ = ("request_id", "outcome", "lines", "values", "kind",
-                 "diagnostic", "error", "reason", "stats")
+                 "diagnostic", "error", "reason", "stats", "replayed")
 
     def __init__(self, request_id: int, outcome: str, lines: list,
                  frame: dict):
@@ -59,6 +126,7 @@ class QueryResult:
         self.error = frame.get("error")
         self.reason = frame.get("reason")
         self.stats = frame.get("stats")
+        self.replayed = bool(frame.get("replayed"))
 
     @property
     def ok(self) -> bool:
@@ -70,37 +138,79 @@ class QueryResult:
                 f"{len(self.lines)} lines>")
 
 
+def classify_writes(text: str) -> bool:
+    """True when ``text`` can mutate the target (client-side parse).
+
+    Used to decide which queries get an automatic idempotency token.
+    Unparseable texts are tagged too (costs one cache slot, never
+    correctness); the server will reject them identically on every
+    attempt.
+    """
+    try:
+        from repro.core.parser import parse
+        from repro.core.session import _has_side_effects
+        return _has_side_effects(parse(text))
+    except Exception:
+        return True
+
+
 class DuelClient:
     """A blocking protocol conversation with one ``duel-serve``."""
 
     def __init__(self, host: str = "127.0.0.1", port: int = 0,
                  client: Optional[str] = None, timeout: float = 30.0,
-                 connect: bool = True):
+                 connect: bool = True,
+                 connect_timeout: Optional[float] = None,
+                 op_timeout: Optional[float] = None,
+                 retry: Optional[RetryPolicy] = None,
+                 auto_idem: bool = True):
         self.host = host
         self.port = port
         self.client_name = client
         self.timeout = timeout
+        self.connect_timeout = (connect_timeout if connect_timeout
+                                is not None else timeout)
+        self.op_timeout = op_timeout if op_timeout is not None else timeout
+        self.retry = retry if retry is not None else RetryPolicy()
+        self.auto_idem = auto_idem
         self._sock: Optional[socket.socket] = None
         self._rfile = None
         self._wfile = None
         self._next_id = 0
         #: The server's ``welcome`` frame (after :meth:`connect`).
         self.welcome: Optional[dict] = None
+        #: True when the last :meth:`connect` resumed a parked session.
+        self.resumed = False
+        #: Reconnects performed over this client's lifetime.
+        self.reconnects = 0
+        self._resume_key: Optional[str] = None
+        #: Session state replayed into a fresh session when resume
+        #: fails: limit settings (name -> value, last write wins) and
+        #: alias-defining query texts, in order.
+        self._limit_sets: dict = {}
+        self._alias_texts: list[str] = []
         if connect:
             self.connect()
 
     # -- conversation lifecycle -------------------------------------------
     def connect(self) -> dict:
-        """Dial, say hello, store and return the ``welcome`` frame."""
+        """Dial, say hello, store and return the ``welcome`` frame.
+
+        Presents the resume key of a previous conversation when there
+        is one; check :attr:`resumed` to learn whether the server
+        still had the session.
+        """
         if self._sock is not None:
             return self.welcome
         sock = socket.create_connection((self.host, self.port),
-                                        timeout=self.timeout)
+                                        timeout=self.connect_timeout)
         sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        sock.settimeout(self.op_timeout)
         self._sock = sock
         self._rfile = sock.makefile("rb")
         self._wfile = sock.makefile("wb")
-        self._send(protocol.hello(self.client_name))
+        self._send(protocol.hello(self.client_name,
+                                  resume=self._resume_key))
         frame = self.read_frame()
         if frame is None or frame.get("ev") == "error":
             detail = frame.get("error") if frame else "connection closed"
@@ -110,6 +220,8 @@ class DuelClient:
             self.close()
             raise ServeError(f"expected welcome, got {frame!r}")
         self.welcome = frame
+        self.resumed = bool(frame.get("resumed"))
+        self._resume_key = frame.get("resume") or self._resume_key
         return frame
 
     def close(self) -> None:
@@ -120,16 +232,40 @@ class DuelClient:
             self._send({"op": "bye"})
         except (OSError, ServeError):
             pass
+        self._teardown()
+
+    def _teardown(self) -> None:
+        """Drop the transport, keeping resume/replay state."""
         for stream in (self._rfile, self._wfile):
             try:
-                stream.close()
+                if stream is not None:
+                    stream.close()
             except OSError:
                 pass
         try:
-            self._sock.close()
+            if self._sock is not None:
+                self._sock.close()
         except OSError:
             pass
         self._sock = self._rfile = self._wfile = None
+
+    def _redial(self) -> None:
+        """Reconnect after a broken conversation (resume or replay)."""
+        had_conversation = self.welcome is not None
+        self._teardown()
+        self.connect()
+        if had_conversation:
+            self.reconnects += 1
+            if not self.resumed:
+                self._replay_state()
+
+    def _replay_state(self) -> None:
+        """Re-establish limits and aliases in a fresh session."""
+        for name, value in list(self._limit_sets.items()):
+            self._control({"op": "limits", "name": name, "value": value},
+                          "limits")
+        for text in list(self._alias_texts):
+            self.collect(self.start(text))
 
     def __enter__(self) -> "DuelClient":
         self.connect()
@@ -149,29 +285,47 @@ class DuelClient:
             raise ServeError(f"connection lost: {error}") from error
 
     def read_frame(self) -> Optional[dict]:
-        """The next server frame, or None on EOF."""
+        """The next server frame, or None on EOF.
+
+        Server heartbeat ``ping`` frames are answered (``pong``) and
+        swallowed here, so every caller's read loop keeps the
+        connection provably alive without handling them itself.
+        """
         if self._rfile is None:
             raise ServeError("not connected")
-        try:
-            line = self._rfile.readline(protocol.MAX_FRAME + 2)
-        except OSError as error:
-            raise ServeError(f"connection lost: {error}") from error
-        if not line:
-            return None
-        try:
-            return protocol.decode(line)
-        except ProtocolError as error:
-            raise ServeError(f"unreadable server frame: {error}") from error
+        while True:
+            try:
+                line = self._rfile.readline(protocol.MAX_FRAME + 2)
+            except OSError as error:
+                raise ServeError(f"connection lost: {error}") from error
+            if not line:
+                return None
+            try:
+                frame = protocol.decode(line)
+            except ProtocolError as error:
+                raise ServeError(
+                    f"unreadable server frame: {error}") from error
+            if frame.get("ev") == "ping" and isinstance(
+                    frame.get("seq"), int):
+                try:
+                    self._send({"op": "pong", "seq": frame["seq"]})
+                except ServeError:
+                    pass
+                continue
+            return frame
 
     def _take_id(self) -> int:
         self._next_id += 1
         return self._next_id
 
     # -- queries -----------------------------------------------------------
-    def start(self, text: str) -> int:
+    def start(self, text: str, idem: Optional[str] = None) -> int:
         """Issue a ``duel`` request without waiting; returns its id."""
         request_id = self._take_id()
-        self._send({"op": "duel", "id": request_id, "text": text})
+        frame = {"op": "duel", "id": request_id, "text": text}
+        if idem is not None:
+            frame["idem"] = idem
+        self._send(frame)
         return request_id
 
     def collect(self, request_id: int,
@@ -199,16 +353,60 @@ class DuelClient:
                 raise ServeError(f"unexpected frame mid-query: {frame!r}")
 
     def duel(self, text: str,
-             on_line: Optional[Callable[[str], None]] = None
-             ) -> QueryResult:
-        """Run one query to completion (values stream via ``on_line``)."""
-        return self.collect(self.start(text), on_line=on_line)
+             on_line: Optional[Callable[[str], None]] = None,
+             idem: Optional[str] = None) -> QueryResult:
+        """Run one query to completion (values stream via ``on_line``).
+
+        Resilient: a conversation that breaks mid-query is retried per
+        :attr:`retry` (reconnecting — resuming the session when the
+        server still holds it).  Side-effecting queries are tagged
+        with an idempotency token (``idem``, auto-generated under
+        ``auto_idem``), so a retry is replayed from the server's
+        cache, never executed twice.  After a reconnect ``on_line``
+        may observe some lines a second time; the returned result's
+        ``lines`` are authoritative.
+        """
+        if idem is None and self.auto_idem and classify_writes(text):
+            idem = "auto-" + secrets.token_hex(8)
+        attempt = 0
+        while True:
+            try:
+                if self._sock is None:
+                    self._redial()
+                request_id = self.start(text, idem=idem)
+                result = self.collect(request_id, on_line=on_line)
+            except (ServeError, OSError) as error:
+                self._teardown()
+                attempt += 1
+                if attempt > self.retry.retries:
+                    raise ServeError(
+                        f"query failed after {attempt} attempt"
+                        f"{'s' if attempt != 1 else ''}: {error}"
+                    ) from error
+                self.retry.wait(attempt)
+                continue
+            if (result.outcome == "rejected" and result.reason == "busy"
+                    and idem is not None
+                    and attempt < self.retry.retries):
+                # Our previous attempt is still running server-side;
+                # back off and re-present the token until its cached
+                # result is ready.
+                attempt += 1
+                self.retry.wait(attempt)
+                continue
+            self._note_state(text, result)
+            return result
+
+    def _note_state(self, text: str, result: QueryResult) -> None:
+        """Remember alias definitions for fresh-session replay."""
+        if result.outcome in ("done", "truncated") and ":=" in text:
+            self._alias_texts.append(text)
+            del self._alias_texts[:-REPLAY_MAX]
 
     def iduel(self, text: str) -> Iterator[str]:
         """Lines of one query, lazily; raises on non-``done`` outcomes
         only for rejections and errors (truncation keeps partials)."""
-        request_id = self.start(text)
-        result = self.collect(request_id)
+        result = self.duel(text)
         yield from result.lines
         if result.outcome in ("error", "rejected"):
             raise ServeError(result.error or result.reason or
@@ -234,6 +432,11 @@ class DuelClient:
                 return reply
             raise ServeError(f"unexpected reply: {reply!r}")
 
+    def ping(self) -> bool:
+        """A client-initiated liveness probe (True on a pong)."""
+        reply = self._control({"op": "ping"}, "pong")
+        return reply.get("ev") == "pong"
+
     def aliases(self) -> dict:
         reply = self._control({"op": "alias"}, "alias")
         if reply["ev"] != "alias":
@@ -249,6 +452,8 @@ class DuelClient:
         reply = self._control(frame, "limits")
         if reply["ev"] != "limits":
             raise ServeError(reply.get("error") or "limits failed")
+        if name is not None:
+            self._limit_sets[name] = value
         return reply
 
     def stats(self) -> dict:
@@ -278,21 +483,47 @@ def main(argv=None) -> int:
                         help="client name shown in server logs")
     parser.add_argument("--expr", "-e", action="append", default=[],
                         help="run this query and exit (repeatable)")
+    parser.add_argument("--connect-timeout", type=float, default=5.0,
+                        metavar="SECONDS",
+                        help="dial + handshake timeout (default 5)")
+    parser.add_argument("--op-timeout", type=float, default=60.0,
+                        metavar="SECONDS",
+                        help="per-frame wait before the conversation "
+                             "is declared dead (default 60)")
+    parser.add_argument("--retries", type=int, default=3, metavar="N",
+                        help="reconnect-and-retry attempts per query, "
+                             "with exponential backoff "
+                             "(default 3; 0 disables)")
     ns = parser.parse_args(argv)
     out = sys.stdout
 
+    policy = RetryPolicy(retries=ns.retries)
     try:
-        client = DuelClient(host=ns.host, port=ns.port, client=ns.name)
+        client = DuelClient(host=ns.host, port=ns.port, client=ns.name,
+                            connect=False,
+                            connect_timeout=ns.connect_timeout,
+                            op_timeout=ns.op_timeout, retry=policy)
+        attempt = 0
+        while True:
+            try:
+                client.connect()
+                break
+            except (OSError, ServeError):
+                attempt += 1
+                if attempt > policy.retries:
+                    raise
+                policy.wait(attempt)
     except (OSError, ServeError) as error:
         out.write(f"error: {error}\n")
         return 1
 
     def run_one(text: str) -> None:
-        request_id = client.start(text)
         try:
-            result = client.collect(
-                request_id, on_line=lambda s: out.write(s + "\n"))
+            result = client.duel(
+                text, on_line=lambda s: out.write(s + "\n"))
         except KeyboardInterrupt:
+            # ^C mid-query: cancel in place, keep the partials.
+            request_id = client._next_id
             client.cancel(request_id)
             result = client.collect(
                 request_id, on_line=lambda s: out.write(s + "\n"))
@@ -302,6 +533,8 @@ def main(argv=None) -> int:
             out.write((result.error or result.outcome) + "\n")
         elif result.outcome == "rejected":
             out.write(f"rejected: {result.reason}\n")
+        if result.replayed:
+            out.write("(replayed from the idempotency cache)\n")
 
     try:
         if ns.expr:

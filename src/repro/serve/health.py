@@ -1,0 +1,197 @@
+"""Degraded-mode health: a circuit breaker over target faults.
+
+A debugging service whose *target* has started faulting (a crashed
+inferior, an unmapped region, a gdb stub gone sideways) should not
+keep slamming write queries into it: every side-effecting query costs
+a snapshot take/restore against a target that is likely to fault
+mid-write anyway.  The :class:`CircuitBreaker` watches terminal
+``faulted`` outcomes that are *target* faults (never plain query
+errors — a user typo must not degrade the service) and trips the
+server into **degraded** mode:
+
+* read-only queries keep flowing — a degraded debugger still answers
+  ``x[..100]``;
+* side-effecting queries are refused with an explicit
+  ``rejected: degraded`` frame (never a hang, never a half-applied
+  write against a sick target);
+* after ``cooldown`` seconds the breaker goes **half-open**: the next
+  write is let through as a probe; success closes the breaker, a
+  fresh target fault re-trips it.
+
+:class:`ServerHealth` folds the breaker together with the server's
+drain flag into the one state word operators see everywhere —
+``/healthz``, the ``stats`` frame, the Prometheus gauges::
+
+    ok        everything normal                (healthz: 200)
+    degraded  breaker open, reads only         (healthz: 200 + body)
+    draining  shutdown in progress             (healthz: 503)
+
+States are strings on purpose: they travel through JSON frames and
+text exposition unmodified.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from typing import Optional
+
+#: The three health states, in increasing order of distress.
+OK = "ok"
+DEGRADED = "degraded"
+DRAINING = "draining"
+
+#: Numeric encoding for the ``serve_health`` gauge (dashboards can
+#: alert on ``> 0``).
+STATE_CODES = {OK: 0, DEGRADED: 1, DRAINING: 2}
+
+
+class CircuitBreaker:
+    """Trip after ``threshold`` target faults within ``window`` seconds.
+
+    Classic three-state breaker (closed / open / half-open) with a
+    sliding fault window.  All transitions are lock-protected and
+    cheap; ``clock`` is injectable for deterministic tests.
+
+    The breaker never *blocks* anything itself — callers ask
+    :meth:`allow_write` before running a side-effecting query and
+    report outcomes via :meth:`record_fault` / :meth:`record_ok`.
+    """
+
+    def __init__(self, threshold: int = 5, window: float = 30.0,
+                 cooldown: float = 10.0, clock=time.monotonic):
+        if threshold <= 0:
+            raise ValueError("threshold must be positive")
+        self.threshold = threshold
+        self.window = window
+        self.cooldown = cooldown
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._faults: deque[float] = deque()
+        self._opened_at: Optional[float] = None
+        self._probing = False
+        #: Lifetime counters (mirrored into metrics by the server).
+        self.trips = 0
+        self.rejections = 0
+
+    # -- state -------------------------------------------------------------
+    @property
+    def open(self) -> bool:
+        with self._lock:
+            return self._opened_at is not None
+
+    def state(self) -> str:
+        """``closed``, ``open`` or ``half-open`` (for diagnostics)."""
+        with self._lock:
+            if self._opened_at is None:
+                return "closed"
+            if self._clock() - self._opened_at >= self.cooldown:
+                return "half-open"
+            return "open"
+
+    # -- the write gate ----------------------------------------------------
+    def allow_write(self) -> bool:
+        """May a side-effecting query run right now?
+
+        Closed: yes.  Open: no, until ``cooldown`` has elapsed.
+        Half-open: exactly one caller gets a True (the probe); others
+        stay rejected until the probe reports back.
+        """
+        with self._lock:
+            if self._opened_at is None:
+                return True
+            if self._clock() - self._opened_at < self.cooldown:
+                self.rejections += 1
+                return False
+            if self._probing:
+                self.rejections += 1
+                return False
+            self._probing = True
+            return True
+
+    # -- outcome reports ---------------------------------------------------
+    def record_fault(self) -> bool:
+        """A target fault happened; returns True when this one trips
+        the breaker (open state entered)."""
+        now = self._clock()
+        with self._lock:
+            if self._opened_at is not None:
+                # A faulting probe re-opens the full cooldown window.
+                self._opened_at = now
+                self._probing = False
+                return False
+            self._faults.append(now)
+            horizon = now - self.window
+            while self._faults and self._faults[0] < horizon:
+                self._faults.popleft()
+            if len(self._faults) >= self.threshold:
+                self._opened_at = now
+                self._probing = False
+                self._faults.clear()
+                self.trips += 1
+                return True
+            return False
+
+    def record_ok(self) -> bool:
+        """A write completed cleanly; returns True when this closes a
+        half-open breaker (service recovered)."""
+        with self._lock:
+            if self._opened_at is None:
+                return False
+            if not self._probing:
+                return False
+            self._opened_at = None
+            self._probing = False
+            self._faults.clear()
+            return True
+
+    def force_close(self) -> None:
+        """Operator reset: forget everything, close the breaker."""
+        with self._lock:
+            self._opened_at = None
+            self._probing = False
+            self._faults.clear()
+
+
+class ServerHealth:
+    """The server's one-word health, and how it is computed.
+
+    ``draining`` (set by shutdown) dominates; otherwise the breaker
+    decides ``degraded`` vs ``ok``.  :meth:`healthz` renders the
+    ``(status code, body)`` pair the ``/healthz`` endpoint serves:
+    ``ok`` and ``degraded`` answer 200 (the *process* is alive — a
+    degraded debugger must not be restart-looped by its supervisor),
+    ``draining`` answers 503 so load balancers stop routing to it.
+    """
+
+    def __init__(self, breaker: Optional[CircuitBreaker] = None):
+        self.breaker = breaker if breaker is not None else CircuitBreaker()
+        self._draining = threading.Event()
+
+    def set_draining(self) -> None:
+        self._draining.set()
+
+    @property
+    def draining(self) -> bool:
+        return self._draining.is_set()
+
+    def state(self) -> str:
+        if self._draining.is_set():
+            return DRAINING
+        if self.breaker.open:
+            return DEGRADED
+        return OK
+
+    def code(self) -> int:
+        """The numeric gauge encoding of :meth:`state`."""
+        return STATE_CODES[self.state()]
+
+    def healthz(self) -> tuple[int, str]:
+        """``(HTTP status, body)`` for the ``/healthz`` endpoint."""
+        state = self.state()
+        status = 503 if state == DRAINING else 200
+        if state == DEGRADED:
+            return status, (f"{state} (breaker {self.breaker.state()}: "
+                            "reads only, writes rejected)\n")
+        return status, state + "\n"

@@ -25,8 +25,25 @@ responses):
     last-query stats plus server admission counters;
 ``{"op": "cancel", "id": N, "target": M}``
     trip the cancel token of this client's in-flight query ``M``;
+``{"op": "ping", "id": N}`` / ``{"op": "pong", "seq": K}``
+    client-initiated liveness probe (answered ``pong``) and the
+    answer to a server-initiated ``ping`` (heartbeats — see below);
 ``{"op": "bye"}``
     close the conversation (the server answers ``bye`` and hangs up).
+
+Fault-tolerance fields (all optional, all version 1):
+
+* ``hello`` may carry ``"resume": "<key>"`` — the resume key of a
+  previous conversation; if the server still holds that session
+  (bounded parking window), the reconnect re-attaches it, aliases,
+  limits and idempotency cache intact, and ``welcome`` says
+  ``"resumed": true``;
+* ``duel`` may carry ``"idem": "<token>"`` — a client-chosen
+  idempotency token.  A retried ``duel`` with a token the session has
+  already completed is *not* re-executed: the cached terminal result
+  is replayed (``"replayed": true`` on the terminal frame), so a
+  retry after an ambiguous disconnect can never apply a
+  side-effecting query twice.
 
 Server → client frames (``ev`` tags the event):
 
@@ -48,15 +65,23 @@ Server → client frames (``ev`` tags the event):
     query never ran;
 ``{"ev": "alias" | "limits" | "stats", "id": N, ...}``
     control-operation replies;
+``{"ev": "pong", "id": N}`` / ``{"ev": "ping", "seq": K}``
+    the ``ping`` reply, and the server's heartbeat probe (clients
+    answer ``{"op": "pong", "seq": K}``; *any* inbound frame counts
+    as proof of life, so a pong racing a query frame is fine);
 ``{"ev": "bye"}``
     goodbye (also sent unsolicited when the server drains for
     shutdown, with a ``reason``).
 
 Framing discipline: a frame is one line, at most :data:`MAX_FRAME`
-bytes; anything unparsable or oversized raises
-:class:`ProtocolError`, which the server answers with a terminal
-``error`` frame before dropping the connection — a misbehaving client
-can never wedge a worker.
+bytes.  The server reads through
+:func:`read_frames_budgeted`: each malformed line is answered with a
+structured ``error`` frame carrying the running ``malformed`` count
+and the connection's ``budget``; past the budget (or on an
+unrecoverable framing violation — an unterminated oversized line that
+cannot be resynchronized) the connection is dropped.  A misbehaving
+client can never wedge a worker, and a *briefly* garbled one (a proxy
+hiccup, a truncated retry) gets a diagnosis instead of a hangup.
 """
 
 from __future__ import annotations
@@ -83,18 +108,32 @@ MAX_LINE = MAX_FRAME - 4096
 
 #: Every client→server operation.
 REQUEST_OPS = frozenset(
-    {"hello", "duel", "alias", "limits", "stats", "cancel", "bye"})
+    {"hello", "duel", "alias", "limits", "stats", "cancel",
+     "ping", "pong", "bye"})
 
 #: Terminal events of a ``duel`` request (exactly one per query).
 TERMINAL_EVENTS = frozenset(
     {"done", "truncated", "cancelled", "faulted", "error", "rejected"})
 
 #: Request ops that must carry an integer ``id``.
-_NEEDS_ID = frozenset({"duel", "alias", "limits", "stats", "cancel"})
+_NEEDS_ID = frozenset({"duel", "alias", "limits", "stats", "cancel",
+                       "ping"})
+
+#: Malformed frames tolerated per connection before hanging up.
+MALFORMED_BUDGET = 3
+
+#: Bytes skipped while resynchronizing past an oversized line before
+#: the connection is declared unrecoverable (a peer streaming an
+#: endless unterminated line must not pin the reader forever).
+MAX_RESYNC = 8 * MAX_FRAME
 
 
 class ProtocolError(Exception):
     """A frame violated the protocol (bad JSON, shape, or size)."""
+
+
+class FatalProtocolError(ProtocolError):
+    """A framing violation the reader cannot resynchronize past."""
 
 
 # -- framing ---------------------------------------------------------------
@@ -139,6 +178,54 @@ def read_frames(stream):
         yield decode(line)
 
 
+def read_frames_budgeted(stream):
+    """Yield frames *or* :class:`ProtocolError` instances until EOF.
+
+    The lenient reader behind the server's per-connection
+    malformed-frame budget: a bad line (broken JSON, a non-object, an
+    oversized-but-terminated frame) is yielded as the
+    :class:`ProtocolError` describing it and reading continues on the
+    next line, so the caller can answer with a structured ``error``
+    frame and charge the budget instead of hanging up on the first
+    offence.  Only :class:`FatalProtocolError` is *raised*: an
+    unterminated oversized line means the byte stream has lost frame
+    alignment; the reader skips ahead to the next newline (at most
+    :data:`MAX_RESYNC` bytes) to try to resynchronize, and gives up —
+    raising — when no newline appears within that budget.
+
+    Note that a yielded error covers only the framing layer; callers
+    still run :func:`validate_request` on yielded dicts and may treat
+    its failures as budget charges too.
+    """
+    while True:
+        line = stream.readline(MAX_FRAME + 2)
+        if not line:
+            return
+        if line.strip() == b"":
+            continue
+        if not line.endswith(b"\n") and len(line) > MAX_FRAME:
+            # Mid-line: resynchronize to the next newline (bounded).
+            skipped = len(line)
+            while True:
+                chunk = stream.readline(MAX_FRAME + 2)
+                if not chunk:
+                    return
+                skipped += len(chunk)
+                if chunk.endswith(b"\n"):
+                    break
+                if skipped > MAX_RESYNC:
+                    raise FatalProtocolError(
+                        f"unterminated frame ran past {MAX_RESYNC} "
+                        "bytes without a newline")
+            yield ProtocolError(
+                f"oversized frame ({skipped} bytes > {MAX_FRAME})")
+            continue
+        try:
+            yield decode(line)
+        except ProtocolError as error:
+            yield error
+
+
 # -- request validation ----------------------------------------------------
 def validate_request(frame: dict) -> str:
     """Check one client frame's shape; returns its ``op``.
@@ -152,14 +239,21 @@ def validate_request(frame: dict) -> str:
             f"unknown op {op!r} (know: {', '.join(sorted(REQUEST_OPS))})")
     if op in _NEEDS_ID and not isinstance(frame.get("id"), int):
         raise ProtocolError(f"op {op!r} requires an integer 'id'")
-    if op == "duel" and not isinstance(frame.get("text"), str):
-        raise ProtocolError("op 'duel' requires a string 'text'")
+    if op == "duel":
+        if not isinstance(frame.get("text"), str):
+            raise ProtocolError("op 'duel' requires a string 'text'")
+        if "idem" in frame and not isinstance(frame["idem"], str):
+            raise ProtocolError("duel 'idem' must be a string")
     if op == "cancel" and not isinstance(frame.get("target"), int):
         raise ProtocolError("op 'cancel' requires an integer 'target'")
+    if op == "pong" and not isinstance(frame.get("seq"), int):
+        raise ProtocolError("op 'pong' requires an integer 'seq'")
     if op == "hello":
         version = frame.get("version")
         if not isinstance(version, int):
             raise ProtocolError("op 'hello' requires an integer 'version'")
+        if "resume" in frame and not isinstance(frame["resume"], str):
+            raise ProtocolError("hello 'resume' must be a string")
     if op == "limits" and "name" in frame:
         if not isinstance(frame["name"], str):
             raise ProtocolError("limits 'name' must be a string")
@@ -168,10 +262,13 @@ def validate_request(frame: dict) -> str:
 
 # -- frame builders --------------------------------------------------------
 def hello(client: Optional[str] = None,
-          version: int = PROTOCOL_VERSION) -> dict:
+          version: int = PROTOCOL_VERSION,
+          resume: Optional[str] = None) -> dict:
     frame = {"op": "hello", "version": version}
     if client is not None:
         frame["client"] = client
+    if resume is not None:
+        frame["resume"] = resume
     return frame
 
 
@@ -203,7 +300,8 @@ def terminal(request_id: int, outcome: str, info: dict) -> dict:
         raise ProtocolError(f"unknown terminal outcome {outcome!r}")
     frame = {"ev": outcome, "id": request_id,
              "values": info.get("values", 0)}
-    for key in ("kind", "diagnostic", "error", "error_type", "stats"):
+    for key in ("kind", "diagnostic", "error", "error_type", "stats",
+                "replayed"):
         if key in info:
             frame[key] = info[key]
     return frame

@@ -11,7 +11,7 @@ frames and tripped on disconnect), is audited by the shared
 shared by every client through the snapshot-isolating
 :class:`~repro.serve.sessions.SessionManager`.
 
-Concurrency model — three kinds of threads:
+Concurrency model — four kinds of threads:
 
 * the **acceptor** (``ThreadingTCPServer.serve_forever`` in a daemon
   thread) accepts connections;
@@ -20,7 +20,10 @@ Concurrency model — three kinds of threads:
   ``cancel`` or ``stats`` is handled even while the client's query is
   being driven elsewhere;
 * a bounded pool of **query workers** drains one shared, bounded
-  queue of admitted ``duel`` requests and streams results back.
+  queue of admitted ``duel`` requests and streams results back;
+* one **watchdog** thread owning every liveness decision: heartbeat
+  pings and reaps, wall-clock hard-cancellation of queries that blow
+  past their deadline, parked-session expiry, and health gauges.
 
 Admission control is explicit, never buffering: a ``duel`` frame is
 rejected with ``rejected: busy`` when the client already has
@@ -29,10 +32,47 @@ when the shared queue is full — the client finds out immediately
 instead of hanging.  ``max_clients`` bounds concurrent connections
 the same way (``error`` + hangup on the over-limit connect).
 
-Shutdown drains: :meth:`DuelServer.stop` stops the acceptor, lets the
-workers finish every admitted query (up to ``drain_timeout``, after
-which remaining queries' cancel tokens are tripped), sends each
-connected client an unsolicited ``bye`` and closes the sockets.
+Fault tolerance (PR 6) is layered on without changing the admitted
+happy path:
+
+* **Heartbeats.**  The watchdog pings connections idle past
+  ``heartbeat_interval``; *any* inbound frame counts as proof of
+  life.  A connection silent for ``heartbeat_timeout`` with an
+  unanswered ping is *reaped*: its socket is shut down, which
+  unblocks the connection thread and runs the normal disconnect
+  cleanup — nothing is leaked that a voluntary disconnect would not
+  also release.
+* **Parking and resume.**  An abnormal disconnect (reap, network
+  fault — anything but a clean ``bye``) parks the session under its
+  resume key for ``resume_ttl`` seconds; a reconnect presenting the
+  key in ``hello`` re-attaches it, aliases and idempotency cache
+  intact.
+* **Watchdog hard-cancel.**  A query that ignores its cooperative
+  deadline is first hard-cancelled — its token is tripped *and* a
+  :class:`~repro.core.errors.DuelCancelled` is asynchronously raised
+  into the worker (only while the drive loop is interruptible, never
+  during cleanup).  If the worker is still wedged ``watchdog_grace``
+  later it is declared lost: the session's leases are reclaimed
+  (snapshot restored, RW lock released — crash-only cleanup), the
+  session is poisoned, the client gets a ``cancelled`` terminal
+  frame, and a replacement worker thread is started so the pool never
+  shrinks.
+* **Idempotency.**  ``duel`` frames may carry an ``idem`` token; the
+  completed result is cached per session and a retried token is
+  *replayed* (``replayed: true``), never re-executed — a retry after
+  an ambiguous disconnect cannot run a side-effecting query twice.
+* **Degraded mode.**  Target-fault terminal outcomes feed a
+  :class:`~repro.serve.health.CircuitBreaker`; while it is open,
+  side-effecting queries are refused with ``rejected: degraded`` and
+  reads keep flowing.  ``/healthz`` (via the metrics server) and the
+  ``serve_health`` gauge surface ok / degraded / draining.
+
+Shutdown drains: :meth:`DuelServer.stop` flips health to draining,
+stops the acceptor, lets the workers finish every admitted query (up
+to ``drain_timeout``, after which remaining queries' cancel tokens
+are tripped; :meth:`request_fast_drain` — a second SIGINT — trips
+them immediately), sends each connected client an unsolicited ``bye``
+and closes the sockets.
 """
 
 from __future__ import annotations
@@ -42,10 +82,14 @@ import socket
 import socketserver
 import struct
 import threading
+import time
 from typing import Optional
 
+from repro.core.errors import DuelCancelled, DuelError
 from repro.serve import protocol
-from repro.serve.sessions import ClientSession, SessionManager
+from repro.serve.health import CircuitBreaker, ServerHealth
+from repro.serve.sessions import (IDEM_LINES_BYTES, ClientSession,
+                                  SessionManager)
 
 #: A queue sentinel telling one worker to exit.
 _STOP = object()
@@ -59,6 +103,37 @@ _STOP = object()
 #: most ``SEND_TIMEOUT`` seconds, never the whole pool.
 SEND_TIMEOUT = 30.0
 
+#: ``error_type`` values on ``faulted`` terminals that indicate a sick
+#: *target* (and feed the circuit breaker) rather than a bad query.  A
+#: user typo (``DuelNameError``) or a bad pointer in a query
+#: (``DuelMemoryError``) must never degrade the service for everyone.
+TARGET_FAULT_TYPES = frozenset({"DuelTargetError", "TargetMemoryFault"})
+
+#: Watchdog deadline assumed for queries running with no
+#: ``deadline_ms`` limit, seconds.
+DEFAULT_WATCHDOG_DEADLINE = 60.0
+
+
+def _async_raise(tid: int) -> bool:
+    """Raise :class:`DuelCancelled` inside thread ``tid`` (best effort).
+
+    The CPython-only escalation for a worker ignoring its cooperative
+    token: the exception lands at the thread's next bytecode boundary,
+    so a loop wedged in pure Python unwinds; a thread blocked in a C
+    call does not (the caller escalates to reclaim after a grace
+    period).  Returns False when the raise could not be delivered.
+    """
+    try:
+        import ctypes
+        set_async = ctypes.pythonapi.PyThreadState_SetAsyncExc
+    except (ImportError, AttributeError):  # pragma: no cover - non-CPython
+        return False
+    res = set_async(ctypes.c_ulong(tid), ctypes.py_object(DuelCancelled))
+    if res > 1:                            # pragma: no cover - defensive
+        set_async(ctypes.c_ulong(tid), None)
+        return False
+    return res == 1
+
 
 class _Pending:
     """One admitted ``duel`` request, from queue to terminal frame.
@@ -70,13 +145,25 @@ class _Pending:
     request is dropped outright, after it the session's live token is
     tripped (``begin_query`` clears the token, so the recheck runs
     *after* that clear, closing the race).
+
+    The watchdog reads the timing fields (``started_at``,
+    ``deadline_s``, ``hard_cancelled_at``) and the ``interruptible``
+    flag — True exactly while the drive loop runs, so an async raise
+    can never land inside cleanup code.  ``finish_pending`` is
+    idempotent via ``done``: the driving worker and the watchdog can
+    race to finish a query and exactly one of them sends the terminal
+    frame.
     """
 
     __slots__ = ("conn", "client", "request_id", "text", "lock",
-                 "cancelled", "started", "done")
+                 "cancelled", "started", "done", "idem", "writes",
+                 "started_at", "deadline_s", "worker_tid",
+                 "worker_thread", "interruptible", "hard_cancelled_at",
+                 "idem_lines", "idem_bytes", "idem_clipped")
 
     def __init__(self, conn: "_Connection", client: ClientSession,
-                 request_id: int, text: str):
+                 request_id: int, text: str, idem: Optional[str] = None,
+                 writes: Optional[bool] = None):
         self.conn = conn
         self.client = client
         self.request_id = request_id
@@ -85,6 +172,20 @@ class _Pending:
         self.cancelled = False
         self.started = False
         self.done = False
+        self.idem = idem
+        #: True/False when admission classified the query (breaker
+        #: open); None when classification was skipped (breaker
+        #: closed — the hot path never pays the extra compile).
+        self.writes = writes
+        self.started_at: Optional[float] = None
+        self.deadline_s: Optional[float] = None
+        self.worker_tid: Optional[int] = None
+        self.worker_thread: Optional[threading.Thread] = None
+        self.interruptible = False
+        self.hard_cancelled_at: Optional[float] = None
+        self.idem_lines: list[str] = []
+        self.idem_bytes = 0
+        self.idem_clipped = False
 
     def cancel(self, reason: str = "client cancel") -> None:
         with self.lock:
@@ -98,6 +199,11 @@ class _Pending:
             if self.cancelled:
                 return False
             self.started = True
+            self.started_at = time.monotonic()
+            self.worker_tid = threading.get_ident()
+            self.worker_thread = threading.current_thread()
+            dms = self.client.session.governor.limits.get("deadline_ms")
+            self.deadline_s = dms / 1000.0 if dms else None
             return True
 
     def recheck(self) -> None:
@@ -106,20 +212,46 @@ class _Pending:
             if self.cancelled:
                 self.client.token.trip("client cancel")
 
+    def idem_note(self, line: str) -> None:
+        """Record one output line for replay (bounded)."""
+        if self.idem_clipped:
+            return
+        self.idem_bytes += len(line)
+        if self.idem_bytes > IDEM_LINES_BYTES:
+            self.idem_clipped = True
+        else:
+            self.idem_lines.append(line)
+
 
 class _Connection:
     """Wire state of one connected client (shared with the workers)."""
 
-    def __init__(self, client: ClientSession, wfile, server: "DuelServer"):
+    def __init__(self, client: ClientSession, wfile, server: "DuelServer",
+                 sock=None):
         self.client = client
         self._wfile = wfile
         self._server = server
+        self._sock = sock
         self._write_lock = threading.Lock()
         self.pending: dict[int, _Pending] = {}
         self._pending_lock = threading.Lock()
         self.alive = True
         #: Frames this connection failed to deliver (client vanished).
         self.dropped_frames = 0
+        #: Liveness bookkeeping (watchdog heartbeats).
+        self.last_recv = time.monotonic()
+        self.ping_sent_at: Optional[float] = None
+        self.ping_seq = 0
+        self.reaped = False
+        #: True once ``welcome`` was delivered (a session is only worth
+        #: parking if its client ever learned the resume key).
+        self.welcomed = False
+        #: True when the client said ``bye`` (no parking either).
+        self.clean_bye = False
+
+    def touch(self) -> None:
+        """Any inbound frame is proof of life."""
+        self.last_recv = time.monotonic()
 
     # -- frame delivery ----------------------------------------------------
     def send(self, frame: dict) -> bool:
@@ -138,27 +270,49 @@ class _Connection:
                 self.dropped_frames += 1
                 return False
 
+    def close_transport(self) -> None:
+        """Force the peer socket shut (watchdog reap).
+
+        Shutting down — not closing — the socket makes the connection
+        thread's blocking ``readline`` return EOF, so the one and only
+        cleanup path (the handler's ``finally``) runs; the handler
+        still owns the close.
+        """
+        self.alive = False
+        if self._sock is None:
+            return
+        try:
+            self._sock.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+
     # -- pending-query tracking -------------------------------------------
     def add_pending(self, pending: _Pending) -> None:
         with self._pending_lock:
             self.pending[pending.request_id] = pending
             self.client.inflight += 1
 
-    def finish_pending(self, pending: _Pending) -> None:
+    def finish_pending(self, pending: _Pending) -> bool:
+        """Retire ``pending``; True only for the first caller."""
         with pending.lock:
+            if pending.done:
+                return False
             pending.done = True
         with self._pending_lock:
-            self.pending.pop(pending.request_id, None)
-            self.client.inflight -= 1
+            if self.pending.pop(pending.request_id, None) is not None:
+                self.client.inflight -= 1
+        return True
 
     def find_pending(self, request_id: int) -> Optional[_Pending]:
         with self._pending_lock:
             return self.pending.get(request_id)
 
-    def cancel_all(self, reason: str) -> None:
+    def pending_list(self) -> list[_Pending]:
         with self._pending_lock:
-            targets = list(self.pending.values())
-        for pending in targets:
+            return list(self.pending.values())
+
+    def cancel_all(self, reason: str) -> None:
+        for pending in self.pending_list():
             pending.cancel(reason)
 
 
@@ -172,6 +326,14 @@ class DuelServer:
     ``recorder`` and ``metrics`` are shared across every client
     session — the thread-safe variants of those subsystems exist for
     exactly this.
+
+    Fault-tolerance knobs: ``heartbeat_interval`` / ``heartbeat_timeout``
+    drive the ping/reap cycle (either <= 0 disables it);
+    ``resume_ttl`` bounds how long an abnormally disconnected session
+    stays resumable; ``watchdog_tick`` is the watchdog's cadence and
+    ``watchdog_grace`` the window between the async raise and
+    declaring a worker lost; ``health`` (or the ``breaker_*``
+    shorthands) configures degraded mode.
     """
 
     def __init__(self, program, *, host: str = "127.0.0.1", port: int = 0,
@@ -179,7 +341,17 @@ class DuelServer:
                  max_clients: int = 32, per_client: int = 1,
                  session_kwargs: Optional[dict] = None,
                  metrics=None, qlog=None, recorder=None,
-                 drain_timeout: float = 10.0):
+                 drain_timeout: float = 10.0,
+                 heartbeat_interval: float = 10.0,
+                 heartbeat_timeout: float = 30.0,
+                 resume_ttl: float = 60.0,
+                 watchdog_tick: float = 0.25,
+                 watchdog_grace: float = 2.0,
+                 health: Optional[ServerHealth] = None,
+                 breaker_threshold: int = 5,
+                 breaker_window: float = 30.0,
+                 breaker_cooldown: float = 10.0,
+                 session_factory=None):
         if workers <= 0:
             raise ValueError("need at least one worker")
         if queue_depth <= 0:
@@ -189,8 +361,10 @@ class DuelServer:
         self.sessions = SessionManager(program,
                                        session_kwargs=session_kwargs,
                                        metrics=metrics, qlog=qlog,
-                                       recorder=recorder)
+                                       recorder=recorder,
+                                       session_factory=session_factory)
         self.metrics = metrics
+        self.qlog = qlog
         self.host = host
         self.port = port
         self.workers = workers
@@ -198,10 +372,24 @@ class DuelServer:
         self.max_clients = max_clients
         self.per_client = per_client
         self.drain_timeout = drain_timeout
+        self.heartbeat_interval = heartbeat_interval
+        self.heartbeat_timeout = heartbeat_timeout
+        self.resume_ttl = resume_ttl
+        self.watchdog_tick = watchdog_tick
+        self.watchdog_grace = watchdog_grace
+        if health is None:
+            health = ServerHealth(CircuitBreaker(
+                threshold=breaker_threshold, window=breaker_window,
+                cooldown=breaker_cooldown))
+        self.health = health
         self._queue: queue.Queue = queue.Queue(maxsize=queue_depth)
         self._worker_threads: list[threading.Thread] = []
+        self._worker_seq = 0
         self._tcp: Optional[socketserver.ThreadingTCPServer] = None
         self._acceptor: Optional[threading.Thread] = None
+        self._watchdog: Optional[threading.Thread] = None
+        self._watchdog_stop = threading.Event()
+        self._fast = threading.Event()
         self._conns: set[_Connection] = set()
         self._conns_lock = threading.Lock()
         self._client_seq = 0
@@ -210,10 +398,13 @@ class DuelServer:
         self.served = 0
         self.rejected = 0
         self.protocol_errors = 0
+        self.reaped = 0
+        self.hard_cancels = 0
+        self.workers_lost = 0
 
     # -- lifecycle ---------------------------------------------------------
     def start(self) -> int:
-        """Bind, spin up workers and the acceptor; returns the port."""
+        """Bind, spin up workers, watchdog and acceptor; returns the port."""
         server = self
 
         class Handler(socketserver.StreamRequestHandler):
@@ -226,36 +417,71 @@ class DuelServer:
 
         self._tcp = TCP((self.host, self.port), Handler)
         self.port = self._tcp.server_address[1]
-        for index in range(self.workers):
-            thread = threading.Thread(target=self._worker_loop,
-                                      name=f"duel-worker-{index}",
-                                      daemon=True)
-            thread.start()
-            self._worker_threads.append(thread)
+        for _ in range(self.workers):
+            self._spawn_worker()
+        self._watchdog = threading.Thread(target=self._watchdog_loop,
+                                          name="duel-watchdog", daemon=True)
+        self._watchdog.start()
         self._acceptor = threading.Thread(target=self._tcp.serve_forever,
                                           name="duel-acceptor", daemon=True)
         self._acceptor.start()
         return self.port
+
+    def _spawn_worker(self) -> None:
+        self._worker_seq += 1
+        thread = threading.Thread(target=self._worker_loop,
+                                  name=f"duel-worker-{self._worker_seq}",
+                                  daemon=True)
+        thread.start()
+        self._worker_threads.append(thread)
+
+    def request_fast_drain(self) -> None:
+        """Skip the graceful wait: trip every in-flight query now.
+
+        Async-signal-safe by construction (sets one event; the drain
+        loop inside :meth:`stop` polls it), so the CLI's second-SIGINT
+        handler may call it directly.
+        """
+        self._fast.set()
 
     def stop(self) -> None:
         """Graceful drain: finish admitted queries, then hang up."""
         if self._tcp is None:
             return
         self._stopping = True
+        self.health.set_draining()
+        self._gauge_sync()
+        if self.qlog is not None:
+            self.qlog.server_event("drain_begin",
+                                   clients=self.connections(),
+                                   inflight=self.inflight())
         self._tcp.shutdown()          # stop accepting new connections
         for _ in self._worker_threads:
             self._queue.put(_STOP)    # after all admitted work
-        deadline = self.drain_timeout
+        deadline = time.monotonic() + self.drain_timeout
+        tripped = False
         for thread in self._worker_threads:
-            thread.join(timeout=deadline)
-            if thread.is_alive():
+            while thread.is_alive():
+                if self._fast.is_set() and not tripped:
+                    tripped = True
+                    if self.qlog is not None:
+                        self.qlog.server_event("drain_fast")
+                    self._cancel_all_conns("server shutdown")
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    break
+                thread.join(timeout=min(0.2, remaining))
+            if thread.is_alive() and not tripped:
                 # Past the drain budget: trip every in-flight token so
                 # the stuck queries come back as graceful cancellations.
-                with self._conns_lock:
-                    conns = list(self._conns)
-                for conn in conns:
-                    conn.cancel_all("server shutdown")
-                thread.join(timeout=deadline)
+                tripped = True
+                self._cancel_all_conns("server shutdown")
+            if thread.is_alive():
+                thread.join(timeout=self.drain_timeout)
+        self._watchdog_stop.set()
+        if self._watchdog is not None:
+            self._watchdog.join(timeout=5)
+            self._watchdog = None
         with self._conns_lock:
             conns = list(self._conns)
         for conn in conns:
@@ -266,6 +492,12 @@ class DuelServer:
             self._acceptor.join(timeout=5)
         self._tcp = None
         self._worker_threads = []
+
+    def _cancel_all_conns(self, reason: str) -> None:
+        with self._conns_lock:
+            conns = list(self._conns)
+        for conn in conns:
+            conn.cancel_all(reason)
 
     @property
     def address(self) -> tuple[str, int]:
@@ -290,10 +522,131 @@ class DuelServer:
             self.metrics.counter(name).inc(amount)
 
     def _gauge_sync(self) -> None:
-        if self.metrics is not None:
-            self.metrics.gauge("serve_clients").set(self.connections())
-            self.metrics.gauge("serve_inflight").set(self.inflight())
-            self.metrics.gauge("serve_queued").set(self.queued())
+        if self.metrics is None:
+            return
+        self.metrics.gauge("serve_clients").set(self.connections())
+        self.metrics.gauge("serve_inflight").set(self.inflight())
+        self.metrics.gauge("serve_queued").set(self.queued())
+        self.metrics.gauge("serve_parked_sessions").set(
+            self.sessions.parked_count())
+        self.metrics.gauge("serve_health").set(self.health.code())
+
+    def _server_event(self, kind: str, **fields) -> None:
+        if self.qlog is not None:
+            self.qlog.server_event(kind, **fields)
+
+    # -- the watchdog -------------------------------------------------------
+    def _watchdog_loop(self) -> None:
+        while not self._watchdog_stop.wait(self.watchdog_tick):
+            try:
+                now = time.monotonic()
+                self._heartbeat_pass(now)
+                self._deadline_pass(now)
+                expired = self.sessions.sweep_parked()
+                if expired:
+                    self._count("serve_sessions_expired_total", expired)
+                    self._server_event("session_expired", count=expired)
+                self._gauge_sync()
+            except Exception:             # the watchdog must outlive
+                self._count("serve_watchdog_errors_total")  # any one bug
+
+    def _heartbeat_pass(self, now: float) -> None:
+        if self.heartbeat_interval <= 0 or self.heartbeat_timeout <= 0:
+            return
+        with self._conns_lock:
+            conns = list(self._conns)
+        for conn in conns:
+            if not conn.alive or conn.reaped:
+                continue
+            idle = now - conn.last_recv
+            unanswered = (conn.ping_sent_at is not None
+                          and conn.ping_sent_at > conn.last_recv)
+            if idle >= self.heartbeat_timeout and unanswered:
+                self._reap(conn, "heartbeat timeout")
+                continue
+            if idle >= self.heartbeat_interval and (
+                    not unanswered
+                    or now - conn.ping_sent_at >= self.heartbeat_interval):
+                conn.ping_seq += 1
+                conn.ping_sent_at = now
+                self._count("serve_pings_total")
+                conn.send({"ev": "ping", "seq": conn.ping_seq})
+
+    def _reap(self, conn: _Connection, reason: str) -> None:
+        conn.reaped = True
+        self.reaped += 1
+        self._count("serve_reaped_total")
+        self._server_event("reaped", client=conn.client.client_id,
+                           reason=reason)
+        conn.cancel_all(reason)
+        conn.close_transport()
+
+    def _deadline_pass(self, now: float) -> None:
+        with self._conns_lock:
+            conns = list(self._conns)
+        for conn in conns:
+            for pending in conn.pending_list():
+                with pending.lock:
+                    if not pending.started or pending.done:
+                        continue
+                    started_at = pending.started_at
+                    hard_at = pending.hard_cancelled_at
+                    deadline = pending.deadline_s
+                if deadline is None:
+                    deadline = DEFAULT_WATCHDOG_DEADLINE
+                if hard_at is None:
+                    if now - started_at > 1.5 * deadline:
+                        self._hard_cancel(pending, now)
+                elif now - hard_at > self.watchdog_grace:
+                    self._declare_worker_lost(pending)
+
+    def _hard_cancel(self, pending: _Pending, now: float) -> None:
+        """Escalation stage 1: trip the token, async-raise into the worker."""
+        pending.client.token.trip("watchdog deadline")
+        raised = False
+        with pending.lock:
+            pending.hard_cancelled_at = now
+            if pending.done:
+                return
+            if pending.interruptible and pending.worker_tid is not None:
+                raised = _async_raise(pending.worker_tid)
+        self.hard_cancels += 1
+        self._count("serve_watchdog_hard_cancels_total")
+        self._server_event("hard_cancel", client=pending.client.client_id,
+                           request=pending.request_id, raised=raised)
+
+    def _declare_worker_lost(self, pending: _Pending) -> None:
+        """Escalation stage 2: the worker ignored even the async raise.
+
+        Crash-only recovery: settle the session's leases on the
+        worker's behalf (restores any pending snapshot, releases the
+        RW lock, poisons the session), answer the client, and replace
+        the lost worker thread so the pool keeps its size.  The zombie
+        thread may wake later; ``finish_pending`` being idempotent
+        means it can no longer send frames or double-release anything.
+        """
+        conn = pending.conn
+        settled = self.sessions.reclaim(pending.client)
+        first = conn.finish_pending(pending)
+        if not first:
+            return                     # the worker won the race after all
+        self.workers_lost += 1
+        self._count("serve_workers_lost_total")
+        self._server_event("worker_lost", client=pending.client.client_id,
+                           request=pending.request_id, leases=settled)
+        if pending.idem is not None:
+            pending.client.idem_abandon(pending.idem)
+        self._count("serve_outcome_cancelled_total")
+        conn.send(protocol.terminal(
+            pending.request_id, "cancelled",
+            {"values": 0, "kind": "watchdog",
+             "diagnostic": "(stopped: worker lost past watchdog "
+                           "deadline, session poisoned)"}))
+        lost = pending.worker_thread
+        if lost is not None and lost in self._worker_threads:
+            self._worker_threads.remove(lost)
+            self._spawn_worker()
+        self._gauge_sync()
 
     # -- connection handling ----------------------------------------------
     def _handle_connection(self, handler) -> None:
@@ -324,10 +677,17 @@ class DuelServer:
             return
         # First frame must be a well-formed hello.
         try:
-            frames = protocol.read_frames(handler.rfile)
-            first = next(frames, None)
-            if first is None:
-                return
+            first = None
+            while first is None:
+                raw = handler.rfile.readline(protocol.MAX_FRAME + 2)
+                if not raw:
+                    return
+                if raw.strip() == b"":
+                    continue
+                if not raw.endswith(b"\n") and len(raw) > protocol.MAX_FRAME:
+                    raise protocol.ProtocolError(
+                        "unterminated oversized frame")
+                first = protocol.decode(raw)
             if protocol.validate_request(first) != "hello":
                 raise protocol.ProtocolError("first frame must be 'hello'")
             if first["version"] != protocol.PROTOCOL_VERSION:
@@ -349,18 +709,32 @@ class DuelServer:
             seq = self._client_seq
         name = first.get("client") or f"client-{seq}"
         client_id = f"{name}#{seq}"
-        client = self.sessions.open(client_id)
-        conn = _Connection(client, handler.wfile, self)
+        resumed = False
+        client = None
+        resume_key = first.get("resume")
+        if resume_key:
+            client = self.sessions.resume(resume_key, client_id)
+            resumed = client is not None
+        if client is None:
+            client = self.sessions.open(client_id)
+        conn = _Connection(client, handler.wfile, self,
+                           sock=handler.connection)
         with self._conns_lock:
             self._conns.add(conn)
         self._count("serve_connections_total")
+        if resumed:
+            self._count("serve_resumes_total")
+            self._server_event("session_resumed", client=client_id,
+                               generation=client.generation)
         self._gauge_sync()
-        conn.send(protocol.welcome(
+        conn.welcomed = conn.send(protocol.welcome(
             client_id, version=protocol.PROTOCOL_VERSION,
             limits=dict(client.session.governor.limits),
-            per_client=self.per_client))
+            per_client=self.per_client,
+            resume=client.resume_key, resumed=resumed))
         try:
-            self._serve_frames(conn, frames)
+            self._serve_frames(conn,
+                               protocol.read_frames_budgeted(handler.rfile))
         except protocol.ProtocolError as error:
             self.protocol_errors += 1
             self._count("serve_protocol_errors_total")
@@ -372,17 +746,59 @@ class DuelServer:
             conn.cancel_all("client disconnected")
             with self._conns_lock:
                 self._conns.discard(conn)
-            # The session object dies with the connection; its aliases
-            # and governor state are unreachable afterwards, which is
-            # the isolation contract.
-            self.sessions.close(client_id)
+            if (conn.clean_bye or self._stopping or client.poisoned
+                    or not conn.welcomed or self.resume_ttl <= 0):
+                # The session object dies with the connection; its
+                # aliases and governor state are unreachable
+                # afterwards, which is the isolation contract.
+                self.sessions.close(client.client_id)
+            elif self.sessions.park(client, self.resume_ttl):
+                self._count("serve_parked_total")
+                self._server_event("session_parked",
+                                   client=client.client_id,
+                                   reason="reaped" if conn.reaped
+                                   else "disconnect")
             self._gauge_sync()
 
     def _serve_frames(self, conn: _Connection, frames) -> None:
-        """The connection thread's read loop (control ops run inline)."""
-        for frame in frames:
-            op = protocol.validate_request(frame)
+        """The connection thread's read loop (control ops run inline).
+
+        ``frames`` yields dicts *or* :class:`~repro.serve.protocol.
+        ProtocolError` instances (the budgeted reader); each malformed
+        frame is answered with a structured ``error`` frame carrying
+        the running count, and the connection is dropped once
+        :data:`~repro.serve.protocol.MALFORMED_BUDGET` is spent.
+        """
+        malformed = 0
+
+        def charge(error) -> bool:
+            nonlocal malformed
+            malformed += 1
+            self.protocol_errors += 1
+            self._count("serve_protocol_errors_total")
+            conn.send({"ev": "error", "error": str(error),
+                       "malformed": malformed,
+                       "budget": protocol.MALFORMED_BUDGET})
+            if malformed >= protocol.MALFORMED_BUDGET:
+                conn.send({"ev": "bye",
+                           "reason": "malformed-frame budget exhausted"})
+                return False
+            return True
+
+        for item in frames:
+            conn.touch()
+            if isinstance(item, protocol.ProtocolError):
+                if not charge(item):
+                    return
+                continue
+            try:
+                op = protocol.validate_request(item)
+            except protocol.ProtocolError as error:
+                if not charge(error):
+                    return
+                continue
             if op == "bye":
+                conn.clean_bye = True
                 conn.send({"ev": "bye"})
                 return
             if op == "hello":
@@ -390,46 +806,100 @@ class DuelServer:
                            "error": "already said hello"})
                 continue
             if op == "duel":
-                self._admit(conn, frame)
+                self._admit(conn, item)
             elif op == "cancel":
-                self._op_cancel(conn, frame)
+                self._op_cancel(conn, item)
             elif op == "alias":
-                self._op_alias(conn, frame)
+                self._op_alias(conn, item)
             elif op == "limits":
-                self._op_limits(conn, frame)
+                self._op_limits(conn, item)
             elif op == "stats":
-                self._op_stats(conn, frame)
+                self._op_stats(conn, item)
+            elif op == "ping":
+                conn.send({"ev": "pong", "id": item["id"]})
+            # op == "pong": touch() above already counted it as life.
 
     # -- admission control -------------------------------------------------
+    def _reject(self, conn: _Connection, request_id: int, reason: str,
+                **extra) -> None:
+        self.rejected += 1
+        self._count("serve_rejected_total")
+        conn.send(protocol.rejected(request_id, reason, **extra))
+
     def _admit(self, conn: _Connection, frame: dict) -> None:
         request_id = frame["id"]
+        client = conn.client
         if self._stopping:
-            self.rejected += 1
-            self._count("serve_rejected_total")
-            conn.send(protocol.rejected(request_id, "shutting down"))
+            self._reject(conn, request_id, "shutting down")
             return
-        if conn.client.inflight >= self.per_client:
-            self.rejected += 1
-            self._count("serve_rejected_total")
-            conn.send(protocol.rejected(
-                request_id, "busy",
-                detail=f"client already has {conn.client.inflight} "
-                       f"quer{'y' if conn.client.inflight == 1 else 'ies'} "
-                       f"in flight (cap {self.per_client})"))
+        if client.poisoned:
+            self._reject(conn, request_id, "poisoned",
+                         detail="a previous query's worker was lost; "
+                                "reconnect to get a fresh session")
             return
-        pending = _Pending(conn, conn.client, request_id, frame["text"])
+        if client.inflight >= self.per_client:
+            self._reject(
+                conn, request_id, "busy",
+                detail=f"client already has {client.inflight} "
+                       f"quer{'y' if client.inflight == 1 else 'ies'} "
+                       f"in flight (cap {self.per_client})")
+            return
+        # Degraded mode: while the breaker is open, classify the query
+        # and refuse writes.  The closed-breaker hot path pays nothing.
+        writes = None
+        breaker = self.health.breaker
+        if breaker.open:
+            writes = self.sessions.classify(client, frame["text"])
+            if writes and not breaker.allow_write():
+                self._count("serve_degraded_rejections_total")
+                self._reject(
+                    conn, request_id, "degraded",
+                    detail="target faulting: circuit breaker "
+                           f"{breaker.state()}, writes rejected "
+                           "(reads still served)")
+                return
+        idem = frame.get("idem")
+        if idem is not None and not client.idem_start(idem):
+            cached = client.idem_lookup(idem)
+            if isinstance(cached, dict):
+                self._replay_idem(conn, request_id, cached)
+            else:
+                self._reject(conn, request_id, "busy",
+                             detail=f"idempotent query {idem!r} is "
+                                    "still in flight")
+            return
+        pending = _Pending(conn, client, request_id, frame["text"],
+                           idem=idem, writes=writes)
         conn.add_pending(pending)
         try:
             self._queue.put_nowait(pending)
         except queue.Full:
             conn.finish_pending(pending)
-            self.rejected += 1
-            self._count("serve_rejected_total")
-            conn.send(protocol.rejected(
-                request_id, "overloaded",
-                detail=f"query queue full ({self.queue_depth} deep)"))
+            if idem is not None:
+                client.idem_abandon(idem)
+            if writes and breaker.open:
+                breaker.record_fault()    # release a claimed probe slot
+            self._reject(
+                conn, request_id, "overloaded",
+                detail=f"query queue full ({self.queue_depth} deep)")
             return
         self._gauge_sync()
+
+    def _replay_idem(self, conn: _Connection, request_id: int,
+                     cached: dict) -> None:
+        """Answer a retried idempotency token from the cache."""
+        self._count("serve_idem_replays_total")
+        lines = cached.get("lines") or []
+        for start in range(0, len(lines), protocol.CHUNK):
+            if not conn.send(protocol.value_frame(
+                    request_id, lines[start:start + protocol.CHUNK])):
+                return
+        frame = dict(cached["outcome"])
+        frame["id"] = request_id
+        frame["replayed"] = True
+        if cached.get("clipped"):
+            frame["replay_truncated"] = True
+        conn.send(frame)
 
     # -- control operations ------------------------------------------------
     def _op_cancel(self, conn: _Connection, frame: dict) -> None:
@@ -478,13 +948,20 @@ class DuelServer:
         conn.send({"ev": "stats", "id": frame["id"],
                    "query": dict(client.session.last_query_stats),
                    "client": {"queries": client.queries,
-                              "inflight": client.inflight},
+                              "inflight": client.inflight,
+                              "generation": client.generation},
                    "server": {"clients": self.connections(),
                               "inflight": self.inflight(),
                               "queued": self.queued(),
                               "served": self.served,
                               "rejected": self.rejected,
-                              "protocol_errors": self.protocol_errors}})
+                              "protocol_errors": self.protocol_errors,
+                              "health": self.health.state(),
+                              "breaker": self.health.breaker.state(),
+                              "parked": self.sessions.parked_count(),
+                              "reaped": self.reaped,
+                              "hard_cancels": self.hard_cancels,
+                              "workers_lost": self.workers_lost}})
 
     # -- query workers -----------------------------------------------------
     def _worker_loop(self) -> None:
@@ -500,26 +977,33 @@ class DuelServer:
     def _drive(self, pending: _Pending) -> None:
         conn = pending.conn
         if not pending.mark_started():
-            conn.finish_pending(pending)
-            conn.send(protocol.terminal(
-                pending.request_id, "cancelled",
-                {"values": 0,
-                 "diagnostic": "(stopped: 0 values, interrupted)",
-                 "kind": "cancel"}))
+            if conn.finish_pending(pending):
+                self._count("serve_outcome_cancelled_total")
+                conn.send(protocol.terminal(
+                    pending.request_id, "cancelled",
+                    {"values": 0,
+                     "diagnostic": "(stopped: 0 values, interrupted)",
+                     "kind": "cancel"}))
             return
         self.served += 1
         self._count("serve_queries_total")
         batch: list[str] = []
         batch_bytes = 0
+        values = 0
         request_id = pending.request_id
         outcome_frame = None
         try:
             events = self.sessions.run(pending.client, pending.text,
                                        on_begin=pending.recheck)
+            with pending.lock:
+                pending.interruptible = True
             for kind, payload in events:
                 if kind == "value":
+                    values += 1
                     batch.append(payload)
                     batch_bytes += len(payload)
+                    if pending.idem is not None:
+                        pending.idem_note(payload)
                     if len(batch) >= protocol.CHUNK \
                             or batch_bytes >= protocol.CHUNK_BYTES:
                         if not conn.send(protocol.value_frame(
@@ -531,29 +1015,95 @@ class DuelServer:
                 else:
                     outcome_frame = protocol.terminal(request_id, kind,
                                                       payload)
+        except DuelCancelled as cancel:
+            # The watchdog's async raise lands here when it interrupts
+            # the loop body itself (between generator resumptions).
+            outcome_frame = protocol.terminal(
+                request_id, "cancelled",
+                {"values": values,
+                 "kind": getattr(cancel, "kind", None) or "cancel",
+                 "diagnostic": cancel.diagnostic(values)})
+        except DuelError as error:
+            # Escaped the drive (e.g. the session was poisoned between
+            # admission and pickup): a faulted query, not a server bug.
+            outcome_frame = protocol.terminal(
+                request_id, "faulted",
+                {"values": values, "error": str(error),
+                 "error_type": type(error).__name__})
         except Exception as error:    # defensive: a drive bug must not
             outcome_frame = protocol.terminal(  # kill the worker
                 request_id, "error",
-                {"values": 0, "error": f"internal error: {error}",
+                {"values": values, "error": f"internal error: {error}",
                  "error_type": type(error).__name__})
             self._count("serve_internal_errors_total")
         finally:
-            conn.finish_pending(pending)
-            try:
-                if batch:
-                    conn.send(protocol.value_frame(request_id, batch))
-                if outcome_frame is None:
-                    outcome_frame = protocol.terminal(
-                        request_id, "error",
-                        {"values": 0, "error": "internal error: drive "
-                         "ended without a terminal event"})
-                conn.send(outcome_frame)
-                self._count(
-                    f"serve_outcome_{outcome_frame['ev']}_total")
-            except Exception:         # a reply we cannot frame must
-                self.protocol_errors += 1     # not kill the worker
-                self._count("serve_protocol_errors_total")
+            with pending.lock:
+                pending.interruptible = False
+            first = conn.finish_pending(pending)
+            if first:
+                try:
+                    if batch:
+                        conn.send(protocol.value_frame(request_id, batch))
+                    if outcome_frame is None:
+                        outcome_frame = protocol.terminal(
+                            request_id, "error",
+                            {"values": values,
+                             "error": "internal error: drive ended "
+                                      "without a terminal event"})
+                    # Count and report *before* sending: a fast client
+                    # must never observe its terminal frame while the
+                    # matching counter still reads the old value.
+                    self._count(
+                        f"serve_outcome_{outcome_frame['ev']}_total")
+                    self._report_health(pending, outcome_frame)
+                    self._settle_idem(pending, outcome_frame)
+                    conn.send(outcome_frame)
+                except Exception:         # a reply we cannot frame must
+                    self.protocol_errors += 1     # not kill the worker
+                    self._count("serve_protocol_errors_total")
+            elif pending.idem is not None:
+                # The watchdog already answered; our result is suspect.
+                pending.client.idem_abandon(pending.idem)
             self._gauge_sync()
+
+    def _report_health(self, pending: _Pending, outcome_frame: dict) -> None:
+        """Feed the circuit breaker from a terminal outcome."""
+        breaker = self.health.breaker
+        ev = outcome_frame["ev"]
+        if ev == "faulted" \
+                and outcome_frame.get("error_type") in TARGET_FAULT_TYPES:
+            if breaker.record_fault():
+                self._count("serve_breaker_trips_total")
+                self._server_event("breaker_open",
+                                   client=pending.client.client_id,
+                                   error=outcome_frame.get("error"))
+        elif pending.writes:          # a half-open probe reporting back
+            if ev in ("done", "truncated"):
+                if breaker.record_ok():
+                    self._count("serve_breaker_closes_total")
+                    self._server_event("breaker_closed",
+                                       client=pending.client.client_id)
+            elif breaker.open:
+                # Inconclusive probe (cancelled, internal error): keep
+                # the breaker open for another cooldown.
+                breaker.record_fault()
+
+    def _settle_idem(self, pending: _Pending, outcome_frame: dict) -> None:
+        """Cache (or abandon) the result of an ``idem``-tagged query."""
+        token = pending.idem
+        if token is None:
+            return
+        if outcome_frame["ev"] in ("done", "truncated", "cancelled",
+                                   "faulted"):
+            stored = {key: value for key, value in outcome_frame.items()
+                      if key != "id"}
+            pending.client.idem_store(token, {
+                "lines": pending.idem_lines,
+                "clipped": pending.idem_clipped,
+                "outcome": stored})
+        else:
+            # Internal errors are not results; let a retry re-run.
+            pending.client.idem_abandon(token)
 
 
 def run_server(ns, program, limit_kwargs: dict, out,
@@ -565,9 +1115,11 @@ def run_server(ns, program, limit_kwargs: dict, out,
     aggregate *across clients* — and announces the bound endpoints on
     ``out`` (flushed line by line, so wrappers like
     ``scripts/serve_smoke.py`` can scrape the ports).  Blocks until
-    SIGINT/SIGTERM (or ``stop_event``), then drains gracefully.
-    ``ready`` (a ``threading.Event``) is set once serving, for
-    embedders.
+    SIGINT/SIGTERM (or ``stop_event``), then drains gracefully; a
+    *second* SIGINT during the drain requests a fast drain (every
+    in-flight query's token tripped immediately) instead of killing
+    the process mid-cleanup.  ``ready`` (a ``threading.Event``) is set
+    once serving, for embedders.
     """
     import signal
 
@@ -595,10 +1147,27 @@ def run_server(ns, program, limit_kwargs: dict, out,
                 qlog.close()
             return 1
         recorder = FlightRecorder(dump_dir=ns.dump_dir)
+    session_kwargs = dict(limit_kwargs)
+    session_kwargs["symbolic"] = not ns.no_symbolic
+    session_kwargs["optimize"] = ns.optimize
+    server = DuelServer(
+        program, host=ns.host, port=ns.port,
+        workers=ns.workers, queue_depth=ns.queue_depth,
+        max_clients=ns.max_clients, per_client=ns.per_client,
+        session_kwargs=session_kwargs,
+        metrics=metrics, qlog=qlog, recorder=recorder,
+        drain_timeout=ns.drain_timeout,
+        heartbeat_interval=getattr(ns, "heartbeat_interval", 10.0),
+        heartbeat_timeout=getattr(ns, "heartbeat_timeout", 30.0),
+        resume_ttl=getattr(ns, "resume_ttl", 60.0),
+        breaker_threshold=getattr(ns, "breaker_threshold", 5),
+        breaker_window=getattr(ns, "breaker_window", 30.0),
+        breaker_cooldown=getattr(ns, "breaker_cooldown", 10.0))
     metrics_server = None
     if ns.metrics_port is not None:
         from repro.obs.exposition import MetricsServer
-        metrics_server = MetricsServer(metrics, port=ns.metrics_port)
+        metrics_server = MetricsServer(metrics, port=ns.metrics_port,
+                                       health=server.health.healthz)
         try:
             mport = metrics_server.start()
         except OSError as error:
@@ -607,16 +1176,6 @@ def run_server(ns, program, limit_kwargs: dict, out,
                 qlog.close()
             return 1
         out.write(f"metrics: http://127.0.0.1:{mport}/metrics\n")
-    session_kwargs = dict(limit_kwargs)
-    session_kwargs["symbolic"] = not ns.no_symbolic
-    session_kwargs["optimize"] = ns.optimize
-    server = DuelServer(program, host=ns.host, port=ns.port,
-                        workers=ns.workers, queue_depth=ns.queue_depth,
-                        max_clients=ns.max_clients,
-                        per_client=ns.per_client,
-                        session_kwargs=session_kwargs,
-                        metrics=metrics, qlog=qlog, recorder=recorder,
-                        drain_timeout=ns.drain_timeout)
     try:
         port = server.start()
     except OSError as error:
@@ -634,6 +1193,11 @@ def run_server(ns, program, limit_kwargs: dict, out,
     stopper = stop_event if stop_event is not None else threading.Event()
 
     def request_stop(signum=None, frame=None):
+        # First signal: begin the graceful drain.  A second signal
+        # while draining escalates to a fast drain (cancel everything)
+        # instead of raising KeyboardInterrupt mid-cleanup.
+        if stopper.is_set():
+            server.request_fast_drain()
         stopper.set()
 
     previous = {}
@@ -650,14 +1214,22 @@ def run_server(ns, program, limit_kwargs: dict, out,
     try:
         stopper.wait()
     finally:
-        for signum, handler in previous.items():
-            signal.signal(signum, handler)
         out.write("draining...\n")
         try:
             out.flush()
         except (AttributeError, OSError):
             pass
-        server.stop()
+        try:
+            # The handlers stay installed through the drain so a
+            # second SIGINT reaches request_stop (fast drain), never
+            # KeyboardInterrupt.
+            server.stop()
+        finally:
+            for signum, handler in previous.items():
+                try:
+                    signal.signal(signum, handler)
+                except ValueError:
+                    pass
         if metrics_server is not None:
             metrics_server.stop()
         if qlog is not None:

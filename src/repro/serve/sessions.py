@@ -27,11 +27,39 @@ restore, so one client's disaster is invisible to the rest.
 The paper's single-user REPL semantics (writes persist across
 queries) remain available in-process; the serve layer deliberately
 trades them for isolation, the way a debugging *service* must.
+
+Fault tolerance adds three more responsibilities:
+
+**Crash-only cleanup.**  Every query's lock-and-snapshot state lives
+in a :class:`QueryLease` registered with the manager, and *settling*
+a lease (restore the snapshot, release the lock) is idempotent —
+whoever gets there first wins.  The normal path settles in the
+drive's ``finally``; when the server's watchdog declares a worker
+lost (wedged in a backend call that ignores cancellation), it settles
+the lease on the worker's behalf via :meth:`SessionManager.reclaim`,
+so a killed worker can never leak the RW lock or a pending snapshot
+restore.  A reclaimed session is *poisoned* — its zombie thread might
+still wake inside the shared target — and refuses further queries.
+
+**Session parking.**  A client that vanishes abnormally (network
+fault, heartbeat reap) gets its session *parked* for a bounded TTL,
+keyed by the resume key issued in ``welcome``; a reconnect presenting
+the key re-attaches the same session — aliases, limits, idempotency
+cache intact.  Parking is bounded in count and swept by the server's
+watchdog, so dead sessions are reliably released.
+
+**Idempotency.**  Each session carries a bounded cache of completed
+``idem``-tagged queries; the server consults it before admission so a
+retried side-effecting query is replayed from the cache, never
+applied twice.
 """
 
 from __future__ import annotations
 
+import secrets
 import threading
+import time
+from collections import OrderedDict
 from typing import Callable, Iterator, Optional
 
 from repro.core.session import DuelSession, _has_side_effects
@@ -90,6 +118,17 @@ class ReadWriteLock:
             self._cond.notify_all()
 
 
+#: Completed idempotent results remembered per session (LRU).
+IDEM_CACHE_MAX = 16
+
+#: Output bytes cached per idempotent result; a replay of a bigger
+#: result ships what fits plus a ``replay_truncated`` marker.
+IDEM_LINES_BYTES = 1 << 20
+
+#: Sentinel marking an idempotency token whose query is in flight.
+IDEM_RUNNING = object()
+
+
 class ClientSession:
     """One client's private DUEL session over the shared program.
 
@@ -98,6 +137,13 @@ class ClientSession:
     counts admitted-but-unfinished queries for the per-client
     admission cap.  The session's governor token is the cancellation
     handle ``cancel`` frames and disconnects trip.
+
+    Fault-tolerance state: ``resume_key`` names this session across
+    reconnects (returned in ``welcome``, presented in a later
+    ``hello``); ``generation`` counts how many conversations have
+    attached to it; the idempotency cache lives behind
+    :meth:`idem_lookup` / :meth:`idem_start` / :meth:`idem_store`;
+    ``poisoned`` flags a session whose worker was force-reclaimed.
     """
 
     def __init__(self, client_id: str, session: DuelSession):
@@ -106,10 +152,102 @@ class ClientSession:
         self.lock = threading.Lock()
         self.inflight = 0
         self.queries = 0
+        self.resume_key = secrets.token_hex(16)
+        self.generation = 1
+        self.poisoned = False
+        self._idem_lock = threading.Lock()
+        self._idem: OrderedDict[str, object] = OrderedDict()
 
     @property
     def token(self):
         return self.session.governor.token
+
+    # -- idempotency cache -------------------------------------------------
+    def idem_lookup(self, token: str):
+        """The cached result dict, :data:`IDEM_RUNNING`, or None."""
+        with self._idem_lock:
+            found = self._idem.get(token)
+            if found is not None and found is not IDEM_RUNNING:
+                self._idem.move_to_end(token)
+            return found
+
+    def idem_start(self, token: str) -> bool:
+        """Claim ``token`` for a fresh run; False when already known."""
+        with self._idem_lock:
+            if token in self._idem:
+                return False
+            self._idem[token] = IDEM_RUNNING
+            return True
+
+    def idem_store(self, token: str, result: dict) -> None:
+        """Cache the terminal ``result`` of a completed idem query."""
+        with self._idem_lock:
+            self._idem[token] = result
+            self._idem.move_to_end(token)
+            while len(self._idem) > IDEM_CACHE_MAX:
+                oldest = next(iter(self._idem))
+                if self._idem[oldest] is IDEM_RUNNING:
+                    # Never evict an in-flight claim; drop the next
+                    # completed entry instead.
+                    for key, value in self._idem.items():
+                        if value is not IDEM_RUNNING:
+                            del self._idem[key]
+                            break
+                    else:      # pragma: no cover - all running
+                        break
+                else:
+                    del self._idem[oldest]
+
+    def idem_abandon(self, token: str) -> None:
+        """Forget an in-flight claim whose run never finished."""
+        with self._idem_lock:
+            if self._idem.get(token) is IDEM_RUNNING:
+                del self._idem[token]
+
+
+class QueryLease:
+    """Crash-only record of one query's lock-and-snapshot state.
+
+    Created *after* the RW lock is acquired (and, for writes, the
+    snapshot taken); :meth:`settle` undoes both exactly once no matter
+    how many parties call it — the driving worker's ``finally``, the
+    watchdog reclaiming a lost worker, or both racing.
+    """
+
+    __slots__ = ("manager", "client", "kind", "checkpoint",
+                 "created_at", "_lock", "_settled", "forced")
+
+    def __init__(self, manager: "SessionManager", client: ClientSession,
+                 kind: str, checkpoint=None):
+        self.manager = manager
+        self.client = client
+        self.kind = kind
+        self.checkpoint = checkpoint
+        self.created_at = time.monotonic()
+        self._lock = threading.Lock()
+        self._settled = False
+        #: True when the settle came from reclaim, not the worker.
+        self.forced = False
+
+    def settle(self, forced: bool = False) -> bool:
+        """Restore + release, idempotently; True for the first caller."""
+        with self._lock:
+            if self._settled:
+                return False
+            self._settled = True
+            self.forced = forced
+        manager = self.manager
+        try:
+            if self.checkpoint is not None:
+                snapshot.restore(manager.program, self.checkpoint)
+                self.client.session.evaluator.invalidate_target_caches()
+        finally:
+            if self.kind == "write":
+                manager._rw.release_write()
+            else:
+                manager._rw.release_read()
+            manager._unregister(self)
+        return True
 
 
 class SessionManager:
@@ -121,6 +259,9 @@ class SessionManager:
     and ``metrics`` — when given — are shared by every session, which
     is exactly why those subsystems are lock-guarded.
     """
+
+    #: Most sessions parked for resume at once (oldest evicted).
+    PARK_MAX = 64
 
     def __init__(self, program, *, session_kwargs: Optional[dict] = None,
                  metrics=None, qlog=None, recorder=None,
@@ -134,6 +275,11 @@ class SessionManager:
         self._rw = ReadWriteLock()
         self._lock = threading.Lock()
         self._sessions: dict[str, ClientSession] = {}
+        #: Parked sessions awaiting resume: key -> (expiry, session).
+        self._parked: "OrderedDict[str, tuple[float, ClientSession]]" \
+            = OrderedDict()
+        self._leases: set[QueryLease] = set()
+        self._lease_lock = threading.Lock()
 
     # -- session lifecycle -------------------------------------------------
     def _make_session(self) -> DuelSession:
@@ -172,6 +318,85 @@ class SessionManager:
         with self._lock:
             return len(self._sessions)
 
+    # -- parking & resume (reconnect support) -------------------------------
+    def park(self, client: ClientSession, ttl: float) -> bool:
+        """Detach ``client`` but keep it resumable for ``ttl`` seconds.
+
+        Called on *abnormal* disconnect (never on a clean ``bye``);
+        bounded by :data:`PARK_MAX` with oldest-first eviction, so a
+        reconnect storm cannot hoard sessions.  Poisoned sessions are
+        never parked — their state is suspect by definition.
+        """
+        with self._lock:
+            self._sessions.pop(client.client_id, None)
+            if ttl <= 0 or client.poisoned:
+                return False
+            while len(self._parked) >= self.PARK_MAX:
+                self._parked.popitem(last=False)
+            self._parked[client.resume_key] = (time.monotonic() + ttl,
+                                               client)
+            return True
+
+    def resume(self, resume_key: str,
+               client_id: str) -> Optional[ClientSession]:
+        """Re-attach a parked session under a new connection id."""
+        with self._lock:
+            entry = self._parked.pop(resume_key, None)
+            if entry is None:
+                return None
+            expiry, client = entry
+            if time.monotonic() > expiry:
+                return None
+            client.client_id = client_id
+            client.generation += 1
+            client.inflight = 0
+            self._sessions[client_id] = client
+            return client
+
+    def sweep_parked(self) -> int:
+        """Drop parked sessions past their TTL; returns how many."""
+        now = time.monotonic()
+        with self._lock:
+            expired = [key for key, (expiry, _) in self._parked.items()
+                       if now > expiry]
+            for key in expired:
+                del self._parked[key]
+        return len(expired)
+
+    def parked_count(self) -> int:
+        with self._lock:
+            return len(self._parked)
+
+    # -- lease bookkeeping (crash-only cleanup) ------------------------------
+    def _register(self, lease: QueryLease) -> None:
+        with self._lease_lock:
+            self._leases.add(lease)
+
+    def _unregister(self, lease: QueryLease) -> None:
+        with self._lease_lock:
+            self._leases.discard(lease)
+
+    def active_leases(self) -> list[QueryLease]:
+        with self._lease_lock:
+            return list(self._leases)
+
+    def reclaim(self, client: ClientSession) -> int:
+        """Settle every lease ``client`` holds, on its worker's behalf.
+
+        The watchdog's last resort for a worker wedged in a backend
+        call that ignores both the cancel token and the async raise:
+        restores any pending snapshot, releases the RW lock, and
+        poisons the session (the zombie thread may still wake inside
+        the shared target, so the session must never run another
+        query).  Returns the number of leases actually settled.
+        """
+        client.poisoned = True
+        settled = 0
+        for lease in self.active_leases():
+            if lease.client is client and lease.settle(forced=True):
+                settled += 1
+        return settled
+
     # -- query execution ---------------------------------------------------
     def classify(self, client: ClientSession, text: str) -> bool:
         """True when ``text`` can mutate the target (needs isolation).
@@ -193,10 +418,18 @@ class SessionManager:
         Read-only queries share the target under the read lock;
         side-effecting queries take the write lock, a snapshot, drive
         with their effects visible to themselves, and restore before
-        releasing — snapshot isolation, with the restore in a
-        ``finally`` so a crash (or an abandoned generator) can never
-        leak a half-mutated target.
+        releasing — snapshot isolation.  Both paths hold their
+        lock-and-snapshot state in a registered :class:`QueryLease`
+        whose idempotent ``settle`` runs in the ``finally`` — and can
+        equally be run by :meth:`reclaim` if this worker is lost — so
+        a crash, an abandoned generator, or a hard-cancelled thread
+        can never leak the lock or a half-mutated target.
         """
+        if client.poisoned:
+            from repro.core.errors import DuelTargetError
+            raise DuelTargetError(
+                "session poisoned: a previous query's worker was "
+                "forcibly reclaimed; reconnect with a fresh session")
         writes = self.classify(client, text)
         with client.lock:
             client.queries += 1
@@ -204,19 +437,15 @@ class SessionManager:
                 self._rw.acquire_write()
                 try:
                     checkpoint = snapshot.take(self.program)
-                    try:
-                        yield from client.session.ievents(
-                            text, on_begin=on_begin)
-                    finally:
-                        snapshot.restore(self.program, checkpoint)
-                        ev = client.session.evaluator
-                        ev.invalidate_target_caches()
-                finally:
+                except BaseException:
                     self._rw.release_write()
+                    raise
+                lease = QueryLease(self, client, "write", checkpoint)
             else:
                 self._rw.acquire_read()
-                try:
-                    yield from client.session.ievents(
-                        text, on_begin=on_begin)
-                finally:
-                    self._rw.release_read()
+                lease = QueryLease(self, client, "read")
+            self._register(lease)
+            try:
+                yield from client.session.ievents(text, on_begin=on_begin)
+            finally:
+                lease.settle()

@@ -1,0 +1,156 @@
+"""Unit tests for the circuit breaker and server health word."""
+
+import pytest
+
+from repro.serve.health import (DEGRADED, DRAINING, OK, STATE_CODES,
+                                CircuitBreaker, ServerHealth)
+
+
+class FakeClock:
+    def __init__(self, start=1000.0):
+        self.now = start
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+def make_breaker(threshold=3, window=30.0, cooldown=10.0):
+    clock = FakeClock()
+    return CircuitBreaker(threshold=threshold, window=window,
+                          cooldown=cooldown, clock=clock), clock
+
+
+class TestCircuitBreaker:
+    def test_threshold_must_be_positive(self):
+        with pytest.raises(ValueError):
+            CircuitBreaker(threshold=0)
+
+    def test_closed_allows_writes(self):
+        breaker, _ = make_breaker()
+        assert not breaker.open
+        assert breaker.state() == "closed"
+        assert breaker.allow_write() is True
+        assert breaker.rejections == 0
+
+    def test_trips_at_threshold_within_window(self):
+        breaker, _ = make_breaker(threshold=3)
+        assert breaker.record_fault() is False
+        assert breaker.record_fault() is False
+        assert breaker.record_fault() is True     # the tripping fault
+        assert breaker.open
+        assert breaker.state() == "open"
+        assert breaker.trips == 1
+
+    def test_window_slides_old_faults_out(self):
+        breaker, clock = make_breaker(threshold=3, window=30.0)
+        breaker.record_fault()
+        breaker.record_fault()
+        clock.advance(31.0)                        # both fall off
+        assert breaker.record_fault() is False
+        assert not breaker.open
+
+    def test_open_rejects_writes_and_counts(self):
+        breaker, _ = make_breaker(threshold=1)
+        breaker.record_fault()
+        assert breaker.allow_write() is False
+        assert breaker.allow_write() is False
+        assert breaker.rejections == 2
+
+    def test_half_open_admits_exactly_one_probe(self):
+        breaker, clock = make_breaker(threshold=1, cooldown=10.0)
+        breaker.record_fault()
+        clock.advance(10.0)
+        assert breaker.state() == "half-open"
+        assert breaker.allow_write() is True       # the probe
+        assert breaker.allow_write() is False      # everyone else waits
+        assert breaker.rejections == 1
+
+    def test_probe_success_closes(self):
+        breaker, clock = make_breaker(threshold=1, cooldown=10.0)
+        breaker.record_fault()
+        clock.advance(10.0)
+        assert breaker.allow_write()
+        assert breaker.record_ok() is True
+        assert not breaker.open
+        assert breaker.state() == "closed"
+        # A later clean write on a closed breaker is a no-op.
+        assert breaker.record_ok() is False
+
+    def test_probe_fault_reopens_full_cooldown(self):
+        breaker, clock = make_breaker(threshold=1, cooldown=10.0)
+        breaker.record_fault()
+        clock.advance(10.0)
+        assert breaker.allow_write()
+        assert breaker.record_fault() is False     # re-open, not a new trip
+        assert breaker.trips == 1
+        assert breaker.state() == "open"           # cooldown restarted
+        clock.advance(9.0)
+        assert breaker.allow_write() is False
+        clock.advance(1.0)
+        assert breaker.allow_write() is True       # fresh probe slot
+
+    def test_record_ok_without_probe_keeps_breaker_open(self):
+        # A read completing while open must not close the breaker.
+        breaker, _ = make_breaker(threshold=1)
+        breaker.record_fault()
+        assert breaker.record_ok() is False
+        assert breaker.open
+
+    def test_force_close_resets_everything(self):
+        breaker, _ = make_breaker(threshold=1)
+        breaker.record_fault()
+        breaker.force_close()
+        assert not breaker.open
+        assert breaker.allow_write() is True
+
+    def test_retrip_after_recovery(self):
+        breaker, clock = make_breaker(threshold=2, cooldown=5.0)
+        breaker.record_fault()
+        breaker.record_fault()
+        assert breaker.trips == 1
+        clock.advance(5.0)
+        assert breaker.allow_write()
+        breaker.record_ok()
+        breaker.record_fault()
+        breaker.record_fault()
+        assert breaker.trips == 2
+
+
+class TestServerHealth:
+    def test_ok_by_default(self):
+        health = ServerHealth()
+        assert health.state() == OK
+        assert health.code() == STATE_CODES[OK] == 0
+        assert health.healthz() == (200, "ok\n")
+
+    def test_degraded_when_breaker_open(self):
+        breaker, _ = make_breaker(threshold=1)
+        health = ServerHealth(breaker)
+        breaker.record_fault()
+        assert health.state() == DEGRADED
+        assert health.code() == 1
+        status, body = health.healthz()
+        assert status == 200                       # alive, don't restart-loop
+        assert body.startswith("degraded")
+        assert "writes rejected" in body
+
+    def test_draining_dominates_and_serves_503(self):
+        breaker, _ = make_breaker(threshold=1)
+        health = ServerHealth(breaker)
+        breaker.record_fault()
+        health.set_draining()
+        assert health.state() == DRAINING
+        assert health.code() == 2
+        assert health.healthz() == (503, "draining\n")
+
+    def test_recovery_returns_to_ok(self):
+        breaker, clock = make_breaker(threshold=1, cooldown=1.0)
+        health = ServerHealth(breaker)
+        breaker.record_fault()
+        clock.advance(1.0)
+        assert breaker.allow_write()
+        breaker.record_ok()
+        assert health.state() == OK

@@ -131,3 +131,86 @@ class TestBuilders:
         frame = protocol.rejected(5, "overloaded", detail="queue full")
         assert frame == {"ev": "rejected", "id": 5,
                          "reason": "overloaded", "detail": "queue full"}
+
+
+class TestFaultToleranceValidation:
+    def test_ping_needs_id_pong_needs_seq(self):
+        assert protocol.validate_request({"op": "ping", "id": 4}) == "ping"
+        assert protocol.validate_request({"op": "pong", "seq": 9}) == "pong"
+        with pytest.raises(ProtocolError, match="integer 'id'"):
+            protocol.validate_request({"op": "ping"})
+        with pytest.raises(ProtocolError, match="integer 'seq'"):
+            protocol.validate_request({"op": "pong"})
+
+    def test_duel_idem_must_be_string(self):
+        assert protocol.validate_request(
+            {"op": "duel", "id": 1, "text": "1", "idem": "tok"}) == "duel"
+        with pytest.raises(ProtocolError, match="'idem' must be a string"):
+            protocol.validate_request(
+                {"op": "duel", "id": 1, "text": "1", "idem": 7})
+
+    def test_hello_resume_must_be_string(self):
+        assert protocol.validate_request(
+            {"op": "hello", "version": 1, "resume": "abc"}) == "hello"
+        with pytest.raises(ProtocolError, match="'resume' must be a string"):
+            protocol.validate_request(
+                {"op": "hello", "version": 1, "resume": 1})
+
+    def test_hello_builder_carries_resume(self):
+        frame = protocol.hello("ana", resume="deadbeef")
+        assert frame["resume"] == "deadbeef"
+
+    def test_terminal_passes_replayed_flag(self):
+        frame = protocol.terminal(2, "done", {"values": 1, "replayed": True})
+        assert frame["replayed"] is True
+
+
+class TestBudgetedReader:
+    """One test per malformation class the lenient reader survives."""
+
+    def read_all(self, payload: bytes):
+        return list(protocol.read_frames_budgeted(io.BytesIO(payload)))
+
+    def test_clean_stream_yields_only_frames(self):
+        items = self.read_all(b'{"op":"hello","version":1}\n'
+                              b'\n'
+                              b'{"op":"bye"}\n')
+        assert [f["op"] for f in items] == ["hello", "bye"]
+
+    def test_broken_json_yielded_as_error_then_continues(self):
+        items = self.read_all(b'{nope\n{"op":"bye"}\n')
+        assert isinstance(items[0], ProtocolError)
+        assert "not JSON" in str(items[0])
+        assert items[1]["op"] == "bye"
+
+    def test_non_object_yielded_as_error_then_continues(self):
+        items = self.read_all(b'[1,2,3]\n{"op":"bye"}\n')
+        assert isinstance(items[0], ProtocolError)
+        assert "JSON object" in str(items[0])
+        assert items[1]["op"] == "bye"
+
+    def test_oversized_terminated_line_resyncs(self):
+        # One giant line *with* a newline: the reader skips to the
+        # newline, reports the oversize, and keeps reading.
+        payload = (b'{"pad":"' + b"x" * (protocol.MAX_FRAME + 100)
+                   + b'"}\n{"op":"bye"}\n')
+        items = self.read_all(payload)
+        assert isinstance(items[0], ProtocolError)
+        assert "oversized" in str(items[0])
+        assert items[1]["op"] == "bye"
+
+    def test_unterminated_oversize_past_resync_budget_is_fatal(self):
+        payload = b"x" * (protocol.MAX_RESYNC + 2 * protocol.MAX_FRAME)
+        with pytest.raises(protocol.FatalProtocolError, match="newline"):
+            self.read_all(payload)
+
+    def test_unterminated_oversize_at_eof_just_ends(self):
+        # No newline ever arrives but EOF comes first: treated as a
+        # vanished peer, not an error worth raising about.
+        payload = b"x" * (protocol.MAX_FRAME + 100)
+        assert self.read_all(payload) == []
+
+    def test_binary_garbage_is_an_error_not_a_crash(self):
+        items = self.read_all(b"\x00\xff\xfe\x01\n" + b'{"op":"bye"}\n')
+        assert isinstance(items[0], ProtocolError)
+        assert items[1]["op"] == "bye"
