@@ -444,6 +444,38 @@ def main(argv: Optional[Sequence[str]] = None,
                              help="how long writes stay rejected "
                                   "before a half-open probe "
                                   "(default 10)")
+    serve_group.add_argument("--state-dir", metavar="DIR", default=None,
+                             help="crash-only durability: journal "
+                                  "session state and committed writes "
+                                  "to DIR and checkpoint the target, "
+                                  "so a restart with the same DIR "
+                                  "recovers parked sessions and "
+                                  "replays writes")
+    serve_group.add_argument("--journal-fsync", metavar="POLICY",
+                             default="interval:1.0",
+                             help="journal fsync policy: 'always', "
+                                  "'interval:N' (seconds), or 'off' "
+                                  "(default interval:1.0; any flushed "
+                                  "record survives SIGKILL — fsync "
+                                  "only buys power-loss durability)")
+    serve_group.add_argument("--checkpoint-interval", type=float,
+                             default=30.0, metavar="SECONDS",
+                             help="how often the checkpointer freezes "
+                                  "the target and writes a durable "
+                                  "snapshot, truncating old journal "
+                                  "segments; 0 disables periodic "
+                                  "checkpoints (default 30)")
+    serve_group.add_argument("--commit-writes", action="store_true",
+                             help="side-effecting queries that drain "
+                                  "to 'done' keep their effects on "
+                                  "the shared target (journaled and "
+                                  "replayed on recovery) instead of "
+                                  "being rolled back")
+    serve_group.add_argument("--query-log-fsync", action="store_true",
+                             help="fsync the --query-log on every "
+                                  "terminal record, making the audit "
+                                  "log durable across power loss, "
+                                  "not just process death")
     parser.add_argument("args", nargs="*", default=[],
                         help="argv for the target program (after --)")
     ns = parser.parse_args(argv)

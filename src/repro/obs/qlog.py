@@ -60,7 +60,8 @@ TERMINAL_EVENTS = frozenset(
 SERVER_EVENT_KINDS = frozenset(
     {"reaped", "hard_cancel", "worker_lost", "breaker_open",
      "breaker_closed", "session_parked", "session_resumed",
-     "session_expired", "drain_begin", "drain_fast"})
+     "session_expired", "drain_begin", "drain_fast",
+     "checkpoint", "recover_begin", "recover_done", "journal_torn"})
 
 #: Stats keys copied onto terminal records (insertion order kept).
 _STAT_FIELDS = ("steps", "lines", "reads", "writes", "calls", "allocs")
@@ -81,9 +82,16 @@ class QueryLog:
     single lock, so qids are globally monotone *and* appear in the
     file in qid order; every record is written whole — concurrent
     queries interleave at record granularity, never mid-line.
+
+    ``fsync=True`` additionally fsyncs the file on every flush point
+    (terminal and server records): flushed records always survive a
+    SIGKILL of this process, but only synced records survive losing
+    the machine — and a log used as the ground truth of an
+    exactly-once audit across crashes should opt in.
     """
 
-    def __init__(self, stream_or_path, clock=time.time):
+    def __init__(self, stream_or_path, clock=time.time,
+                 fsync: bool = False):
         if isinstance(stream_or_path, str):
             self._stream = open(stream_or_path, "w")
             self._owns = True
@@ -91,10 +99,20 @@ class QueryLog:
             self._stream = stream_or_path
             self._owns = False
         self._clock = clock
+        self._fsync = fsync
         self._next_qid = 1
         self._lock = threading.Lock()
         #: Records written so far (all kinds).
         self.records = 0
+
+    def _flush_locked(self) -> None:
+        self._stream.flush()
+        if self._fsync:
+            try:
+                import os
+                os.fsync(self._stream.fileno())
+            except (OSError, ValueError, AttributeError):
+                pass               # in-memory streams have no fileno
 
     # -- lifecycle events --------------------------------------------------
     def begin(self, text: str, engine: str = "generator") -> int:
@@ -146,7 +164,7 @@ class QueryLog:
                                 for name, ms in phases.items()}
         with self._lock:
             self._write_locked(record)
-            self._stream.flush()
+            self._flush_locked()
 
     def server_event(self, kind: str, **fields) -> None:
         """A qid-less server lifecycle record (flushed immediately).
@@ -163,7 +181,7 @@ class QueryLog:
         record.update(fields)
         with self._lock:
             self._write_locked(record)
-            self._stream.flush()
+            self._flush_locked()
 
     # -- plumbing ----------------------------------------------------------
     def _write(self, record: dict) -> None:
@@ -176,12 +194,12 @@ class QueryLog:
 
     def flush(self) -> None:
         with self._lock:
-            self._stream.flush()
+            self._flush_locked()
 
     def close(self) -> None:
         """Flush, and close the stream if this log opened it."""
         with self._lock:
-            self._stream.flush()
+            self._flush_locked()
             if self._owns:
                 self._stream.close()
 

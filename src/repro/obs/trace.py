@@ -151,16 +151,28 @@ class JsonlSink(TraceSink):
 
     Accepts any writable text stream; :meth:`close` only closes
     streams this sink opened itself (when given a path).
+    ``fsync=True`` additionally fsyncs on every flush point, so the
+    trace survives losing the machine, not just losing the process.
     """
 
-    def __init__(self, stream_or_path):
+    def __init__(self, stream_or_path, fsync: bool = False):
         if isinstance(stream_or_path, str):
             self._stream = open(stream_or_path, "w")
             self._owns = True
         else:
             self._stream = stream_or_path
             self._owns = False
+        self._fsync = fsync
         self._query = 0
+
+    def _flush(self) -> None:
+        self._stream.flush()
+        if self._fsync:
+            try:
+                import os
+                os.fsync(self._stream.fileno())
+            except (OSError, ValueError, AttributeError):
+                pass               # in-memory streams have no fileno
 
     def begin_query(self, text: str, spans: list) -> None:
         self._query += 1
@@ -177,13 +189,13 @@ class JsonlSink(TraceSink):
             record = {"ev": "span", "q": self._query}
             record.update(span.as_dict())
             self._write(record)
-        self._stream.flush()
+        self._flush()
 
     def _write(self, record: dict) -> None:
         self._stream.write(json.dumps(record) + "\n")
 
     def flush(self) -> None:
-        self._stream.flush()
+        self._flush()
 
     def close(self) -> None:
         """Flush, then close the stream if this sink opened it.
@@ -193,7 +205,7 @@ class JsonlSink(TraceSink):
         included), so even a query aborted by ^C leaves its records on
         disk; close is belt-and-braces for session teardown.
         """
-        self._stream.flush()
+        self._flush()
         if self._owns:
             self._stream.close()
 

@@ -39,14 +39,29 @@ Usage::
     client = DuelClient(port=port, ...)   # speaks through the chaos
     ...
     proxy.stop()
+
+PR 7 adds *process-level* faults for the crash-only durability layer:
+:class:`ServerProcess` runs a real ``python -m repro --serve``
+subprocess (with ``--state-dir``) that the harness can
+:meth:`~ServerProcess.sigkill` mid-workload and :meth:`restart
+<ServerProcess.restart>` against the same state directory, and
+:func:`tear_tail` truncates a journal segment mid-record — the
+"killed between append and fsync" torn-tail crash the journal must
+recover from, simulated deterministically at a byte offset.
 """
 
 from __future__ import annotations
 
+import os
 import random
+import re
+import signal
 import socket
 import struct
+import subprocess
+import sys
 import threading
+import time
 from typing import Optional
 
 #: Directions a directive can apply to (relative to the client).
@@ -375,3 +390,126 @@ class ChaosProxy:
                     name=f"chaos-{index}-{direction}", daemon=True)
                 thread.start()
                 self._threads.append(thread)
+
+
+# -- process-level faults (crash-only durability harness) -------------------
+def tear_tail(path: str, drop_bytes: int) -> int:
+    """Truncate ``drop_bytes`` off the end of ``path``; returns new size.
+
+    The deterministic stand-in for "SIGKILL landed between the
+    buffered journal append and its fsync": the final record is left
+    half-written at an arbitrary byte boundary, exactly the torn tail
+    :meth:`~repro.serve.journal.Journal` must truncate — never refuse
+    — on the next open.
+    """
+    size = os.path.getsize(path)
+    keep = max(size - max(drop_bytes, 0), 0)
+    with open(path, "r+b") as handle:
+        handle.truncate(keep)
+    return keep
+
+
+class ServerProcess:
+    """A real ``duel-serve`` subprocess the harness can SIGKILL.
+
+    The in-process :meth:`DuelServer.simulate_crash` is fast and
+    deterministic, but only an actual process death proves the
+    durability layer end to end — no destructor, ``finally`` or
+    daemon thread gets to run.  ``args`` are appended to the base
+    ``python -m repro <program args>`` command line (``--serve`` plus
+    ``--state-dir`` belong there); stdout is scraped for the
+    ``serving on host:port`` announcement.
+
+    One instance manages one *state directory's worth* of server
+    lifetimes: :meth:`sigkill` then :meth:`restart` reuses the same
+    command line, so recovery runs against exactly the state the
+    killed lifetime left behind.
+    """
+
+    READY_RE = re.compile(r"serving on [^:]+:(\d+)")
+
+    def __init__(self, args: list, *, timeout: float = 30.0,
+                 env: Optional[dict] = None):
+        self.args = list(args)
+        self.timeout = timeout
+        self.env = env
+        self.port: Optional[int] = None
+        self.proc: Optional[subprocess.Popen] = None
+        #: Every line scraped from the current lifetime's stdout.
+        self.stdout_lines: list[str] = []
+        #: How many lifetimes this state dir has seen.
+        self.lifetimes = 0
+
+    def start(self) -> int:
+        """Spawn the server; blocks until it announces its port."""
+        if self.proc is not None and self.proc.poll() is None:
+            raise RuntimeError("server already running")
+        self.stdout_lines = []
+        self.proc = subprocess.Popen(
+            [sys.executable, "-m", "repro", *self.args],
+            stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+            text=True, env=self.env)
+        self.lifetimes += 1
+        deadline = time.monotonic() + self.timeout
+        while time.monotonic() < deadline:
+            line = self.proc.stdout.readline()
+            if not line:
+                raise RuntimeError(
+                    "server exited before announcing its port:\n"
+                    + "".join(self.stdout_lines))
+            self.stdout_lines.append(line)
+            match = self.READY_RE.search(line)
+            if match:
+                self.port = int(match.group(1))
+                # Keep draining stdout so the server never blocks on a
+                # full pipe.
+                threading.Thread(target=self._drain_stdout,
+                                 daemon=True).start()
+                return self.port
+        raise RuntimeError(f"server not ready within {self.timeout}s")
+
+    def _drain_stdout(self) -> None:
+        proc = self.proc
+        try:
+            for line in proc.stdout:
+                self.stdout_lines.append(line)
+        except (OSError, ValueError):        # pragma: no cover - races
+            pass
+
+    def sigkill(self) -> None:
+        """SIGKILL the server — no drain, no cleanup, no goodbye."""
+        if self.proc is None:
+            return
+        try:
+            self.proc.send_signal(signal.SIGKILL)
+        except (OSError, ProcessLookupError):  # pragma: no cover
+            pass
+        self.proc.wait(timeout=self.timeout)
+
+    def restart(self) -> int:
+        """Start a fresh lifetime over the same command line/state dir."""
+        if self.proc is not None and self.proc.poll() is None:
+            raise RuntimeError("kill the server before restarting it")
+        return self.start()
+
+    def terminate(self) -> None:
+        """Graceful SIGTERM stop (end-of-test cleanup)."""
+        if self.proc is None or self.proc.poll() is not None:
+            return
+        try:
+            self.proc.terminate()
+            self.proc.wait(timeout=self.timeout)
+        except (OSError, subprocess.TimeoutExpired):
+            try:
+                self.proc.kill()
+                self.proc.wait(timeout=5)
+            except (OSError, subprocess.TimeoutExpired):  # pragma: no cover
+                pass
+
+    def __enter__(self) -> "ServerProcess":
+        if self.proc is None:
+            self.start()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.terminate()

@@ -50,6 +50,7 @@ costs a bounded wait, then the retry machinery kicks in).
 
 from __future__ import annotations
 
+import errno
 import random
 import secrets
 import socket
@@ -154,6 +155,24 @@ def classify_writes(text: str) -> bool:
         return True
 
 
+def _connection_refused(error) -> bool:
+    """True when ``error`` is (or wraps) ECONNREFUSED.
+
+    Walks the cause/context chain because the client wraps transport
+    failures in :class:`ServeError` before they reach the retry loop.
+    """
+    seen: set = set()
+    while error is not None and id(error) not in seen:
+        seen.add(id(error))
+        if isinstance(error, ConnectionRefusedError):
+            return True
+        if isinstance(error, OSError) \
+                and error.errno == errno.ECONNREFUSED:
+            return True
+        error = error.__cause__ or error.__context__
+    return False
+
+
 class DuelClient:
     """A blocking protocol conversation with one ``duel-serve``."""
 
@@ -163,7 +182,8 @@ class DuelClient:
                  connect_timeout: Optional[float] = None,
                  op_timeout: Optional[float] = None,
                  retry: Optional[RetryPolicy] = None,
-                 auto_idem: bool = True):
+                 auto_idem: bool = True,
+                 restart_window: float = 0.0):
         self.host = host
         self.port = port
         self.client_name = client
@@ -173,6 +193,13 @@ class DuelClient:
         self.op_timeout = op_timeout if op_timeout is not None else timeout
         self.retry = retry if retry is not None else RetryPolicy()
         self.auto_idem = auto_idem
+        #: How long ``duel`` keeps treating ECONNREFUSED as "the
+        #: server is restarting, wait for it" instead of charging a
+        #: retry.  A durable server (``--state-dir``) comes back with
+        #: every parked session intact, so refused dials during its
+        #: restart deserve patience, not a spent attempt.  0 = off.
+        self.restart_window = restart_window
+        self._refused_since: Optional[float] = None
         self._sock: Optional[socket.socket] = None
         self._rfile = None
         self._wfile = None
@@ -375,8 +402,22 @@ class DuelClient:
                     self._redial()
                 request_id = self.start(text, idem=idem)
                 result = self.collect(request_id, on_line=on_line)
+                self._refused_since = None
             except (ServeError, OSError) as error:
                 self._teardown()
+                if self.restart_window > 0 \
+                        and _connection_refused(error):
+                    # A refused dial during the restart window is the
+                    # server coming back up, not a spent retry: keep
+                    # waiting (bounded by the window) without charging
+                    # ``attempt``.
+                    now = time.monotonic()
+                    if self._refused_since is None:
+                        self._refused_since = now
+                    if now - self._refused_since <= self.restart_window:
+                        self.retry.wait(max(attempt, 1))
+                        continue
+                self._refused_since = None
                 attempt += 1
                 if attempt > self.retry.retries:
                     raise ServeError(
@@ -470,13 +511,38 @@ def main(argv=None) -> int:
     queries (``quit`` leaves, ``cancel`` has no meaning here — hit ^C
     during a query to cancel it in place and keep the partial
     output).
+
+    Exit codes (batch mode returns the worst across ``--expr``\\ s):
+    0 — every query completed (done / truncated / cancelled);
+    1 — usage or protocol error; 2 — the connection could not be
+    (re-)established (dial failed, or mid-query retries exhausted);
+    3 — a query was rejected by admission control (busy / overloaded /
+    degraded / poisoned); 4 — a query faulted or hit an internal
+    server error.
     """
     import argparse
     import sys
 
-    parser = argparse.ArgumentParser(
+    class _Parser(argparse.ArgumentParser):
+        # argparse's default usage exit is 2, which is this client's
+        # "connection failed" code; usage errors are documented as 1.
+        def error(self, message):
+            self.print_usage(sys.stderr)
+            self.exit(1, f"{self.prog}: error: {message}\n")
+
+    parser = _Parser(
         prog="duel-client",
-        description="console client for a running duel-serve")
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+        description="console client for a running duel-serve",
+        epilog=(
+            "exit codes:\n"
+            "  0  every query completed (done/truncated/cancelled)\n"
+            "  1  usage or protocol error\n"
+            "  2  connection could not be (re-)established: dial\n"
+            "     failed, or mid-query retries were exhausted\n"
+            "  3  a query was rejected by admission control\n"
+            "     (busy/overloaded/degraded/poisoned)\n"
+            "  4  a query faulted or hit an internal server error\n"))
     parser.add_argument("--host", default="127.0.0.1")
     parser.add_argument("--port", type=int, required=True)
     parser.add_argument("--name", default=None,
@@ -494,6 +560,12 @@ def main(argv=None) -> int:
                         help="reconnect-and-retry attempts per query, "
                              "with exponential backoff "
                              "(default 3; 0 disables)")
+    parser.add_argument("--restart-window", type=float, default=0.0,
+                        metavar="SECONDS",
+                        help="keep retrying refused dials for this long "
+                             "(a --state-dir server being restarted "
+                             "comes back with sessions intact; "
+                             "default 0 = off)")
     ns = parser.parse_args(argv)
     out = sys.stdout
 
@@ -502,22 +574,29 @@ def main(argv=None) -> int:
         client = DuelClient(host=ns.host, port=ns.port, client=ns.name,
                             connect=False,
                             connect_timeout=ns.connect_timeout,
-                            op_timeout=ns.op_timeout, retry=policy)
+                            op_timeout=ns.op_timeout, retry=policy,
+                            restart_window=ns.restart_window)
         attempt = 0
+        deadline = time.monotonic() + max(ns.restart_window, 0.0)
         while True:
             try:
                 client.connect()
                 break
-            except (OSError, ServeError):
+            except (OSError, ServeError) as error:
+                if _connection_refused(error) \
+                        and time.monotonic() < deadline:
+                    # Dial-time counterpart of the restart window.
+                    policy.wait(max(attempt, 1))
+                    continue
                 attempt += 1
                 if attempt > policy.retries:
                     raise
                 policy.wait(attempt)
     except (OSError, ServeError) as error:
         out.write(f"error: {error}\n")
-        return 1
+        return 2
 
-    def run_one(text: str) -> None:
+    def run_one(text: str) -> int:
         try:
             result = client.duel(
                 text, on_line=lambda s: out.write(s + "\n"))
@@ -535,13 +614,19 @@ def main(argv=None) -> int:
             out.write(f"rejected: {result.reason}\n")
         if result.replayed:
             out.write("(replayed from the idempotency cache)\n")
+        if result.outcome in ("done", "truncated", "cancelled"):
+            return 0
+        if result.outcome == "rejected":
+            return 3
+        return 4                      # faulted / internal error
 
+    worst = 0
     try:
         if ns.expr:
             for text in ns.expr:
                 out.write(f"duel {text}\n")
-                run_one(text)
-            return 0
+                worst = max(worst, run_one(text))
+            return worst
         if sys.stdin.isatty():  # pragma: no cover - interactive nicety
             out.write(f"connected to {ns.host}:{ns.port} as "
                       f"{client.welcome.get('client')}; "
@@ -552,15 +637,15 @@ def main(argv=None) -> int:
                 continue
             if line in ("quit", "exit", "q"):
                 break
-            run_one(line)
-        return 0
+            worst = max(worst, run_one(line))
+        return worst
     except KeyboardInterrupt:
         # ^C at the prompt (not mid-query) just leaves.
         out.write("\n")
-        return 0
+        return worst
     except (ServeError, OSError) as error:
         out.write(f"error: {error}\n")
-        return 1
+        return 2
     finally:
         client.close()
 

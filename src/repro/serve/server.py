@@ -88,8 +88,11 @@ from typing import Optional
 from repro.core.errors import DuelCancelled, DuelError
 from repro.serve import protocol
 from repro.serve.health import CircuitBreaker, ServerHealth
+from repro.serve.journal import StateStore, fold_sessions
 from repro.serve.sessions import (IDEM_LINES_BYTES, ClientSession,
                                   SessionManager)
+from repro.target import snapshot as target_snapshot
+from repro.target.snapshot import Snapshot
 
 #: A queue sentinel telling one worker to exit.
 _STOP = object()
@@ -351,18 +354,33 @@ class DuelServer:
                  breaker_threshold: int = 5,
                  breaker_window: float = 30.0,
                  breaker_cooldown: float = 10.0,
-                 session_factory=None):
+                 session_factory=None,
+                 state_dir: Optional[str] = None,
+                 journal_fsync: str = "interval:1.0",
+                 checkpoint_interval: float = 30.0,
+                 commit_writes: bool = False,
+                 journal_sync_hook=None):
         if workers <= 0:
             raise ValueError("need at least one worker")
         if queue_depth <= 0:
             raise ValueError("queue depth must be positive")
         if per_client <= 0:
             raise ValueError("per-client cap must be positive")
-        self.sessions = SessionManager(program,
-                                       session_kwargs=session_kwargs,
-                                       metrics=metrics, qlog=qlog,
-                                       recorder=recorder,
-                                       session_factory=session_factory)
+        #: The crash-only durability layer (None without --state-dir):
+        #: a write-ahead journal plus periodic target checkpoints, so
+        #: a restarted server with the same state dir resurrects every
+        #: parked session and re-applies every committed write.
+        self.store = StateStore(state_dir, fsync=journal_fsync,
+                                sync_hook=journal_sync_hook) \
+            if state_dir else None
+        self.checkpoint_interval = checkpoint_interval
+        self.commit_writes = commit_writes
+        self.sessions = SessionManager(
+            program, session_kwargs=session_kwargs,
+            metrics=metrics, qlog=qlog, recorder=recorder,
+            session_factory=session_factory,
+            journal=self.store.journal if self.store else None,
+            commit_writes=commit_writes)
         self.metrics = metrics
         self.qlog = qlog
         self.host = host
@@ -388,6 +406,7 @@ class DuelServer:
         self._tcp: Optional[socketserver.ThreadingTCPServer] = None
         self._acceptor: Optional[threading.Thread] = None
         self._watchdog: Optional[threading.Thread] = None
+        self._checkpointer: Optional[threading.Thread] = None
         self._watchdog_stop = threading.Event()
         self._fast = threading.Event()
         self._conns: set[_Connection] = set()
@@ -401,6 +420,10 @@ class DuelServer:
         self.reaped = 0
         self.hard_cancels = 0
         self.workers_lost = 0
+        self.checkpoints = 0
+        self.recovered_sessions = 0
+        self.replayed_writes = 0
+        self._crashed = False
 
     # -- lifecycle ---------------------------------------------------------
     def start(self) -> int:
@@ -415,6 +438,12 @@ class DuelServer:
             allow_reuse_address = True
             daemon_threads = True
 
+        if self.store is not None:
+            # Recovery runs strictly before the first accept: by the
+            # time a client can present a resume key, every surviving
+            # session is already parked and every committed write
+            # re-applied.
+            self._recover()
         self._tcp = TCP((self.host, self.port), Handler)
         self.port = self._tcp.server_address[1]
         for _ in range(self.workers):
@@ -422,6 +451,11 @@ class DuelServer:
         self._watchdog = threading.Thread(target=self._watchdog_loop,
                                           name="duel-watchdog", daemon=True)
         self._watchdog.start()
+        if self.store is not None and self.checkpoint_interval > 0:
+            self._checkpointer = threading.Thread(
+                target=self._checkpoint_loop,
+                name="duel-checkpointer", daemon=True)
+            self._checkpointer.start()
         self._acceptor = threading.Thread(target=self._tcp.serve_forever,
                                           name="duel-acceptor", daemon=True)
         self._acceptor.start()
@@ -482,6 +516,9 @@ class DuelServer:
         if self._watchdog is not None:
             self._watchdog.join(timeout=5)
             self._watchdog = None
+        if self._checkpointer is not None:
+            self._checkpointer.join(timeout=5)
+            self._checkpointer = None
         with self._conns_lock:
             conns = list(self._conns)
         for conn in conns:
@@ -492,6 +529,14 @@ class DuelServer:
             self._acceptor.join(timeout=5)
         self._tcp = None
         self._worker_threads = []
+        if self.store is not None:
+            # A clean shutdown leaves a fresh checkpoint behind so the
+            # next start replays (almost) nothing.
+            try:
+                self.checkpoint()
+            except Exception:
+                self._count("serve_checkpoint_errors_total")
+            self.store.close()
 
     def _cancel_all_conns(self, reason: str) -> None:
         with self._conns_lock:
@@ -647,6 +692,202 @@ class DuelServer:
             self._worker_threads.remove(lost)
             self._spawn_worker()
         self._gauge_sync()
+
+    # -- durability: checkpoints, recovery, simulated crash ------------------
+    def _checkpoint_loop(self) -> None:
+        while not self._watchdog_stop.wait(self.checkpoint_interval):
+            try:
+                self.checkpoint()
+            except Exception:          # a checkpoint bug must not kill
+                self._count("serve_checkpoint_errors_total")  # serving
+
+    def checkpoint(self) -> Optional[int]:
+        """Write one durable checkpoint; returns its journal lsn.
+
+        Under the RW *write* lock (no query is mutating the target,
+        no write record can be appended): rotate the journal — the
+        returned lsn is the checkpoint's high-water mark and every
+        later record lands in segments truncation will not touch —
+        then serialize the target snapshot and the session table.
+        The lock is released before the (comparatively slow) disk
+        write; only after the checkpoint is durably renamed into
+        place are the sealed segments it supersedes deleted.
+        """
+        store = self.store
+        if store is None or self._crashed:
+            return None
+        rw = self.sessions._rw
+        rw.acquire_write()
+        try:
+            ckpt_lsn = store.journal.rotate()
+            snap = target_snapshot.take(self.sessions.program).serialize()
+            table = self.sessions.export_state()
+        finally:
+            rw.release_write()
+        store.write_checkpoint(ckpt_lsn, {"lsn": ckpt_lsn,
+                                          "snapshot": snap,
+                                          "sessions": table})
+        removed = store.journal.truncate_sealed()
+        self.checkpoints += 1
+        self._count("serve_checkpoints_total")
+        self._server_event("checkpoint", lsn=ckpt_lsn,
+                           sessions=len(table), segments_removed=removed)
+        return ckpt_lsn
+
+    def _recover(self) -> None:
+        """Rebuild target + sessions from checkpoint and journal.
+
+        Runs before the listener binds.  The order is load-bearing:
+        restore the checkpoint snapshot, then walk post-checkpoint
+        journal records *in lsn order* — re-driving each committed
+        ``write`` raw (effects persist; lsn order is the original
+        target apply order) and each alias define under take/restore
+        isolation (binds the alias, rolls back any incidental target
+        effect the write replay already applied).  Replay drives run
+        with the query log detached, so the exactly-once audit a
+        chaos harness performs over qlogs spans the restart cleanly.
+        """
+        store = self.store
+        journal = store.journal
+        self._server_event("recover_begin",
+                           torn=journal.recovered_torn_tail)
+        if journal.recovered_torn_tail:
+            self._count("serve_journal_torn_total")
+            self._server_event("journal_torn")
+        state: dict = {}
+        ckpt_lsn = 0
+        loaded = store.load_checkpoint()
+        if loaded is not None:
+            ckpt_lsn, payload = loaded
+            try:
+                snap = Snapshot.deserialize(payload["snapshot"],
+                                            self.sessions.program)
+                target_snapshot.restore(self.sessions.program, snap)
+                state = {entry["key"]: dict(entry, closed=False,
+                                            idem=dict(entry["idem"]),
+                                            limits=dict(entry["limits"]),
+                                            aliases=list(entry["aliases"]))
+                         for entry in payload.get("sessions", [])}
+            except (ValueError, KeyError, TypeError):
+                # A checkpoint that will not deserialize is treated
+                # like no checkpoint at all: fresh target, replay
+                # whatever journal segments survive.
+                state = {}
+                ckpt_lsn = 0
+                self._count("serve_checkpoint_errors_total")
+        ckpt_aliases = {key: list(entry.get("aliases") or [])
+                        for key, entry in state.items()}
+        records = list(journal.replay(ckpt_lsn))
+        state, _ = fold_sessions(state, records)
+        # Build every surviving session first (closed ones too: their
+        # committed writes still need a session to replay in), then
+        # replay in order.
+        clients: dict = {}
+        replayed_aliases: dict = {}
+        for key, entry in state.items():
+            clients[key] = self.sessions.resurrect(entry)
+            replayed_aliases[key] = set()
+        for key, client in clients.items():
+            for text in ckpt_aliases.get(key, ()):
+                self._replay_alias(client, text)
+                replayed_aliases[key].add(text)
+        writes_ok = writes_bad = 0
+        for _, record in records:
+            kind = record.get("k")
+            if kind not in ("write", "sess_alias"):
+                continue
+            client = clients.get(record.get("key"))
+            text = record.get("text")
+            if client is None or not isinstance(text, str):
+                continue
+            if kind == "write":
+                if self._replay_write(client, text):
+                    writes_ok += 1
+                else:
+                    writes_bad += 1
+            elif text not in replayed_aliases[record["key"]]:
+                self._replay_alias(client, text)
+                replayed_aliases[record["key"]].add(text)
+        # Park the survivors.  Every resurrected session comes back
+        # *parked* — the crash disconnected everybody — under its
+        # original resume key and the full TTL.
+        parked = 0
+        for key, entry in state.items():
+            client = clients[key]
+            self.sessions.finish_resurrect(client)
+            if not entry.get("closed") \
+                    and self.sessions.adopt_parked(client, self.resume_ttl):
+                parked += 1
+        self.recovered_sessions = parked
+        self.replayed_writes = writes_ok
+        self._count("serve_recovered_sessions_total", parked)
+        self._count("serve_replayed_writes_total", writes_ok)
+        if writes_bad:
+            self._count("serve_replay_failures_total", writes_bad)
+        self._server_event("recover_done", lsn=journal.lsn,
+                           checkpoint_lsn=ckpt_lsn, sessions=parked,
+                           writes=writes_ok, failed_writes=writes_bad)
+        self._gauge_sync()
+
+    def _replay_write(self, client: ClientSession, text: str) -> bool:
+        """Re-apply one journaled committed write; effects persist."""
+        try:
+            outcome = None
+            for kind, _ in client.session.ievents(text):
+                if kind != "value":
+                    outcome = kind
+            return outcome == "done"
+        except Exception:
+            return False
+
+    def _replay_alias(self, client: ClientSession, text: str) -> None:
+        """Re-drive one alias define under take/restore isolation."""
+        program = self.sessions.program
+        checkpoint = target_snapshot.take(program)
+        try:
+            for _ in client.session.ievents(text):
+                pass
+        except Exception:
+            pass
+        finally:
+            target_snapshot.restore(program, checkpoint)
+            client.session.evaluator.invalidate_target_caches()
+
+    def simulate_crash(self) -> None:
+        """Die the way SIGKILL would, in-process (chaos harness hook).
+
+        No drain, no parking, no final checkpoint, no journal close:
+        the listener and every client socket are torn down hard, the
+        journal is poisoned (a straggler worker must never scribble
+        on a state dir a restarted server has taken over), and the
+        service threads are told to exit without any of the cleanup
+        a real SIGKILL would skip.  Whatever reached the journal
+        before this call is exactly what recovery gets.
+        """
+        self._crashed = True
+        self._stopping = True
+        if self.store is not None:
+            self.store.journal.poison()
+        self._watchdog_stop.set()
+        tcp, self._tcp = self._tcp, None
+        if tcp is not None:
+            try:
+                tcp.shutdown()
+                tcp.server_close()
+            except Exception:            # pragma: no cover - defensive
+                pass
+        with self._conns_lock:
+            conns = list(self._conns)
+        for conn in conns:
+            conn.alive = False
+            conn.cancel_all("server crashed")
+            conn.close_transport()
+        for _ in self._worker_threads:
+            try:
+                self._queue.put_nowait(_STOP)
+            except queue.Full:           # workers drain it anyway
+                break
+        self._worker_threads = []
 
     # -- connection handling ----------------------------------------------
     def _handle_connection(self, handler) -> None:
@@ -939,6 +1180,7 @@ class DuelServer:
                 conn.send({"ev": "error", "id": frame["id"],
                            "error": str(error)})
                 return
+            self.sessions.note_limit(conn.client, name, frame.get("value"))
         conn.send({"ev": "limits", "id": frame["id"],
                    "limits": dict(governor.limits),
                    "policies": dict(governor.policies)})
@@ -1097,10 +1339,14 @@ class DuelServer:
                                    "faulted"):
             stored = {key: value for key, value in outcome_frame.items()
                       if key != "id"}
-            pending.client.idem_store(token, {
-                "lines": pending.idem_lines,
-                "clipped": pending.idem_clipped,
-                "outcome": stored})
+            result = {"lines": pending.idem_lines,
+                      "clipped": pending.idem_clipped,
+                      "outcome": stored}
+            pending.client.idem_store(token, result)
+            # Journal the completed entry so a token retried across a
+            # server restart is still answered from the cache —
+            # exactly-once spans the crash.
+            self.sessions.note_idem(pending.client, token, result)
         else:
             # Internal errors are not results; let a retry re-run.
             pending.client.idem_abandon(token)
@@ -1130,7 +1376,8 @@ def run_server(ns, program, limit_kwargs: dict, out,
     if ns.query_log:
         from repro.obs.qlog import QueryLog
         try:
-            qlog = QueryLog(ns.query_log)
+            qlog = QueryLog(ns.query_log,
+                            fsync=getattr(ns, "query_log_fsync", False))
         except OSError as error:
             out.write(f"error: {error}\n")
             return 1
@@ -1150,19 +1397,30 @@ def run_server(ns, program, limit_kwargs: dict, out,
     session_kwargs = dict(limit_kwargs)
     session_kwargs["symbolic"] = not ns.no_symbolic
     session_kwargs["optimize"] = ns.optimize
-    server = DuelServer(
-        program, host=ns.host, port=ns.port,
-        workers=ns.workers, queue_depth=ns.queue_depth,
-        max_clients=ns.max_clients, per_client=ns.per_client,
-        session_kwargs=session_kwargs,
-        metrics=metrics, qlog=qlog, recorder=recorder,
-        drain_timeout=ns.drain_timeout,
-        heartbeat_interval=getattr(ns, "heartbeat_interval", 10.0),
-        heartbeat_timeout=getattr(ns, "heartbeat_timeout", 30.0),
-        resume_ttl=getattr(ns, "resume_ttl", 60.0),
-        breaker_threshold=getattr(ns, "breaker_threshold", 5),
-        breaker_window=getattr(ns, "breaker_window", 30.0),
-        breaker_cooldown=getattr(ns, "breaker_cooldown", 10.0))
+    from repro.serve.journal import JournalError
+    try:
+        server = DuelServer(
+            program, host=ns.host, port=ns.port,
+            workers=ns.workers, queue_depth=ns.queue_depth,
+            max_clients=ns.max_clients, per_client=ns.per_client,
+            session_kwargs=session_kwargs,
+            metrics=metrics, qlog=qlog, recorder=recorder,
+            drain_timeout=ns.drain_timeout,
+            heartbeat_interval=getattr(ns, "heartbeat_interval", 10.0),
+            heartbeat_timeout=getattr(ns, "heartbeat_timeout", 30.0),
+            resume_ttl=getattr(ns, "resume_ttl", 60.0),
+            breaker_threshold=getattr(ns, "breaker_threshold", 5),
+            breaker_window=getattr(ns, "breaker_window", 30.0),
+            breaker_cooldown=getattr(ns, "breaker_cooldown", 10.0),
+            state_dir=getattr(ns, "state_dir", None),
+            journal_fsync=getattr(ns, "journal_fsync", "interval:1.0"),
+            checkpoint_interval=getattr(ns, "checkpoint_interval", 30.0),
+            commit_writes=getattr(ns, "commit_writes", False))
+    except (JournalError, ValueError) as error:
+        out.write(f"error: {error}\n")
+        if qlog is not None:
+            qlog.close()
+        return 1
     metrics_server = None
     if ns.metrics_port is not None:
         from repro.obs.exposition import MetricsServer
@@ -1185,6 +1443,10 @@ def run_server(ns, program, limit_kwargs: dict, out,
         if metrics_server is not None:
             metrics_server.stop()
         return 1
+    if server.store is not None:
+        out.write(f"state: {getattr(ns, 'state_dir', None)} "
+                  f"(recovered {server.recovered_sessions} sessions, "
+                  f"replayed {server.replayed_writes} writes)\n")
     out.write(f"serving on {ns.host}:{port}\n")
     try:
         out.flush()
@@ -1211,8 +1473,21 @@ def run_server(ns, program, limit_kwargs: dict, out,
             pass
     if ready is not None:
         ready.set()
+    exit_code = 0
     try:
         stopper.wait()
+    except Exception as error:
+        # An unhandled main-loop exception is a server crash: leave a
+        # black box (flight-recorder post-mortem) before dying, then
+        # still run the drain so clients get a bye when possible.
+        exit_code = 1
+        if recorder is not None:
+            try:
+                path = recorder.dump("server_crash", metrics=metrics)
+                out.write(f"post-mortem dump: {path}\n")
+            except Exception:
+                pass
+        out.write(f"fatal: {type(error).__name__}: {error}\n")
     finally:
         out.write("draining...\n")
         try:
@@ -1236,7 +1511,7 @@ def run_server(ns, program, limit_kwargs: dict, out,
             qlog.close()
         out.write(f"served {server.served} queries "
                   f"({server.rejected} rejected)\n")
-    return 0
+    return exit_code
 
 
 def main(argv=None) -> int:

@@ -121,6 +121,10 @@ class ReadWriteLock:
 #: Completed idempotent results remembered per session (LRU).
 IDEM_CACHE_MAX = 16
 
+#: Alias-defining query texts remembered per session for durable
+#: replay (recovery re-drives them to rebuild the alias namespace).
+ALIAS_TEXTS_MAX = 32
+
 #: Output bytes cached per idempotent result; a replay of a bigger
 #: result ships what fits plus a ``replay_truncated`` marker.
 IDEM_LINES_BYTES = 1 << 20
@@ -146,17 +150,33 @@ class ClientSession:
     ``poisoned`` flags a session whose worker was force-reclaimed.
     """
 
-    def __init__(self, client_id: str, session: DuelSession):
+    def __init__(self, client_id: str, session: DuelSession,
+                 resume_key: Optional[str] = None):
         self.client_id = client_id
         self.session = session
         self.lock = threading.Lock()
         self.inflight = 0
         self.queries = 0
-        self.resume_key = secrets.token_hex(16)
+        # Recovery passes the journaled key back in so a session
+        # resurrected after a server restart answers to the exact
+        # resume key its client already holds.
+        self.resume_key = resume_key or secrets.token_hex(16)
         self.generation = 1
         self.poisoned = False
+        #: Alias-defining query texts, in definition order (bounded;
+        #: recovery re-drives these to rebuild the alias namespace).
+        self.alias_texts: list[str] = []
         self._idem_lock = threading.Lock()
         self._idem: OrderedDict[str, object] = OrderedDict()
+
+    def note_alias(self, text: str) -> bool:
+        """Remember an alias-defining query text; True when new."""
+        if text in self.alias_texts:
+            return False
+        if len(self.alias_texts) >= ALIAS_TEXTS_MAX:
+            self.alias_texts.pop(0)
+        self.alias_texts.append(text)
+        return True
 
     @property
     def token(self):
@@ -204,6 +224,18 @@ class ClientSession:
             if self._idem.get(token) is IDEM_RUNNING:
                 del self._idem[token]
 
+    def idem_export(self) -> dict:
+        """Every *completed* cache entry (checkpoint payload)."""
+        with self._idem_lock:
+            return {token: result for token, result in self._idem.items()
+                    if result is not IDEM_RUNNING}
+
+    def idem_restore(self, entries: dict) -> None:
+        """Refill the cache from journaled/checkpointed entries."""
+        for token, result in entries.items():
+            if isinstance(result, dict):
+                self.idem_store(token, result)
+
 
 class QueryLease:
     """Crash-only record of one query's lock-and-snapshot state.
@@ -249,6 +281,34 @@ class QueryLease:
             manager._unregister(self)
         return True
 
+    def commit(self, on_commit=None) -> bool:
+        """Keep the write's effects: release *without* restoring.
+
+        The commit-writes counterpart of :meth:`settle` — same
+        claim-once discipline (a racing forced settle wins cleanly and
+        the commit reports False, so a reclaimed worker can never
+        journal a write whose effects were rolled back).  ``on_commit``
+        runs while the RW write lock is still held: the journal append
+        goes there, making journal order exactly target apply order.
+        Nothing needs invalidating — no state was rewound, so every
+        session's target-resident caches stay valid.
+        """
+        with self._lock:
+            if self._settled:
+                return False
+            self._settled = True
+        manager = self.manager
+        try:
+            if on_commit is not None:
+                on_commit()
+        finally:
+            if self.kind == "write":
+                manager._rw.release_write()
+            else:
+                manager._rw.release_read()
+            manager._unregister(self)
+        return True
+
 
 class SessionManager:
     """Creates, tracks, and runs per-client sessions over one target.
@@ -265,13 +325,24 @@ class SessionManager:
 
     def __init__(self, program, *, session_kwargs: Optional[dict] = None,
                  metrics=None, qlog=None, recorder=None,
-                 session_factory: Optional[Callable[[], DuelSession]] = None):
+                 session_factory: Optional[Callable[[], DuelSession]] = None,
+                 journal=None, commit_writes: bool = False):
         self.program = program
         self._session_kwargs = dict(session_kwargs or {})
         self._metrics = metrics
         self._qlog = qlog
         self._recorder = recorder
         self._session_factory = session_factory
+        #: The write-ahead :class:`~repro.serve.journal.Journal` (None
+        #: when running without ``--state-dir``): session lifecycle,
+        #: idempotency entries and committed writes are appended so a
+        #: restarted server can rebuild everything this manager holds.
+        self.journal = journal
+        #: When True, a side-effecting query that drains to ``done``
+        #: *keeps* its effects on the shared target (durable REPL
+        #: semantics) instead of being rolled back (snapshot
+        #: isolation, the default).
+        self.commit_writes = commit_writes
         self._rw = ReadWriteLock()
         self._lock = threading.Lock()
         self._sessions: dict[str, ClientSession] = {}
@@ -296,19 +367,41 @@ class SessionManager:
             session.recorder = self._recorder
         return session
 
+    def _journal_append(self, kind: str, **fields) -> None:
+        if self.journal is not None:
+            self.journal.append(kind, **fields)
+
     def open(self, client_id: str) -> ClientSession:
         """Create (or return) the client's session."""
         with self._lock:
             found = self._sessions.get(client_id)
-            if found is None:
+            created = found is None
+            if created:
                 found = ClientSession(client_id, self._make_session())
                 self._sessions[client_id] = found
-            return found
+        if created:
+            self._journal_append(
+                "sess_open", key=found.resume_key, client=client_id,
+                limits=dict(found.session.governor.limits))
+        return found
 
     def close(self, client_id: str) -> None:
         """Drop the client's session (its aliases die with it)."""
         with self._lock:
-            self._sessions.pop(client_id, None)
+            found = self._sessions.pop(client_id, None)
+        if found is not None:
+            self._journal_append("sess_close", key=found.resume_key)
+
+    def note_limit(self, client: ClientSession, name: str, value) -> None:
+        """Journal a governor limit change (server control op hook)."""
+        self._journal_append("sess_limit", key=client.resume_key,
+                             name=name, value=value)
+
+    def note_idem(self, client: ClientSession, token: str,
+                  result: dict) -> None:
+        """Journal a completed idempotency-cache entry."""
+        self._journal_append("idem", key=client.resume_key, token=token,
+                             result=result)
 
     def get(self, client_id: str) -> Optional[ClientSession]:
         with self._lock:
@@ -327,15 +420,25 @@ class SessionManager:
         reconnect storm cannot hoard sessions.  Poisoned sessions are
         never parked — their state is suspect by definition.
         """
+        evicted = []
         with self._lock:
             self._sessions.pop(client.client_id, None)
             if ttl <= 0 or client.poisoned:
-                return False
-            while len(self._parked) >= self.PARK_MAX:
-                self._parked.popitem(last=False)
-            self._parked[client.resume_key] = (time.monotonic() + ttl,
-                                               client)
-            return True
+                parked = False
+            else:
+                while len(self._parked) >= self.PARK_MAX:
+                    _, (_, oldest) = self._parked.popitem(last=False)
+                    evicted.append(oldest)
+                self._parked[client.resume_key] = (time.monotonic() + ttl,
+                                                   client)
+                parked = True
+        for oldest in evicted:
+            self._journal_append("sess_close", key=oldest.resume_key)
+        if parked:
+            self._journal_append("sess_park", key=client.resume_key)
+        else:
+            self._journal_append("sess_close", key=client.resume_key)
+        return parked
 
     def resume(self, resume_key: str,
                client_id: str) -> Optional[ClientSession]:
@@ -346,12 +449,19 @@ class SessionManager:
                 return None
             expiry, client = entry
             if time.monotonic() > expiry:
-                return None
-            client.client_id = client_id
-            client.generation += 1
-            client.inflight = 0
-            self._sessions[client_id] = client
-            return client
+                expired = client
+            else:
+                expired = None
+                client.client_id = client_id
+                client.generation += 1
+                client.inflight = 0
+                self._sessions[client_id] = client
+        if expired is not None:
+            self._journal_append("sess_close", key=expired.resume_key)
+            return None
+        self._journal_append("sess_resume", key=resume_key,
+                             client=client_id)
+        return client
 
     def sweep_parked(self) -> int:
         """Drop parked sessions past their TTL; returns how many."""
@@ -361,11 +471,89 @@ class SessionManager:
                        if now > expiry]
             for key in expired:
                 del self._parked[key]
+        for key in expired:
+            self._journal_append("sess_close", key=key)
         return len(expired)
 
     def parked_count(self) -> int:
         with self._lock:
             return len(self._parked)
+
+    # -- durability (checkpoint export / crash recovery) ---------------------
+    def export_state(self) -> list[dict]:
+        """Every live session's durable state (checkpoint payload).
+
+        Called by the checkpointer while it holds the RW write lock,
+        so no query is mutating limits-affecting state mid-export.
+        Poisoned sessions are skipped — their state is suspect by
+        definition, exactly as :meth:`park` refuses them.
+        """
+        with self._lock:
+            everyone = list(self._sessions.values()) + \
+                [client for _, client in self._parked.values()]
+        exported = []
+        for client in everyone:
+            if client.poisoned:
+                continue
+            exported.append({
+                "key": client.resume_key,
+                "client_id": client.client_id,
+                "limits": dict(client.session.governor.limits),
+                "aliases": list(client.alias_texts),
+                "idem": client.idem_export(),
+            })
+        return exported
+
+    def resurrect(self, entry: dict) -> ClientSession:
+        """Rebuild one session from its journaled/checkpointed state.
+
+        Recovery-only: builds a fresh :class:`ClientSession` under the
+        *original* resume key with limits and idempotency cache
+        restored, and — crucially — with the query log detached, so
+        the replay drives recovery performs are never audited as new
+        queries (the exactly-once qlog invariant spans the restart).
+        The caller replays aliases/writes, then re-attaches auditing
+        via :meth:`finish_resurrect` and parks via
+        :meth:`adopt_parked`.  Nothing here journals: the records that
+        described this session are still in the journal (or covered
+        by the checkpoint) until the next checkpoint supersedes them.
+        """
+        client = ClientSession(entry["client_id"] or "recovered",
+                               self._make_session(),
+                               resume_key=entry["key"])
+        client.session.qlog = None
+        client.session.recorder = None
+        governor = client.session.governor
+        for name, value in (entry.get("limits") or {}).items():
+            try:
+                governor.set_limit(name, value)
+            except (ValueError, KeyError):
+                continue
+        client.alias_texts = list(entry.get("aliases") or [])
+        client.idem_restore(entry.get("idem") or {})
+        return client
+
+    def finish_resurrect(self, client: ClientSession) -> None:
+        """Re-attach shared auditing after recovery replay is done."""
+        if self._qlog is not None:
+            client.session.qlog = self._qlog
+        if self._recorder is not None:
+            client.session.recorder = self._recorder
+
+    def adopt_parked(self, client: ClientSession, ttl: float) -> bool:
+        """Insert a resurrected session directly into the parked table.
+
+        Unlike :meth:`park` this journals nothing — recovery must not
+        re-journal state the journal just taught it.
+        """
+        if ttl <= 0:
+            return False
+        with self._lock:
+            while len(self._parked) >= self.PARK_MAX:
+                self._parked.popitem(last=False)
+            self._parked[client.resume_key] = (time.monotonic() + ttl,
+                                               client)
+        return True
 
     # -- lease bookkeeping (crash-only cleanup) ------------------------------
     def _register(self, lease: QueryLease) -> None:
@@ -445,7 +633,35 @@ class SessionManager:
                 self._rw.acquire_read()
                 lease = QueryLease(self, client, "read")
             self._register(lease)
+            terminal = None
             try:
-                yield from client.session.ievents(text, on_begin=on_begin)
+                for event in client.session.ievents(text,
+                                                    on_begin=on_begin):
+                    if event[0] != "value":
+                        terminal = event[0]
+                    yield event
             finally:
-                lease.settle()
+                committed = False
+                if writes and self.commit_writes and terminal == "done":
+                    # Durable REPL semantics: a fully drained write
+                    # keeps its effects.  The journal append runs
+                    # inside commit(), under the still-held write
+                    # lock, so journal order is target apply order;
+                    # a racing forced settle (worker declared lost)
+                    # wins the claim and nothing is journaled.  A
+                    # ``truncated`` write still rolls back — a
+                    # half-applied effect has no deterministic replay.
+                    committed = lease.commit(
+                        on_commit=lambda: self._journal_append(
+                            "write", key=client.resume_key, text=text,
+                            outcome=terminal))
+                if not committed:
+                    lease.settle()
+                if terminal in ("done", "truncated") and ":=" in text:
+                    # Remember alias-defining texts (same heuristic
+                    # the client's replay uses) so recovery can
+                    # rebuild the alias namespace by re-driving them.
+                    if client.note_alias(text):
+                        self._journal_append("sess_alias",
+                                             key=client.resume_key,
+                                             text=text)

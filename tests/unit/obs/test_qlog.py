@@ -249,3 +249,42 @@ class TestSessionIntegration:
         assert terminal["ev"] == "cancelled"
         assert terminal["kind"] == "cancel"
         assert terminal["values"] >= 3
+
+
+class TestFsyncOption:
+    """``fsync=True`` makes every flush point reach the disk."""
+
+    def test_fsync_called_per_terminal_record(self, tmp_path,
+                                              monkeypatch):
+        synced = []
+        monkeypatch.setattr("os.fsync", lambda fd: synced.append(fd))
+        qlog = QueryLog(str(tmp_path / "audit.qlog"), fsync=True)
+        qid = qlog.begin("x[0]")
+        qlog.end(qid, "drained", values=1)
+        qlog.server_event("drain_begin")
+        qlog.close()
+        assert len(synced) >= 3     # end + server_event + close
+
+    def test_fsync_off_by_default(self, tmp_path, monkeypatch):
+        synced = []
+        monkeypatch.setattr("os.fsync", lambda fd: synced.append(fd))
+        qlog = QueryLog(str(tmp_path / "audit.qlog"))
+        qid = qlog.begin("x[0]")
+        qlog.end(qid, "drained", values=1)
+        qlog.close()
+        assert synced == []
+
+    def test_fsync_tolerates_in_memory_streams(self):
+        qlog = QueryLog(io.StringIO(), fsync=True)
+        qid = qlog.begin("x[0]")
+        qlog.end(qid, "drained", values=1)   # fileno() missing: no crash
+        qlog.close()
+
+    def test_durability_event_kinds_accepted(self):
+        qlog, buffer = fresh_log()
+        for kind in ("checkpoint", "recover_begin", "recover_done",
+                     "journal_torn"):
+            qlog.server_event(kind, lsn=7)
+        kinds = [r["kind"] for r in records_of(buffer)]
+        assert kinds == ["checkpoint", "recover_begin", "recover_done",
+                        "journal_torn"]

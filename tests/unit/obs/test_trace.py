@@ -231,3 +231,29 @@ class TestSessionTracing:
         session.duel("x[3]", out=io.StringIO())
         assert session.evaluator.tracer is None
         assert session.evaluator.backend.tracer is None
+
+
+class TestJsonlSinkFsync:
+    def test_fsync_called_on_end_query(self, tmp_path, monkeypatch):
+        synced = []
+        monkeypatch.setattr("os.fsync", lambda fd: synced.append(fd))
+        sink = JsonlSink(str(tmp_path / "trace.jsonl"), fsync=True)
+        sink.begin_query("x[0]", [])
+        sink.end_query([])
+        sink.close()
+        assert len(synced) >= 2            # end_query + close
+
+    def test_fsync_off_by_default(self, tmp_path, monkeypatch):
+        synced = []
+        monkeypatch.setattr("os.fsync", lambda fd: synced.append(fd))
+        sink = JsonlSink(str(tmp_path / "trace.jsonl"))
+        sink.begin_query("x[0]", [])
+        sink.end_query([])
+        sink.close()
+        assert synced == []
+
+    def test_fsync_tolerates_in_memory_streams(self):
+        sink = JsonlSink(io.StringIO(), fsync=True)
+        sink.begin_query("x[0]", [])
+        sink.end_query([])
+        sink.close()

@@ -1,5 +1,6 @@
 """Unit tests for client-side fault tolerance (no server needed)."""
 
+import errno
 import random
 import socket
 
@@ -7,7 +8,9 @@ import pytest
 
 from repro.serve import protocol
 from repro.serve.client import (DuelClient, QueryResult, RetryPolicy,
-                                ServeError, classify_writes)
+                                ServeError, _connection_refused,
+                                classify_writes)
+from repro.serve.client import main as client_main
 
 
 class TestRetryPolicy:
@@ -215,3 +218,155 @@ class TestDuelRetry:
         client = ScriptedClient([make_result("done")])
         client.duel("y := x[0]")
         assert client._alias_texts == ["y := x[0]"]
+
+
+def refused(message="dial failed"):
+    """A ServeError wrapping ECONNREFUSED, as the transport raises it."""
+    error = ServeError(message)
+    error.__cause__ = ConnectionRefusedError(errno.ECONNREFUSED,
+                                             "connection refused")
+    return error
+
+
+class TestConnectionRefusedDetection:
+    def test_bare_refusal(self):
+        assert _connection_refused(ConnectionRefusedError())
+
+    def test_oserror_with_errno(self):
+        assert _connection_refused(OSError(errno.ECONNREFUSED, "nope"))
+
+    def test_wrapped_refusal_via_cause_chain(self):
+        assert _connection_refused(refused())
+
+    def test_wrapped_refusal_via_context_chain(self):
+        outer = ServeError("broken")
+        outer.__context__ = ConnectionRefusedError()
+        assert _connection_refused(outer)
+
+    def test_other_errors_are_not_refusals(self):
+        assert not _connection_refused(ServeError("timeout"))
+        assert not _connection_refused(OSError(errno.EPIPE, "pipe"))
+        assert not _connection_refused(None)
+
+    def test_cyclic_cause_chain_terminates(self):
+        a = ServeError("a")
+        b = ServeError("b")
+        a.__cause__ = b
+        b.__cause__ = a
+        assert not _connection_refused(a)
+
+
+class TestRestartWindow:
+    """Refused dials during a server restart are patience, not retries."""
+
+    def test_refusals_inside_window_not_charged(self):
+        # retries=0 would normally fail on the first error; with the
+        # window open, refused dials wait it out and the query lands.
+        client = ScriptedClient(
+            [refused(), refused(), make_result("done")],
+            retry=RetryPolicy(retries=0, jitter=0.0,
+                              sleep=lambda _s: None),
+            restart_window=60.0)
+        result = client.duel("x[..10]")
+        assert result.outcome == "done"
+        assert client.attempts == 3
+
+    def test_non_refusal_errors_still_charged(self):
+        client = ScriptedClient(
+            [ServeError("reset mid-query")],
+            retry=RetryPolicy(retries=0, jitter=0.0,
+                              sleep=lambda _s: None),
+            restart_window=60.0)
+        with pytest.raises(ServeError, match="after 1 attempt"):
+            client.duel("x[..10]")
+
+    def test_window_expiry_charges_refusals(self):
+        # A microscopic window: the first refusal opens the streak,
+        # the second falls outside it and is charged like any error.
+        client = ScriptedClient(
+            [refused(), refused(), refused()],
+            retry=RetryPolicy(retries=0, jitter=0.0,
+                              sleep=lambda _s: None),
+            restart_window=1e-9)
+        with pytest.raises(ServeError, match="after 1 attempt"):
+            client.duel("x[..10]")
+
+    def test_window_off_by_default(self):
+        client = ScriptedClient(
+            [refused()],
+            retry=RetryPolicy(retries=0, jitter=0.0,
+                              sleep=lambda _s: None))
+        with pytest.raises(ServeError):
+            client.duel("x[..10]")
+
+    def test_success_resets_the_streak(self):
+        client = ScriptedClient(
+            [refused(), make_result("done")],
+            retry=RetryPolicy(retries=0, jitter=0.0,
+                              sleep=lambda _s: None),
+            restart_window=60.0)
+        client.duel("x[..10]")
+        assert client._refused_since is None
+
+
+class FakeResultClient:
+    """Patches DuelClient so ``main`` sees scripted query results."""
+
+    def __init__(self, monkeypatch, outcomes):
+        results = [QueryResult(i + 1, outcome, [],
+                               {"reason": "busy"} if outcome == "rejected"
+                               else {"error": "boom"})
+                   for i, outcome in enumerate(outcomes)]
+        monkeypatch.setattr(DuelClient, "connect",
+                            lambda self, resume=True: None)
+        monkeypatch.setattr(DuelClient, "close", lambda self: None)
+        monkeypatch.setattr(DuelClient, "duel",
+                            lambda self, text, on_line=None, idem=None:
+                            results.pop(0))
+
+
+class TestMainExitCodes:
+    def test_done_is_zero(self, monkeypatch, capsys):
+        FakeResultClient(monkeypatch, ["done"])
+        assert client_main(["--port", "1", "--expr", "1"]) == 0
+
+    def test_truncated_and_cancelled_are_zero(self, monkeypatch, capsys):
+        FakeResultClient(monkeypatch, ["truncated", "cancelled"])
+        assert client_main(["--port", "1", "--expr", "a",
+                            "--expr", "b"]) == 0
+
+    def test_rejected_is_three(self, monkeypatch, capsys):
+        FakeResultClient(monkeypatch, ["rejected"])
+        assert client_main(["--port", "1", "--expr", "1"]) == 3
+        assert "rejected: busy" in capsys.readouterr().out
+
+    def test_faulted_is_four(self, monkeypatch, capsys):
+        FakeResultClient(monkeypatch, ["faulted"])
+        assert client_main(["--port", "1", "--expr", "1"]) == 4
+
+    def test_batch_returns_worst(self, monkeypatch, capsys):
+        FakeResultClient(monkeypatch, ["done", "faulted", "rejected"])
+        assert client_main(["--port", "1", "--expr", "a", "--expr", "b",
+                            "--expr", "c"]) == 4
+
+    def test_dial_failure_is_two(self, capsys):
+        # Port 1 on loopback: nothing listens there.
+        code = client_main(["--port", "1", "--retries", "0",
+                            "--connect-timeout", "1", "--expr", "1"])
+        assert code == 2
+        assert "error:" in capsys.readouterr().out
+
+    def test_usage_error_is_one(self, capsys):
+        # Not argparse's default 2, which means "connection failed".
+        with pytest.raises(SystemExit) as caught:
+            client_main(["--port", "1", "--no-such-flag"])
+        assert caught.value.code == 1
+
+    def test_help_documents_exit_codes(self, capsys):
+        with pytest.raises(SystemExit) as caught:
+            client_main(["--help"])
+        assert caught.value.code == 0
+        text = capsys.readouterr().out
+        assert "exit codes" in text
+        assert "retries were exhausted" in text
+        assert "--restart-window" in text
