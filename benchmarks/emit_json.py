@@ -9,11 +9,26 @@ tables.  The P3 workload is additionally run with a tracer attached;
 the ratio of traced to untraced p50 latency is the *trace overhead*,
 gated at ``--max-trace-overhead`` (CI default: 2.0).
 
+**The bench artifact convention.**  Each PR that changes a perf
+surface commits one ``BENCH_<PR>.json`` at the repo root, named by
+the PR that introduced it and carrying ``"schema": "repro-bench/<PR>"``.
+Early PRs emitted per-suite artifacts from their own scripts
+(``bench_serve.py``, ``bench_chaos.py``, ``bench_journal.py``) and
+some were never committed — CHANGES.md records BENCH_5/BENCH_7 that
+exist nowhere, so the perf trajectory had silent holes.  From PR 8 on
+the committed artifact is the **aggregate**: ``--aggregate`` runs
+*every* suite (core profiles + serve + chaos + journal + obs-serve)
+and embeds each suite's full report under ``"suites"``, so one file
+per PR carries the whole perf story and a missing suite is a loud
+KeyError in CI rather than a quietly absent file.
+
 Usage::
 
-    python benchmarks/emit_json.py --out BENCH_3.json
+    python benchmarks/emit_json.py --out BENCH_3.json     # core only
     python benchmarks/emit_json.py --workload p3_array --repeats 15
     python benchmarks/emit_json.py --max-trace-overhead 2.0  # exit 1 on breach
+    python benchmarks/emit_json.py --aggregate --out BENCH_8.json
+    python benchmarks/emit_json.py --aggregate --quick    # CI smoke
 
 Standalone on purpose (argparse, not pytest): CI calls it directly and
 keys a job failure off the exit status.
@@ -135,23 +150,111 @@ def trace_overhead(repeats: int) -> dict:
     }
 
 
+#: The aggregate's suite registry: section name -> (module in this
+#: directory, default argv, quick argv for CI smoke runs).  A new
+#: bench suite earns its place in BENCH_<PR>.json by adding one row.
+SUITES = {
+    "serve": ("bench_serve",
+              ["--clients", "1", "--clients", "4", "--queries", "80",
+               "--repeats", "20", "--max-serve-overhead", "1.25"],
+              ["--clients", "1", "--queries", "8", "--repeats", "3"]),
+    "chaos": ("bench_chaos",
+              ["--queries", "80", "--trials", "10",
+               "--max-guard-overhead", "1.05"],
+              ["--queries", "8", "--trials", "2"]),
+    "journal": ("bench_journal",
+                ["--queries", "80", "--writes", "40",
+                 "--max-journal-overhead", "1.05"],
+                ["--queries", "8", "--writes", "4"]),
+    "obs_serve": ("bench_obs_serve",
+                  ["--queries", "60", "--max-obs-overhead", "1.05"],
+                  ["--queries", "6", "--skip-full-trace"]),
+}
+
+
+def aggregate(ns) -> int:
+    """Run every suite and write one combined artifact (``--aggregate``).
+
+    Each suite keeps its own standalone CLI for CI gating; here each
+    is invoked in-process with its ``--out`` pointed at a scratch
+    file, and the parsed report becomes one section under ``suites``.
+    A suite that fails (nonzero exit) fails the aggregate — no
+    silently missing sections.
+    """
+    import importlib
+    import tempfile
+
+    sys.path.insert(0, str(Path(__file__).resolve().parent))
+    names = ns.workload or sorted(PROFILES)
+    suites = {"core": {
+        "schema": "repro-bench/3",
+        "workloads": [profile_workload(name,
+                                       3 if ns.quick else ns.repeats)
+                      for name in names],
+        "trace": trace_overhead(3 if ns.quick else ns.repeats),
+    }}
+    overhead = suites["core"]["trace"]["overhead_ratio"]
+    if ns.max_trace_overhead is not None \
+            and overhead > ns.max_trace_overhead:
+        print(f"FAIL: trace overhead {overhead:.2f}x exceeds "
+              f"--max-trace-overhead {ns.max_trace_overhead:.2f}x",
+              file=sys.stderr)
+        return 1
+    with tempfile.TemporaryDirectory(prefix="bench-agg-") as scratch:
+        for section, (module_name, argv, quick_argv) in SUITES.items():
+            module = importlib.import_module(module_name)
+            out = Path(scratch) / f"{section}.json"
+            args = list(quick_argv if ns.quick else argv)
+            print(f"--- {section} ({module_name}) ---")
+            status = module.main(["--out", str(out), *args])
+            if status != 0:
+                print(f"FAIL: suite {section} exited {status}",
+                      file=sys.stderr)
+                return status
+            suites[section] = json.loads(out.read_text())
+    report = {
+        "schema": "repro-bench/8",
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "quick": bool(ns.quick),
+        "suites": suites,
+    }
+    Path(ns.out).write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {ns.out} ({len(suites)} suites)")
+    return 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         description="emit benchmark profiles as JSON")
-    parser.add_argument("--out", default="BENCH_3.json",
-                        help="output path (default BENCH_3.json)")
+    parser.add_argument("--out", default=None,
+                        help="output path (default BENCH_3.json, or "
+                             "BENCH_8.json with --aggregate)")
     parser.add_argument("--workload", action="append", default=[],
                         choices=sorted(PROFILES),
                         help="profile only these workloads (repeatable; "
                              "default: all)")
     parser.add_argument("--repeats", type=int, default=11,
                         help="timed runs per workload (default 11)")
+    parser.add_argument("--aggregate", action="store_true",
+                        help="run every bench suite (core + serve + "
+                             "chaos + journal + obs-serve) and write "
+                             "one combined artifact")
+    parser.add_argument("--quick", action="store_true",
+                        help="with --aggregate: minimal run counts, "
+                             "for smoke-testing the harness itself")
     parser.add_argument("--max-trace-overhead", type=float, default=None,
                         metavar="RATIO",
                         help="fail (exit 1) if traced/untraced p50 on "
                              "the P3 workload exceeds RATIO")
     ns = parser.parse_args(argv)
 
+    if ns.aggregate:
+        if ns.out is None:
+            ns.out = "BENCH_8.json"
+        return aggregate(ns)
+    if ns.out is None:
+        ns.out = "BENCH_3.json"
     names = ns.workload or sorted(PROFILES)
     report = {
         "schema": "repro-bench/3",

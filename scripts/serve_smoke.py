@@ -13,8 +13,16 @@ validates everything:
   their partial output);
 * the shared query log parses line by line, qids strictly monotone in
   file order with exactly one terminal record per query;
-* the live ``/metrics`` scrape shows the serve counters and **zero
-  protocol errors**;
+* the live ``/metrics`` scrape shows the serve counters, the
+  ``duel_stmt_*`` statement families, and **zero protocol errors**;
+* every result carried a server-echoed trace id; a raw-frame probe
+  with a client-chosen trace id sees it echoed on *every* frame, and
+  the exported ``--trace-json`` span trees contain the full
+  ``admission_queue → session_lock → parse → drive → stream`` server
+  phases plus engine AST spans;
+* the ``statements`` op aggregated the fleet's workload by shape with
+  correct per-fingerprint call counts, and one ``duel-top --once``
+  snapshot renders against the live server;
 * the server drains on SIGINT and reports its served/rejected totals.
 
 Artifacts (query log, scraped metrics, outcome summary) land in
@@ -63,6 +71,10 @@ def client_worker(port, index, summary):
         if read.outcome != "done" or len(read.lines) != 10:
             fail(f"client {index}: read came back {read.outcome} "
              f"with {len(read.lines)} lines")
+        if not read.trace_id:
+            fail(f"client {index}: read result carries no trace id")
+        if not read.fingerprint:
+            fail(f"client {index}: read result carries no fingerprint")
         outcomes.append(read.outcome)
         # Side-effecting write: visible to itself, then gone.
         write = client.duel(f"data[..10] = {5000 + index}")
@@ -104,6 +116,124 @@ def client_worker(port, index, summary):
     summary[index] = outcomes
 
 
+def check_trace_propagation(port):
+    """A client-chosen trace id must echo on every frame; the profile
+    embed must contain the server phases and engine AST spans."""
+    chosen = "smoke-trace-0123"
+    with DuelClient(port=port, client="smoketrace",
+                    timeout=60.0) as client:
+        request = client.start("data[..5]", trace=chosen, profile=True)
+        frames = []
+        while True:
+            frame = client.read_frame()
+            if frame is None:
+                fail("connection dropped during the trace probe")
+            if frame.get("id") != request:
+                continue
+            frames.append(frame)
+            if frame.get("ev") != "value":
+                break
+    for frame in frames:
+        if frame.get("trace") != chosen:
+            fail(f"{frame.get('ev')} frame lost the trace id: {frame}")
+    terminal = frames[-1]
+    if terminal.get("ev") != "done":
+        fail(f"trace probe ended {terminal.get('ev')}")
+    profile = terminal.get("profile")
+    if not profile or profile.get("trace_id") != chosen:
+        fail(f"terminal frame has no usable profile: {terminal}")
+    phases = {span["name"] for span in profile["spans"]}
+    missing = {"admission_queue", "session_lock", "parse", "drive",
+               "stream"} - phases
+    if missing:
+        fail(f"profile is missing server phases {sorted(missing)}")
+    if not profile.get("engine_spans"):
+        fail("profile carries no engine AST spans")
+    print(f"trace probe ok: {len(frames)} frames echoed "
+          f"{chosen!r}, phases {sorted(phases)}")
+
+
+def check_statements(port):
+    """The fleet workload must aggregate by shape with exact counts.
+
+    Every client ran the same five queries, so literal bucketing must
+    fold them: ``data[..10]``, ``data[..5]`` and the re-read share one
+    fingerprint (2 x CLIENTS + 1 probe calls), the write is its own
+    shape (CLIENTS calls), and the runaway+cancel pair is one shape
+    with CLIENTS truncations.
+    """
+    with DuelClient(port=port, client="smokestats",
+                    timeout=60.0) as client:
+        reply = client.statements(by="calls", limit=10)
+        health = client.health()
+    if not reply.get("enabled"):
+        fail("statement statistics are disabled on the server")
+    rows = reply["rows"]
+    if reply["recorded"] != CLIENTS * 5 + 1:
+        fail(f"statements recorded {reply['recorded']} queries, "
+             f"expected {CLIENTS * 5 + 1}")
+    by_calls = {row["calls"]: row for row in rows}
+    reads = by_calls.get(2 * CLIENTS + 1)
+    if reads is None or "=" in reads["text"]:
+        fail(f"no read shape with {2 * CLIENTS + 1} calls in "
+             f"{[(r['text'], r['calls']) for r in rows]}")
+    truncated = [row for row in rows
+                 if row["truncations"] == CLIENTS]
+    if not truncated:
+        fail(f"no shape with {CLIENTS} truncations in "
+             f"{[(r['text'], r['truncations']) for r in rows]}")
+    if health.get("status") != "ok":
+        fail(f"health op reported {health.get('status')}")
+    for key in ("breaker", "sessions", "watchdog"):
+        if key not in health:
+            fail(f"health op is missing the {key!r} subsystem")
+    print(f"statements ok: {len(rows)} shapes, "
+          f"{reply['recorded']} queries aggregated")
+
+
+def check_traces_file(path):
+    """Exported span trees must be valid JSONL tagged with trace ids."""
+    records = []
+    for number, line in enumerate(open(path), 1):
+        try:
+            records.append(json.loads(line))
+        except json.JSONDecodeError as error:
+            fail(f"{path}:{number} is not JSON: {error}")
+    if not records:
+        fail("no traces were exported")
+    for record in records:
+        if record.get("ev") != "request" or not record.get("trace_id"):
+            fail(f"malformed trace record: {record}")
+    probe = [r for r in records
+             if r["trace_id"] == "smoke-trace-0123"]
+    if len(probe) != 1:
+        fail(f"expected exactly one exported probe trace, "
+             f"found {len(probe)}")
+    names = {span["name"] for span in probe[0]["spans"]}
+    if not {"admission_queue", "drive", "stream"} <= names:
+        fail(f"probe trace spans incomplete: {sorted(names)}")
+    print(f"trace export ok: {len(records)} span trees")
+
+
+def check_duel_top(port, env, artifacts):
+    """One ``duel-top --once`` frame against the live server."""
+    top = subprocess.run(
+        [sys.executable, "-m", "repro.serve.ops",
+         "--port", str(port), "--once"],
+        capture_output=True, text=True, env=env, timeout=60)
+    with open(os.path.join(artifacts, "duel-top.txt"), "w") as handle:
+        handle.write(top.stdout)
+        if top.stderr:
+            handle.write(top.stderr)
+    if top.returncode != 0:
+        fail(f"duel-top --once exited {top.returncode}: {top.stderr}")
+    for needle in ("duel-top", "breaker:", "top shapes by", "calls"):
+        if needle not in top.stdout:
+            fail(f"duel-top output is missing {needle!r}:\n"
+                 f"{top.stdout}")
+    print("duel-top ok: one live snapshot rendered")
+
+
 def check_query_log(path):
     records = []
     for number, line in enumerate(open(path), 1):
@@ -118,21 +248,29 @@ def check_query_log(path):
         fail("duplicate qids in the query log")
     terminals = {}
     for record in records:
-        if record["ev"] not in ("received", "parsed"):
+        if record["ev"] not in ("received", "parsed", "server"):
             terminals.setdefault(record["qid"], []).append(record["ev"])
     for qid, events in terminals.items():
         if len(events) != 1:
             fail(f"query {qid} has {len(events)} terminal records: "
                  f"{events}")
-    expected = CLIENTS * 5  # read, write, re-read, runaway, cancelled
+    # read, write, re-read, runaway, cancelled per client + the probe
+    expected = CLIENTS * 5 + 1
     if len(received) != expected:
         fail(f"expected {expected} queries in the log, found "
              f"{len(received)}")
+    for record in records:
+        if record["ev"] in ("drained", "truncated", "cancelled"):
+            if not record.get("trace_id"):
+                fail(f"terminal record without trace_id: {record}")
+            if not record.get("fingerprint"):
+                fail(f"terminal record without fingerprint: {record}")
     counts = {}
     for events in terminals.values():
         counts[events[0]] = counts.get(events[0], 0) + 1
-    if counts.get("drained") != CLIENTS * 3:
-        fail(f"expected {CLIENTS * 3} drained queries, got {counts}")
+    if counts.get("drained") != CLIENTS * 3 + 1:
+        fail(f"expected {CLIENTS * 3 + 1} drained queries, "
+             f"got {counts}")
     if counts.get("truncated") != CLIENTS:
         fail(f"expected {CLIENTS} truncated queries, got {counts}")
     if counts.get("cancelled") != CLIENTS:
@@ -144,9 +282,14 @@ def check_query_log(path):
 def check_metrics(body):
     for needle in ("duel_serve_connections_total",
                    "duel_serve_queries_total",
-                   "duel_queries_total"):
+                   "duel_queries_total",
+                   "duel_stmt_calls_total",
+                   "duel_stmt_latency_ms",
+                   "duel_stmt_table_entries"):
         if needle not in body:
             fail(f"metrics body is missing {needle!r}")
+    if 'fingerprint="' not in body:
+        fail("statement families carry no fingerprint labels")
     if "duel_serve_protocol_errors_total" in body:
         fail("server counted protocol errors during the smoke")
     if "duel_serve_internal_errors_total" in body:
@@ -163,6 +306,7 @@ def main():
     os.makedirs(args.artifacts, exist_ok=True)
     source = os.path.join(args.artifacts, "prog.c")
     qlog_path = os.path.join(args.artifacts, "queries.jsonl")
+    traces_path = os.path.join(args.artifacts, "traces.jsonl")
     with open(source, "w") as handle:
         handle.write(PROGRAM)
 
@@ -172,7 +316,8 @@ def main():
     process = subprocess.Popen(
         [sys.executable, "-m", "repro", "--serve",
          "--port", "0", "--workers", "4", "--max-clients", "16",
-         "--query-log", qlog_path, "--metrics-port", "0", source],
+         "--query-log", qlog_path, "--trace-json", traces_path,
+         "--metrics-port", "0", source],
         stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
         text=True, env=env)
     metrics_url = None
@@ -207,6 +352,10 @@ def main():
         if len(summary) != CLIENTS:
             fail(f"only {len(summary)}/{CLIENTS} clients finished")
 
+        check_trace_propagation(port)
+        check_statements(port)
+        check_duel_top(port, env, args.artifacts)
+
         with urllib.request.urlopen(metrics_url, timeout=10) as response:
             body = response.read().decode()
         with open(os.path.join(args.artifacts, "metrics.prom"),
@@ -224,7 +373,7 @@ def main():
             fail(f"server exited with status {process.returncode}")
         if "draining..." not in tail:
             fail("server never reported draining")
-        if f"served {CLIENTS * 5} queries" not in tail:
+        if f"served {CLIENTS * 5 + 1} queries" not in tail:
             fail(f"server's served count is off: {tail!r}")
     finally:
         if process.poll() is None:
@@ -232,6 +381,7 @@ def main():
 
     check_query_log(qlog_path)
     check_metrics(body)
+    check_traces_file(traces_path)
     print("serve smoke: all checks passed")
 
 

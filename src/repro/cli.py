@@ -46,6 +46,7 @@ DUEL REPL commands:
   trace on|off          trace every query (events kept in a ring buffer)
   qlog on|off           toggle the structured query log (--query-log)
   metrics [export]      metrics registry table, or Prometheus text format
+  statements [by KEY]   per-query-shape statistics (total_ms, calls, ...)
   dump [DIR]            write a flight-recorder post-mortem (--dump-dir)
   history               show executed queries
   save <name> <expr>    name a query for re-issue
@@ -159,6 +160,9 @@ def repl(session: DuelSession, stdin=None, out=None) -> int:
             if line.split()[0] == "metrics":
                 _metrics_command(session, line, out)
                 continue
+            if line.split()[0] == "statements":
+                _statements_command(session, line, out)
+                continue
             if line.split()[0] == "dump":
                 _dump_command(session, line, out)
                 continue
@@ -262,6 +266,33 @@ def _metrics_command(session: DuelSession, line: str, out) -> None:
         out.write(render_prometheus(session.metrics))
         return
     out.write("usage: metrics [export]\n")
+
+
+def _statements_command(session: DuelSession, line: str, out) -> None:
+    """``statements`` / ``statements by <key>`` — per-shape stats.
+
+    Renders the session's :class:`~repro.obs.statements.StatementStats`
+    table: one row per normalized query shape (literals bucketed,
+    names canonicalized) with call counts and phase latencies — the
+    REPL-local view of what ``duel-serve`` exposes fleet-wide.
+    """
+    from repro.obs.statements import ORDERINGS, describe
+    stats = session.statements
+    if stats is None:
+        out.write("no statement statistics attached\n")
+        return
+    parts = line.split()
+    by = "total_ms"
+    if len(parts) == 3 and parts[1] == "by":
+        by = parts[2]
+    elif len(parts) != 1:
+        out.write(f"usage: statements [by {'|'.join(ORDERINGS)}]\n")
+        return
+    if by not in ORDERINGS:
+        out.write(f"usage: statements [by {'|'.join(ORDERINGS)}]\n")
+        return
+    for row in describe(stats.snapshot(by=by), stats.state()):
+        out.write(row + "\n")
 
 
 def _dump_command(session: DuelSession, line: str, out) -> None:
@@ -471,6 +502,18 @@ def main(argv: Optional[Sequence[str]] = None,
                                   "the shared target (journaled and "
                                   "replayed on recovery) instead of "
                                   "being rolled back")
+    serve_group.add_argument("--trace-sample", type=int, default=1,
+                             metavar="N",
+                             help="export 1-in-N request traces to "
+                                  "--trace-json (truncated, faulted, "
+                                  "cancelled and slow queries always "
+                                  "export; default 1 = every query)")
+    serve_group.add_argument("--slow-ms", type=float, default=None,
+                             metavar="MS",
+                             help="queries slower than MS total are "
+                                  "logged as slow_query events, pinned "
+                                  "in the flight recorder, and always "
+                                  "trace-exported")
     serve_group.add_argument("--query-log-fsync", action="store_true",
                              help="fsync the --query-log on every "
                                   "terminal record, making the audit "
@@ -498,6 +541,8 @@ def main(argv: Optional[Sequence[str]] = None,
     session = DuelSession(SimulatorBackend(program),
                           symbolic=not ns.no_symbolic,
                           optimize=ns.optimize, **limit_kwargs)
+    from repro.obs.statements import StatementStats
+    session.statements = StatementStats()
     sink = None
     if ns.trace_json:
         from repro.obs.trace import JsonlSink

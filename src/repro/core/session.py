@@ -101,6 +101,16 @@ class DuelSession:
         #: Attaching one also turns per-query tracing on, so recorded
         #: entries (and post-mortem dumps) carry EXPLAIN profile trees.
         self.recorder: Optional[FlightRecorder] = None
+        #: Statement-statistics table (``repro.obs.statements``); None
+        #: = off at the cost of one predicate per query.  The serve
+        #: layer shares one table across every client session.
+        self.statements = None
+        #: Fingerprint of the most recent compiled query (set only
+        #: while qlog or statements observation is on).
+        self.last_fingerprint = None
+        #: Wire trace id of the in-flight query (set by the serve
+        #: layer so qlog terminal records carry it; None in-process).
+        self.current_trace_id: Optional[str] = None
         self._format_ns = 0
 
     # -- compiling ------------------------------------------------------
@@ -232,6 +242,7 @@ class DuelSession:
         """
         self.governor.begin_query()
         self.last_query_stats = {}
+        self.last_fingerprint = None
         qlog = self.qlog
         qid = qlog.begin(text, "generator") if qlog is not None else None
         t0 = perf_counter_ns()
@@ -239,13 +250,17 @@ class DuelSession:
             node = self.compile(text)
         except DuelError as error:
             if qid is not None:
-                qlog.end(qid, "rejected", error=error)
+                qlog.end(qid, "rejected", error=error,
+                         trace_id=self.current_trace_id)
             yield ("error", {"values": 0, "error": str(error),
                              "error_type": type(error).__name__})
             return
         parse_ns = perf_counter_ns() - t0
         if qid is not None:
             qlog.parsed(qid, parse_ns / 1e6, node)
+        if qid is not None or self.statements is not None:
+            from repro.obs.fingerprint import fingerprint as _fingerprint
+            self.last_fingerprint = _fingerprint(node)
         self._record(text)
         if on_begin is not None:
             on_begin()
@@ -276,7 +291,8 @@ class DuelSession:
         finally:
             self._finish_query(tracer, baseline, parse_ns,
                                perf_counter_ns() - drive_t0)
-            if qid is not None or self.recorder is not None:
+            if qid is not None or self.recorder is not None \
+                    or self.statements is not None:
                 self._observe_query(qid, text, failure, tracer)
         outcome, kind = classify(failure)
         info: dict = {"values": produced,
@@ -339,6 +355,7 @@ class DuelSession:
         stream = out if out is not None else sys.stdout
         self.governor.begin_query()
         self.last_query_stats = {}
+        self.last_fingerprint = None
         qlog = self.qlog
         qid = qlog.begin(text, "generator") if qlog is not None else None
         t0 = perf_counter_ns()
@@ -352,6 +369,9 @@ class DuelSession:
         parse_ns = perf_counter_ns() - t0
         if qid is not None:
             qlog.parsed(qid, parse_ns / 1e6, node)
+        if qid is not None or self.statements is not None:
+            from repro.obs.fingerprint import fingerprint as _fingerprint
+            self.last_fingerprint = _fingerprint(node)
         self._record(text)
         # Reuse the session sink (--trace-json) when one is attached;
         # span aggregates alone are enough for the profile otherwise.
@@ -379,7 +399,8 @@ class DuelSession:
         finally:
             self._finish_query(tracer, baseline, parse_ns,
                                perf_counter_ns() - drive_t0)
-            if qid is not None or self.recorder is not None:
+            if qid is not None or self.recorder is not None \
+                    or self.statements is not None:
                 self._observe_query(qid, text, failure, tracer)
         for line in render_profile(node, tracer):
             stream.write(line + "\n")
@@ -477,10 +498,18 @@ class DuelSession:
         produced = getattr(failure, "produced", None)
         values = produced if produced is not None \
             else stats.get("lines", 0)
+        fp = self.last_fingerprint
         if qid is not None:
             self.qlog.end(qid, outcome, values=values, kind=kind,
                           error=failure if outcome == "faulted" else None,
-                          stats=stats, phases=self.last_query_phases)
+                          stats=stats, phases=self.last_query_phases,
+                          fingerprint=fp.hash if fp is not None else None,
+                          trace_id=self.current_trace_id)
+        statements = self.statements
+        if statements is not None and fp is not None:
+            statements.record(fp.hash, fp.text, outcome=outcome,
+                              values=values, stats=stats,
+                              phases=self.last_query_phases)
         recorder = self.recorder
         if recorder is None:
             return

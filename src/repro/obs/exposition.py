@@ -47,6 +47,19 @@ def sanitize(name: str) -> str:
     return cleaned
 
 
+def escape_label_value(value: str) -> str:
+    """``value`` escaped for use inside ``{label="..."}``.
+
+    The text format requires backslash, double-quote and newline to be
+    escaped inside label values — statement fingerprints carry raw
+    query shapes (``(string ?)``, C declarations with quotes), so the
+    statement families must escape or the exposition breaks mid-scrape.
+    """
+    return (value.replace("\\", "\\\\")
+                 .replace('"', '\\"')
+                 .replace("\n", "\\n"))
+
+
 def _number(value) -> str:
     """Render a sample value (ints stay integral, floats full-precision)."""
     if isinstance(value, bool):
@@ -57,8 +70,16 @@ def _number(value) -> str:
     return repr(float(value))
 
 
-def render_prometheus(registry, prefix: str = PREFIX) -> str:
-    """The whole registry in Prometheus text format (trailing newline)."""
+def render_prometheus(registry, prefix: str = PREFIX,
+                      collectors=()) -> str:
+    """The whole registry in Prometheus text format (trailing newline).
+
+    ``collectors`` are extra callables returning pre-rendered exposition
+    lines (already prefixed/escaped) appended after the registry — the
+    serve layer plugs the labeled statement-statistics families in
+    here.  A failing collector is skipped: a scrape must never 500
+    because one subsystem's renderer raised.
+    """
     lines: list[str] = []
     for name, counter in registry.counters().items():
         full = prefix + sanitize(name)
@@ -78,6 +99,11 @@ def render_prometheus(registry, prefix: str = PREFIX) -> str:
         lines.append(f'{full}_bucket{{le="+Inf"}} {hist.count}')
         lines.append(f"{full}_sum {_number(hist.total)}")
         lines.append(f"{full}_count {hist.count}")
+    for collector in collectors:
+        try:
+            lines.extend(collector())
+        except Exception:
+            continue
     return "\n".join(lines) + "\n"
 
 
@@ -92,10 +118,13 @@ class MetricsServer:
     """
 
     def __init__(self, registry, port: int = 0, host: str = "127.0.0.1",
-                 health=None):
+                 health=None, collectors=()):
         self.registry = registry
         self.host = host
         self.port = port
+        #: Extra exposition-line collectors appended to every scrape
+        #: (see :func:`render_prometheus`).
+        self.collectors = tuple(collectors)
         #: Optional callable returning ``(status code, body text)`` for
         #: ``/healthz`` — the serve layer plugs its
         #: :meth:`~repro.serve.health.ServerHealth.healthz` in here so
@@ -117,7 +146,9 @@ class MetricsServer:
                 path = self.path.split("?", 1)[0].rstrip("/") or "/"
                 status = 200
                 if path in ("/", "/metrics"):
-                    body = render_prometheus(registry).encode("utf-8")
+                    body = render_prometheus(
+                        registry,
+                        collectors=server.collectors).encode("utf-8")
                     content_type = CONTENT_TYPE
                 elif path == "/healthz":
                     if server.health is not None:

@@ -61,7 +61,8 @@ SERVER_EVENT_KINDS = frozenset(
     {"reaped", "hard_cancel", "worker_lost", "breaker_open",
      "breaker_closed", "session_parked", "session_resumed",
      "session_expired", "drain_begin", "drain_fast",
-     "checkpoint", "recover_begin", "recover_done", "journal_torn"})
+     "checkpoint", "recover_begin", "recover_done", "journal_torn",
+     "slow_query"})
 
 #: Stats keys copied onto terminal records (insertion order kept).
 _STAT_FIELDS = ("steps", "lines", "reads", "writes", "calls", "allocs")
@@ -141,8 +142,16 @@ class QueryLog:
     def end(self, qid: int, outcome: str, *, values: int = 0,
             kind: Optional[str] = None, error=None,
             stats: Optional[dict] = None,
-            phases: Optional[dict] = None) -> None:
-        """The query's terminal record (flushed immediately)."""
+            phases: Optional[dict] = None,
+            fingerprint: Optional[str] = None,
+            trace_id: Optional[str] = None) -> None:
+        """The query's terminal record (flushed immediately).
+
+        ``fingerprint`` is the statement fingerprint hash
+        (:mod:`repro.obs.fingerprint`) and ``trace_id`` the wire trace
+        id (:mod:`repro.obs.reqtrace`) — both optional so in-process
+        sessions without the serve layer keep their record shape.
+        """
         if outcome not in TERMINAL_EVENTS:
             raise ValueError(f"unknown terminal outcome {outcome!r} "
                              f"(know: {', '.join(sorted(TERMINAL_EVENTS))})")
@@ -150,6 +159,10 @@ class QueryLog:
                         "values": values}
         if kind is not None:
             record["kind"] = kind
+        if fingerprint is not None:
+            record["fingerprint"] = fingerprint
+        if trace_id is not None:
+            record["trace_id"] = trace_id
         if error is not None:
             record["error"] = str(error)
             record["error_type"] = type(error).__name__

@@ -67,13 +67,17 @@ class FlightRecorder:
 
     def __init__(self, capacity: int = 32,
                  dump_dir: Optional[str] = None,
-                 ring_capacity: int = 512, clock=time.time):
+                 ring_capacity: int = 512, clock=time.time,
+                 pin_capacity: int = 16):
         if capacity <= 0:
             raise ValueError("recorder capacity must be positive")
         self.capacity = capacity
         self.ring_capacity = ring_capacity
         self.dump_dir = dump_dir
         self.entries: deque[dict] = deque(maxlen=capacity)
+        #: Pinned records live outside the rolling window: a burst of
+        #: ordinary queries cannot evict them (bounded separately).
+        self.pinned: deque[dict] = deque(maxlen=pin_capacity)
         self._clock = clock
         self._lock = threading.Lock()
         #: Queries recorded over the recorder's lifetime (not clipped).
@@ -96,6 +100,18 @@ class FlightRecorder:
         with self._lock:
             self.entries.append(entry)
             self.recorded += 1
+
+    def pin(self, reason: str, entry: dict) -> None:
+        """Keep one record outside the rolling window's eviction.
+
+        The serve layer pins slow-query traces here: the query that
+        tripped ``--slow-ms`` stays dumpable even after ``capacity``
+        ordinary queries have rolled the main window past it.
+        """
+        record = {"pin_reason": reason, "pinned_at": self._clock()}
+        record.update(entry)
+        with self._lock:
+            self.pinned.append(record)
 
     def last(self, n: Optional[int] = None) -> list[dict]:
         """The most recent ``n`` entries (all of them by default)."""
@@ -122,12 +138,14 @@ class FlightRecorder:
             self.dumps += 1
             recorded = self.recorded
             window = list(self.entries)
+            pinned = list(self.pinned)
         artifact = {
             "version": DUMP_VERSION,
             "reason": reason,
             "dumped_at": self._clock(),
             "queries_recorded": recorded,
             "queries": window,
+            "pinned": pinned,
             "metrics": metrics.snapshot() if metrics is not None else None,
             "limits": dict(governor.limits) if governor is not None
             else None,

@@ -111,10 +111,17 @@ class QueryResult:
     counters when the server sent them.  ``replayed`` is True when
     the server answered from its idempotency cache instead of
     re-executing (a retried token).
+
+    Observability fields: ``trace_id`` is the wire trace id the server
+    echoed (client-supplied or server-assigned — always present on a
+    driven query); ``fingerprint`` the statement fingerprint hash when
+    the server aggregates statements; ``profile`` the server+engine
+    span tree when the query was started with ``profile=True``.
     """
 
     __slots__ = ("request_id", "outcome", "lines", "values", "kind",
-                 "diagnostic", "error", "reason", "stats", "replayed")
+                 "diagnostic", "error", "reason", "stats", "replayed",
+                 "trace_id", "fingerprint", "profile")
 
     def __init__(self, request_id: int, outcome: str, lines: list,
                  frame: dict):
@@ -128,6 +135,9 @@ class QueryResult:
         self.reason = frame.get("reason")
         self.stats = frame.get("stats")
         self.replayed = bool(frame.get("replayed"))
+        self.trace_id = frame.get("trace")
+        self.fingerprint = frame.get("fingerprint")
+        self.profile = frame.get("profile")
 
     @property
     def ok(self) -> bool:
@@ -346,12 +356,23 @@ class DuelClient:
         return self._next_id
 
     # -- queries -----------------------------------------------------------
-    def start(self, text: str, idem: Optional[str] = None) -> int:
-        """Issue a ``duel`` request without waiting; returns its id."""
+    def start(self, text: str, idem: Optional[str] = None,
+              trace: Optional[str] = None, profile: bool = False) -> int:
+        """Issue a ``duel`` request without waiting; returns its id.
+
+        ``trace`` propagates a caller-chosen trace id (the server
+        assigns one otherwise and echoes it on every frame);
+        ``profile=True`` asks for the full server+engine span tree on
+        the terminal frame.
+        """
         request_id = self._take_id()
         frame = {"op": "duel", "id": request_id, "text": text}
         if idem is not None:
             frame["idem"] = idem
+        if trace is not None:
+            frame["trace"] = trace
+        if profile:
+            frame["profile"] = True
         self._send(frame)
         return request_id
 
@@ -381,7 +402,9 @@ class DuelClient:
 
     def duel(self, text: str,
              on_line: Optional[Callable[[str], None]] = None,
-             idem: Optional[str] = None) -> QueryResult:
+             idem: Optional[str] = None,
+             trace: Optional[str] = None,
+             profile: bool = False) -> QueryResult:
         """Run one query to completion (values stream via ``on_line``).
 
         Resilient: a conversation that breaks mid-query is retried per
@@ -400,7 +423,8 @@ class DuelClient:
             try:
                 if self._sock is None:
                     self._redial()
-                request_id = self.start(text, idem=idem)
+                request_id = self.start(text, idem=idem, trace=trace,
+                                        profile=profile)
                 result = self.collect(request_id, on_line=on_line)
                 self._refused_since = None
             except (ServeError, OSError) as error:
@@ -501,6 +525,31 @@ class DuelClient:
         reply = self._control({"op": "stats"}, "stats")
         if reply["ev"] != "stats":
             raise ServeError(reply.get("error") or "stats failed")
+        return reply
+
+    def statements(self, by: str = "total_ms",
+                   limit: int = 20) -> dict:
+        """The server's statement-statistics table (top fingerprints).
+
+        Returns the whole ``statements`` reply: ``enabled``, ``rows``
+        (ordered by ``by`` descending, at most ``limit``), plus the
+        table-level entries/capacity/evicted/recorded counters.
+        """
+        frame: dict = {"op": "statements"}
+        if by is not None:
+            frame["by"] = by
+        if limit is not None:
+            frame["limit"] = limit
+        reply = self._control(frame, "statements")
+        if reply["ev"] != "statements":
+            raise ServeError(reply.get("error") or "statements failed")
+        return reply
+
+    def health(self) -> dict:
+        """Per-subsystem server health (the ``/healthz`` JSON detail)."""
+        reply = self._control({"op": "health"}, "health")
+        if reply["ev"] != "health":
+            raise ServeError(reply.get("error") or "health failed")
         return reply
 
 

@@ -168,6 +168,12 @@ class ServerHealth:
     def __init__(self, breaker: Optional[CircuitBreaker] = None):
         self.breaker = breaker if breaker is not None else CircuitBreaker()
         self._draining = threading.Event()
+        #: Optional zero-arg callable returning a JSON-able dict of
+        #: per-subsystem detail (the server installs its
+        #: ``health_detail``).  When set, :meth:`healthz` appends the
+        #: dict as a second body line — probes keep matching on the
+        #: first-line status word, operators ``curl | tail -1 | jq``.
+        self.detail = None
 
     def set_draining(self) -> None:
         self._draining.set()
@@ -188,10 +194,23 @@ class ServerHealth:
         return STATE_CODES[self.state()]
 
     def healthz(self) -> tuple[int, str]:
-        """``(HTTP status, body)`` for the ``/healthz`` endpoint."""
+        """``(HTTP status, body)`` for the ``/healthz`` endpoint.
+
+        Line 1 is always the plain status word (what load-balancer
+        probes match); when a :attr:`detail` provider is installed,
+        line 2 is one JSON object of per-subsystem health.
+        """
         state = self.state()
         status = 503 if state == DRAINING else 200
         if state == DEGRADED:
-            return status, (f"{state} (breaker {self.breaker.state()}: "
-                            "reads only, writes rejected)\n")
-        return status, state + "\n"
+            body = (f"{state} (breaker {self.breaker.state()}: "
+                    "reads only, writes rejected)\n")
+        else:
+            body = state + "\n"
+        if self.detail is not None:
+            try:
+                import json
+                body += json.dumps(self.detail()) + "\n"
+            except Exception:
+                pass               # detail must never break the probe
+        return status, body

@@ -45,6 +45,26 @@ Fault-tolerance fields (all optional, all version 1):
   retry after an ambiguous disconnect can never apply a
   side-effecting query twice.
 
+Observability fields and ops (all optional, all version 1):
+
+* ``duel`` may carry ``"trace": "<id>"`` — a client-generated trace
+  id (printable, ≤ :data:`TRACE_ID_MAX` chars).  The server assigns
+  one when absent and echoes the id as ``"trace"`` on **every** frame
+  it sends for that request (values, terminal, rejections), so a
+  client can correlate its latency with the server's exported span
+  tree (:mod:`repro.obs.reqtrace`);
+* ``duel`` may carry ``"profile": true`` — run the query traced and
+  embed the full client-to-target profile (server phase spans plus
+  engine per-AST-node spans) as ``"profile"`` on the terminal frame —
+  ``explain`` over the wire;
+* ``{"op": "statements", "id": N[, "by": "total_ms", "limit": 10]}``
+    the statement-statistics table: top query shapes by latency or
+    call count (``{"ev": "statements", "id": N, "rows": [...]}``);
+* ``{"op": "health", "id": N}``
+    per-subsystem health detail — breaker window, journal position,
+    session counts, watchdog age, slow-query tail (``{"ev":
+    "health", "id": N, ...}``).
+
 Server → client frames (``ev`` tags the event):
 
 ``{"ev": "welcome", "version": 1, "server": ..., "client": ...}``
@@ -109,7 +129,7 @@ MAX_LINE = MAX_FRAME - 4096
 #: Every client→server operation.
 REQUEST_OPS = frozenset(
     {"hello", "duel", "alias", "limits", "stats", "cancel",
-     "ping", "pong", "bye"})
+     "ping", "pong", "bye", "statements", "health"})
 
 #: Terminal events of a ``duel`` request (exactly one per query).
 TERMINAL_EVENTS = frozenset(
@@ -117,7 +137,16 @@ TERMINAL_EVENTS = frozenset(
 
 #: Request ops that must carry an integer ``id``.
 _NEEDS_ID = frozenset({"duel", "alias", "limits", "stats", "cancel",
-                       "ping"})
+                       "ping", "statements", "health"})
+
+#: Longest ``trace`` id accepted on a ``duel`` frame (mirrors
+#: :data:`repro.obs.reqtrace.TRACE_ID_MAX`; duplicated so the wire
+#: layer stays importable without the obs stack).
+TRACE_ID_MAX = 128
+
+#: Snapshot orderings the ``statements`` op accepts (mirrors
+#: :data:`repro.obs.statements.ORDERINGS`).
+STATEMENT_ORDERINGS = ("total_ms", "calls", "mean_ms", "max_ms")
 
 #: Malformed frames tolerated per connection before hanging up.
 MALFORMED_BUDGET = 3
@@ -244,6 +273,25 @@ def validate_request(frame: dict) -> str:
             raise ProtocolError("op 'duel' requires a string 'text'")
         if "idem" in frame and not isinstance(frame["idem"], str):
             raise ProtocolError("duel 'idem' must be a string")
+        if "trace" in frame:
+            trace = frame["trace"]
+            if not isinstance(trace, str) or not trace \
+                    or len(trace) > TRACE_ID_MAX \
+                    or not all(33 <= ord(ch) < 127 for ch in trace):
+                raise ProtocolError(
+                    "duel 'trace' must be a non-empty printable string "
+                    f"of at most {TRACE_ID_MAX} characters")
+        if "profile" in frame and not isinstance(frame["profile"], bool):
+            raise ProtocolError("duel 'profile' must be a boolean")
+    if op == "statements":
+        if "by" in frame and frame["by"] not in STATEMENT_ORDERINGS:
+            raise ProtocolError(
+                "statements 'by' must be one of "
+                + ", ".join(STATEMENT_ORDERINGS))
+        if "limit" in frame and (not isinstance(frame["limit"], int)
+                                 or frame["limit"] < 1):
+            raise ProtocolError(
+                "statements 'limit' must be a positive integer")
     if op == "cancel" and not isinstance(frame.get("target"), int):
         raise ProtocolError("op 'cancel' requires an integer 'target'")
     if op == "pong" and not isinstance(frame.get("seq"), int):
@@ -289,9 +337,13 @@ def clip_line(line: str) -> str:
     return f"{keep} ... (line clipped: {len(data)} bytes)"
 
 
-def value_frame(request_id: int, lines: list) -> dict:
-    return {"ev": "value", "id": request_id,
-            "lines": [clip_line(line) for line in lines]}
+def value_frame(request_id: int, lines: list,
+                trace: Optional[str] = None) -> dict:
+    frame = {"ev": "value", "id": request_id,
+             "lines": [clip_line(line) for line in lines]}
+    if trace is not None:
+        frame["trace"] = trace
+    return frame
 
 
 def terminal(request_id: int, outcome: str, info: dict) -> dict:
@@ -301,7 +353,7 @@ def terminal(request_id: int, outcome: str, info: dict) -> dict:
     frame = {"ev": outcome, "id": request_id,
              "values": info.get("values", 0)}
     for key in ("kind", "diagnostic", "error", "error_type", "stats",
-                "replayed"):
+                "replayed", "trace", "profile", "fingerprint"):
         if key in info:
             frame[key] = info[key]
     return frame

@@ -83,9 +83,11 @@ import socketserver
 import struct
 import threading
 import time
+from collections import deque
 from typing import Optional
 
 from repro.core.errors import DuelCancelled, DuelError
+from repro.obs.reqtrace import RequestTrace, make_trace_id
 from repro.serve import protocol
 from repro.serve.health import CircuitBreaker, ServerHealth
 from repro.serve.journal import StateStore, fold_sessions
@@ -162,15 +164,28 @@ class _Pending:
                  "cancelled", "started", "done", "idem", "writes",
                  "started_at", "deadline_s", "worker_tid",
                  "worker_thread", "interruptible", "hard_cancelled_at",
-                 "idem_lines", "idem_bytes", "idem_clipped")
+                 "idem_lines", "idem_bytes", "idem_clipped",
+                 "trace_id", "sampled", "profile", "admitted_at")
 
     def __init__(self, conn: "_Connection", client: ClientSession,
                  request_id: int, text: str, idem: Optional[str] = None,
-                 writes: Optional[bool] = None):
+                 writes: Optional[bool] = None,
+                 trace_id: Optional[str] = None, sampled: bool = False,
+                 profile: bool = False):
         self.conn = conn
         self.client = client
         self.request_id = request_id
         self.text = text
+        #: The wire trace id echoed on every frame for this request.
+        self.trace_id = trace_id if trace_id is not None \
+            else make_trace_id()
+        #: Head-sampling coin (decided at admission, 1-in-N).
+        self.sampled = sampled
+        #: Client asked for the span tree on the terminal frame.
+        self.profile = profile
+        #: Admission timestamp; ``started_at - admitted_at`` is the
+        #: ``admission_queue`` span.
+        self.admitted_at = time.monotonic()
         self.lock = threading.Lock()
         self.cancelled = False
         self.started = False
@@ -344,6 +359,8 @@ class DuelServer:
                  max_clients: int = 32, per_client: int = 1,
                  session_kwargs: Optional[dict] = None,
                  metrics=None, qlog=None, recorder=None,
+                 statements=None, tracelog=None,
+                 slow_ms: Optional[float] = None,
                  drain_timeout: float = 10.0,
                  heartbeat_interval: float = 10.0,
                  heartbeat_timeout: float = 30.0,
@@ -378,11 +395,27 @@ class DuelServer:
         self.sessions = SessionManager(
             program, session_kwargs=session_kwargs,
             metrics=metrics, qlog=qlog, recorder=recorder,
+            statements=statements,
             session_factory=session_factory,
             journal=self.store.journal if self.store else None,
             commit_writes=commit_writes)
         self.metrics = metrics
         self.qlog = qlog
+        #: Fleet statement statistics (:class:`~repro.obs.statements.
+        #: StatementStats`) — None keeps the single-predicate off path.
+        self.statements = statements
+        #: Request-trace exporter (:class:`~repro.obs.reqtrace.
+        #: TraceLog`) — None disables span collection entirely.
+        self.tracelog = tracelog
+        #: Slow-query threshold, milliseconds (None = off): a served
+        #: request slower end-to-end gets a dedicated qlog
+        #: ``slow_query`` event, a flight-recorder pin, a slot in
+        #: :attr:`slow_queries`, and an unconditional trace export.
+        self.slow_ms = slow_ms
+        #: The newest slow queries (bounded), served by the ``health``
+        #: op for the ops console's slow-query tail.
+        self.slow_queries: deque = deque(maxlen=32)
+        self.recorder = recorder
         self.host = host
         self.port = port
         self.workers = workers
@@ -400,6 +433,7 @@ class DuelServer:
                 threshold=breaker_threshold, window=breaker_window,
                 cooldown=breaker_cooldown))
         self.health = health
+        self.health.detail = self.health_detail
         self._queue: queue.Queue = queue.Queue(maxsize=queue_depth)
         self._worker_threads: list[threading.Thread] = []
         self._worker_seq = 0
@@ -423,6 +457,8 @@ class DuelServer:
         self.checkpoints = 0
         self.recovered_sessions = 0
         self.replayed_writes = 0
+        self.slow_query_count = 0
+        self._watchdog_last_sweep: Optional[float] = None
         self._crashed = False
 
     # -- lifecycle ---------------------------------------------------------
@@ -580,6 +616,51 @@ class DuelServer:
         if self.qlog is not None:
             self.qlog.server_event(kind, **fields)
 
+    # -- health detail (/healthz body + the ``health`` op) -------------------
+    def health_detail(self) -> dict:
+        """Per-subsystem health, one JSON-able dict.
+
+        The shared payload behind the ``/healthz`` second body line
+        and the wire ``health`` op — breaker window, journal
+        lsn/segments, session table occupancy, watchdog liveness and
+        the slow-query tail the ops console renders.
+        """
+        breaker = self.health.breaker
+        sweep = self._watchdog_last_sweep
+        detail = {
+            "status": self.health.state(),
+            "breaker": {"state": breaker.state(),
+                        "threshold": breaker.threshold,
+                        "window_s": breaker.window,
+                        "cooldown_s": breaker.cooldown,
+                        "trips": breaker.trips,
+                        "rejections": breaker.rejections},
+            "sessions": {"active": self.sessions.count(),
+                         "parked": self.sessions.parked_count(),
+                         "clients": self.connections(),
+                         "inflight": self.inflight(),
+                         "queued": self.queued()},
+            "watchdog": {
+                "last_sweep_age_s": None if sweep is None
+                else round(time.monotonic() - sweep, 3),
+                "reaped": self.reaped,
+                "hard_cancels": self.hard_cancels,
+                "workers_lost": self.workers_lost},
+            "served": self.served,
+            "rejected": self.rejected,
+            "slow_queries": list(self.slow_queries),
+        }
+        if self.store is not None:
+            journal = self.store.journal
+            detail["journal"] = {"lsn": journal.lsn,
+                                 "segments": len(journal.segments()),
+                                 "checkpoints": self.checkpoints}
+        if self.statements is not None:
+            detail["statements"] = self.statements.state()
+        if self.tracelog is not None:
+            detail["traces_exported"] = self.tracelog.exported
+        return detail
+
     # -- the watchdog -------------------------------------------------------
     def _watchdog_loop(self) -> None:
         while not self._watchdog_stop.wait(self.watchdog_tick):
@@ -592,6 +673,7 @@ class DuelServer:
                     self._count("serve_sessions_expired_total", expired)
                     self._server_event("session_expired", count=expired)
                 self._gauge_sync()
+                self._watchdog_last_sweep = time.monotonic()
             except Exception:             # the watchdog must outlive
                 self._count("serve_watchdog_errors_total")  # any one bug
 
@@ -682,11 +764,13 @@ class DuelServer:
         if pending.idem is not None:
             pending.client.idem_abandon(pending.idem)
         self._count("serve_outcome_cancelled_total")
-        conn.send(protocol.terminal(
+        lost_frame = protocol.terminal(
             pending.request_id, "cancelled",
             {"values": 0, "kind": "watchdog",
              "diagnostic": "(stopped: worker lost past watchdog "
-                           "deadline, session poisoned)"}))
+                           "deadline, session poisoned)"})
+        lost_frame["trace"] = pending.trace_id
+        conn.send(lost_frame)
         lost = pending.worker_thread
         if lost is not None and lost in self._worker_threads:
             self._worker_threads.remove(lost)
@@ -1056,6 +1140,10 @@ class DuelServer:
                 self._op_limits(conn, item)
             elif op == "stats":
                 self._op_stats(conn, item)
+            elif op == "statements":
+                self._op_statements(conn, item)
+            elif op == "health":
+                self._op_health(conn, item)
             elif op == "ping":
                 conn.send({"ev": "pong", "id": item["id"]})
             # op == "pong": touch() above already counted it as life.
@@ -1070,17 +1158,24 @@ class DuelServer:
     def _admit(self, conn: _Connection, frame: dict) -> None:
         request_id = frame["id"]
         client = conn.client
+        # Every duel op gets a trace id — client-supplied (already
+        # validated) or server-assigned — echoed on every frame this
+        # request produces, rejections included.
+        trace_id = frame.get("trace")
+        if trace_id is None:
+            trace_id = make_trace_id()
         if self._stopping:
-            self._reject(conn, request_id, "shutting down")
+            self._reject(conn, request_id, "shutting down",
+                         trace=trace_id)
             return
         if client.poisoned:
-            self._reject(conn, request_id, "poisoned",
+            self._reject(conn, request_id, "poisoned", trace=trace_id,
                          detail="a previous query's worker was lost; "
                                 "reconnect to get a fresh session")
             return
         if client.inflight >= self.per_client:
             self._reject(
-                conn, request_id, "busy",
+                conn, request_id, "busy", trace=trace_id,
                 detail=f"client already has {client.inflight} "
                        f"quer{'y' if client.inflight == 1 else 'ies'} "
                        f"in flight (cap {self.per_client})")
@@ -1094,7 +1189,7 @@ class DuelServer:
             if writes and not breaker.allow_write():
                 self._count("serve_degraded_rejections_total")
                 self._reject(
-                    conn, request_id, "degraded",
+                    conn, request_id, "degraded", trace=trace_id,
                     detail="target faulting: circuit breaker "
                            f"{breaker.state()}, writes rejected "
                            "(reads still served)")
@@ -1103,14 +1198,18 @@ class DuelServer:
         if idem is not None and not client.idem_start(idem):
             cached = client.idem_lookup(idem)
             if isinstance(cached, dict):
-                self._replay_idem(conn, request_id, cached)
+                self._replay_idem(conn, request_id, cached, trace_id)
             else:
-                self._reject(conn, request_id, "busy",
+                self._reject(conn, request_id, "busy", trace=trace_id,
                              detail=f"idempotent query {idem!r} is "
                                     "still in flight")
             return
+        sampled = self.tracelog.sample_next() \
+            if self.tracelog is not None else False
         pending = _Pending(conn, client, request_id, frame["text"],
-                           idem=idem, writes=writes)
+                           idem=idem, writes=writes, trace_id=trace_id,
+                           sampled=sampled,
+                           profile=bool(frame.get("profile")))
         conn.add_pending(pending)
         try:
             self._queue.put_nowait(pending)
@@ -1121,23 +1220,26 @@ class DuelServer:
             if writes and breaker.open:
                 breaker.record_fault()    # release a claimed probe slot
             self._reject(
-                conn, request_id, "overloaded",
+                conn, request_id, "overloaded", trace=trace_id,
                 detail=f"query queue full ({self.queue_depth} deep)")
             return
         self._gauge_sync()
 
     def _replay_idem(self, conn: _Connection, request_id: int,
-                     cached: dict) -> None:
+                     cached: dict, trace_id: Optional[str] = None) -> None:
         """Answer a retried idempotency token from the cache."""
         self._count("serve_idem_replays_total")
         lines = cached.get("lines") or []
         for start in range(0, len(lines), protocol.CHUNK):
             if not conn.send(protocol.value_frame(
-                    request_id, lines[start:start + protocol.CHUNK])):
+                    request_id, lines[start:start + protocol.CHUNK],
+                    trace=trace_id)):
                 return
         frame = dict(cached["outcome"])
         frame["id"] = request_id
         frame["replayed"] = True
+        if trace_id is not None:
+            frame["trace"] = trace_id
         if cached.get("clipped"):
             frame["replay_truncated"] = True
         conn.send(frame)
@@ -1203,7 +1305,31 @@ class DuelServer:
                               "parked": self.sessions.parked_count(),
                               "reaped": self.reaped,
                               "hard_cancels": self.hard_cancels,
-                              "workers_lost": self.workers_lost}})
+                              "workers_lost": self.workers_lost,
+                              "slow_queries": self.slow_query_count,
+                              "statements": len(self.statements)
+                              if self.statements is not None else None,
+                              "traces_exported": self.tracelog.exported
+                              if self.tracelog is not None else None}})
+
+    def _op_statements(self, conn: _Connection, frame: dict) -> None:
+        """The fleet statement-statistics table, over the wire."""
+        if self.statements is None:
+            conn.send({"ev": "statements", "id": frame["id"],
+                       "enabled": False, "rows": []})
+            return
+        rows = self.statements.snapshot(by=frame.get("by", "total_ms"),
+                                        limit=frame.get("limit", 20))
+        reply = {"ev": "statements", "id": frame["id"], "enabled": True,
+                 "rows": rows}
+        reply.update(self.statements.state())
+        conn.send(reply)
+
+    def _op_health(self, conn: _Connection, frame: dict) -> None:
+        """Per-subsystem health detail, over the wire (ops console)."""
+        reply = {"ev": "health", "id": frame["id"]}
+        reply.update(self.health_detail())
+        conn.send(reply)
 
     # -- query workers -----------------------------------------------------
     def _worker_loop(self) -> None:
@@ -1221,22 +1347,63 @@ class DuelServer:
         if not pending.mark_started():
             if conn.finish_pending(pending):
                 self._count("serve_outcome_cancelled_total")
-                conn.send(protocol.terminal(
+                dropped = protocol.terminal(
                     pending.request_id, "cancelled",
                     {"values": 0,
                      "diagnostic": "(stopped: 0 values, interrupted)",
-                     "kind": "cancel"}))
+                     "kind": "cancel"})
+                dropped["trace"] = pending.trace_id
+                conn.send(dropped)
             return
         self.served += 1
         self._count("serve_queries_total")
+        # Observability is all-or-nothing per query: one predicate
+        # decides whether this request gets a span tree at all.
+        trace = None
+        if (self.tracelog is not None or self.statements is not None
+                or self.slow_ms is not None or pending.profile):
+            trace = RequestTrace(pending.trace_id,
+                                 pending.client.resume_key,
+                                 request_id=pending.request_id,
+                                 text=pending.text,
+                                 sampled=pending.sampled)
+            trace.span("admission_queue",
+                       (pending.started_at - pending.admitted_at)
+                       * 1000.0)
+        # The engine's per-AST-node tracer follows the sampling coin
+        # (or an explicit profile request), so its per-pull cost is
+        # diluted 1-in-N exactly like the export volume.
+        engine_traced = pending.profile or (
+            self.tracelog is not None and pending.sampled)
+        session = pending.client.session
+        prior_tracing = session.tracing
+        if engine_traced:
+            session.tracing = True
+        session.current_trace_id = pending.trace_id
+        stream_ms = 0.0
         batch: list[str] = []
         batch_bytes = 0
         values = 0
         request_id = pending.request_id
         outcome_frame = None
+
+        def send_values(batch: list) -> bool:
+            nonlocal stream_ms
+            if trace is None:
+                return conn.send(protocol.value_frame(
+                    request_id, batch, trace=pending.trace_id))
+            t0 = time.monotonic()
+            delivered = conn.send(protocol.value_frame(
+                request_id, batch, trace=pending.trace_id))
+            stream_ms += (time.monotonic() - t0) * 1000.0
+            return delivered
+
         try:
-            events = self.sessions.run(pending.client, pending.text,
-                                       on_begin=pending.recheck)
+            events = self.sessions.run(
+                pending.client, pending.text, on_begin=pending.recheck,
+                on_lock=(None if trace is None else
+                         lambda kind, ms: trace.span("session_lock", ms,
+                                                     mode=kind)))
             with pending.lock:
                 pending.interruptible = True
             for kind, payload in events:
@@ -1248,8 +1415,7 @@ class DuelServer:
                         pending.idem_note(payload)
                     if len(batch) >= protocol.CHUNK \
                             or batch_bytes >= protocol.CHUNK_BYTES:
-                        if not conn.send(protocol.value_frame(
-                                request_id, batch)):
+                        if not send_values(batch):
                             # Peer is gone: stop driving promptly.
                             pending.cancel("client disconnected")
                         batch = []
@@ -1281,17 +1447,24 @@ class DuelServer:
         finally:
             with pending.lock:
                 pending.interruptible = False
+            session.current_trace_id = None
+            if engine_traced:
+                session.tracing = prior_tracing
             first = conn.finish_pending(pending)
             if first:
                 try:
                     if batch:
-                        conn.send(protocol.value_frame(request_id, batch))
+                        send_values(batch)
                     if outcome_frame is None:
                         outcome_frame = protocol.terminal(
                             request_id, "error",
                             {"values": values,
                              "error": "internal error: drive ended "
                                       "without a terminal event"})
+                    outcome_frame["trace"] = pending.trace_id
+                    if trace is not None:
+                        self._finish_observe(pending, trace, session,
+                                             stream_ms, outcome_frame)
                     # Count and report *before* sending: a fast client
                     # must never observe its terminal frame while the
                     # matching counter still reads the old value.
@@ -1307,6 +1480,74 @@ class DuelServer:
                 # The watchdog already answered; our result is suspect.
                 pending.client.idem_abandon(pending.idem)
             self._gauge_sync()
+
+    def _finish_observe(self, pending: _Pending, trace: RequestTrace,
+                        session, stream_ms: float,
+                        outcome_frame: dict) -> None:
+        """Close out one traced request: spans, statements, slow log.
+
+        Runs on the driving worker after the terminal frame is built
+        and before it is sent; every failure here is contained by the
+        caller's catch-all (observability must never cost a reply).
+        """
+        phases = dict(session.last_query_phases or {})
+        if "parse" in phases:
+            trace.span("parse", phases["parse"])
+        drive_ms = phases.get("eval", 0.0) + phases.get("format", 0.0)
+        if "eval" in phases or "format" in phases:
+            trace.span("drive", drive_ms,
+                       eval=round(phases.get("eval", 0.0), 3),
+                       format=round(phases.get("format", 0.0), 3))
+        trace.span("stream", stream_ms)
+        trace.outcome = outcome_frame["ev"]
+        fp = session.last_fingerprint
+        if fp is not None:
+            trace.fingerprint = fp.hash
+            outcome_frame["fingerprint"] = fp.hash
+        if pending.profile or (self.tracelog is not None
+                               and pending.sampled):
+            engine_trace = getattr(session, "last_trace", None)
+            if engine_trace is not None:
+                trace.engine_spans = [span.as_dict()
+                                      for span in engine_trace.spans]
+        if pending.profile:
+            outcome_frame["profile"] = {
+                "trace_id": trace.trace_id,
+                "spans": list(trace.spans),
+                "engine_spans": list(trace.engine_spans),
+            }
+        if self.statements is not None and fp is not None:
+            serve_phases = trace.phase_ms()
+            self.statements.record_phases(
+                fp.hash, {name: serve_phases[name]
+                          for name in ("queue", "lock", "stream")
+                          if name in serve_phases})
+        total_ms = trace.total_ms()
+        slow = self.slow_ms is not None and total_ms >= self.slow_ms
+        if slow:
+            self.slow_query_count += 1
+            self._count("serve_slow_queries_total")
+            entry = {"trace_id": trace.trace_id,
+                     "client": pending.client.client_id,
+                     "request": pending.request_id,
+                     "outcome": outcome_frame["ev"],
+                     "wall_ms": round(total_ms, 3),
+                     "text": pending.text}
+            if fp is not None:
+                entry["fingerprint"] = fp.hash
+            self.slow_queries.append(entry)
+            self._server_event("slow_query", **entry)
+            if self.recorder is not None:
+                try:
+                    self.recorder.pin(
+                        "slow_query",
+                        {"trace": trace.as_dict(),
+                         "threshold_ms": self.slow_ms})
+                except Exception:
+                    pass           # pinning must never cost a reply
+        if self.tracelog is not None \
+                and self.tracelog.should_export(trace, slow=slow):
+            self.tracelog.export(trace)
 
     def _report_health(self, pending: _Pending, outcome_frame: dict) -> None:
         """Feed the circuit breaker from a terminal outcome."""
@@ -1394,6 +1635,22 @@ def run_server(ns, program, limit_kwargs: dict, out,
                 qlog.close()
             return 1
         recorder = FlightRecorder(dump_dir=ns.dump_dir)
+    # Fleet statement statistics are always on in serve mode: the
+    # aggregation is bounded and lock-cheap, and a service without
+    # per-shape latency answers is flying blind.
+    from repro.obs.statements import StatementStats
+    statements = StatementStats()
+    tracelog = None
+    if getattr(ns, "trace_json", None):
+        from repro.obs.reqtrace import TraceLog
+        try:
+            tracelog = TraceLog(ns.trace_json,
+                                sample=getattr(ns, "trace_sample", 1))
+        except OSError as error:
+            out.write(f"error: {error}\n")
+            if qlog is not None:
+                qlog.close()
+            return 1
     session_kwargs = dict(limit_kwargs)
     session_kwargs["symbolic"] = not ns.no_symbolic
     session_kwargs["optimize"] = ns.optimize
@@ -1405,6 +1662,8 @@ def run_server(ns, program, limit_kwargs: dict, out,
             max_clients=ns.max_clients, per_client=ns.per_client,
             session_kwargs=session_kwargs,
             metrics=metrics, qlog=qlog, recorder=recorder,
+            statements=statements, tracelog=tracelog,
+            slow_ms=getattr(ns, "slow_ms", None),
             drain_timeout=ns.drain_timeout,
             heartbeat_interval=getattr(ns, "heartbeat_interval", 10.0),
             heartbeat_timeout=getattr(ns, "heartbeat_timeout", 30.0),
@@ -1424,8 +1683,10 @@ def run_server(ns, program, limit_kwargs: dict, out,
     metrics_server = None
     if ns.metrics_port is not None:
         from repro.obs.exposition import MetricsServer
-        metrics_server = MetricsServer(metrics, port=ns.metrics_port,
-                                       health=server.health.healthz)
+        metrics_server = MetricsServer(
+            metrics, port=ns.metrics_port,
+            health=server.health.healthz,
+            collectors=(statements.prometheus_lines,))
         try:
             mport = metrics_server.start()
         except OSError as error:
@@ -1509,6 +1770,8 @@ def run_server(ns, program, limit_kwargs: dict, out,
             metrics_server.stop()
         if qlog is not None:
             qlog.close()
+        if tracelog is not None:
+            tracelog.close()
         out.write(f"served {server.served} queries "
                   f"({server.rejected} rejected)\n")
     return exit_code

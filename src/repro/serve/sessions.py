@@ -324,7 +324,7 @@ class SessionManager:
     PARK_MAX = 64
 
     def __init__(self, program, *, session_kwargs: Optional[dict] = None,
-                 metrics=None, qlog=None, recorder=None,
+                 metrics=None, qlog=None, recorder=None, statements=None,
                  session_factory: Optional[Callable[[], DuelSession]] = None,
                  journal=None, commit_writes: bool = False):
         self.program = program
@@ -332,6 +332,7 @@ class SessionManager:
         self._metrics = metrics
         self._qlog = qlog
         self._recorder = recorder
+        self._statements = statements
         self._session_factory = session_factory
         #: The write-ahead :class:`~repro.serve.journal.Journal` (None
         #: when running without ``--state-dir``): session lifecycle,
@@ -365,6 +366,8 @@ class SessionManager:
             session.qlog = self._qlog
         if self._recorder is not None:
             session.recorder = self._recorder
+        if self._statements is not None:
+            session.statements = self._statements
         return session
 
     def _journal_append(self, kind: str, **fields) -> None:
@@ -523,6 +526,7 @@ class SessionManager:
                                resume_key=entry["key"])
         client.session.qlog = None
         client.session.recorder = None
+        client.session.statements = None
         governor = client.session.governor
         for name, value in (entry.get("limits") or {}).items():
             try:
@@ -539,6 +543,8 @@ class SessionManager:
             client.session.qlog = self._qlog
         if self._recorder is not None:
             client.session.recorder = self._recorder
+        if self._statements is not None:
+            client.session.statements = self._statements
 
     def adopt_parked(self, client: ClientSession, ttl: float) -> bool:
         """Insert a resurrected session directly into the parked table.
@@ -600,7 +606,7 @@ class SessionManager:
         return _has_side_effects(node)
 
     def run(self, client: ClientSession, text: str,
-            on_begin=None) -> Iterator[tuple]:
+            on_begin=None, on_lock=None) -> Iterator[tuple]:
         """Drive one query with isolation; yields ``ievents`` events.
 
         Read-only queries share the target under the read lock;
@@ -612,6 +618,11 @@ class SessionManager:
         equally be run by :meth:`reclaim` if this worker is lost — so
         a crash, an abandoned generator, or a hard-cancelled thread
         can never leak the lock or a half-mutated target.
+
+        ``on_lock(kind, ms)``, when given, is called once the query
+        holds its locks (and, for writes, its isolation snapshot) with
+        ``kind`` ``"read"``/``"write"`` and the milliseconds spent
+        acquiring — the serve layer's ``session_lock`` span source.
         """
         if client.poisoned:
             from repro.core.errors import DuelTargetError
@@ -619,6 +630,7 @@ class SessionManager:
                 "session poisoned: a previous query's worker was "
                 "forcibly reclaimed; reconnect with a fresh session")
         writes = self.classify(client, text)
+        lock_t0 = time.monotonic() if on_lock is not None else 0.0
         with client.lock:
             client.queries += 1
             if writes:
@@ -632,6 +644,9 @@ class SessionManager:
             else:
                 self._rw.acquire_read()
                 lease = QueryLease(self, client, "read")
+            if on_lock is not None:
+                on_lock("write" if writes else "read",
+                        (time.monotonic() - lock_t0) * 1000.0)
             self._register(lease)
             terminal = None
             try:

@@ -320,3 +320,92 @@ class TestSharedObservability:
         assert metrics.counter("queries_total").value == 2 * CLIENTS
         assert metrics.counter("serve_outcome_done_total").value \
             == 2 * CLIENTS
+
+
+class TestTracingAndStatements:
+    """PR 8 acceptance: traces and statement statistics over the wire.
+
+    Eight concurrent clients run a mixed workload against one traced,
+    aggregating server.  Every query must come back with a trace id;
+    the exported span tree for any of those ids must show the server
+    phases wrapped around the engine's own AST spans; and the
+    ``statements`` op must report per-fingerprint call counts that
+    add up exactly — literal variants folded, reads and writes kept
+    apart.
+    """
+
+    def test_eight_clients_traced_and_aggregated(self, tmp_path,
+                                                 metrics):
+        import json
+
+        from repro.obs.reqtrace import SERVER_PHASES, TraceLog
+        from repro.obs.statements import StatementStats
+
+        path = tmp_path / "traces.jsonl"
+        tracelog = TraceLog(str(path), sample=1)
+        stats = StatementStats()
+        server = DuelServer(workloads.big_array(ARRAY), workers=4,
+                            queue_depth=32, max_clients=CLIENTS + 4,
+                            per_client=1, metrics=metrics,
+                            statements=stats, tracelog=tracelog,
+                            drain_timeout=10.0)
+        server.start()
+        try:
+            def worker(index):
+                with DuelClient(port=server.port, client=f"tr{index}",
+                                timeout=60.0) as client:
+                    ids = []
+                    # Two literal variants of one read shape...
+                    for text in ("x[..10]", "x[..10]", "x[..5]"):
+                        result = client.duel(text)
+                        assert result.ok
+                        assert result.trace_id
+                        assert result.fingerprint
+                        ids.append(result.trace_id)
+                    # ...and one write shape.
+                    result = client.duel("x[0] = 7")
+                    assert result.ok
+                    ids.append(result.trace_id)
+                    return ids
+
+            ids = spawn(worker, CLIENTS)
+            all_ids = [tid for per_client in ids for tid in per_client]
+            # Server-assigned ids are unique across the whole fleet.
+            assert len(set(all_ids)) == 4 * CLIENTS
+
+            with DuelClient(port=server.port, timeout=30.0) as client:
+                reply = client.statements(by="calls", limit=10)
+                assert reply["enabled"]
+                assert reply["recorded"] == 4 * CLIENTS
+                rows = {r["text"]: r for r in reply["rows"]}
+                assert len(rows) == 2
+                by_calls = sorted(rows.values(),
+                                  key=lambda r: r["calls"])
+                # x[..10] and x[..5] folded into one shape: 3 calls
+                # per client; the write stayed its own shape.
+                assert by_calls[0]["calls"] == CLIENTS
+                assert by_calls[1]["calls"] == 3 * CLIENTS
+                assert by_calls[1]["values"] == CLIENTS * (10 + 10 + 5)
+                # A profiled query shows the span tree inline too.
+                probe = client.duel("x[..3]", profile=True)
+                assert probe.ok and probe.profile
+                got = {s["name"] for s in probe.profile["spans"]}
+                assert got == set(SERVER_PHASES)
+                assert probe.profile["engine_spans"]
+        finally:
+            server.stop()
+            tracelog.close()
+
+        records = [json.loads(line)
+                   for line in path.read_text().splitlines()]
+        by_id = {r["trace_id"]: r for r in records
+                 if r["ev"] == "request"}
+        # sample=1: every fleet query's span tree was exported.
+        for trace_id in all_ids:
+            record = by_id[trace_id]
+            names = [s["name"] for s in record["spans"]]
+            for phase in SERVER_PHASES:
+                assert phase in names, (trace_id, names)
+            assert record["engine_spans"], trace_id
+            assert record["outcome"] == "done"
+            assert record["fingerprint"]

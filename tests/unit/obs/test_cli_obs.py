@@ -305,3 +305,33 @@ class TestSigintFlush:
         # finish runs in the drive's finally) and flushed on close.
         assert spans_by_query.get(1, 0) >= 1
         assert spans_by_query.get(2, 0) >= 1
+
+
+class TestStatementsCommand:
+    def test_statements_after_queries(self, source):
+        status, text = run_cli([source], stdin_text=(
+            "values[..4]\nvalues[..2]\nvalues[0] = 7\n"
+            "statements\nquit\n"))
+        assert "statements: 2 shapes" in text
+        # The two literal-variant reads folded into one shape.
+        assert text.count("(name values)") >= 2
+
+    def test_statements_by_calls(self, source):
+        status, text = run_cli([source], stdin_text=(
+            "values[..4]\nvalues[..2]\nvalues[0] = 7\n"
+            "statements by calls\nquit\n"))
+        lines = text.splitlines()
+        header = next(i for i, line in enumerate(lines)
+                      if line.startswith("statements: 2 shapes"))
+        # Ordered by calls: the folded read shape (2 calls) first.
+        assert " 2 " in lines[header + 2]
+
+    def test_statements_bad_ordering_prints_usage(self, source):
+        status, text = run_cli([source], stdin_text=(
+            "statements by charm\nquit\n"))
+        assert "usage: statements [by " in text
+
+    def test_statements_extra_words_print_usage(self, source):
+        status, text = run_cli([source], stdin_text=(
+            "statements calls now\nquit\n"))
+        assert "usage: statements [by " in text

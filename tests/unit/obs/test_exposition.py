@@ -7,8 +7,10 @@ import urllib.request
 
 from repro import DuelSession, SimulatorBackend, TargetProgram
 from repro.obs.exposition import (CONTENT_TYPE, MetricsServer, _number,
+                                  escape_label_value,
                                   render_prometheus, sanitize)
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.statements import StatementStats
 from repro.target import builder
 
 # One sample or # TYPE comment per line — the subset of the v0.0.4
@@ -151,3 +153,133 @@ class TestMetricsServer:
         finally:
             server.stop()
             server.stop()                    # and stop tolerates repeats
+
+
+class TestLabelEscaping:
+    def test_backslash_quote_newline(self):
+        assert escape_label_value('a"b') == 'a\\"b'
+        assert escape_label_value("a\\b") == "a\\\\b"
+        assert escape_label_value("a\nb") == "a\\nb"
+
+    def test_backslash_escapes_before_quote(self):
+        # A raw \" must become \\\" — escaping order matters.
+        assert escape_label_value('\\"') == '\\\\\\"'
+
+    def test_plain_text_passes_through(self):
+        shape = "(index (name data) (to prefix (const ?)))"
+        assert escape_label_value(shape) == shape
+
+    def test_fingerprint_text_renders_scrapeable(self):
+        """A query shape full of quotes/backslashes survives exposition."""
+        stats = StatementStats()
+        stats.record("abcd", 'say("a\\b\nc")', outcome="done",
+                     wall_ms=1.0)
+        body = render_prometheus(MetricsRegistry(),
+                                 collectors=(stats.prometheus_lines,))
+        line = next(ln for ln in body.splitlines()
+                    if ln.startswith("duel_stmt_calls_total{"))
+        # The label block must close and the sample value must parse:
+        # an unescaped quote or newline would break both.
+        assert line.endswith("} 1")
+        assert "\n" not in line
+
+
+class TestInfBucketEdgeCases:
+    def test_zero_observations_renders_zero_everywhere(self):
+        registry = MetricsRegistry()
+        registry.histogram("empty_ms", buckets=(1.0, 5.0))
+        text = render_prometheus(registry)
+        assert 'duel_empty_ms_bucket{le="1"} 0' in text
+        assert 'duel_empty_ms_bucket{le="5"} 0' in text
+        assert 'duel_empty_ms_bucket{le="+Inf"} 0' in text
+        assert "duel_empty_ms_sum 0" in text
+        assert "duel_empty_ms_count 0" in text
+
+    def test_zero_observation_lines_are_grammatical(self):
+        registry = MetricsRegistry()
+        registry.histogram("empty_ms", buckets=(1.0, 5.0))
+        for line in render_prometheus(registry).rstrip().splitlines():
+            assert TYPE_LINE.match(line) or SAMPLE.match(line), line
+
+    def test_only_overflow_observations(self):
+        registry = MetricsRegistry()
+        registry.histogram("spill_ms", buckets=(1.0,)).observe(99.0)
+        text = render_prometheus(registry)
+        assert 'duel_spill_ms_bucket{le="1"} 0' in text
+        assert 'duel_spill_ms_bucket{le="+Inf"} 1' in text
+
+
+class TestCollectors:
+    def test_collector_lines_append_after_registry(self):
+        text = render_prometheus(populated_registry(),
+                                 collectors=(lambda: ["extra_total 1"],))
+        assert text.endswith("extra_total 1\n")
+
+    def test_failing_collector_never_breaks_the_scrape(self):
+        def boom():
+            raise RuntimeError("collector bug")
+        text = render_prometheus(populated_registry(),
+                                 collectors=(boom,
+                                             lambda: ["ok_total 2"]))
+        assert "ok_total 2" in text
+        assert "duel_queries_total 3" in text
+
+    def test_server_scrape_includes_collector_families(self):
+        stats = StatementStats()
+        stats.record("abcd", "x[..?]", outcome="done", wall_ms=2.0)
+        server = MetricsServer(populated_registry(), port=0,
+                               collectors=(stats.prometheus_lines,))
+        try:
+            server.start()
+            _, _, body = fetch(server.url)
+        finally:
+            server.stop()
+        assert b'duel_stmt_calls_total{fingerprint="abcd"' in body
+
+    def test_concurrent_scrape_during_aggregation(self):
+        """Scrapes racing histogram observes stay internally valid."""
+        import threading
+        registry = populated_registry()
+        stats = StatementStats()
+        stop = threading.Event()
+        errors = []
+
+        def pound():
+            hist = registry.histogram("query_wall_ms")
+            index = 0
+            while not stop.is_set():
+                hist.observe(0.3)
+                stats.record(f"fp{index % 4}", "t", outcome="done",
+                             wall_ms=1.0)
+                index += 1
+
+        def scrape():
+            try:
+                while not stop.is_set():
+                    text = render_prometheus(
+                        registry, collectors=(stats.prometheus_lines,))
+                    for line in text.rstrip().splitlines():
+                        if line.startswith("#") or "{" in line:
+                            continue
+                        assert SAMPLE.match(line), line
+                    # +Inf bucket must equal _count within one scrape:
+                    # cumulative rendering under the instrument lock.
+                    inf = re.search(
+                        r'duel_query_wall_ms_bucket\{le="\+Inf"\} (\d+)',
+                        text).group(1)
+                    count = re.search(r"duel_query_wall_ms_count (\d+)",
+                                      text).group(1)
+                    assert inf == count
+            except Exception as error:  # pragma: no cover - fail path
+                errors.append(error)
+
+        writer = threading.Thread(target=pound)
+        reader = threading.Thread(target=scrape)
+        writer.start()
+        reader.start()
+        import time
+        time.sleep(0.3)
+        stop.set()
+        writer.join(timeout=10)
+        reader.join(timeout=10)
+        assert not errors

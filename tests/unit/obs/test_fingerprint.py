@@ -1,0 +1,85 @@
+"""Canonical AST fingerprints: normalization rules and stability."""
+
+import hashlib
+
+from repro.core.parser import parse
+from repro.obs.fingerprint import (Fingerprint, bound_names, canonical,
+                                   fingerprint)
+
+
+def fp(text: str) -> Fingerprint:
+    return fingerprint(parse(text))
+
+
+class TestLiteralBucketing:
+    def test_differing_constants_collapse(self):
+        assert fp("data[..10]") == fp("data[..500]")
+
+    def test_differing_string_literals_collapse(self):
+        assert fp('s == "abc"') == fp('s == "xyz"')
+
+    def test_assignment_values_collapse(self):
+        assert fp("data[..10] = 5001") == fp("data[..10] = 42")
+
+    def test_reads_and_writes_stay_distinct(self):
+        assert fp("data[..10]") != fp("data[..10] = 5001")
+
+    def test_canonical_text_shows_placeholders(self):
+        text = canonical(parse("data[..10]"))
+        assert "?" in text
+        assert "10" not in text
+
+
+class TestAliasResolution:
+    def test_bound_names_are_positional(self):
+        mapping = bound_names(parse("x := data[..10]"))
+        assert mapping == {"x": "$1"}
+
+    def test_defines_fingerprint_identically(self):
+        assert fp("x := data[..10]") == fp("y := data[..10]")
+
+    def test_references_to_bound_names_normalize(self):
+        assert fp("(x := data[..10]); x") == fp("(y := data[..10]); y")
+
+    def test_program_symbols_keep_their_names(self):
+        # ``data`` vs ``head`` is a different shape, not a literal.
+        assert fp("data[..10]") != fp("head[..10]")
+
+    def test_index_alias_normalizes(self):
+        assert fp("data[..5]#i") == fp("data[..5]#j")
+
+    def test_binding_order_is_preorder(self):
+        left = bound_names(parse("(a := 1); (b := 2)"))
+        right = bound_names(parse("(b := 1); (a := 2)"))
+        assert left == {"a": "$1", "b": "$2"}
+        assert right == {"b": "$1", "a": "$2"}
+
+
+class TestRangeEndpoints:
+    def test_open_endpoints_stay_distinct(self):
+        # x[..n], x[m..] and x[m..n] have different semantics; the
+        # bucketed literals must not collapse them into one shape.
+        prefix = fp("data[..10]")
+        unbounded = fp("data[10..]")
+        closed = fp("data[2..10]")
+        assert len({prefix.hash, unbounded.hash, closed.hash}) == 3
+
+
+class TestStability:
+    def test_hash_is_sha256_prefix_of_text(self):
+        result = fp("data[..10] >? 5")
+        digest = hashlib.sha256(
+            result.text.encode("utf-8")).hexdigest()[:16]
+        assert result.hash == digest
+
+    def test_hash_is_stable_across_parses(self):
+        assert fp("#/(data[..40] >? 5)") == fp("#/(data[..40] >? 5)")
+
+    def test_whitespace_does_not_change_the_shape(self):
+        assert fp("data[..10]>?5") == fp("data[ ..10 ] >? 5")
+
+    def test_distinct_operators_distinct_shapes(self):
+        assert fp("data[..10] >? 5") != fp("data[..10] <? 5")
+
+    def test_casts_keep_their_type_text(self):
+        assert fp("(char) 65") != fp("(long) 65")

@@ -171,3 +171,38 @@ class TestSessionAutoDump:
         assert session.recorder is None
         self.run_queries(session, "x[0]")
         assert session.last_trace is None      # no implied tracer
+
+
+class TestPinnedRecords:
+    def test_pin_survives_window_rollover(self):
+        recorder = FlightRecorder(capacity=4, clock=lambda: 1000.0)
+        recorder.pin("slow_query", {"trace": {"trace_id": "t1"}})
+        for index in range(20):
+            recorder.record({"text": f"q{index}", "outcome": "drained"})
+        assert len(recorder.entries) == 4
+        assert len(recorder.pinned) == 1
+        pinned = recorder.pinned[0]
+        assert pinned["pin_reason"] == "slow_query"
+        assert pinned["pinned_at"] == 1000.0
+        assert pinned["trace"]["trace_id"] == "t1"
+
+    def test_pin_capacity_is_bounded(self):
+        recorder = FlightRecorder(pin_capacity=3)
+        for index in range(10):
+            recorder.pin("slow_query", {"n": index})
+        assert [p["n"] for p in recorder.pinned] == [7, 8, 9]
+
+    def test_dump_includes_pinned(self, tmp_path):
+        recorder = FlightRecorder(dump_dir=str(tmp_path))
+        recorder.record({"text": "q", "outcome": "drained"})
+        recorder.pin("slow_query", {"trace": {"trace_id": "t9"}})
+        path = recorder.dump("test")
+        artifact = json.loads(open(path).read())
+        assert len(artifact["pinned"]) == 1
+        assert artifact["pinned"][0]["trace"]["trace_id"] == "t9"
+        assert artifact["queries"][0]["text"] == "q"
+
+    def test_empty_pins_dump_as_empty_list(self, tmp_path):
+        recorder = FlightRecorder(dump_dir=str(tmp_path))
+        artifact = json.loads(open(recorder.dump("test")).read())
+        assert artifact["pinned"] == []

@@ -136,7 +136,7 @@ class ScriptedClient(DuelClient):
     def _teardown(self):
         self._sock = None
 
-    def start(self, text, idem=None):
+    def start(self, text, idem=None, trace=None, profile=False):
         self.idems_seen.append(idem)
         return self._take_id()
 

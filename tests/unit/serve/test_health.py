@@ -154,3 +154,49 @@ class TestServerHealth:
         assert breaker.allow_write()
         breaker.record_ok()
         assert health.state() == OK
+
+
+class TestHealthzDetail:
+    def test_detail_appends_one_json_line(self):
+        import json
+        health = ServerHealth()
+        health.detail = lambda: {"status": "ok",
+                                 "sessions": {"active": 2}}
+        status, body = health.healthz()
+        assert status == 200
+        lines = body.splitlines()
+        assert lines[0] == "ok"                    # probes keep line 1
+        detail = json.loads(lines[1])
+        assert detail["sessions"]["active"] == 2
+
+    def test_detail_rides_degraded_and_draining(self):
+        import json
+        breaker, _ = make_breaker(threshold=1)
+        health = ServerHealth(breaker)
+        health.detail = lambda: {"status": health.state()}
+        breaker.record_fault()
+        status, body = health.healthz()
+        assert status == 200
+        assert body.splitlines()[0].startswith("degraded")
+        assert json.loads(body.splitlines()[1])["status"] == "degraded"
+        health.set_draining()
+        status, body = health.healthz()
+        assert status == 503
+        assert json.loads(body.splitlines()[1])["status"] == "draining"
+
+    def test_failing_detail_never_breaks_the_probe(self):
+        health = ServerHealth()
+
+        def boom():
+            raise RuntimeError("subsystem introspection bug")
+
+        health.detail = boom
+        assert health.healthz() == (200, "ok\n")
+
+    def test_unserializable_detail_never_breaks_the_probe(self):
+        health = ServerHealth()
+        health.detail = lambda: {"bad": object()}
+        assert health.healthz() == (200, "ok\n")
+
+    def test_no_detail_keeps_the_old_body(self):
+        assert ServerHealth().healthz() == (200, "ok\n")

@@ -1,0 +1,135 @@
+"""The duel-top ops console: frame rendering and the live --once path."""
+
+import io
+from contextlib import redirect_stderr, redirect_stdout
+
+import pytest
+
+from repro.bench import workloads
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.statements import StatementStats
+from repro.serve import ops
+from repro.serve.server import DuelServer
+
+
+def sample_health(**overrides):
+    health = {
+        "status": "ok",
+        "breaker": {"state": "closed", "threshold": 5,
+                    "window_s": 30.0, "cooldown_s": 10.0,
+                    "trips": 0, "rejections": 0},
+        "sessions": {"active": 3, "parked": 1, "clients": 3,
+                     "inflight": 2, "queued": 0},
+        "watchdog": {"last_sweep_age_s": 0.4, "reaped": 0,
+                     "hard_cancels": 0, "workers_lost": 0},
+        "served": 120, "rejected": 2,
+        "slow_queries": [],
+    }
+    health.update(overrides)
+    return health
+
+
+def sample_statements():
+    stats = StatementStats()
+    stats.record("abcd", "x[..?] >? ?", outcome="done", values=4,
+                 wall_ms=12.0)
+    reply = {"ev": "statements", "enabled": True,
+             "rows": stats.snapshot()}
+    reply.update(stats.state())
+    return reply
+
+
+class TestRender:
+    def test_header_and_subsystems(self):
+        frame = ops.render(sample_health(), sample_statements(),
+                           "127.0.0.1:9999")
+        assert "duel-top — 127.0.0.1:9999 — ok" in frame
+        assert "served 120" in frame
+        assert "3 active, 1 parked" in frame
+        assert "breaker:  closed" in frame
+        assert "watchdog: swept 0.4s ago" in frame
+        assert "x[..?] >? ?" in frame
+        assert "slow queries: none" in frame
+
+    def test_journal_and_traces_render_when_present(self):
+        health = sample_health(journal={"lsn": 42, "segments": 2,
+                                        "checkpoints": 3},
+                               traces_exported=17)
+        frame = ops.render(health, sample_statements(), "h:1")
+        assert "journal:  lsn 42, 2 segment(s), 3 checkpoint(s)" in frame
+        assert "traces:   17 exported" in frame
+
+    def test_stateless_server_omits_journal_line(self):
+        frame = ops.render(sample_health(), sample_statements(), "h:1")
+        assert "journal:" not in frame
+
+    def test_slow_query_tail(self):
+        slow = [{"trace_id": "t1", "wall_ms": 812.5, "outcome": "done",
+                 "text": "x[..100000] >? 5"}]
+        frame = ops.render(sample_health(slow_queries=slow),
+                           sample_statements(), "h:1")
+        assert "812.5ms" in frame
+        assert "trace=t1" in frame
+        assert "x[..100000] >? 5" in frame
+
+    def test_disabled_statements(self):
+        frame = ops.render(sample_health(),
+                           {"enabled": False, "rows": []}, "h:1")
+        assert "statement statistics disabled" in frame
+
+    def test_never_swept_watchdog(self):
+        health = sample_health(
+            watchdog={"last_sweep_age_s": None, "reaped": 0,
+                      "hard_cancels": 0, "workers_lost": 0})
+        frame = ops.render(health, sample_statements(), "h:1")
+        assert "swept never" in frame
+
+    def test_render_tolerates_sparse_payloads(self):
+        # A degraded or ancient server may omit whole sections; the
+        # console must render something rather than crash.
+        frame = ops.render({}, {}, "h:1")
+        assert "duel-top" in frame
+
+
+@pytest.fixture
+def server():
+    booted = DuelServer(workloads.big_array(100), workers=2,
+                        queue_depth=4, max_clients=4, per_client=1,
+                        metrics=MetricsRegistry(),
+                        statements=StatementStats(), drain_timeout=5.0)
+    booted.start()
+    yield booted
+    booted.stop()
+
+
+class TestOnce:
+    def test_once_against_live_server(self, server):
+        from repro.serve.client import DuelClient
+        with DuelClient(port=server.port, timeout=10.0) as client:
+            client.duel("x[..5]")
+            client.duel("x[..7]")
+        out = io.StringIO()
+        with redirect_stdout(out):
+            status = ops.main(["--port", str(server.port), "--once"])
+        assert status == 0
+        frame = out.getvalue()
+        assert "duel-top" in frame
+        assert "— ok" in frame
+        assert "top shapes by total_ms" in frame
+        # The two reads folded into one canonical shape.
+        assert frame.count("(name x)") == 1
+
+    def test_once_orders_by_calls(self, server):
+        out = io.StringIO()
+        with redirect_stdout(out):
+            status = ops.main(["--port", str(server.port), "--once",
+                               "--by", "calls"])
+        assert status == 0
+        assert "top shapes by calls" in out.getvalue()
+
+    def test_unreachable_server_exits_one(self):
+        err = io.StringIO()
+        with redirect_stderr(err):
+            status = ops.main(["--port", "1", "--once"])
+        assert status == 1
+        assert "cannot reach" in err.getvalue()

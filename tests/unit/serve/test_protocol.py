@@ -214,3 +214,39 @@ class TestBudgetedReader:
         items = self.read_all(b"\x00\xff\xfe\x01\n" + b'{"op":"bye"}\n')
         assert isinstance(items[0], ProtocolError)
         assert items[1]["op"] == "bye"
+
+
+class TestObservabilityOps:
+    def test_statements_and_health_ops_validate(self):
+        assert protocol.validate_request(
+            {"op": "statements", "id": 1}) == "statements"
+        assert protocol.validate_request(
+            {"op": "statements", "id": 1, "by": "calls",
+             "limit": 5}) == "statements"
+        assert protocol.validate_request(
+            {"op": "health", "id": 2}) == "health"
+
+    def test_statements_bad_ordering_rejected(self):
+        with pytest.raises(ProtocolError, match="'by' must be one of"):
+            protocol.validate_request({"op": "statements", "id": 1,
+                                       "by": "charm"})
+
+    @pytest.mark.parametrize("limit", [0, -3, "ten", 1.5])
+    def test_statements_bad_limit_rejected(self, limit):
+        with pytest.raises(ProtocolError, match="positive integer"):
+            protocol.validate_request({"op": "statements", "id": 1,
+                                       "limit": limit})
+
+    def test_duel_accepts_client_trace_id(self):
+        assert protocol.validate_request(
+            {"op": "duel", "id": 1, "text": "x",
+             "trace": "abc-123"}) == "duel"
+
+    @pytest.mark.parametrize("trace", [
+        "", 42, "has space", "tab\there", "x" * (protocol.TRACE_ID_MAX + 1),
+        "café",
+    ])
+    def test_duel_bad_trace_rejected(self, trace):
+        with pytest.raises(ProtocolError, match="'trace'"):
+            protocol.validate_request({"op": "duel", "id": 1,
+                                       "text": "x", "trace": trace})
