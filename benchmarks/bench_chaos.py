@@ -3,13 +3,17 @@
 Two questions, one artifact (``BENCH_6.json``):
 
 1. **What does the fault-tolerance machinery cost when nothing is
-   failing?**  The same single-client closed loop over the paper's P3
-   workload is run against two in-process servers: one with the guard
-   rails wound tight (heartbeats every 0.5s, watchdog ticking at
-   20Hz) and one with heartbeats disabled and the watchdog nearly
-   idle.  The p50 ratio is the steady-state overhead, gated at
-   ``--max-guard-overhead`` (CI: 1.05, i.e. the guards must cost <5%
-   on the query path — they do their work off it).
+   failing?**  The paper's P3 workload runs against two in-process
+   servers: one with the guard rails wound tight (heartbeats every
+   0.5s, watchdog ticking at 20Hz) and one with heartbeats disabled
+   and the watchdog nearly idle.  Both servers run *simultaneously*
+   and a dedicated client sends one query to each per round, order
+   alternating, so CPU-frequency and cache drift lands on both sides
+   and cancels in the ratio (same discipline as
+   ``bench_obs_serve.py``).  The p50 ratio is the steady-state
+   overhead, gated at ``--max-guard-overhead`` (CI: 1.05, i.e. the
+   guards must cost <5% on the query path — they do their work off
+   it).
 
 2. **How long does a client take to recover from a killed
    connection?**  A :class:`ChaosProxy` with a scripted plan drops
@@ -78,20 +82,13 @@ def quantiles(timings_ms: list[float]) -> dict:
     }
 
 
-def closed_loop(port: int, queries: int) -> dict:
-    """One client, ``queries`` back-to-back P3 queries."""
-    latencies: list[float] = []
-    with DuelClient(port=port, client="bench", timeout=120.0) as client:
-        client.duel(P3_EXPR)                       # warm-up
-        for _ in range(queries):
-            start = time.perf_counter()
-            result = client.duel(P3_EXPR)
-            elapsed = (time.perf_counter() - start) * 1000.0
-            if result.outcome != "done":
-                raise RuntimeError(
-                    f"closed loop saw outcome {result.outcome!r}")
-            latencies.append(elapsed)
-    return {"queries": queries, **quantiles(latencies)}
+def timed_query(client: DuelClient) -> float:
+    start = time.perf_counter()
+    result = client.duel(P3_EXPR)
+    elapsed = (time.perf_counter() - start) * 1000.0
+    if result.outcome != "done":
+        raise RuntimeError(f"closed loop saw outcome {result.outcome!r}")
+    return elapsed
 
 
 def make_server(guarded: bool) -> DuelServer:
@@ -109,17 +106,43 @@ def make_server(guarded: bool) -> DuelServer:
 
 
 def steady_state(queries: int) -> dict:
-    """Guarded vs unguarded closed loop; the ratio is the overhead."""
-    runs = {}
-    for label, guarded in (("unguarded", False), ("guarded", True)):
-        server = make_server(guarded)
-        port = server.start()
+    """Guarded vs unguarded, measured simultaneously.
+
+    One query per configuration per round, order alternating, both
+    servers live the whole time — so whatever the machine is doing
+    (frequency scaling, a GC pause, a noisy neighbour) hits both
+    sides and cancels in the ratio instead of being billed to
+    whichever configuration happened to run second.
+    """
+    servers = {"unguarded": make_server(guarded=False),
+               "guarded": make_server(guarded=True)}
+    timings: dict[str, list[float]] = {label: [] for label in servers}
+    try:
+        ports = {label: server.start()
+                 for label, server in servers.items()}
+        clients = {label: DuelClient(port=port,
+                                     client=f"bench-{label}",
+                                     timeout=120.0)
+                   for label, port in ports.items()}
         try:
-            runs[label] = closed_loop(port, queries)
+            for client in clients.values():
+                client.duel(P3_EXPR)               # warm-up
+            labels = list(clients)
+            for round_index in range(queries):
+                for offset in range(len(labels)):
+                    label = labels[(round_index + offset) % len(labels)]
+                    timings[label].append(timed_query(clients[label]))
         finally:
+            for client in clients.values():
+                client.close()
+    finally:
+        for server in servers.values():
             server.stop()
-        print(f"{label:>9}: p50={runs[label]['p50_ms']:8.3f}ms "
-              f"p95={runs[label]['p95_ms']:8.3f}ms")
+    runs = {label: {"queries": queries, **quantiles(values)}
+            for label, values in timings.items()}
+    for label, run in runs.items():
+        print(f"{label:>9}: p50={run['p50_ms']:8.3f}ms "
+              f"p95={run['p95_ms']:8.3f}ms")
     ratio = round(runs["guarded"]["p50_ms"]
                   / runs["unguarded"]["p50_ms"], 3)
     return {"unguarded": runs["unguarded"],
@@ -198,7 +221,7 @@ def main(argv=None) -> int:
         "recovery": recovered,
     }
     Path(ns.out).write_text(json.dumps(report, indent=2) + "\n")
-    print(f"guard overhead on P3 (single client): "
+    print(f"guard overhead on P3 (interleaved): "
           f"{overhead['ratio']:.2f}x "
           f"(unguarded p50 {overhead['unguarded']['p50_ms']:.3f}ms, "
           f"guarded p50 {overhead['guarded']['p50_ms']:.3f}ms)")

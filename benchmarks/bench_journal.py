@@ -3,14 +3,17 @@
 Three questions, one artifact (``BENCH_7.json``):
 
 1. **What does the durability layer cost when nothing crashes?**  The
-   same single-client closed loop over the paper's P3 workload runs
-   against two in-process servers: one stateless, one journaling to a
-   ``--state-dir`` under the default ``fsync=interval:1.0`` policy.
-   Read queries never touch the journal, so this measures the
-   machinery's presence on the hot path (the extra branch in the
-   session manager, the checkpointer thread parked on its event); the
-   p50 ratio is gated at ``--max-journal-overhead`` (CI: 1.05 — the
-   journal must cost <5% on the query path).
+   paper's P3 workload runs against two in-process servers: one
+   stateless, one journaling to a ``--state-dir`` under the default
+   ``fsync=interval:1.0`` policy.  Both servers run *simultaneously*
+   and a dedicated client sends one query to each per round, order
+   alternating, so machine drift lands on both sides and cancels in
+   the ratio (same discipline as ``bench_obs_serve.py``).  Read
+   queries never touch the journal, so this measures the machinery's
+   presence on the hot path (the extra branch in the session manager,
+   the checkpointer thread parked on its event); the p50 ratio is
+   gated at ``--max-journal-overhead`` (CI: 1.05 — the journal must
+   cost <5% on the query path).
 
 2. **What does one committed write cost?**  A ``--commit-writes``
    loop of distinct single-cell assignments, each journaled inside
@@ -100,18 +103,49 @@ def make_server(state_dir=None, commit_writes=False) -> DuelServer:
 
 
 def steady_state(queries: int, scratch: Path) -> dict:
-    """Stateless vs durable closed loop; the ratio is the overhead."""
-    runs = {}
-    for label, state_dir in (("stateless", None),
-                             ("journaled", str(scratch / "steady"))):
-        server = make_server(state_dir)
-        port = server.start()
+    """Stateless vs durable, measured simultaneously.
+
+    One query per configuration per round, order alternating, both
+    servers live the whole time — machine drift (frequency scaling,
+    GC pauses, noisy neighbours) hits both sides and cancels in the
+    ratio instead of being billed to whichever server ran second.
+    """
+    servers = {"stateless": make_server(None),
+               "journaled": make_server(str(scratch / "steady"))}
+    timings: dict[str, list[float]] = {label: [] for label in servers}
+    try:
+        ports = {label: server.start()
+                 for label, server in servers.items()}
+        clients = {label: DuelClient(port=port,
+                                     client=f"bench-{label}",
+                                     timeout=120.0)
+                   for label, port in ports.items()}
         try:
-            runs[label] = closed_loop(port, queries)
+            for client in clients.values():
+                client.duel(P3_EXPR)               # warm-up
+            labels = list(clients)
+            for round_index in range(queries):
+                for offset in range(len(labels)):
+                    label = labels[(round_index + offset) % len(labels)]
+                    start = time.perf_counter()
+                    result = clients[label].duel(P3_EXPR)
+                    elapsed = (time.perf_counter() - start) * 1000.0
+                    if result.outcome != "done":
+                        raise RuntimeError(
+                            f"closed loop saw outcome "
+                            f"{result.outcome!r}")
+                    timings[label].append(elapsed)
         finally:
+            for client in clients.values():
+                client.close()
+    finally:
+        for server in servers.values():
             server.stop()
-        print(f"{label:>9}: p50={runs[label]['p50_ms']:8.3f}ms "
-              f"p95={runs[label]['p95_ms']:8.3f}ms")
+    runs = {label: {"queries": queries, **quantiles(values)}
+            for label, values in timings.items()}
+    for label, run in runs.items():
+        print(f"{label:>9}: p50={run['p50_ms']:8.3f}ms "
+              f"p95={run['p95_ms']:8.3f}ms")
     ratio = round(runs["journaled"]["p50_ms"]
                   / runs["stateless"]["p50_ms"], 3)
     return {"stateless": runs["stateless"],
@@ -203,7 +237,7 @@ def main(argv=None) -> int:
         "recovery": recovered,
     }
     Path(ns.out).write_text(json.dumps(report, indent=2) + "\n")
-    print(f"journal overhead on P3 (single client): "
+    print(f"journal overhead on P3 (interleaved): "
           f"{overhead['ratio']:.2f}x "
           f"(stateless p50 {overhead['stateless']['p50_ms']:.3f}ms, "
           f"journaled p50 {overhead['journaled']['p50_ms']:.3f}ms)")

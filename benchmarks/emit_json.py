@@ -20,14 +20,15 @@ the committed artifact is the **aggregate**: ``--aggregate`` runs
 *every* suite (core profiles + serve + chaos + journal + obs-serve)
 and embeds each suite's full report under ``"suites"``, so one file
 per PR carries the whole perf story and a missing suite is a loud
-KeyError in CI rather than a quietly absent file.
+KeyError in CI rather than a quietly absent file.  PR 9 adds the
+``access`` suite (the memory-observatory off-overhead gate).
 
 Usage::
 
     python benchmarks/emit_json.py --out BENCH_3.json     # core only
     python benchmarks/emit_json.py --workload p3_array --repeats 15
     python benchmarks/emit_json.py --max-trace-overhead 2.0  # exit 1 on breach
-    python benchmarks/emit_json.py --aggregate --out BENCH_8.json
+    python benchmarks/emit_json.py --aggregate --out BENCH_9.json
     python benchmarks/emit_json.py --aggregate --quick    # CI smoke
 
 Standalone on purpose (argparse, not pytest): CI calls it directly and
@@ -169,6 +170,9 @@ SUITES = {
     "obs_serve": ("bench_obs_serve",
                   ["--queries", "60", "--max-obs-overhead", "1.05"],
                   ["--queries", "6", "--skip-full-trace"]),
+    "access": ("bench_access",
+               ["--queries", "60", "--max-access-overhead", "1.05"],
+               ["--queries", "6"]),
 }
 
 
@@ -213,7 +217,7 @@ def aggregate(ns) -> int:
                 return status
             suites[section] = json.loads(out.read_text())
     report = {
-        "schema": "repro-bench/8",
+        "schema": "repro-bench/9",
         "python": platform.python_version(),
         "platform": platform.platform(),
         "quick": bool(ns.quick),
@@ -229,7 +233,7 @@ def main(argv=None) -> int:
         description="emit benchmark profiles as JSON")
     parser.add_argument("--out", default=None,
                         help="output path (default BENCH_3.json, or "
-                             "BENCH_8.json with --aggregate)")
+                             "BENCH_9.json with --aggregate)")
     parser.add_argument("--workload", action="append", default=[],
                         choices=sorted(PROFILES),
                         help="profile only these workloads (repeatable; "
@@ -251,7 +255,7 @@ def main(argv=None) -> int:
 
     if ns.aggregate:
         if ns.out is None:
-            ns.out = "BENCH_8.json"
+            ns.out = "BENCH_9.json"
         return aggregate(ns)
     if ns.out is None:
         ns.out = "BENCH_3.json"

@@ -21,8 +21,12 @@ validates everything:
   ``admission_queue → session_lock → parse → drive → stream`` server
   phases plus engine AST spans;
 * the ``statements`` op aggregated the fleet's workload by shape with
-  correct per-fingerprint call counts, and one ``duel-top --once``
-  snapshot renders against the live server;
+  correct per-fingerprint call counts, and ``duel-top --once``
+  renders (and ``--once --json`` emits) a snapshot of the live server
+  with its locality panel;
+* the ``accesses`` wire op classifies the array scan as sequential
+  with a multi-page-size prefetch-advisor sweep, and the
+  ``--access-trace`` JSONL holds exactly the head-sampled profiles;
 * the server drains on SIGINT and reports its served/rejected totals.
 
 Artifacts (query log, scraped metrics, outcome summary) land in
@@ -46,6 +50,9 @@ sys.path.insert(0, os.path.join(os.path.dirname(os.path.dirname(
 from repro.serve.client import DuelClient  # noqa: E402
 
 CLIENTS = 8
+
+#: ``--access-trace`` head-sampling: every 4th query exports a profile.
+ACCESS_SAMPLE = 4
 
 PROGRAM = """\
 int data[40] = {3, -1, 7, 0, 12, -9, 2, 120, 5, -4,
@@ -215,8 +222,80 @@ def check_traces_file(path):
     print(f"trace export ok: {len(records)} span trees")
 
 
+def check_accesses(port):
+    """The ``accesses`` wire op must return a classified profile.
+
+    ``data[..40] !=? 0`` is a contiguous int scan: the observatory
+    must call it ``sequential``, report its page footprint, and the
+    prefetch advisor must sweep at least two page sizes.
+    """
+    with DuelClient(port=port, client="smokeaccess",
+                    timeout=60.0) as client:
+        reply = client.accesses("data[..40] !=? 0")
+        health = client.health()
+    if reply.get("outcome") != "done":
+        fail(f"accesses op came back {reply.get('outcome')}: {reply}")
+    profile = reply.get("profile") or {}
+    if profile.get("pattern") != "sequential":
+        fail(f"expected a sequential classification for the array "
+             f"scan, got {profile.get('pattern')!r}")
+    if profile.get("reads", 0) < 40 or profile.get("unique_pages", 0) < 2:
+        fail(f"implausible access profile: {profile}")
+    advisor = reply.get("advisor") or []
+    page_sizes = {entry.get("page_size") for entry in advisor}
+    if len(page_sizes) < 2:
+        fail(f"advisor swept {sorted(page_sizes)}, expected >= 2 "
+             f"page sizes")
+    if any(not 0.0 <= entry.get("hit_rate", -1) <= 1.0
+           for entry in advisor):
+        fail(f"advisor hit rates out of range: {advisor}")
+    served = (health.get("accesses") or {}).get("served")
+    if served != 1:
+        fail(f"health reports {served} accesses ops, expected 1")
+    print(f"accesses op ok: {profile['pattern']}, "
+          f"{profile['reads']} reads, {profile['unique_pages']} pages, "
+          f"advisor swept {len(advisor)} configurations")
+
+
+def check_access_trace(path):
+    """The ``--access-trace`` JSONL must parse with sane profiles.
+
+    Sampling is counter-based (1-in-``ACCESS_SAMPLE``) and the
+    ``accesses`` probe always exports, so the record count is exact
+    whatever the client interleaving was.
+    """
+    records = []
+    for number, line in enumerate(open(path), 1):
+        try:
+            records.append(json.loads(line))
+        except json.JSONDecodeError as error:
+            fail(f"{path}:{number} is not JSON: {error}")
+    sampled = (CLIENTS * 5 + 1) // ACCESS_SAMPLE
+    expected = sampled + 1                     # + the forced probe
+    if len(records) != expected:
+        fail(f"expected {expected} access records ({sampled} sampled "
+             f"+ 1 probe), found {len(records)}")
+    for record in records:
+        if record.get("ev") != "access":
+            fail(f"malformed access record: {record}")
+        profile = record.get("profile") or {}
+        for key in ("pattern", "reads", "unique_pages",
+                    "stride_histogram"):
+            if key not in profile:
+                fail(f"access profile missing {key!r}: {record}")
+        if not record.get("fingerprint"):
+            fail(f"access record without fingerprint: {record}")
+    probes = [r for r in records if r["text"] == "data[..40] !=? 0"]
+    if len(probes) != 1 or probes[0]["profile"]["pattern"] \
+            != "sequential":
+        fail(f"probe access record wrong: {probes}")
+    print(f"access trace ok: {len(records)} profiles exported, "
+          f"1-in-{ACCESS_SAMPLE} sampling held")
+
+
 def check_duel_top(port, env, artifacts):
-    """One ``duel-top --once`` frame against the live server."""
+    """``duel-top --once`` (rendered and ``--json``) against the live
+    server."""
     top = subprocess.run(
         [sys.executable, "-m", "repro.serve.ops",
          "--port", str(port), "--once"],
@@ -227,11 +306,35 @@ def check_duel_top(port, env, artifacts):
             handle.write(top.stderr)
     if top.returncode != 0:
         fail(f"duel-top --once exited {top.returncode}: {top.stderr}")
-    for needle in ("duel-top", "breaker:", "top shapes by", "calls"):
+    for needle in ("duel-top", "breaker:", "top shapes by", "calls",
+                   "locality:"):
         if needle not in top.stdout:
             fail(f"duel-top output is missing {needle!r}:\n"
                  f"{top.stdout}")
-    print("duel-top ok: one live snapshot rendered")
+    as_json = subprocess.run(
+        [sys.executable, "-m", "repro.serve.ops",
+         "--port", str(port), "--once", "--json", "--by", "reads"],
+        capture_output=True, text=True, env=env, timeout=60)
+    if as_json.returncode != 0:
+        fail(f"duel-top --json exited {as_json.returncode}: "
+             f"{as_json.stderr}")
+    try:
+        doc = json.loads(as_json.stdout)
+    except json.JSONDecodeError as error:
+        fail(f"duel-top --json is not JSON: {error}")
+    with open(os.path.join(artifacts, "duel-top.json"), "w") as handle:
+        handle.write(as_json.stdout)
+    if doc.get("status") != "ok":
+        fail(f"duel-top --json reports status {doc.get('status')!r}")
+    locality = doc.get("locality") or {}
+    if locality.get("accesses", {}).get("served") != 1:
+        fail(f"duel-top --json locality counters wrong: {locality}")
+    if not locality.get("shapes"):
+        fail("duel-top --json carries no profiled shapes")
+    if not doc.get("statements", {}).get("rows"):
+        fail("duel-top --json carries no statement rows")
+    print("duel-top ok: rendered and JSON snapshots agree with "
+          "the live server")
 
 
 def check_query_log(path):
@@ -254,8 +357,9 @@ def check_query_log(path):
         if len(events) != 1:
             fail(f"query {qid} has {len(events)} terminal records: "
                  f"{events}")
-    # read, write, re-read, runaway, cancelled per client + the probe
-    expected = CLIENTS * 5 + 1
+    # read, write, re-read, runaway, cancelled per client + the trace
+    # probe + the accesses probe
+    expected = CLIENTS * 5 + 2
     if len(received) != expected:
         fail(f"expected {expected} queries in the log, found "
              f"{len(received)}")
@@ -268,8 +372,8 @@ def check_query_log(path):
     counts = {}
     for events in terminals.values():
         counts[events[0]] = counts.get(events[0], 0) + 1
-    if counts.get("drained") != CLIENTS * 3 + 1:
-        fail(f"expected {CLIENTS * 3 + 1} drained queries, "
+    if counts.get("drained") != CLIENTS * 3 + 2:
+        fail(f"expected {CLIENTS * 3 + 2} drained queries, "
              f"got {counts}")
     if counts.get("truncated") != CLIENTS:
         fail(f"expected {CLIENTS} truncated queries, got {counts}")
@@ -285,7 +389,11 @@ def check_metrics(body):
                    "duel_queries_total",
                    "duel_stmt_calls_total",
                    "duel_stmt_latency_ms",
-                   "duel_stmt_table_entries"):
+                   "duel_stmt_table_entries",
+                   "duel_target_reads_per_value",
+                   "duel_target_page_locality",
+                   "duel_target_pattern_total",
+                   "duel_target_profiles_total"):
         if needle not in body:
             fail(f"metrics body is missing {needle!r}")
     if 'fingerprint="' not in body:
@@ -307,6 +415,7 @@ def main():
     source = os.path.join(args.artifacts, "prog.c")
     qlog_path = os.path.join(args.artifacts, "queries.jsonl")
     traces_path = os.path.join(args.artifacts, "traces.jsonl")
+    access_path = os.path.join(args.artifacts, "accesses.jsonl")
     with open(source, "w") as handle:
         handle.write(PROGRAM)
 
@@ -317,6 +426,8 @@ def main():
         [sys.executable, "-m", "repro", "--serve",
          "--port", "0", "--workers", "4", "--max-clients", "16",
          "--query-log", qlog_path, "--trace-json", traces_path,
+         "--access-trace", access_path,
+         "--access-sample", str(ACCESS_SAMPLE),
          "--metrics-port", "0", source],
         stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
         text=True, env=env)
@@ -354,6 +465,7 @@ def main():
 
         check_trace_propagation(port)
         check_statements(port)
+        check_accesses(port)
         check_duel_top(port, env, args.artifacts)
 
         with urllib.request.urlopen(metrics_url, timeout=10) as response:
@@ -373,7 +485,7 @@ def main():
             fail(f"server exited with status {process.returncode}")
         if "draining..." not in tail:
             fail("server never reported draining")
-        if f"served {CLIENTS * 5 + 1} queries" not in tail:
+        if f"served {CLIENTS * 5 + 2} queries" not in tail:
             fail(f"server's served count is off: {tail!r}")
     finally:
         if process.poll() is None:
@@ -382,6 +494,7 @@ def main():
     check_query_log(qlog_path)
     check_metrics(body)
     check_traces_file(traces_path)
+    check_access_trace(access_path)
     print("serve smoke: all checks passed")
 
 

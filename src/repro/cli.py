@@ -43,6 +43,8 @@ DUEL REPL commands:
   stats on|off          print a [steps=.., reads=.., wall=..ms] footer
   explain <expr>        run traced; print the per-node profile tree
   trace <expr>          same as explain
+  accesses <expr>       run with the memory-access tracer; print the
+                        stride/locality profile and prefetch advice
   trace on|off          trace every query (events kept in a ring buffer)
   qlog on|off           toggle the structured query log (--query-log)
   metrics [export]      metrics registry table, or Prometheus text format
@@ -153,6 +155,9 @@ def repl(session: DuelSession, stdin=None, out=None) -> int:
                     session.explain(parts[1], out=out)
                 else:
                     out.write("usage: explain <expression>\n")
+                continue
+            if line.split()[0] == "accesses":
+                _accesses_command(session, line, out)
                 continue
             if line.split()[0] == "qlog":
                 _qlog_command(session, line, out)
@@ -295,6 +300,35 @@ def _statements_command(session: DuelSession, line: str, out) -> None:
         out.write(row + "\n")
 
 
+def _accesses_command(session: DuelSession, line: str, out) -> None:
+    """``accesses <expr>`` — the query's memory-access profile.
+
+    Runs the expression with the access tracer forced on (values are
+    produced but not printed) and renders the locality report: access
+    and byte counts, scan-pattern classification, stride histogram,
+    page locality, and the prefetch advisor's page-cache sweep.
+    """
+    parts = line.split(None, 1)
+    if len(parts) != 2:
+        out.write("usage: accesses <expression>\n")
+        return
+    from repro.obs.access import render_report
+    result = session.accesses(parts[1])
+    profile = result.get("access")
+    if profile is None:
+        out.write((result.get("error") or result.get("diagnostic")
+                   or f"({result['outcome']}: no accesses recorded)")
+                  + "\n")
+        return
+    for row in render_report(parts[1], profile,
+                             result.get("advisor") or []):
+        out.write(row + "\n")
+    if result["outcome"] != "done":
+        extra = result.get("diagnostic") or result.get("error")
+        if extra:
+            out.write(extra + "\n")
+
+
 def _dump_command(session: DuelSession, line: str, out) -> None:
     """``dump [DIR]`` — write a post-mortem from the flight recorder."""
     parts = line.split()
@@ -407,6 +441,17 @@ def main(argv: Optional[Sequence[str]] = None,
     parser.add_argument("--query-log", metavar="FILE", default=None,
                         help="write one JSONL lifecycle record per "
                              "query (received/parsed/terminal) to FILE")
+    parser.add_argument("--access-trace", metavar="FILE", default=None,
+                        help="profile sampled queries' target memory "
+                             "accesses (strides, page locality, scan "
+                             "pattern) and write one JSONL record per "
+                             "profiled query to FILE")
+    parser.add_argument("--access-sample", type=int, default=1,
+                        metavar="N",
+                        help="profile 1-in-N queries for "
+                             "--access-trace ('accesses' and the wire "
+                             "accesses op always profile; default 1 = "
+                             "every query)")
     parser.add_argument("--dump-dir", metavar="DIR", default=None,
                         help="enable the flight recorder; write "
                              "post-mortem JSON dumps into DIR on "
@@ -562,6 +607,18 @@ def main(argv: Optional[Sequence[str]] = None,
             out.write(f"error: {error}\n")
             return 1
         session.qlog = qlog
+    accesslog = None
+    if ns.access_trace:
+        from repro.obs.access import AccessLog
+        try:
+            accesslog = AccessLog(ns.access_trace,
+                                  sample=ns.access_sample)
+        except (OSError, ValueError) as error:
+            out.write(f"error: {error}\n")
+            if qlog is not None:
+                qlog.close()
+            return 1
+        session.accesslog = accesslog
     if ns.dump_dir:
         from repro.obs.recorder import FlightRecorder
         try:
@@ -571,6 +628,8 @@ def main(argv: Optional[Sequence[str]] = None,
             out.write(f"error: {error}\n")
             if qlog is not None:
                 qlog.close()
+            if accesslog is not None:
+                accesslog.close()
             return 1
         session.recorder = FlightRecorder(dump_dir=ns.dump_dir)
     server = None
@@ -583,6 +642,8 @@ def main(argv: Optional[Sequence[str]] = None,
             out.write(f"error: {error}\n")
             if qlog is not None:
                 qlog.close()
+            if accesslog is not None:
+                accesslog.close()
             return 1
         out.write(f"metrics: http://127.0.0.1:{port}/metrics\n")
     try:
@@ -600,6 +661,8 @@ def main(argv: Optional[Sequence[str]] = None,
             server.stop()
         if qlog is not None:
             qlog.close()
+        if accesslog is not None:
+            accesslog.close()
         if sink is not None:
             sink.close()
 

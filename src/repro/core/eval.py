@@ -40,7 +40,8 @@ from repro.core.errors import (
     DuelTypeError,
 )
 from repro.core.governor import ResourceGovernor
-from repro.target.interface import GovernedBackend, TracingBackend
+from repro.target.interface import (AccessTracingBackend, GovernedBackend,
+                                    TracingBackend)
 from repro.target.memory import TargetMemoryFault
 from repro.core.ops import Apply
 from repro.core.scope import Scope, WithEntry
@@ -178,10 +179,15 @@ class Evaluator:
         # All target traffic flows through the governed wrapper so
         # call/allocation quotas and the cancel token are enforced at
         # the interface boundary, whatever engine drives the AST; the
-        # tracing wrapper outside it counts reads/writes/calls and
-        # attributes them to the active trace span.
-        self.backend = TracingBackend(GovernedBackend(backend,
-                                                      self.governor))
+        # access wrapper streams (op, address, size) to the memory
+        # observatory when a tracer is attached; the tracing wrapper
+        # outermost counts reads/writes/calls and attributes them to
+        # the active trace span.
+        self.access_backend = AccessTracingBackend(
+            GovernedBackend(backend, self.governor))
+        self.backend = TracingBackend(self.access_backend)
+        # Start with the access hop spliced out (no tracer attached).
+        self.set_access_tracer(None)
         #: The active QueryTracer, or None (tracing off: the only cost
         #: is the predicate check in :meth:`eval`).
         self.tracer = None
@@ -257,6 +263,28 @@ class Evaluator:
         """
         self.tracer = tracer
         self.backend.tracer = tracer
+
+    def set_access_tracer(self, tracer) -> None:
+        """Attach (or detach, with None) a memory-access tracer.
+
+        The tracer receives ``on_access(op, address, size)`` for every
+        target read/write at the interface boundary.  Detaching
+        splices the access hop out of the hot path entirely: the
+        outer counting backend's bound read/write methods are repointed
+        straight at the governed backend, so an untraced query pays
+        *zero* extra frames for the observatory — rebinding costs a
+        few attribute stores per attach/detach, paid only by profiled
+        queries.
+        """
+        access = self.access_backend
+        access.tracer = tracer
+        outer = self.backend
+        if tracer is None:
+            outer._inner_get = access._inner_get
+            outer._inner_put = access._inner_put
+        else:
+            outer._inner_get = access.get_target_bytes
+            outer._inner_put = access.put_target_bytes
 
     def eval(self, node: N.Node) -> Iterator[DuelValue]:
         """All values of ``node``, lazily (the paper's ``eval``)."""

@@ -33,6 +33,8 @@ from repro.core.format import ValueFormatter
 from repro.core.parser import DuelParser
 from repro.core.symbolic import DEFAULT_FOLD
 from repro.core.values import DuelValue
+from repro.obs.access import (DEFAULT_PAGE_SIZE, AccessLog, AccessTracer,
+                              advise, compact_profile)
 from repro.obs.metrics import MetricsRegistry, registry as process_registry
 from repro.obs.qlog import QueryLog, classify
 from repro.obs.recorder import FlightRecorder, should_dump
@@ -111,6 +113,18 @@ class DuelSession:
         #: Wire trace id of the in-flight query (set by the serve
         #: layer so qlog terminal records carry it; None in-process).
         self.current_trace_id: Optional[str] = None
+        #: Memory-access profile exporter (``--access-trace``); None =
+        #: off at the cost of one predicate per query.  When attached,
+        #: its head-sampling coin decides which queries run with the
+        #: access tracer on.
+        self.accesslog: Optional[AccessLog] = None
+        #: Page size (bytes) access profiles aggregate locality at.
+        self.access_page_size = DEFAULT_PAGE_SIZE
+        #: Access profile of the most recent access-traced query, and
+        #: the raw records behind it (the prefetch advisor replays
+        #: them); None when the last query ran untraced.
+        self.last_access: Optional[dict] = None
+        self.last_access_records: list = []
         self._format_ns = 0
 
     # -- compiling ------------------------------------------------------
@@ -211,7 +225,8 @@ class DuelSession:
                 truncation.produced = produced
             raise
 
-    def ievents(self, text: str, on_begin=None) -> Iterator[tuple]:
+    def ievents(self, text: str, on_begin=None,
+                access: bool = False) -> Iterator[tuple]:
         """Drive one query as a stream of ``(kind, payload)`` events.
 
         The full recovering drive of :meth:`duel` — governor, qlog,
@@ -239,10 +254,15 @@ class DuelSession:
         ``on_begin`` (when given) runs after the governor reset but
         before the first value is pulled — the serve layer uses it to
         close the race between a ``cancel`` frame and query start.
+        ``access=True`` forces the memory-access tracer on for this
+        query (the ``accesses`` command); otherwise the access log's
+        sampling coin decides, and with no access log attached the
+        cost is one predicate.
         """
         self.governor.begin_query()
         self.last_query_stats = {}
         self.last_fingerprint = None
+        self.last_access = None
         qlog = self.qlog
         qid = qlog.begin(text, "generator") if qlog is not None else None
         t0 = perf_counter_ns()
@@ -258,13 +278,19 @@ class DuelSession:
         parse_ns = perf_counter_ns() - t0
         if qid is not None:
             qlog.parsed(qid, parse_ns / 1e6, node)
-        if qid is not None or self.statements is not None:
+        if access or qid is not None or self.statements is not None \
+                or self.accesslog is not None:
             from repro.obs.fingerprint import fingerprint as _fingerprint
             self.last_fingerprint = _fingerprint(node)
         self._record(text)
         if on_begin is not None:
             on_begin()
         tracer = self._attach_tracer(node, text)
+        accesslog = self.accesslog
+        if access or (accesslog is not None and accesslog.sample_next()):
+            tracer, atracer = self._attach_access(node, text, tracer)
+        else:
+            atracer = None
         checkpoint = self._checkpoint_for(node)
         self.evaluator.reset()
         baseline = self._stats_baseline()
@@ -291,8 +317,11 @@ class DuelSession:
         finally:
             self._finish_query(tracer, baseline, parse_ns,
                                perf_counter_ns() - drive_t0)
+            if atracer is not None:
+                self._finish_access(atracer)
             if qid is not None or self.recorder is not None \
-                    or self.statements is not None:
+                    or self.statements is not None \
+                    or self.last_access is not None:
                 self._observe_query(qid, text, failure, tracer)
         outcome, kind = classify(failure)
         info: dict = {"values": produced,
@@ -300,6 +329,13 @@ class DuelSession:
                       "phases": dict(self.last_query_phases)}
         if kind is not None:
             info["kind"] = kind
+        if self.last_access is not None:
+            info["access"] = dict(self.last_access)
+            if access:
+                # Explicitly requested profiles (the ``accesses``
+                # command/op) carry the advisor sweep; sampled ones
+                # stay cheap.
+                info["advisor"] = advise(self.last_access_records)
         if outcome == "drained":
             yield ("done", info)
         elif outcome in ("truncated", "cancelled"):
@@ -356,6 +392,7 @@ class DuelSession:
         self.governor.begin_query()
         self.last_query_stats = {}
         self.last_fingerprint = None
+        self.last_access = None
         qlog = self.qlog
         qid = qlog.begin(text, "generator") if qlog is not None else None
         t0 = perf_counter_ns()
@@ -432,6 +469,54 @@ class DuelSession:
         self.evaluator.set_tracer(tracer)
         return tracer
 
+    def _attach_access(self, node: N.Node, text: str, tracer):
+        """Arm the memory-access tracer for this query.
+
+        Access records carry the preorder index of the AST node being
+        pulled, which lives on the engine tracer's span stack — so a
+        query profiled without ``trace on`` gets a bare (sinkless)
+        :class:`QueryTracer` for attribution.  Returns the (possibly
+        new) engine tracer and the access tracer.
+        """
+        if tracer is None:
+            tracer = QueryTracer(None)
+            tracer.begin(node, text)
+            self.evaluator.set_tracer(tracer)
+        atracer = AccessTracer(spans=tracer)
+        self.evaluator.set_access_tracer(atracer)
+        return tracer, atracer
+
+    def _finish_access(self, atracer) -> None:
+        """Detach the access tracer and freeze its profile."""
+        self.evaluator.set_access_tracer(None)
+        self.last_access_records = atracer.records()
+        self.last_access = atracer.profile(self.access_page_size)
+
+    def accesses(self, text: str) -> dict:
+        """Drive ``text`` access-traced; report where its reads went.
+
+        The REPL ``accesses`` command and the ``accesses`` wire op:
+        the query runs through the full recovering :meth:`ievents`
+        drive (governor, rollback, qlog — everything applies), output
+        lines are swallowed, and the result describes the target
+        traffic instead: the access profile (stride histogram,
+        classification, page locality) plus the prefetch advisor's
+        projected hit rates for the recorded trace.
+        """
+        outcome, info = "error", {}
+        for kind, payload in self.ievents(text, access=True):
+            if kind != "value":
+                outcome, info = kind, payload
+        result: dict = {"outcome": outcome,
+                        "values": info.get("values", 0)}
+        for key in ("diagnostic", "error", "error_type",
+                    "access", "advisor"):
+            if key in info:
+                result[key] = info[key]
+        if self.last_fingerprint is not None:
+            result["fingerprint"] = self.last_fingerprint.hash
+        return result
+
     def _stats_baseline(self) -> tuple:
         """Cumulative counters sampled at query start (deltas later)."""
         backend = self.evaluator.backend
@@ -499,17 +584,31 @@ class DuelSession:
         values = produced if produced is not None \
             else stats.get("lines", 0)
         fp = self.last_fingerprint
+        access = self.last_access
         if qid is not None:
             self.qlog.end(qid, outcome, values=values, kind=kind,
                           error=failure if outcome == "faulted" else None,
                           stats=stats, phases=self.last_query_phases,
                           fingerprint=fp.hash if fp is not None else None,
-                          trace_id=self.current_trace_id)
+                          trace_id=self.current_trace_id,
+                          access=compact_profile(access)
+                          if access is not None else None)
         statements = self.statements
         if statements is not None and fp is not None:
             statements.record(fp.hash, fp.text, outcome=outcome,
                               values=values, stats=stats,
                               phases=self.last_query_phases)
+            if access is not None:
+                statements.record_access(fp.hash, access)
+        accesslog = self.accesslog
+        if accesslog is not None and access is not None:
+            record = {"ev": "access", "text": text, "outcome": outcome,
+                      "values": values, "profile": access}
+            if fp is not None:
+                record["fingerprint"] = fp.hash
+            if self.current_trace_id is not None:
+                record["trace_id"] = self.current_trace_id
+            accesslog.export(record)
         recorder = self.recorder
         if recorder is None:
             return

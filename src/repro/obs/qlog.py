@@ -144,13 +144,17 @@ class QueryLog:
             stats: Optional[dict] = None,
             phases: Optional[dict] = None,
             fingerprint: Optional[str] = None,
-            trace_id: Optional[str] = None) -> None:
+            trace_id: Optional[str] = None,
+            access: Optional[dict] = None) -> None:
         """The query's terminal record (flushed immediately).
 
         ``fingerprint`` is the statement fingerprint hash
         (:mod:`repro.obs.fingerprint`) and ``trace_id`` the wire trace
         id (:mod:`repro.obs.reqtrace`) — both optional so in-process
         sessions without the serve layer keep their record shape.
+        ``access`` is the compact memory-locality summary
+        (:func:`repro.obs.access.compact_profile`) for queries that
+        ran with the access tracer sampled on.
         """
         if outcome not in TERMINAL_EVENTS:
             raise ValueError(f"unknown terminal outcome {outcome!r} "
@@ -175,6 +179,8 @@ class QueryLog:
         if phases:
             record["phases"] = {name: round(ms, 3)
                                 for name, ms in phases.items()}
+        if access:
+            record["access"] = dict(access)
         with self._lock:
             self._write_locked(record)
             self._flush_locked()

@@ -37,8 +37,12 @@ from repro.obs.metrics import DEFAULT_MS_BUCKETS, Histogram
 #: per-entry memory bound exact.
 PHASES = ("queue", "lock", "parse", "eval", "format", "stream")
 
-#: Snapshot orderings the ``statements`` op accepts.
-ORDERINGS = ("total_ms", "calls", "mean_ms", "max_ms")
+#: Snapshot orderings the ``statements`` op accepts.  ``reads`` and
+#: ``reads_per_value`` rank I/O-heavy shapes directly (the memory
+#: observatory's view); keep :data:`repro.serve.protocol.
+#: STATEMENT_ORDERINGS` in sync.
+ORDERINGS = ("total_ms", "calls", "mean_ms", "max_ms", "reads",
+             "reads_per_value")
 
 
 class StatementEntry:
@@ -46,7 +50,8 @@ class StatementEntry:
 
     __slots__ = ("fingerprint", "text", "calls", "values", "reads",
                  "writes", "truncations", "faults", "wall", "phases",
-                 "seq")
+                 "seq", "profiles", "acc_accesses", "acc_pages",
+                 "acc_reread", "patterns")
 
     def __init__(self, fingerprint: str, text: str):
         self.fingerprint = fingerprint
@@ -63,6 +68,16 @@ class StatementEntry:
         self.phases: dict[str, Histogram] = {}
         #: Recency tiebreaker for eviction (table's record sequence).
         self.seq = 0
+        #: Memory-access observatory aggregates: how many calls ran
+        #: access-profiled, their cumulative accesses / unique pages /
+        #: re-read ratios, and the scan-pattern vote counts (a closed
+        #: vocabulary — :data:`repro.obs.access.PATTERNS` — so the
+        #: per-entry memory bound stays exact).
+        self.profiles = 0
+        self.acc_accesses = 0
+        self.acc_pages = 0
+        self.acc_reread = 0.0
+        self.patterns: dict[str, int] = {}
 
     def as_dict(self) -> dict:
         """One snapshot row (plain JSON-able dict)."""
@@ -79,6 +94,18 @@ class StatementEntry:
             "phases": {name: hist.as_dict()
                        for name, hist in sorted(self.phases.items())},
         }
+        row["profiles"] = self.profiles
+        if self.profiles:
+            # Dominant pattern by vote (ties: alphabetical, stable).
+            row["pattern"] = max(sorted(self.patterns),
+                                 key=lambda p: self.patterns[p])
+            row["page_locality"] = round(
+                self.acc_accesses / self.acc_pages, 2) \
+                if self.acc_pages else 0.0
+            row["reread_ratio"] = round(
+                self.acc_reread / self.profiles, 4)
+            row["pages_per_call"] = round(
+                self.acc_pages / self.profiles, 1)
         return row
 
 
@@ -148,6 +175,32 @@ class StatementStats:
                             Histogram(DEFAULT_MS_BUCKETS)
                     hist.observe(ms)
 
+    def record_access(self, fingerprint: str,
+                      profile: Optional[dict]) -> None:
+        """Fold one query's access profile into an existing entry.
+
+        No call bump — :meth:`record` already counted the query; this
+        adds the memory observatory's view (reads-per-value surfaces
+        from the existing ``reads``/``values`` columns; here land the
+        page-locality and pattern aggregates only a profiled run can
+        measure).  Like :meth:`record_phases`, a fingerprint the table
+        no longer holds is silently dropped.
+        """
+        if not profile:
+            return
+        with self._lock:
+            entry = self._entries.get(fingerprint)
+            if entry is None:
+                return
+            entry.profiles += 1
+            entry.acc_accesses += profile.get("accesses", 0)
+            entry.acc_pages += profile.get("unique_pages", 0)
+            entry.acc_reread += profile.get("reread_ratio", 0.0)
+            pattern = profile.get("pattern")
+            if pattern is not None:
+                entry.patterns[pattern] = \
+                    entry.patterns.get(pattern, 0) + 1
+
     def record_phases(self, fingerprint: str,
                       phases: Optional[dict]) -> None:
         """Fold extra phase timings into an existing entry.
@@ -201,6 +254,10 @@ class StatementStats:
             row["total_ms"] = wall["sum"]
             row["mean_ms"] = wall["mean"]
             row["max_ms"] = wall["max"] if wall["max"] is not None else 0.0
+            # A shape that produced nothing ranks by its raw reads —
+            # 1234 reads for 0 values is the worst ratio there is.
+            row["reads_per_value"] = round(row["reads"] / row["values"], 2) \
+                if row["values"] else float(row["reads"])
         rows.sort(key=lambda r: (r[by], r["calls"], r["fingerprint"]),
                   reverse=True)
         if limit is not None:
@@ -272,6 +329,57 @@ class StatementStats:
         lines.append(f"{base}_table_evicted_total {state['evicted']}")
         return lines
 
+    def prometheus_target_lines(self, prefix: str = "duel_",
+                                limit: int = 32) -> list[str]:
+        """The memory-observatory families for ``/metrics``.
+
+        Per-fingerprint target-traffic gauges plus pattern counters,
+        capped at the top ``limit`` fingerprints by reads — same
+        bounded-cardinality discipline as the ``duel_stmt_*``
+        families.  Shapes that never ran access-profiled still expose
+        ``reads_per_value`` (the scalar counters suffice); the
+        locality and pattern families need a profiled run::
+
+            duel_target_reads_per_value{fingerprint="..."} 617.5
+            duel_target_page_locality{fingerprint="..."} 15.9
+            duel_target_pattern_total{fingerprint="...",pattern="strided"} 3
+            duel_target_profiles_total 7
+        """
+        rows = self.snapshot(by="reads", limit=limit)
+        base = prefix + sanitize("target")
+        lines = [f"# TYPE {base}_reads_per_value gauge",
+                 f"# TYPE {base}_page_locality gauge",
+                 f"# TYPE {base}_reread_ratio gauge",
+                 f"# TYPE {base}_pattern_total counter"]
+        profiles_total = 0
+        for row in rows:
+            fp = escape_label_value(row["fingerprint"])
+            key = f'{{fingerprint="{fp}"}}'
+            lines.append(
+                f"{base}_reads_per_value{key} {row['reads_per_value']:g}")
+            if not row["profiles"]:
+                continue
+            profiles_total += row["profiles"]
+            lines.append(
+                f"{base}_page_locality{key} {row['page_locality']:g}")
+            lines.append(
+                f"{base}_reread_ratio{key} {row['reread_ratio']:g}")
+            pattern = escape_label_value(row["pattern"])
+            lines.append(
+                f'{base}_pattern_total{{fingerprint="{fp}",'
+                f'pattern="{pattern}"}} '
+                f'{self._pattern_count(row["fingerprint"], row["pattern"])}')
+        lines.append(f"# TYPE {base}_profiles_total counter")
+        lines.append(f"{base}_profiles_total {profiles_total}")
+        return lines
+
+    def _pattern_count(self, fingerprint: str, pattern: str) -> int:
+        with self._lock:
+            entry = self._entries.get(fingerprint)
+            if entry is None:
+                return 0
+            return entry.patterns.get(pattern, 0)
+
 
 def describe(rows: list[dict], state: Optional[dict] = None) -> list[str]:
     """Human-readable lines for the REPL/ops ``statements`` command."""
@@ -282,14 +390,20 @@ def describe(rows: list[dict], state: Optional[dict] = None) -> list[str]:
                      f"{state['evicted']} evicted, "
                      f"{state['recorded']} recorded)")
     header = (f"{'calls':>7} {'total ms':>10} {'mean ms':>9} "
-              f"{'p95 ms':>9} {'values':>8} {'trunc':>6} "
-              f"{'fault':>6}  shape")
+              f"{'p95 ms':>9} {'values':>8} {'rd/val':>8} "
+              f"{'trunc':>6} {'fault':>6}  shape")
     lines.append(header)
     for row in rows:
         wall = row["wall_ms"]
+        rpv = row.get("reads_per_value")
+        if rpv is None:
+            values = row.get("values", 0)
+            rpv = row.get("reads", 0) / values if values \
+                else float(row.get("reads", 0))
         lines.append(
             f"{row['calls']:>7} {wall['sum']:>10.2f} "
             f"{wall['mean']:>9.3f} {wall['p95']:>9.3f} "
-            f"{row['values']:>8} {row['truncations']:>6} "
+            f"{row['values']:>8} {rpv:>8.1f} "
+            f"{row['truncations']:>6} "
             f"{row['faults']:>6}  {row['text']}")
     return lines

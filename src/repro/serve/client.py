@@ -552,6 +552,37 @@ class DuelClient:
             raise ServeError(reply.get("error") or "health failed")
         return reply
 
+    def accesses(self, text: str, trace: Optional[str] = None) -> dict:
+        """One query's memory-access profile plus prefetch advice.
+
+        Runs ``text`` server-side with the access tracer forced on:
+        value frames are suppressed and the single reply carries
+        ``outcome`` (the query's terminal verdict), ``values``,
+        ``profile`` (the :func:`repro.obs.access.profile_records`
+        shape — pattern, stride histogram, page locality) and
+        ``advisor`` (the simulated page-cache sweep, best projection
+        first).  Raises :class:`ServeError` when the query is
+        rejected by admission control or hits a server error.
+        """
+        request_id = self._take_id()
+        frame: dict = {"op": "accesses", "id": request_id, "text": text}
+        if trace is not None:
+            frame["trace"] = trace
+        self._send(frame)
+        while True:
+            reply = self.read_frame()
+            if reply is None:
+                raise ServeError("connection closed mid-operation")
+            if reply.get("id") != request_id:
+                continue
+            ev = reply.get("ev")
+            if ev == "accesses":
+                return reply
+            if ev in ("rejected", "error"):
+                raise ServeError(reply.get("error")
+                                 or reply.get("reason") or ev)
+            raise ServeError(f"unexpected reply: {reply!r}")
+
 
 def main(argv=None) -> int:
     """``duel-client``: a line-oriented console over the service.

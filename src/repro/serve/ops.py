@@ -12,6 +12,9 @@ renders them as a single refreshing screen, ``top(1)``-style:
   liveness;
 * the top query shapes by total latency (or calls / mean / max via
   ``--by``), straight from the pg_stat_statements-style table;
+* a memory-locality panel: the profiled query shapes from the
+  statement table (scan pattern, reads per value, accesses per page,
+  re-read ratio) plus the server's access-observatory counters;
 * the slow-query tail: the last queries that tripped ``--slow-ms``,
   each with its trace id so an operator can jump from the console to
   the exported span tree.
@@ -20,12 +23,15 @@ No curses, no extra dependencies: the screen redraws with plain ANSI
 ``clear + home`` escapes, so it works in any terminal and degrades to
 sequential frames when piped.  ``--once`` prints a single frame and
 exits 0 (healthy/degraded) or 1 (draining / unreachable) — cheap
-enough for CI smoke tests and cron probes.
+enough for CI smoke tests and cron probes; ``--once --json`` emits
+the same picture as one machine-readable JSON document instead of a
+rendered screen, for dashboards and smoke scripts.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
 from typing import Optional
@@ -39,6 +45,73 @@ CLEAR = "\x1b[2J\x1b[H"
 
 def _fmt_age(age: Optional[float]) -> str:
     return "never" if age is None else f"{age:.1f}s ago"
+
+
+def locality_panel(health: dict, statements: dict,
+                   limit: int = 8) -> list[str]:
+    """The memory-locality panel lines (pure function, test-friendly).
+
+    Built from the statement rows that carry access profiles
+    (``profiles > 0``) plus the health reply's access-observatory
+    counters; readable even before any query has been profiled.
+    """
+    lines = []
+    accesses = health.get("accesses") or {}
+    rows = [row for row in statements.get("rows", [])
+            if row.get("profiles")]
+    header = f"locality: {accesses.get('served', 0)} accesses op(s)"
+    if accesses.get("exported") is not None:
+        header += (f", {accesses['exported']} profile(s) exported "
+                   f"(1-in-{accesses.get('sample', 1)} sampling)")
+    lines.append(header)
+    if not rows:
+        lines.append("  no profiled shapes yet — run 'accesses <expr>' "
+                     "or start the server with --access-trace")
+        return lines
+    rows.sort(key=lambda r: r.get("reads", 0), reverse=True)
+    lines.append(f"  {'pattern':<13}{'rd/val':>8}{'acc/page':>10}"
+                 f"{'re-read':>9}{'pages/call':>12}  shape")
+    for row in rows[:limit]:
+        rpv = row.get("reads_per_value")
+        if rpv is None:
+            values = row.get("values", 0)
+            reads = row.get("reads", 0)
+            rpv = round(reads / values, 2) if values else float(reads)
+        lines.append(
+            f"  {row.get('pattern', '?'):<13}{rpv:>8.1f}"
+            f"{row.get('page_locality', 0.0):>10.1f}"
+            f"{row.get('reread_ratio', 0.0) * 100:>8.1f}%"
+            f"{row.get('pages_per_call', 0.0):>12.1f}  "
+            f"{row.get('text', '')}")
+    return lines
+
+
+def json_doc(health: dict, statements: dict, target: str,
+             by: str = "total_ms") -> dict:
+    """One machine-readable console frame (``--once --json``).
+
+    The same two wire replies the rendered screen uses, reshaped into
+    a single JSON document: server health, the statement table, and a
+    ``locality`` section holding the access-observatory counters plus
+    only the profiled shapes (the rows a dashboard's locality panel
+    actually plots).
+    """
+    health = {key: value for key, value in health.items()
+              if key not in ("ev", "id")}
+    statements = {key: value for key, value in statements.items()
+                  if key not in ("ev", "id")}
+    return {
+        "target": target,
+        "status": health.get("status", "?"),
+        "by": by,
+        "health": health,
+        "statements": statements,
+        "locality": {
+            "accesses": health.get("accesses") or {},
+            "shapes": [row for row in statements.get("rows", [])
+                       if row.get("profiles")],
+        },
+    }
 
 
 def render(health: dict, statements: dict, target: str,
@@ -87,6 +160,8 @@ def render(health: dict, statements: dict, target: str,
         lines.extend(describe(statements.get("rows", []), state))
     else:
         lines.append("statement statistics disabled on this server")
+    lines.append("")
+    lines.extend(locality_panel(health, statements))
     slow = health.get("slow_queries") or []
     lines.append("")
     if slow:
@@ -127,7 +202,13 @@ def main(argv=None) -> int:
                         help="print one frame and exit (for scripts "
                              "and CI; exit 1 when draining or "
                              "unreachable)")
+    parser.add_argument("--json", action="store_true",
+                        help="with --once: emit one machine-readable "
+                             "JSON document (health + statements + "
+                             "locality) instead of the rendered screen")
     ns = parser.parse_args(argv)
+    if ns.json and not ns.once:
+        parser.error("--json requires --once")
     out = sys.stdout
     target = f"{ns.host}:{ns.port}"
     try:
@@ -144,6 +225,10 @@ def main(argv=None) -> int:
             except (OSError, ServeError) as error:
                 sys.stderr.write(f"duel-top: lost {target}: {error}\n")
                 return 1
+            if ns.json:
+                out.write(json.dumps(json_doc(health, statements,
+                                              target, by=ns.by)) + "\n")
+                return 1 if health.get("status") == "draining" else 0
             frame = render(health, statements, target, by=ns.by)
             if ns.once:
                 out.write(frame)

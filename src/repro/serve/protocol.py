@@ -63,7 +63,15 @@ Observability fields and ops (all optional, all version 1):
 * ``{"op": "health", "id": N}``
     per-subsystem health detail — breaker window, journal position,
     session counts, watchdog age, slow-query tail (``{"ev":
-    "health", "id": N, ...}``).
+    "health", "id": N, ...}``);
+* ``{"op": "accesses", "id": N, "text": "x[..100] >? 0"}``
+    evaluate one query with the memory-access tracer forced on and
+    return its locality profile instead of its values: the query runs
+    under full admission control like ``duel`` but value frames are
+    suppressed; the single terminal frame is ``{"ev": "accesses",
+    "id": N, "outcome": ..., "values": ..., "profile": {...},
+    "advisor": [...]}`` (:mod:`repro.obs.access`) — or the usual
+    ``rejected``/``error`` frame when the query never ran.
 
 Server → client frames (``ev`` tags the event):
 
@@ -129,7 +137,7 @@ MAX_LINE = MAX_FRAME - 4096
 #: Every client→server operation.
 REQUEST_OPS = frozenset(
     {"hello", "duel", "alias", "limits", "stats", "cancel",
-     "ping", "pong", "bye", "statements", "health"})
+     "ping", "pong", "bye", "statements", "health", "accesses"})
 
 #: Terminal events of a ``duel`` request (exactly one per query).
 TERMINAL_EVENTS = frozenset(
@@ -137,7 +145,7 @@ TERMINAL_EVENTS = frozenset(
 
 #: Request ops that must carry an integer ``id``.
 _NEEDS_ID = frozenset({"duel", "alias", "limits", "stats", "cancel",
-                       "ping", "statements", "health"})
+                       "ping", "statements", "health", "accesses"})
 
 #: Longest ``trace`` id accepted on a ``duel`` frame (mirrors
 #: :data:`repro.obs.reqtrace.TRACE_ID_MAX`; duplicated so the wire
@@ -146,7 +154,8 @@ TRACE_ID_MAX = 128
 
 #: Snapshot orderings the ``statements`` op accepts (mirrors
 #: :data:`repro.obs.statements.ORDERINGS`).
-STATEMENT_ORDERINGS = ("total_ms", "calls", "mean_ms", "max_ms")
+STATEMENT_ORDERINGS = ("total_ms", "calls", "mean_ms", "max_ms",
+                       "reads", "reads_per_value")
 
 #: Malformed frames tolerated per connection before hanging up.
 MALFORMED_BUDGET = 3
@@ -283,6 +292,17 @@ def validate_request(frame: dict) -> str:
                     f"of at most {TRACE_ID_MAX} characters")
         if "profile" in frame and not isinstance(frame["profile"], bool):
             raise ProtocolError("duel 'profile' must be a boolean")
+    if op == "accesses":
+        if not isinstance(frame.get("text"), str):
+            raise ProtocolError("op 'accesses' requires a string 'text'")
+        if "trace" in frame:
+            trace = frame["trace"]
+            if not isinstance(trace, str) or not trace \
+                    or len(trace) > TRACE_ID_MAX \
+                    or not all(33 <= ord(ch) < 127 for ch in trace):
+                raise ProtocolError(
+                    "accesses 'trace' must be a non-empty printable "
+                    f"string of at most {TRACE_ID_MAX} characters")
     if op == "statements":
         if "by" in frame and frame["by"] not in STATEMENT_ORDERINGS:
             raise ProtocolError(
@@ -353,7 +373,8 @@ def terminal(request_id: int, outcome: str, info: dict) -> dict:
     frame = {"ev": outcome, "id": request_id,
              "values": info.get("values", 0)}
     for key in ("kind", "diagnostic", "error", "error_type", "stats",
-                "replayed", "trace", "profile", "fingerprint"):
+                "replayed", "trace", "profile", "fingerprint", "access",
+                "advisor"):
         if key in info:
             frame[key] = info[key]
     return frame

@@ -140,6 +140,26 @@ def _async_raise(tid: int) -> bool:
     return res == 1
 
 
+def _accesses_frame(frame: dict) -> dict:
+    """Reshape a standard terminal frame into the ``accesses`` reply.
+
+    The drive path builds the usual ``done``/``faulted``/... terminal
+    (so health reporting, counters and observability see the real
+    outcome), and only the frame actually sent is reshaped: the
+    outcome moves into ``"outcome"``, the session's full access
+    profile becomes ``"profile"``, and the advisor sweep rides along.
+    """
+    reply = {"ev": "accesses", "id": frame["id"],
+             "outcome": frame["ev"], "values": frame.get("values", 0)}
+    for key in ("kind", "diagnostic", "error", "error_type",
+                "fingerprint", "trace", "advisor"):
+        if key in frame:
+            reply[key] = frame[key]
+    if "access" in frame:
+        reply["profile"] = frame["access"]
+    return reply
+
+
 class _Pending:
     """One admitted ``duel`` request, from queue to terminal frame.
 
@@ -165,13 +185,14 @@ class _Pending:
                  "started_at", "deadline_s", "worker_tid",
                  "worker_thread", "interruptible", "hard_cancelled_at",
                  "idem_lines", "idem_bytes", "idem_clipped",
-                 "trace_id", "sampled", "profile", "admitted_at")
+                 "trace_id", "sampled", "profile", "admitted_at",
+                 "access")
 
     def __init__(self, conn: "_Connection", client: ClientSession,
                  request_id: int, text: str, idem: Optional[str] = None,
                  writes: Optional[bool] = None,
                  trace_id: Optional[str] = None, sampled: bool = False,
-                 profile: bool = False):
+                 profile: bool = False, access: bool = False):
         self.conn = conn
         self.client = client
         self.request_id = request_id
@@ -183,6 +204,9 @@ class _Pending:
         self.sampled = sampled
         #: Client asked for the span tree on the terminal frame.
         self.profile = profile
+        #: The ``accesses`` wire op: force the memory-access tracer on,
+        #: suppress value frames, answer with the locality profile.
+        self.access = access
         #: Admission timestamp; ``started_at - admitted_at`` is the
         #: ``admission_queue`` span.
         self.admitted_at = time.monotonic()
@@ -359,7 +383,7 @@ class DuelServer:
                  max_clients: int = 32, per_client: int = 1,
                  session_kwargs: Optional[dict] = None,
                  metrics=None, qlog=None, recorder=None,
-                 statements=None, tracelog=None,
+                 statements=None, tracelog=None, accesslog=None,
                  slow_ms: Optional[float] = None,
                  drain_timeout: float = 10.0,
                  heartbeat_interval: float = 10.0,
@@ -398,7 +422,8 @@ class DuelServer:
             statements=statements,
             session_factory=session_factory,
             journal=self.store.journal if self.store else None,
-            commit_writes=commit_writes)
+            commit_writes=commit_writes,
+            accesslog=accesslog)
         self.metrics = metrics
         self.qlog = qlog
         #: Fleet statement statistics (:class:`~repro.obs.statements.
@@ -407,6 +432,11 @@ class DuelServer:
         #: Request-trace exporter (:class:`~repro.obs.reqtrace.
         #: TraceLog`) — None disables span collection entirely.
         self.tracelog = tracelog
+        #: Shared access-profile exporter (:class:`~repro.obs.access.
+        #: AccessLog`) — None keeps the single-predicate off path; when
+        #: set, every client session samples its coin and the
+        #: ``accesses`` op's forced profiles are exported through it.
+        self.accesslog = accesslog
         #: Slow-query threshold, milliseconds (None = off): a served
         #: request slower end-to-end gets a dedicated qlog
         #: ``slow_query`` event, a flight-recorder pin, a slot in
@@ -458,6 +488,8 @@ class DuelServer:
         self.recovered_sessions = 0
         self.replayed_writes = 0
         self.slow_query_count = 0
+        #: ``accesses`` wire ops admitted (forced access profiles).
+        self.accesses_served = 0
         self._watchdog_last_sweep: Optional[float] = None
         self._crashed = False
 
@@ -659,6 +691,10 @@ class DuelServer:
             detail["statements"] = self.statements.state()
         if self.tracelog is not None:
             detail["traces_exported"] = self.tracelog.exported
+        detail["accesses"] = {"served": self.accesses_served}
+        if self.accesslog is not None:
+            detail["accesses"]["exported"] = self.accesslog.exported
+            detail["accesses"]["sample"] = self.accesslog.sample
         return detail
 
     # -- the watchdog -------------------------------------------------------
@@ -1132,6 +1168,8 @@ class DuelServer:
                 continue
             if op == "duel":
                 self._admit(conn, item)
+            elif op == "accesses":
+                self._admit(conn, item, access=True)
             elif op == "cancel":
                 self._op_cancel(conn, item)
             elif op == "alias":
@@ -1155,7 +1193,8 @@ class DuelServer:
         self._count("serve_rejected_total")
         conn.send(protocol.rejected(request_id, reason, **extra))
 
-    def _admit(self, conn: _Connection, frame: dict) -> None:
+    def _admit(self, conn: _Connection, frame: dict,
+               access: bool = False) -> None:
         request_id = frame["id"]
         client = conn.client
         # Every duel op gets a trace id — client-supplied (already
@@ -1194,7 +1233,8 @@ class DuelServer:
                            f"{breaker.state()}, writes rejected "
                            "(reads still served)")
                 return
-        idem = frame.get("idem")
+        # An ``accesses`` op has no values to replay, so no idempotency.
+        idem = None if access else frame.get("idem")
         if idem is not None and not client.idem_start(idem):
             cached = client.idem_lookup(idem)
             if isinstance(cached, dict):
@@ -1209,7 +1249,8 @@ class DuelServer:
         pending = _Pending(conn, client, request_id, frame["text"],
                            idem=idem, writes=writes, trace_id=trace_id,
                            sampled=sampled,
-                           profile=bool(frame.get("profile")))
+                           profile=bool(frame.get("profile")),
+                           access=access)
         conn.add_pending(pending)
         try:
             self._queue.put_nowait(pending)
@@ -1307,6 +1348,7 @@ class DuelServer:
                               "hard_cancels": self.hard_cancels,
                               "workers_lost": self.workers_lost,
                               "slow_queries": self.slow_query_count,
+                              "accesses": self.accesses_served,
                               "statements": len(self.statements)
                               if self.statements is not None else None,
                               "traces_exported": self.tracelog.exported
@@ -1403,12 +1445,17 @@ class DuelServer:
                 pending.client, pending.text, on_begin=pending.recheck,
                 on_lock=(None if trace is None else
                          lambda kind, ms: trace.span("session_lock", ms,
-                                                     mode=kind)))
+                                                     mode=kind)),
+                access=pending.access)
             with pending.lock:
                 pending.interruptible = True
             for kind, payload in events:
                 if kind == "value":
                     values += 1
+                    if pending.access:
+                        # The accesses op answers with the locality
+                        # profile; the values themselves stay home.
+                        continue
                     batch.append(payload)
                     batch_bytes += len(payload)
                     if pending.idem is not None:
@@ -1472,6 +1519,10 @@ class DuelServer:
                         f"serve_outcome_{outcome_frame['ev']}_total")
                     self._report_health(pending, outcome_frame)
                     self._settle_idem(pending, outcome_frame)
+                    if pending.access:
+                        self.accesses_served += 1
+                        self._count("serve_accesses_total")
+                        outcome_frame = _accesses_frame(outcome_frame)
                     conn.send(outcome_frame)
                 except Exception:         # a reply we cannot frame must
                     self.protocol_errors += 1     # not kill the worker
@@ -1651,6 +1702,19 @@ def run_server(ns, program, limit_kwargs: dict, out,
             if qlog is not None:
                 qlog.close()
             return 1
+    accesslog = None
+    if getattr(ns, "access_trace", None):
+        from repro.obs.access import AccessLog
+        try:
+            accesslog = AccessLog(ns.access_trace,
+                                  sample=getattr(ns, "access_sample", 1))
+        except (OSError, ValueError) as error:
+            out.write(f"error: {error}\n")
+            if qlog is not None:
+                qlog.close()
+            if tracelog is not None:
+                tracelog.close()
+            return 1
     session_kwargs = dict(limit_kwargs)
     session_kwargs["symbolic"] = not ns.no_symbolic
     session_kwargs["optimize"] = ns.optimize
@@ -1663,6 +1727,7 @@ def run_server(ns, program, limit_kwargs: dict, out,
             session_kwargs=session_kwargs,
             metrics=metrics, qlog=qlog, recorder=recorder,
             statements=statements, tracelog=tracelog,
+            accesslog=accesslog,
             slow_ms=getattr(ns, "slow_ms", None),
             drain_timeout=ns.drain_timeout,
             heartbeat_interval=getattr(ns, "heartbeat_interval", 10.0),
@@ -1679,6 +1744,8 @@ def run_server(ns, program, limit_kwargs: dict, out,
         out.write(f"error: {error}\n")
         if qlog is not None:
             qlog.close()
+        if accesslog is not None:
+            accesslog.close()
         return 1
     metrics_server = None
     if ns.metrics_port is not None:
@@ -1686,7 +1753,8 @@ def run_server(ns, program, limit_kwargs: dict, out,
         metrics_server = MetricsServer(
             metrics, port=ns.metrics_port,
             health=server.health.healthz,
-            collectors=(statements.prometheus_lines,))
+            collectors=(statements.prometheus_lines,
+                        statements.prometheus_target_lines))
         try:
             mport = metrics_server.start()
         except OSError as error:
@@ -1772,6 +1840,8 @@ def run_server(ns, program, limit_kwargs: dict, out,
             qlog.close()
         if tracelog is not None:
             tracelog.close()
+        if accesslog is not None:
+            accesslog.close()
         out.write(f"served {server.served} queries "
                   f"({server.rejected} rejected)\n")
     return exit_code

@@ -326,13 +326,15 @@ class SessionManager:
     def __init__(self, program, *, session_kwargs: Optional[dict] = None,
                  metrics=None, qlog=None, recorder=None, statements=None,
                  session_factory: Optional[Callable[[], DuelSession]] = None,
-                 journal=None, commit_writes: bool = False):
+                 journal=None, commit_writes: bool = False,
+                 accesslog=None):
         self.program = program
         self._session_kwargs = dict(session_kwargs or {})
         self._metrics = metrics
         self._qlog = qlog
         self._recorder = recorder
         self._statements = statements
+        self._accesslog = accesslog
         self._session_factory = session_factory
         #: The write-ahead :class:`~repro.serve.journal.Journal` (None
         #: when running without ``--state-dir``): session lifecycle,
@@ -368,6 +370,8 @@ class SessionManager:
             session.recorder = self._recorder
         if self._statements is not None:
             session.statements = self._statements
+        if self._accesslog is not None:
+            session.accesslog = self._accesslog
         return session
 
     def _journal_append(self, kind: str, **fields) -> None:
@@ -527,6 +531,7 @@ class SessionManager:
         client.session.qlog = None
         client.session.recorder = None
         client.session.statements = None
+        client.session.accesslog = None
         governor = client.session.governor
         for name, value in (entry.get("limits") or {}).items():
             try:
@@ -545,6 +550,8 @@ class SessionManager:
             client.session.recorder = self._recorder
         if self._statements is not None:
             client.session.statements = self._statements
+        if self._accesslog is not None:
+            client.session.accesslog = self._accesslog
 
     def adopt_parked(self, client: ClientSession, ttl: float) -> bool:
         """Insert a resurrected session directly into the parked table.
@@ -606,7 +613,8 @@ class SessionManager:
         return _has_side_effects(node)
 
     def run(self, client: ClientSession, text: str,
-            on_begin=None, on_lock=None) -> Iterator[tuple]:
+            on_begin=None, on_lock=None,
+            access: bool = False) -> Iterator[tuple]:
         """Drive one query with isolation; yields ``ievents`` events.
 
         Read-only queries share the target under the read lock;
@@ -623,6 +631,9 @@ class SessionManager:
         holds its locks (and, for writes, its isolation snapshot) with
         ``kind`` ``"read"``/``"write"`` and the milliseconds spent
         acquiring — the serve layer's ``session_lock`` span source.
+        ``access=True`` forces the memory-access tracer on for this
+        query (the ``accesses`` wire op), independent of the shared
+        access log's sampling coin.
         """
         if client.poisoned:
             from repro.core.errors import DuelTargetError
@@ -651,7 +662,8 @@ class SessionManager:
             terminal = None
             try:
                 for event in client.session.ievents(text,
-                                                    on_begin=on_begin):
+                                                    on_begin=on_begin,
+                                                    access=access):
                     if event[0] != "value":
                         terminal = event[0]
                     yield event

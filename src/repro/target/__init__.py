@@ -14,6 +14,7 @@ for robustness testing and a live-gdb binding
 """
 
 from repro.target.interface import (
+    AccessTracingBackend,
     DebuggerInterface,
     FaultInjectingBackend,
     GovernedBackend,
@@ -24,6 +25,7 @@ from repro.target.program import TargetProgram
 from repro.target.symbols import Symbol, SymbolKind, SymbolTable
 
 __all__ = [
+    "AccessTracingBackend",
     "DebuggerInterface",
     "FaultInjectingBackend",
     "GovernedBackend",

@@ -234,6 +234,45 @@ class TracingBackend:
                 "calls": self.calls, "allocs": self.allocs}
 
 
+class AccessTracingBackend:
+    """Streams each target access (op, address, size) to a tracer.
+
+    The memory-access observatory's hook, sitting *inside*
+    :class:`TracingBackend` (which owns the scalar counters and span
+    attribution) and outside :class:`GovernedBackend` — so the
+    addresses it sees are exactly the ones the evaluator asked for,
+    whatever engine drives the query.  Same hot-path discipline as its
+    neighbours, taken one step further: with no tracer attached the
+    evaluator splices this hop out of the read/write path entirely
+    (:meth:`~repro.core.eval.Evaluator.set_access_tracer` repoints the
+    outer counter's bound methods), so direct use costs one predicate
+    and the shipped stack costs nothing.  The tracer is an
+    :class:`~repro.obs.access.AccessTracer` (anything with an
+    ``on_access(op, address, size)`` method works).
+    """
+
+    def __init__(self, inner, tracer=None):
+        self.inner = inner
+        self.tracer = tracer
+        self._inner_get = inner.get_target_bytes
+        self._inner_put = inner.put_target_bytes
+
+    def __getattr__(self, name):
+        return getattr(self.inner, name)
+
+    def get_target_bytes(self, address: int, size: int) -> bytes:
+        tracer = self.tracer
+        if tracer is not None:
+            tracer.on_access("r", address, size)
+        return self._inner_get(address, size)
+
+    def put_target_bytes(self, address: int, data: bytes) -> None:
+        tracer = self.tracer
+        if tracer is not None:
+            tracer.on_access("w", address, len(data))
+        self._inner_put(address, data)
+
+
 class FaultInjectingBackend(DebuggerInterface):
     """A deterministic fault-injecting wrapper around any backend.
 

@@ -249,6 +249,64 @@ def test_engines_log_identical_rejection_records(rig):
     assert [r["ev"] for r in generator] == ["received", "rejected"]
 
 
+# -- both engines issue identical target accesses (PR: access
+# observatory) ----------------------------------------------------------
+#
+# The fourth observational surface: the ordered (op, address, size)
+# stream the evaluator sends at the target.  The access tracer hooks
+# the DebuggerInterface itself, below both engines, so any divergence
+# in *which* memory a query touches — not just which values it
+# yields — shows up as a sequence mismatch.  This is also the surface
+# the scan-pattern classifier and prefetch advisor consume, so parity
+# here means profiles and advice are engine-independent too.
+
+def traced_accesses(rig_pair, node, drive):
+    from repro.obs.access import AccessTracer
+    session, sm = rig_pair
+    session.evaluator.reset()
+    tracer = AccessTracer()
+    session.evaluator.set_access_tracer(tracer)
+    try:
+        drive(session, sm, node)
+    finally:
+        session.evaluator.set_access_tracer(None)
+    return tracer
+
+
+def accesses_both(rig_pair, text):
+    session, sm = rig_pair
+    node = session.compile(text)
+    generator = traced_accesses(
+        rig_pair, node, lambda s, m, n: list(s.evaluator.eval(n)))
+    machine = traced_accesses(
+        rig_pair, node, lambda s, m, n: m.drive(n))
+    return generator, machine
+
+
+@given(text=expressions)
+def test_engines_issue_identical_access_streams(rig, text):
+    generator, machine = accesses_both(rig, text)
+    assert generator.accesses() == machine.accesses()
+
+
+@pytest.mark.parametrize("text", [
+    "head-->next->value",
+    "head-->next->value >? 20",
+])
+def test_engines_walk_lists_with_identical_accesses(list_rig, text):
+    generator, machine = accesses_both(list_rig, text)
+    assert generator.accesses() == machine.accesses()
+    assert generator.accesses()   # the walk really touched memory
+
+
+@given(text=expressions)
+def test_engines_profile_identically(rig, text):
+    """Same access stream ⇒ same classified profile: the locality
+    numbers an operator sees cannot depend on the engine."""
+    generator, machine = accesses_both(rig, text)
+    assert generator.profile() == machine.profile()
+
+
 @given(text=expressions)
 def test_engines_trip_step_budget_at_same_count(rig, text):
     from hypothesis import assume

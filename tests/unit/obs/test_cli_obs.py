@@ -335,3 +335,62 @@ class TestStatementsCommand:
         status, text = run_cli([source], stdin_text=(
             "statements calls now\nquit\n"))
         assert "usage: statements [by " in text
+
+
+class TestAccessesCommand:
+    def test_accesses_renders_the_full_report(self, source):
+        status, text = run_cli([source], stdin_text=(
+            "accesses values[..4] !=? 0\nquit\n"))
+        assert "accesses: values[..4] !=? 0" in text
+        assert "pattern:" in text
+        assert "prefetch advisor" in text
+        assert "projected best:" in text
+
+    def test_bare_accesses_prints_usage(self, source):
+        status, text = run_cli([source], stdin_text="accesses\nquit\n")
+        assert "usage: accesses <expression>" in text
+
+    def test_accesses_reports_compile_errors(self, source):
+        status, text = run_cli([source], stdin_text=(
+            "accesses values[\nquit\n"))
+        assert "pattern:" not in text
+        assert "expected expression" in text
+
+    def test_statements_by_reads_after_accesses(self, source):
+        status, text = run_cli([source], stdin_text=(
+            "accesses values[..4]\nstatements by reads\nquit\n"))
+        assert "statements: 1 shapes" in text
+
+
+class TestAccessTraceFlag:
+    def test_access_trace_exports_profiles(self, source, tmp_path):
+        path = tmp_path / "acc.jsonl"
+        status, text = run_cli(
+            [source, "--access-trace", str(path)],
+            stdin_text="values[..4]\nvalues[..2]\nquit\n")
+        records = [json.loads(line)
+                   for line in path.read_text().splitlines()]
+        assert len(records) == 2
+        for record in records:
+            assert record["ev"] == "access"
+            assert record["outcome"] == "drained"
+            assert record["profile"]["reads"] > 0
+            assert record["fingerprint"]
+
+    def test_access_sample_thins_the_export(self, source, tmp_path):
+        path = tmp_path / "acc.jsonl"
+        status, text = run_cli(
+            [source, "--access-trace", str(path),
+             "--access-sample", "3"],
+            stdin_text="values[0]\nvalues[1]\nvalues[2]\n"
+                       "values[3]\nvalues[0]\nvalues[1]\nquit\n")
+        records = path.read_text().splitlines()
+        assert len(records) == 2        # queries 3 and 6
+
+    def test_unwritable_access_trace_is_reported(self, source):
+        status, text = run_cli(
+            [source, "--access-trace", "/nonexistent/dir/acc.jsonl"],
+            stdin_text="quit\n")
+        assert status == 1
+        assert "error: " in text
+        assert "/nonexistent/dir/acc.jsonl" in text

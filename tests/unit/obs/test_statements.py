@@ -235,3 +235,111 @@ class TestDescribe:
     def test_phases_vocabulary_is_closed(self):
         assert set(PHASES) == {"queue", "lock", "parse", "eval",
                                "format", "stream"}
+
+
+def sample_profile(pattern="sequential", **overrides):
+    profile = {"accesses": 128, "reads": 128, "writes": 0,
+               "unique_bytes": 256, "unique_pages": 8,
+               "page_size": 64, "reread_ratio": 0.5,
+               "pattern": pattern}
+    profile.update(overrides)
+    return profile
+
+
+class TestAccessAggregation:
+    def test_record_access_aggregates_locality(self):
+        stats = StatementStats()
+        stats.record("aa", "x[..?]", outcome="done", values=2,
+                     stats={"reads": 128})
+        stats.record_access("aa", sample_profile(unique_pages=8))
+        stats.record_access("aa", sample_profile(unique_pages=4,
+                                                 reread_ratio=0.3))
+        (row,) = stats.snapshot()
+        assert row["profiles"] == 2
+        assert row["pages_per_call"] == 6.0
+        assert row["reread_ratio"] == 0.4
+        assert row["page_locality"] > 0
+
+    def test_dominant_pattern_by_vote(self):
+        stats = StatementStats()
+        stats.record("aa", "t", outcome="done")
+        for pattern in ("random", "sequential", "sequential"):
+            stats.record_access("aa", sample_profile(pattern))
+        (row,) = stats.snapshot()
+        assert row["pattern"] == "sequential"
+
+    def test_unprofiled_rows_have_no_pattern(self):
+        stats = StatementStats()
+        stats.record("aa", "t", outcome="done")
+        (row,) = stats.snapshot()
+        assert row["profiles"] == 0
+        assert "pattern" not in row
+
+    def test_record_access_for_unknown_fingerprint_is_a_noop(self):
+        stats = StatementStats()
+        stats.record_access("zz", sample_profile())
+        assert stats.snapshot() == []
+
+
+class TestReadsOrderings:
+    def test_orderings_include_target_traffic(self):
+        assert "reads" in ORDERINGS
+        assert "reads_per_value" in ORDERINGS
+
+    def test_snapshot_orders_by_reads(self):
+        stats = StatementStats()
+        stats.record("aa", "light", outcome="done", values=1,
+                     stats={"reads": 10})
+        stats.record("bb", "heavy", outcome="done", values=1,
+                     stats={"reads": 999})
+        rows = stats.snapshot(by="reads")
+        assert [r["fingerprint"] for r in rows] == ["bb", "aa"]
+
+    def test_reads_per_value_ranks_wasteful_shapes_first(self):
+        stats = StatementStats()
+        stats.record("aa", "cheap", outcome="done", values=100,
+                     stats={"reads": 100})          # 1 read/value
+        stats.record("bb", "wasteful", outcome="done", values=2,
+                     stats={"reads": 1234})         # 617 reads/value
+        rows = stats.snapshot(by="reads_per_value")
+        assert rows[0]["fingerprint"] == "bb"
+        assert rows[0]["reads_per_value"] == 617.0
+
+    def test_zero_value_shapes_rank_by_raw_reads(self):
+        stats = StatementStats()
+        stats.record("aa", "t", outcome="done", values=0,
+                     stats={"reads": 50})
+        (row,) = stats.snapshot(by="reads_per_value")
+        assert row["reads_per_value"] == 50.0
+
+
+class TestTargetPrometheus:
+    def test_reads_per_value_exported_for_all_shapes(self):
+        stats = StatementStats()
+        stats.record("aa", "t", outcome="done", values=2,
+                     stats={"reads": 10})
+        lines = stats.prometheus_target_lines()
+        assert any(line.startswith("duel_target_reads_per_value")
+                   and " 5" in line for line in lines)
+        assert "duel_target_profiles_total 0" in lines
+
+    def test_locality_families_need_a_profiled_run(self):
+        stats = StatementStats()
+        stats.record("aa", "t", outcome="done")
+        lines = "\n".join(stats.prometheus_target_lines())
+        assert "duel_target_page_locality{" not in lines
+        stats.record_access("aa", sample_profile())
+        lines = "\n".join(stats.prometheus_target_lines())
+        assert "duel_target_page_locality{" in lines
+        assert 'pattern="sequential"} 1' in lines
+        assert "duel_target_profiles_total 1" in lines
+
+    def test_cardinality_is_bounded(self):
+        stats = StatementStats()
+        for i in range(40):
+            stats.record(f"f{i:02d}", "t", outcome="done",
+                         stats={"reads": i})
+        lines = stats.prometheus_target_lines(limit=8)
+        gauges = [line for line in lines
+                  if line.startswith("duel_target_reads_per_value{")]
+        assert len(gauges) == 8

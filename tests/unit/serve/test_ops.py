@@ -133,3 +133,96 @@ class TestOnce:
             status = ops.main(["--port", "1", "--once"])
         assert status == 1
         assert "cannot reach" in err.getvalue()
+
+
+def profiled_statements():
+    reply = sample_statements()
+    reply["rows"] = [dict(row, profiles=3, pattern="sequential",
+                          page_locality=15.9, reread_ratio=0.42,
+                          pages_per_call=63.0, reads=1234,
+                          reads_per_value=617.0)
+                     for row in reply["rows"]]
+    return reply
+
+
+class TestLocalityPanel:
+    def test_no_profiles_yet(self):
+        lines = ops.locality_panel(sample_health(), sample_statements())
+        assert lines[0].startswith("locality: 0 accesses op(s)")
+        assert "no profiled shapes yet" in lines[1]
+
+    def test_profiled_rows_render(self):
+        health = sample_health(accesses={"served": 4, "exported": 2,
+                                         "sample": 8})
+        lines = ops.locality_panel(health, profiled_statements())
+        text = "\n".join(lines)
+        assert "locality: 4 accesses op(s)" in text
+        assert "2 profile(s) exported (1-in-8 sampling)" in text
+        assert "sequential" in text
+        assert "617.0" in text
+        assert "x[..?] >? ?" in text
+
+    def test_rows_sorted_by_reads_and_limited(self):
+        reply = sample_statements()
+        reply["rows"] = [
+            {"text": f"q{i}", "profiles": 1, "pattern": "random",
+             "page_locality": 1.0, "reread_ratio": 0.0,
+             "pages_per_call": 1.0, "reads": i, "values": 1,
+             "reads_per_value": float(i)}
+            for i in range(12)]
+        lines = ops.locality_panel(sample_health(), reply, limit=3)
+        assert "q11" in lines[2]
+        assert len(lines) == 2 + 3
+
+    def test_panel_appears_in_rendered_frame(self):
+        frame = ops.render(sample_health(), profiled_statements(), "h:1")
+        assert "locality:" in frame
+        assert "sequential" in frame
+
+
+class TestJsonDoc:
+    def test_document_shape(self):
+        doc = ops.json_doc(sample_health(accesses={"served": 1}),
+                           profiled_statements(), "h:1", by="reads")
+        assert doc["target"] == "h:1"
+        assert doc["status"] == "ok"
+        assert doc["by"] == "reads"
+        assert doc["health"]["served"] == 120
+        assert doc["locality"]["accesses"] == {"served": 1}
+        assert doc["locality"]["shapes"][0]["pattern"] == "sequential"
+
+    def test_unprofiled_shapes_excluded_from_locality(self):
+        doc = ops.json_doc(sample_health(), sample_statements(), "h:1")
+        assert doc["locality"]["shapes"] == []
+        assert doc["statements"]["rows"]
+
+    def test_wire_envelope_keys_stripped(self):
+        doc = ops.json_doc({"ev": "health", "id": 4, "status": "ok"},
+                           {"ev": "statements", "id": 5, "rows": []},
+                           "h:1")
+        assert "ev" not in doc["health"]
+        assert "id" not in doc["statements"]
+
+
+class TestJsonOnce:
+    def test_json_once_against_live_server(self, server):
+        import json as jsonlib
+
+        from repro.serve.client import DuelClient
+        with DuelClient(port=server.port, timeout=10.0) as client:
+            client.accesses("x[..100] !=? 0")
+        out = io.StringIO()
+        with redirect_stdout(out):
+            status = ops.main(["--port", str(server.port), "--once",
+                               "--json", "--by", "reads"])
+        assert status == 0
+        doc = jsonlib.loads(out.getvalue())
+        assert doc["status"] == "ok"
+        assert doc["locality"]["accesses"]["served"] == 1
+        (shape,) = doc["locality"]["shapes"]
+        assert shape["pattern"] == "sequential"
+
+    def test_json_requires_once(self, capsys):
+        with pytest.raises(SystemExit):
+            ops.main(["--port", "1", "--json"])
+        assert "--json requires --once" in capsys.readouterr().err

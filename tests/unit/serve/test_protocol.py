@@ -250,3 +250,35 @@ class TestObservabilityOps:
         with pytest.raises(ProtocolError, match="'trace'"):
             protocol.validate_request({"op": "duel", "id": 1,
                                        "text": "x", "trace": trace})
+
+
+class TestAccessesOp:
+    def test_accesses_validates(self):
+        assert protocol.validate_request(
+            {"op": "accesses", "id": 1, "text": "x[..9]"}) == "accesses"
+
+    def test_accesses_accepts_a_trace_id(self):
+        assert protocol.validate_request(
+            {"op": "accesses", "id": 1, "text": "x",
+             "trace": "abc-1"}) == "accesses"
+
+    def test_accesses_requires_text(self):
+        with pytest.raises(ProtocolError, match="'text'"):
+            protocol.validate_request({"op": "accesses", "id": 1})
+
+    @pytest.mark.parametrize("text", [42, None, ["x"]])
+    def test_accesses_rejects_non_string_text(self, text):
+        with pytest.raises(ProtocolError, match="'text'"):
+            protocol.validate_request({"op": "accesses", "id": 1,
+                                       "text": text})
+
+    def test_accesses_requires_an_id(self):
+        with pytest.raises(ProtocolError, match="'id'"):
+            protocol.validate_request({"op": "accesses", "text": "x"})
+
+    def test_statement_orderings_cover_target_traffic(self):
+        assert "reads" in protocol.STATEMENT_ORDERINGS
+        assert "reads_per_value" in protocol.STATEMENT_ORDERINGS
+        for by in protocol.STATEMENT_ORDERINGS:
+            assert protocol.validate_request(
+                {"op": "statements", "id": 1, "by": by}) == "statements"

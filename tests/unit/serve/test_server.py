@@ -315,3 +315,82 @@ class TestConsole:
         monkeypatch.setattr("sys.stdin", _InterruptedStdin())
         status = console.main(["--port", str(server.port)])
         assert status == 0
+
+
+class TestAccessesOp:
+    @pytest.fixture
+    def stat_server(self):
+        from repro.obs.statements import StatementStats
+        booted = DuelServer(workloads.big_array(1000), workers=2,
+                            metrics=MetricsRegistry(),
+                            statements=StatementStats(),
+                            drain_timeout=5.0)
+        booted.start()
+        yield booted
+        booted.stop()
+
+    def test_accesses_returns_a_classified_profile(self, stat_server):
+        with connect(stat_server) as client:
+            reply = client.accesses("x[..1000] !=? 0")
+        assert reply["ev"] == "accesses"
+        assert reply["outcome"] == "done"
+        profile = reply["profile"]
+        assert profile["pattern"] == "sequential"
+        assert profile["reads"] >= 1000
+        assert profile["unique_pages"] > 1
+        assert reply["fingerprint"]
+        # The advisor sweeps at least two page sizes.
+        page_sizes = {entry["page_size"] for entry in reply["advisor"]}
+        assert len(page_sizes) >= 2
+
+    def test_accesses_suppresses_value_frames(self, stat_server):
+        with connect(stat_server) as client:
+            request_id = client._take_id()
+            client._send({"op": "accesses", "id": request_id,
+                          "text": "x[..50]"})
+            frames = []
+            while True:
+                frame = client.read_frame()
+                frames.append(frame)
+                if frame.get("ev") != "value":
+                    break
+        assert [f["ev"] for f in frames] == ["accesses"]
+        assert frames[0]["values"] == 50
+
+    def test_accesses_reports_compile_errors(self, stat_server):
+        with connect(stat_server) as client:
+            reply = client.accesses("x[")
+        assert reply["outcome"] == "error"
+        assert "profile" not in reply
+        assert reply["error"]
+
+    def test_accesses_counted_in_health(self, stat_server):
+        with connect(stat_server) as client:
+            client.accesses("x[..10]")
+            health = client.health()
+        assert health["accesses"]["served"] == 1
+
+    def test_accesses_feeds_the_statements_table(self, stat_server):
+        with connect(stat_server) as client:
+            client.accesses("x[..1000] !=? 0")
+            reply = client.statements(by="reads_per_value")
+        (row,) = reply["rows"]
+        assert row["profiles"] == 1
+        assert row["pattern"] == "sequential"
+        assert row["reads_per_value"] > 0
+
+    def test_statements_orders_by_reads_over_the_wire(self, stat_server):
+        with connect(stat_server) as client:
+            client.duel("x[..100]")
+            client.accesses("x[..1000] !=? 0")
+            reply = client.statements(by="reads")
+        reads = [row["reads"] for row in reply["rows"]]
+        assert reads == sorted(reads, reverse=True)
+        assert len(reads) == 2
+
+    def test_malformed_accesses_is_rejected(self, stat_server):
+        with connect(stat_server) as client:
+            client._send({"op": "accesses", "id": 9})
+            reply = client.read_frame()
+        assert reply["ev"] == "error"
+        assert "text" in reply["error"]
