@@ -21,14 +21,16 @@ the committed artifact is the **aggregate**: ``--aggregate`` runs
 and embeds each suite's full report under ``"suites"``, so one file
 per PR carries the whole perf story and a missing suite is a loud
 KeyError in CI rather than a quietly absent file.  PR 9 adds the
-``access`` suite (the memory-observatory off-overhead gate).
+``access`` suite (the memory-observatory off-overhead gate); PR 10
+adds ``pagecache`` (read-reduction, off-path cost, and coherence
+gates for the target page cache).
 
 Usage::
 
     python benchmarks/emit_json.py --out BENCH_3.json     # core only
     python benchmarks/emit_json.py --workload p3_array --repeats 15
     python benchmarks/emit_json.py --max-trace-overhead 2.0  # exit 1 on breach
-    python benchmarks/emit_json.py --aggregate --out BENCH_9.json
+    python benchmarks/emit_json.py --aggregate --out BENCH_10.json
     python benchmarks/emit_json.py --aggregate --quick    # CI smoke
 
 Standalone on purpose (argparse, not pytest): CI calls it directly and
@@ -173,6 +175,12 @@ SUITES = {
     "access": ("bench_access",
                ["--queries", "60", "--max-access-overhead", "1.05"],
                ["--queries", "6"]),
+    "pagecache": ("bench_pagecache",
+                  ["--queries", "40", "--writes", "50",
+                   "--min-read-reduction", "5",
+                   "--max-off-overhead", "1.05"],
+                  ["--queries", "4", "--writes", "5",
+                   "--min-read-reduction", "5"]),
 }
 
 
@@ -217,7 +225,7 @@ def aggregate(ns) -> int:
                 return status
             suites[section] = json.loads(out.read_text())
     report = {
-        "schema": "repro-bench/9",
+        "schema": "repro-bench/10",
         "python": platform.python_version(),
         "platform": platform.platform(),
         "quick": bool(ns.quick),
@@ -233,7 +241,7 @@ def main(argv=None) -> int:
         description="emit benchmark profiles as JSON")
     parser.add_argument("--out", default=None,
                         help="output path (default BENCH_3.json, or "
-                             "BENCH_9.json with --aggregate)")
+                             "BENCH_10.json with --aggregate)")
     parser.add_argument("--workload", action="append", default=[],
                         choices=sorted(PROFILES),
                         help="profile only these workloads (repeatable; "
@@ -242,8 +250,9 @@ def main(argv=None) -> int:
                         help="timed runs per workload (default 11)")
     parser.add_argument("--aggregate", action="store_true",
                         help="run every bench suite (core + serve + "
-                             "chaos + journal + obs-serve) and write "
-                             "one combined artifact")
+                             "chaos + journal + obs-serve + access + "
+                             "pagecache) and write one combined "
+                             "artifact")
     parser.add_argument("--quick", action="store_true",
                         help="with --aggregate: minimal run counts, "
                              "for smoke-testing the harness itself")
@@ -255,7 +264,7 @@ def main(argv=None) -> int:
 
     if ns.aggregate:
         if ns.out is None:
-            ns.out = "BENCH_9.json"
+            ns.out = "BENCH_10.json"
         return aggregate(ns)
     if ns.out is None:
         ns.out = "BENCH_3.json"

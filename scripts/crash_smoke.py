@@ -120,6 +120,37 @@ def reader_loop(client, stop, record):
     record["errors"] = errors
 
 
+def check_checkpoint_epoch(state_dir):
+    """The durable checkpoint must carry the target's memory epoch.
+
+    Page caches (PR 10) invalidate on epoch movement; a recovered
+    server restores the checkpoint snapshot and advances past its
+    recorded epoch, so no session can ever serve pre-crash cached
+    pages.  This guards the serialization side: the ``DUELSNAP1``
+    payload inside the newest checkpoint actually records an epoch.
+    """
+    import pickle
+    import zlib
+
+    from repro.serve.journal import StateStore
+    from repro.target.snapshot import SNAP_MAGIC
+
+    loaded = StateStore(state_dir, fsync="off").load_checkpoint()
+    if loaded is None:
+        fail(f"no valid checkpoint found under {state_dir!r}")
+    lsn, payload = loaded
+    blob = payload.get("snapshot", b"")
+    if not blob.startswith(SNAP_MAGIC):
+        fail("checkpoint snapshot is not a DUELSNAP1 blob")
+    snap = pickle.loads(zlib.decompress(blob[len(SNAP_MAGIC):]))
+    epoch = snap.get("epoch")
+    if not isinstance(epoch, int) or epoch <= 0:
+        fail(f"checkpoint lsn {lsn} snapshot carries no usable "
+             f"memory epoch (got {epoch!r})")
+    print(f"checkpoint epoch ok: lsn {lsn} snapshot records "
+          f"epoch {epoch}")
+
+
 def check_exactly_once(qlog_paths):
     """Each unique write text drove at most one execution, across
     every lifetime's audit log (recovery replays run unaudited)."""
@@ -289,6 +320,7 @@ def main():
         timer.cancel()
         server.terminate()
 
+    check_checkpoint_epoch(state_dir)
     check_exactly_once(qlogs)
     print("crash smoke: all checks passed")
 

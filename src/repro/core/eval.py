@@ -183,9 +183,13 @@ class Evaluator:
         # observatory when a tracer is attached; the tracing wrapper
         # outermost counts reads/writes/calls and attributes them to
         # the active trace span.
-        self.access_backend = AccessTracingBackend(
-            GovernedBackend(backend, self.governor))
+        self.governed_backend = GovernedBackend(backend, self.governor)
+        self.access_backend = AccessTracingBackend(self.governed_backend)
         self.backend = TracingBackend(self.access_backend)
+        #: The active PageCachingBackend, or None (cache off: the hop
+        #: is spliced out of the chain entirely, same discipline as
+        #: the access tracer).
+        self.page_cache = None
         # Start with the access hop spliced out (no tracer attached).
         self.set_access_tracer(None)
         #: The active QueryTracer, or None (tracing off: the only cost
@@ -251,9 +255,13 @@ class Evaluator:
 
         Cached string-literal addresses point into allocations that a
         snapshot restore has undone; keeping them would alias whatever
-        the target allocates there next.
+        the target allocates there next.  The page cache would catch
+        the restore by itself on the next read (the memory epoch
+        moved), but the explicit flush keeps the contract obvious.
         """
         self._string_cache.clear()
+        if self.page_cache is not None:
+            self.page_cache.invalidate_all()
 
     def set_tracer(self, tracer) -> None:
         """Attach (or detach, with None) a per-query tracer.
@@ -285,6 +293,45 @@ class Evaluator:
         else:
             outer._inner_get = access.get_target_bytes
             outer._inner_put = access.put_target_bytes
+
+    def set_page_cache(self, policy) -> None:
+        """Install (or remove, with None/'off') the target page cache.
+
+        ``policy`` is a :class:`~repro.target.pagecache.PageCachePolicy`
+        (or None).  The cache slots *between* the access wrapper and
+        the governed backend — the access tracer keeps seeing every
+        logical read (the engine-parity oracle and scan classifier
+        stay cache-independent) while the cache turns runs of small
+        reads into bulk inner ones.  With the cache off nothing is in
+        the chain at all: the access wrapper's bound inner methods
+        point straight at the governed backend, exactly the pre-cache
+        stack.  Requires a backend that exposes the target's memory
+        (for the coherence epoch); without one the cache is refused
+        and the chain is left untouched.
+        """
+        from repro.target.pagecache import PageCachingBackend
+
+        access = self.access_backend
+        governed = self.governed_backend
+        if policy is None or not getattr(policy, "enabled", False):
+            self.page_cache = None
+            inner = governed
+        else:
+            memory = getattr(getattr(governed, "program", None),
+                             "memory", None)
+            if memory is None:
+                self.page_cache = None
+                inner = governed
+            else:
+                self.page_cache = PageCachingBackend(
+                    governed, policy, lambda: memory.epoch)
+                inner = self.page_cache
+        access.inner = inner
+        access._inner_get = inner.get_target_bytes
+        access._inner_put = inner.put_target_bytes
+        # Re-run the access splice so the outer counter's bound
+        # methods point at the right next hop.
+        self.set_access_tracer(access.tracer)
 
     def eval(self, node: N.Node) -> Iterator[DuelValue]:
         """All values of ``node``, lazily (the paper's ``eval``)."""

@@ -329,8 +329,17 @@ def advise(records: list[tuple],
 
 
 def render_report(text: str, profile: dict,
-                  advice: list[dict]) -> list[str]:
-    """Human-readable lines for the REPL ``accesses`` command."""
+                  advice: list[dict],
+                  cache: Optional[dict] = None) -> list[str]:
+    """Human-readable lines for the REPL ``accesses`` command.
+
+    ``cache`` (when a real page cache is attached to the session) is
+    the :meth:`~repro.core.session.DuelSession.cache_report` dict:
+    the measured hit rate at the configured (page size, capacity)
+    point rendered next to the advisor's projection for the same
+    recorded trace, so operators can see whether the model that
+    recommended the configuration still predicts the cache they got.
+    """
     lines = [f"accesses: {text}"]
     lines.append(
         f"  {profile['accesses']} accesses "
@@ -373,6 +382,24 @@ def render_report(text: str, profile: dict,
             f"{best['hit_rate'] * 100:.1f}% of "
             f"{profile['accesses']} accesses served from cache "
             f"({best['misses']} bulk fetches)")
+    if cache:
+        lines.append(
+            f"  page cache ({cache['mode']}, {cache['page_size']}B × "
+            f"{cache['capacity']} pages): "
+            f"{cache['measured_hit_rate'] * 100:.1f}% hits measured, "
+            f"{cache['logical_reads']} logical → "
+            f"{cache['physical_reads']} physical reads")
+        projected = cache.get("projected_hit_rate")
+        if projected is not None:
+            gap = cache.get("projection_gap", 0.0)
+            lines.append(
+                f"  advisor projection at this point: "
+                f"{projected * 100:.1f}% hits "
+                f"(measured {gap * 100:+.1f}pp vs projected)")
+        if cache.get("prefetched_bytes"):
+            lines.append(
+                f"  prefetched {cache['prefetched_bytes']}B ahead of "
+                f"use (pattern: {cache['pattern']})")
     return lines
 
 

@@ -21,6 +21,7 @@ from repro.target.interface import (
     SimulatorBackend,
 )
 from repro.target.memory import Memory, TargetMemoryFault
+from repro.target.pagecache import PageCachePolicy, PageCachingBackend
 from repro.target.program import TargetProgram
 from repro.target.symbols import Symbol, SymbolKind, SymbolTable
 
@@ -30,6 +31,8 @@ __all__ = [
     "FaultInjectingBackend",
     "GovernedBackend",
     "Memory",
+    "PageCachePolicy",
+    "PageCachingBackend",
     "SimulatorBackend",
     "Symbol",
     "SymbolKind",
